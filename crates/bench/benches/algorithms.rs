@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks of the three algorithms on the paper's default
+//! workload — the per-request running-time panels (Fig. 1(c)/2(c)/3(c)) in
+//! benchmark form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mecnet::workload::{generate_scenario, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use relaug::instance::AugmentationInstance;
+use relaug::{heuristic, ilp, randomized};
+
+fn instances(len: usize, n: usize) -> Vec<AugmentationInstance> {
+    let cfg = WorkloadConfig { sfc_len_range: (len, len), ..Default::default() };
+    (0..n)
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed as u64);
+            let s = generate_scenario(&cfg, &mut rng);
+            AugmentationInstance::from_scenario(&s, 1)
+        })
+        .collect()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_request");
+    for &len in &[4usize, 8, 12] {
+        let insts = instances(len, 4);
+        group.bench_with_input(BenchmarkId::new("ilp", len), &insts, |b, insts| {
+            let mut i = 0;
+            b.iter(|| {
+                let out = ilp::solve(&insts[i % insts.len()], &Default::default()).unwrap();
+                i += 1;
+                out.metrics.reliability
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("randomized", len), &insts, |b, insts| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut i = 0;
+            b.iter(|| {
+                let out =
+                    randomized::solve(&insts[i % insts.len()], &Default::default(), &mut rng)
+                        .unwrap();
+                i += 1;
+                out.metrics.reliability
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("heuristic", len), &insts, |b, insts| {
+            let mut i = 0;
+            b.iter(|| {
+                let out = heuristic::solve(&insts[i % insts.len()], &Default::default());
+                i += 1;
+                out.metrics.reliability
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+    targets = bench_algorithms
+}
+criterion_main!(benches);

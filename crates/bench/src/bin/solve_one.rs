@@ -1,0 +1,92 @@
+//! Solve a single generated scenario end-to-end and print a detailed
+//! placement report — the "try the system in 10 seconds" entry point.
+//!
+//! Usage: `cargo run -p bench-harness --release --bin solve_one --
+//! [--seed S] [--len L] [--residual F] [--l HOPS] [--algo ilp|rand|heur|greedy]
+//! [--dot PATH]`
+
+use mecnet::workload::{generate_scenario, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use relaug::instance::AugmentationInstance;
+use relaug::{greedy, heuristic, ilp, randomized, report};
+
+struct Args {
+    seed: u64,
+    len: usize,
+    residual: f64,
+    l: u32,
+    algo: String,
+    dot: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 2020,
+        len: 6,
+        residual: 0.25,
+        l: 1,
+        algo: "ilp".into(),
+        dot: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--len" => args.len = val("--len")?.parse().map_err(|e| format!("{e}"))?,
+            "--residual" => {
+                args.residual = val("--residual")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--l" => args.l = val("--l")?.parse().map_err(|e| format!("{e}"))?,
+            "--algo" => args.algo = val("--algo")?,
+            "--dot" => args.dot = Some(val("--dot")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !["ilp", "rand", "heur", "greedy"].contains(&args.algo.as_str()) {
+        return Err(format!("unknown algorithm '{}'", args.algo));
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("solve_one: {e}");
+            std::process::exit(2);
+        }
+    };
+    let config = WorkloadConfig {
+        sfc_len_range: (args.len, args.len),
+        residual_fraction: args.residual,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let scenario = generate_scenario(&config, &mut rng);
+    let inst = AugmentationInstance::from_scenario(&scenario, args.l);
+    println!(
+        "scenario: {} APs, {} cloudlets, chain length {}, l = {}, N = {} items\n",
+        scenario.network.num_nodes(),
+        scenario.network.num_cloudlets(),
+        inst.chain_len(),
+        args.l,
+        inst.total_items()
+    );
+    let outcome = match args.algo.as_str() {
+        "ilp" => ilp::solve(&inst, &Default::default()).expect("ILP"),
+        "rand" => randomized::solve(&inst, &Default::default(), &mut rng).expect("LP"),
+        "heur" => heuristic::solve(&inst, &Default::default()),
+        _ => greedy::solve(&inst, &Default::default()),
+    };
+    print!("{}", report::render(&inst, &outcome));
+    if let Some(path) = args.dot {
+        let dot = mecnet::dot::to_dot_with_highlights(
+            &scenario.network,
+            &scenario.placement.locations,
+        );
+        std::fs::write(&path, dot).expect("write DOT file");
+        println!("\nwrote {path} (render with `dot -Tsvg`)");
+    }
+}

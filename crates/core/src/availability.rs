@@ -1,0 +1,105 @@
+//! Operator-facing availability arithmetic: translating the paper's
+//! dimensionless reliabilities into downtime budgets, "nines", and the
+//! redundancy needed for an SLA class.
+
+use crate::reliability;
+
+/// Minutes in a (365-day) year.
+const MINUTES_PER_YEAR: f64 = 365.0 * 24.0 * 60.0;
+/// Minutes in a 30-day month.
+const MINUTES_PER_MONTH: f64 = 30.0 * 24.0 * 60.0;
+
+/// Expected downtime per year implied by a reliability/availability level.
+pub fn downtime_minutes_per_year(reliability: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&reliability));
+    (1.0 - reliability) * MINUTES_PER_YEAR
+}
+
+/// Expected downtime per 30-day month.
+pub fn downtime_minutes_per_month(reliability: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&reliability));
+    (1.0 - reliability) * MINUTES_PER_MONTH
+}
+
+/// The "number of nines" of an availability level (`0.999 -> 3.0`,
+/// `0.9995 -> ~3.3`); infinite for 1.0.
+pub fn nines(reliability: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&reliability));
+    if reliability >= 1.0 {
+        f64::INFINITY
+    } else {
+        -(1.0 - reliability).log10()
+    }
+}
+
+/// Availability with the given number of nines (`3.0 -> 0.999`).
+pub fn from_nines(n: f64) -> f64 {
+    assert!(n >= 0.0);
+    1.0 - 10f64.powf(-n)
+}
+
+/// Total backups a whole chain needs (per function, via
+/// [`reliability::secondaries_needed`]) so the *chain* reaches `target`,
+/// splitting the target evenly in log space across functions. Returns `None`
+/// when `target` is 1.0 (unreachable with finite redundancy).
+pub fn chain_backups_for_target(function_reliabilities: &[f64], target: f64) -> Option<Vec<usize>> {
+    assert!(!function_reliabilities.is_empty());
+    assert!(target > 0.0 && target <= 1.0);
+    if target >= 1.0 {
+        return None;
+    }
+    // Even split: each function must reach target^(1/L).
+    let per_function = target.powf(1.0 / function_reliabilities.len() as f64);
+    function_reliabilities
+        .iter()
+        .map(|&r| reliability::secondaries_needed(r, per_function))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downtime_conversions() {
+        // Three nines: ~525.6 minutes per year, ~43.2 per month.
+        let d = downtime_minutes_per_year(0.999);
+        assert!((d - 525.6).abs() < 0.1);
+        let m = downtime_minutes_per_month(0.999);
+        assert!((m - 43.2).abs() < 0.1);
+        assert_eq!(downtime_minutes_per_year(1.0), 0.0);
+    }
+
+    #[test]
+    fn nines_round_trip() {
+        for &n in &[1.0, 2.0, 3.0, 4.5] {
+            let a = from_nines(n);
+            assert!((nines(a) - n).abs() < 1e-9);
+        }
+        assert!(nines(1.0).is_infinite());
+        assert!((nines(0.99) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_backup_budget() {
+        // Four functions at r = 0.9, chain target 0.999:
+        // per-function target 0.999^(1/4) ≈ 0.99975 -> (0.1)^(k+1) <= 2.5e-4
+        // -> k + 1 >= 3.6 -> k = 3 each.
+        let backups = chain_backups_for_target(&[0.9; 4], 0.999).unwrap();
+        assert_eq!(backups, vec![3, 3, 3, 3]);
+        // Verify sufficiency.
+        let chain: f64 = backups
+            .iter()
+            .map(|&k| crate::reliability::function_reliability(0.9, k))
+            .product();
+        assert!(chain >= 0.999);
+        // Unreachable target.
+        assert!(chain_backups_for_target(&[0.9], 1.0).is_none());
+    }
+
+    #[test]
+    fn weaker_functions_need_more_backups() {
+        let backups = chain_backups_for_target(&[0.6, 0.95], 0.999).unwrap();
+        assert!(backups[0] > backups[1]);
+    }
+}

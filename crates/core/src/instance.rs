@@ -1,0 +1,370 @@
+//! The service reliability augmentation problem instance.
+//!
+//! Built from an admitted request: for every chain position `i` with primary
+//! on cloudlet `v_i`, the candidate hosts are the cloudlets of `N_l^+(v_i)`
+//! with enough residual capacity for one instance of `f_i` (the paper's
+//! constraints 11–12), and the item set contains `K_i` potential secondaries
+//! per function, where `K_i = Σ_{u ∈ N_l^+(v_i)} ⌊C'_u / c(f_i)⌋`
+//! (Section 4.2).
+
+use mecnet::graph::NodeId;
+use mecnet::network::MecNetwork;
+use mecnet::request::SfcRequest;
+use mecnet::vnf::{VnfCatalog, VnfTypeId};
+use mecnet::workload::Scenario;
+
+use crate::reliability;
+
+/// A cloudlet with residual capacity, the "bin" of the paper's GAP reduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bin {
+    pub node: NodeId,
+    /// Residual capacity `C'_u` in MHz available for secondaries.
+    pub residual: f64,
+}
+
+/// One chain position: a function, its primary's location, and its candidate
+/// bins.
+#[derive(Debug, Clone)]
+pub struct FunctionSlot {
+    pub vnf: VnfTypeId,
+    /// Per-instance computing demand `c(f_i)` in MHz.
+    pub demand: f64,
+    /// Instance reliability `r_i`.
+    pub reliability: f64,
+    /// Cloudlet hosting the primary instance.
+    pub primary: NodeId,
+    /// Indices into [`AugmentationInstance::bins`] of the cloudlets in
+    /// `N_l^+(primary)` with `C'_u >= c(f_i)`.
+    pub eligible_bins: Vec<usize>,
+    /// `K_i`: maximum number of secondaries that could ever be packed for
+    /// this function (capacity-wise, ignoring other functions).
+    pub max_secondaries: usize,
+    /// Backup instances of this function's type that already exist within
+    /// `N_l^+(primary)` and can be *shared* (Qu et al. 2018-style extension;
+    /// 0 in the paper's single-request setting). They shift every marginal
+    /// gain/cost: the `k`-th new secondary behaves like slot
+    /// `existing_backups + k` of the geometric ladder.
+    pub existing_backups: usize,
+}
+
+/// A single potential secondary instance — item `(i, k)` of the paper's
+/// budgeted min-cost GAP reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    /// Chain position (index into `functions`).
+    pub func: usize,
+    /// Which secondary this is (1-based: the `k`-th backup of the function).
+    pub k: usize,
+    /// The paper's cost `c(f_i, k, ·) = -log(r_i (1-r_i)^k)` (Eq. 3).
+    pub cost: f64,
+    /// Log-reliability gain `ln R(f_i,k) - ln R(f_i,k-1)` — the linearized
+    /// objective coefficient (see DESIGN.md on the Eq. 5–7 reinterpretation).
+    pub gain: f64,
+}
+
+impl FunctionSlot {
+    /// Number of enumerable new-secondary slots once marginal gains below
+    /// `gain_floor` are truncated (`gain_floor <= 0` disables truncation).
+    /// Accounts for already-existing shared backups: their slots are spent.
+    pub fn capped_slots(&self, gain_floor: f64) -> usize {
+        if gain_floor > 0.0 {
+            reliability::slots_above_gain_floor(
+                self.reliability,
+                self.existing_backups + self.max_secondaries,
+                gain_floor,
+            )
+            .saturating_sub(self.existing_backups)
+        } else {
+            self.max_secondaries
+        }
+    }
+}
+
+/// The full instance handed to the algorithms.
+#[derive(Debug, Clone)]
+pub struct AugmentationInstance {
+    pub functions: Vec<FunctionSlot>,
+    pub bins: Vec<Bin>,
+    /// Locality radius `l` (paper default 1).
+    pub l: u32,
+    /// Reliability expectation `ρ_j`.
+    pub expectation: f64,
+}
+
+impl AugmentationInstance {
+    /// Build an instance from explicit parts.
+    ///
+    /// `residual[v]` is the residual capacity of node `v` (zero for plain
+    /// APs); `placement[i]` hosts the primary of chain position `i`.
+    pub fn new(
+        network: &MecNetwork,
+        catalog: &VnfCatalog,
+        request: &SfcRequest,
+        placement: &[NodeId],
+        residual: &[f64],
+        l: u32,
+    ) -> Self {
+        assert_eq!(placement.len(), request.len(), "placement must cover the chain");
+        assert_eq!(residual.len(), network.num_nodes(), "residual must cover all nodes");
+        // Bins: every cloudlet with positive residual capacity.
+        let mut bins = Vec::new();
+        let mut bin_of_node = vec![usize::MAX; network.num_nodes()];
+        for v in network.graph().nodes() {
+            if network.is_cloudlet(v) && residual[v.index()] > 0.0 {
+                bin_of_node[v.index()] = bins.len();
+                bins.push(Bin { node: v, residual: residual[v.index()] });
+            }
+        }
+        let functions = request
+            .sfc
+            .iter()
+            .zip(placement)
+            .map(|(&vnf, &primary)| {
+                let demand = catalog.demand(vnf);
+                let candidates = network.graph().l_neighborhood_closed(primary, l);
+                let mut eligible: Vec<usize> = candidates
+                    .into_iter()
+                    .filter_map(|u| {
+                        let b = bin_of_node[u.index()];
+                        (b != usize::MAX && bins[b].residual >= demand).then_some(b)
+                    })
+                    .collect();
+                eligible.sort_unstable();
+                let max_secondaries: usize = eligible
+                    .iter()
+                    .map(|&b| (bins[b].residual / demand).floor() as usize)
+                    .sum();
+                FunctionSlot {
+                    vnf,
+                    demand,
+                    reliability: catalog.reliability(vnf),
+                    primary,
+                    eligible_bins: eligible,
+                    max_secondaries,
+                    existing_backups: 0,
+                }
+            })
+            .collect();
+        AugmentationInstance { functions, bins, l, expectation: request.expectation }
+    }
+
+    /// Build from a generated [`Scenario`] with locality radius `l`.
+    pub fn from_scenario(s: &Scenario, l: u32) -> Self {
+        AugmentationInstance::new(
+            &s.network,
+            &s.catalog,
+            &s.request,
+            &s.placement.locations,
+            &s.residual,
+            l,
+        )
+    }
+
+    /// Chain length `L_j`.
+    pub fn chain_len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Reliability before any *new* secondaries: `Π_i R(r_i, existing_i)`
+    /// (`Π r_i` in the paper's setting, where nothing is shared).
+    pub fn base_reliability(&self) -> f64 {
+        self.functions
+            .iter()
+            .map(|f| reliability::function_reliability(f.reliability, f.existing_backups))
+            .product()
+    }
+
+    /// Whether the primaries alone meet `ρ_j` (the algorithms' early EXIT).
+    pub fn expectation_met_by_primaries(&self) -> bool {
+        self.base_reliability() >= self.expectation
+    }
+
+    /// The paper's budget `C = -log ρ_j`.
+    pub fn budget(&self) -> f64 {
+        reliability::budget_from_expectation(self.expectation)
+    }
+
+    /// Log-gain needed to lift the primaries' reliability to `ρ_j`:
+    /// `ln ρ_j - ln Π r_i` (zero when the expectation is already met). This
+    /// is the budget `C` re-based onto the augmentation's starting point.
+    pub fn needed_gain(&self) -> f64 {
+        (self.expectation.ln() - self.base_reliability().ln()).max(0.0)
+    }
+
+    /// Total item count `N = Σ K_i` (before any gain-floor capping).
+    pub fn total_items(&self) -> usize {
+        self.functions.iter().map(|f| f.max_secondaries).sum()
+    }
+
+    /// Enumerate items `(i, k)` for `k = 1..=K_i`, with `K_i` additionally
+    /// capped where marginal gains drop below `gain_floor` (lossless beyond
+    /// that precision; pass `0.0` for the uncapped paper item set).
+    pub fn items(&self, gain_floor: f64) -> Vec<Item> {
+        let mut out = Vec::new();
+        for (i, f) in self.functions.iter().enumerate() {
+            let cap = f.capped_slots(gain_floor);
+            for k in 1..=cap {
+                out.push(Item {
+                    func: i,
+                    k,
+                    cost: reliability::paper_cost(f.reliability, f.existing_backups + k),
+                    gain: reliability::log_gain(f.reliability, f.existing_backups + k),
+                });
+            }
+        }
+        out
+    }
+
+    /// Upper bound on `N` from Theorem 6.2:
+    /// `N <= ⌈L_j · C_max · (d_max + 1) / c_min⌉` where `d_max` is the largest
+    /// closed `l`-hop cloudlet neighborhood size.
+    pub fn item_count_bound(&self) -> usize {
+        if self.functions.is_empty() || self.bins.is_empty() {
+            return 0;
+        }
+        let c_max = self.bins.iter().map(|b| b.residual).fold(0.0, f64::max);
+        let c_min =
+            self.functions.iter().map(|f| f.demand).fold(f64::INFINITY, f64::min);
+        let d_max = self.functions.iter().map(|f| f.eligible_bins.len()).max().unwrap_or(0);
+        (self.chain_len() as f64 * c_max * d_max as f64 / c_min).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mecnet::graph::Graph;
+    use mecnet::vnf::VnfType;
+
+    /// Path 0-1-2-3 with cloudlets at 1, 2, 3.
+    fn fixture() -> (MecNetwork, VnfCatalog, SfcRequest) {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        let net = MecNetwork::new(g, vec![0.0, 1000.0, 800.0, 600.0]);
+        let mut cat = VnfCatalog::new();
+        cat.add(VnfType { name: "a".into(), demand_mhz: 300.0, reliability: 0.8 });
+        cat.add(VnfType { name: "b".into(), demand_mhz: 500.0, reliability: 0.9 });
+        let req = SfcRequest {
+            id: 0,
+            sfc: vec![VnfTypeId(0), VnfTypeId(1)],
+            expectation: 0.99,
+            source: NodeId(0),
+            destination: NodeId(3),
+        };
+        (net, cat, req)
+    }
+
+    #[test]
+    fn eligibility_respects_l_hop_and_capacity() {
+        let (net, cat, req) = fixture();
+        let placement = [NodeId(1), NodeId(3)];
+        let residual = vec![0.0, 1000.0, 800.0, 600.0];
+        let inst = AugmentationInstance::new(&net, &cat, &req, &placement, &residual, 1);
+        assert_eq!(inst.bins.len(), 3);
+        // f0 (demand 300) primary at node 1: N_1^+ = {0,1,2}; bins at 1 and 2
+        // both have >= 300 residual.
+        let f0 = &inst.functions[0];
+        let hosts0: Vec<NodeId> = f0.eligible_bins.iter().map(|&b| inst.bins[b].node).collect();
+        assert_eq!(hosts0, vec![NodeId(1), NodeId(2)]);
+        // K_0 = floor(1000/300) + floor(800/300) = 3 + 2 = 5.
+        assert_eq!(f0.max_secondaries, 5);
+        // f1 (demand 500) primary at node 3: N_1^+ = {2,3}; node 2 has 800
+        // (>=500), node 3 has 600 (>=500).
+        let f1 = &inst.functions[1];
+        let hosts1: Vec<NodeId> = f1.eligible_bins.iter().map(|&b| inst.bins[b].node).collect();
+        assert_eq!(hosts1, vec![NodeId(2), NodeId(3)]);
+        // K_1 = floor(800/500) + floor(600/500) = 1 + 1 = 2.
+        assert_eq!(f1.max_secondaries, 2);
+        assert_eq!(inst.total_items(), 7);
+    }
+
+    #[test]
+    fn capacity_below_demand_excludes_bin() {
+        let (net, cat, req) = fixture();
+        let placement = [NodeId(1), NodeId(1)];
+        // Node 3 has only 200 left: ineligible for either function.
+        let residual = vec![0.0, 250.0, 800.0, 200.0];
+        let inst = AugmentationInstance::new(&net, &cat, &req, &placement, &residual, 2);
+        // f1 demand 500: within 2 hops of node 1 -> {1, 2, 3}; only node 2 fits.
+        let f1 = &inst.functions[1];
+        let hosts: Vec<NodeId> = f1.eligible_bins.iter().map(|&b| inst.bins[b].node).collect();
+        assert_eq!(hosts, vec![NodeId(2)]);
+        // f0 demand 300: node 1 (250) too small, node 2 fits, node 3 too small.
+        let f0 = &inst.functions[0];
+        let hosts0: Vec<NodeId> = f0.eligible_bins.iter().map(|&b| inst.bins[b].node).collect();
+        assert_eq!(hosts0, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn items_have_increasing_cost_decreasing_gain() {
+        let (net, cat, req) = fixture();
+        let placement = [NodeId(1), NodeId(3)];
+        let residual = vec![0.0, 1000.0, 800.0, 600.0];
+        let inst = AugmentationInstance::new(&net, &cat, &req, &placement, &residual, 1);
+        let items = inst.items(0.0);
+        assert_eq!(items.len(), inst.total_items());
+        for w in items.windows(2) {
+            if w[0].func == w[1].func {
+                assert!(w[1].cost > w[0].cost);
+                assert!(w[1].gain < w[0].gain);
+            }
+        }
+        // Gain floor capping only removes items.
+        let capped = inst.items(1e-3);
+        assert!(capped.len() <= items.len());
+    }
+
+    #[test]
+    fn base_reliability_and_budget() {
+        let (net, cat, req) = fixture();
+        let placement = [NodeId(1), NodeId(3)];
+        let residual = vec![0.0, 1000.0, 800.0, 600.0];
+        let inst = AugmentationInstance::new(&net, &cat, &req, &placement, &residual, 1);
+        assert!((inst.base_reliability() - 0.72).abs() < 1e-12);
+        assert!(!inst.expectation_met_by_primaries());
+        assert!((inst.budget() - (-(0.99f64.ln()))).abs() < 1e-12);
+        assert_eq!(inst.chain_len(), 2);
+    }
+
+    #[test]
+    fn item_count_bound_dominates_actual() {
+        let (net, cat, req) = fixture();
+        let placement = [NodeId(1), NodeId(3)];
+        let residual = vec![0.0, 1000.0, 800.0, 600.0];
+        let inst = AugmentationInstance::new(&net, &cat, &req, &placement, &residual, 1);
+        assert!(inst.item_count_bound() >= inst.total_items());
+    }
+
+    #[test]
+    fn zero_residual_network_yields_no_bins() {
+        let (net, cat, req) = fixture();
+        let placement = [NodeId(1), NodeId(3)];
+        let residual = vec![0.0; 4];
+        let inst = AugmentationInstance::new(&net, &cat, &req, &placement, &residual, 1);
+        assert!(inst.bins.is_empty());
+        assert_eq!(inst.total_items(), 0);
+        assert_eq!(inst.item_count_bound(), 0);
+        assert!(inst.items(0.0).is_empty());
+    }
+
+    #[test]
+    fn scenario_roundtrip() {
+        use mecnet::workload::{generate_scenario, WorkloadConfig};
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = generate_scenario(&WorkloadConfig::default(), &mut rng);
+        let inst = AugmentationInstance::from_scenario(&s, 1);
+        assert_eq!(inst.chain_len(), s.request.len());
+        assert_eq!(inst.expectation, s.request.expectation);
+        // All eligible bins must really be within 1 hop of the primary.
+        for f in &inst.functions {
+            for &b in &f.eligible_bins {
+                let d = s.network.graph().hop_distance(f.primary, inst.bins[b].node).unwrap();
+                assert!(d <= 1);
+            }
+        }
+    }
+}

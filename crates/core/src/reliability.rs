@@ -1,0 +1,223 @@
+//! Reliability arithmetic of the paper's Section 3 and the cost/gain
+//! functions of Section 4.
+//!
+//! All logarithms are natural; the paper leaves the base unspecified and every
+//! quantity it derives (budgets, costs, gains) only requires consistency.
+
+/// `R(f, k)`: reliability of a function with instance reliability `r` when a
+/// primary plus `k` secondaries are deployed — `1 - (1 - r)^{k+1}` (Eq. 1
+/// under the identical-reliability assumption).
+pub fn function_reliability(r: f64, k: usize) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&r));
+    1.0 - (1.0 - r).powi(k as i32 + 1)
+}
+
+/// Eq. 1 in full generality: accumulative reliability of instances with
+/// possibly different reliabilities, `1 - Π (1 - r_l)`.
+pub fn accumulative_reliability(instance_reliabilities: &[f64]) -> f64 {
+    1.0 - instance_reliabilities.iter().map(|&r| 1.0 - r).product::<f64>()
+}
+
+/// Marginal reliability contributed by the `k`-th secondary:
+/// `R(f, k) - R(f, k-1) = r·(1-r)^k` (for `k >= 1`); for `k = 0` this is the
+/// primary's own `r`.
+pub fn marginal_reliability(r: f64, k: usize) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&r));
+    r * (1.0 - r).powi(k as i32)
+}
+
+/// The paper's item cost, Eq. 3/4:
+/// `c(f, k, ·) = -log(R(f,k) - R(f,k-1)) = -log(r (1-r)^k)` for `k >= 1`,
+/// and `c(f, 0, ·) = -log r` for the primary item.
+///
+/// Strictly positive and strictly increasing in `k` (Lemma 4.1) whenever
+/// `0 < r < 1`; returns `+inf` when the marginal underflows to zero.
+pub fn paper_cost(r: f64, k: usize) -> f64 {
+    -marginal_reliability(r, k).ln()
+}
+
+/// Log-reliability gain of adding the `k`-th secondary (`k >= 1`):
+/// `g(r, k) = ln R(f, k) - ln R(f, k-1) > 0`.
+///
+/// This is the linearization the exact/randomized algorithms optimize; by the
+/// prefix property (the paper's Lemma 4.2) summing gains of slots `1..=m`
+/// telescopes to the true log-reliability improvement of `m` secondaries.
+pub fn log_gain(r: f64, k: usize) -> f64 {
+    debug_assert!(k >= 1, "gains are defined for secondaries (k >= 1)");
+    function_reliability(r, k).ln() - function_reliability(r, k - 1).ln()
+}
+
+/// Reliability of a whole chain given per-function secondary counts:
+/// `u_j = Π_i R(f_i, m_i)` (Section 3.1).
+pub fn chain_reliability(reliabilities: &[f64], secondary_counts: &[usize]) -> f64 {
+    debug_assert_eq!(reliabilities.len(), secondary_counts.len());
+    reliabilities
+        .iter()
+        .zip(secondary_counts)
+        .map(|(&r, &m)| function_reliability(r, m))
+        .product()
+}
+
+/// The paper's budget `C = -log ρ_j` (Section 4.2).
+pub fn budget_from_expectation(rho: f64) -> f64 {
+    debug_assert!(rho > 0.0 && rho <= 1.0);
+    -rho.ln()
+}
+
+/// Number of secondaries needed for one function to push `R(f, k)` to at
+/// least `target` (`None` if `target` is 1.0 and `r < 1`, which is
+/// unreachable with finitely many instances).
+pub fn secondaries_needed(r: f64, target: f64) -> Option<usize> {
+    debug_assert!((0.0..=1.0).contains(&r) && (0.0..=1.0).contains(&target));
+    if function_reliability(r, 0) >= target {
+        return Some(0);
+    }
+    if r >= 1.0 {
+        return Some(0);
+    }
+    if target >= 1.0 {
+        return None;
+    }
+    // (1-r)^{k+1} <= 1 - target  =>  k >= ln(1-target)/ln(1-r) - 1
+    let k = ((1.0 - target).ln() / (1.0 - r).ln() - 1.0).ceil();
+    let mut k = k.max(0.0) as usize;
+    // Guard against floating-point edge cases.
+    while function_reliability(r, k) < target {
+        k += 1;
+    }
+    Some(k)
+}
+
+/// Smallest `k` beyond which marginal gains fall below `floor` — used to cap
+/// item enumeration without changing optima beyond `floor` precision.
+pub fn slots_above_gain_floor(r: f64, max_k: usize, floor: f64) -> usize {
+    if r >= 1.0 {
+        return 0;
+    }
+    let mut k = 0;
+    while k < max_k && log_gain(r, k + 1) > floor {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliability_grows_with_backups() {
+        let r = 0.8;
+        assert!((function_reliability(r, 0) - 0.8).abs() < 1e-12);
+        assert!((function_reliability(r, 1) - 0.96).abs() < 1e-12);
+        assert!((function_reliability(r, 2) - 0.992).abs() < 1e-12);
+        for k in 0..10 {
+            assert!(function_reliability(r, k + 1) > function_reliability(r, k));
+        }
+    }
+
+    #[test]
+    fn accumulative_matches_identical_case() {
+        let r = 0.7;
+        let acc = accumulative_reliability(&[r, r, r]);
+        assert!((acc - function_reliability(r, 2)).abs() < 1e-12);
+        // Mixed reliabilities.
+        let acc2 = accumulative_reliability(&[0.5, 0.9]);
+        assert!((acc2 - (1.0 - 0.5 * 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginals_telescope_to_reliability() {
+        let r = 0.85;
+        for m in 0..8 {
+            let sum: f64 = (0..=m).map(|k| marginal_reliability(r, k)).sum();
+            assert!((sum - function_reliability(r, m)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lemma_4_1_costs_positive_and_increasing() {
+        for &r in &[0.55, 0.7, 0.8, 0.95] {
+            let mut prev = paper_cost(r, 0);
+            assert!(prev > 0.0);
+            for k in 1..12 {
+                let c = paper_cost(r, k);
+                assert!(c > prev, "cost must increase in k (r={r}, k={k})");
+                // Eq. 16: consecutive difference is exactly ln(1/(1-r)).
+                let diff = c - prev;
+                assert!((diff - (1.0 / (1.0 - r)).ln()).abs() < 1e-9);
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn gains_positive_and_decreasing() {
+        for &r in &[0.6, 0.8, 0.9] {
+            let mut prev = f64::INFINITY;
+            for k in 1..15 {
+                let g = log_gain(r, k);
+                assert!(g > 0.0);
+                assert!(g < prev, "diminishing returns violated at k={k}");
+                prev = g;
+            }
+        }
+    }
+
+    #[test]
+    fn gains_telescope_to_log_reliability() {
+        let r = 0.75;
+        for m in 1..10 {
+            let sum: f64 = (1..=m).map(|k| log_gain(r, k)).sum();
+            let expect = function_reliability(r, m).ln() - function_reliability(r, 0).ln();
+            assert!((sum - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn chain_reliability_products() {
+        let rels = [0.8, 0.9];
+        let u = chain_reliability(&rels, &[1, 0]);
+        assert!((u - 0.96 * 0.9).abs() < 1e-12);
+        assert!((chain_reliability(&[], &[]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_matches_expectation() {
+        let c = budget_from_expectation(0.99);
+        assert!((c - (-(0.99f64.ln()))).abs() < 1e-15);
+        assert_eq!(budget_from_expectation(1.0), 0.0);
+    }
+
+    #[test]
+    fn secondaries_needed_exact() {
+        // r = 0.8, target 0.99: R(1) = 0.96 < 0.99, R(2) = 0.992 >= 0.99.
+        assert_eq!(secondaries_needed(0.8, 0.99), Some(2));
+        assert_eq!(secondaries_needed(0.8, 0.5), Some(0));
+        assert_eq!(secondaries_needed(0.8, 1.0), None);
+        assert_eq!(secondaries_needed(1.0, 1.0), Some(0));
+        // Verify minimality on a sweep.
+        for &r in &[0.6, 0.85] {
+            for &t in &[0.9, 0.99, 0.9999] {
+                let k = secondaries_needed(r, t).unwrap();
+                assert!(function_reliability(r, k) >= t);
+                if k > 0 {
+                    assert!(function_reliability(r, k - 1) < t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slot_capping_is_lossless_at_floor() {
+        let r = 0.8;
+        let cap = slots_above_gain_floor(r, 100, 1e-12);
+        assert!(cap < 100);
+        assert!(log_gain(r, cap + 1) <= 1e-12);
+        if cap > 0 {
+            assert!(log_gain(r, cap) > 1e-12);
+        }
+        // Perfectly reliable functions need no slots.
+        assert_eq!(slots_above_gain_floor(1.0, 100, 1e-12), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Human-readable solution reports: where every secondary went, what each
+//! function's reliability became, and how loaded each cloudlet ended up.
+
+use std::fmt::Write as _;
+
+use crate::instance::AugmentationInstance;
+use crate::reliability;
+use crate::solution::Outcome;
+
+/// Render a placement report as plain text (fixed-width columns).
+pub fn render(inst: &AugmentationInstance, outcome: &Outcome) -> String {
+    let mut out = String::new();
+    let m = &outcome.metrics;
+    let _ = writeln!(
+        out,
+        "request reliability: {:.6} (base {:.6}, expectation {:.6}, met: {})",
+        m.reliability,
+        m.base_reliability,
+        inst.expectation,
+        if m.met_expectation { "yes" } else { "no" }
+    );
+    let _ = writeln!(
+        out,
+        "secondaries placed: {}   paper cost c(S): {:.4}   runtime: {:?}",
+        m.total_secondaries, m.paper_cost, outcome.runtime
+    );
+
+    let _ = writeln!(out, "\nper-function placement:");
+    let counts = outcome.augmentation.counts();
+    for (i, f) in inst.functions.iter().enumerate() {
+        let total = f.existing_backups + counts[i];
+        let hosts: Vec<String> = outcome
+            .augmentation
+            .placements_of(i)
+            .iter()
+            .map(|&(b, c)| format!("{}x{}", inst.bins[b].node, c))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  f{i} @ {}: r={:.3} -> R={:.6}  new={} shared={}  hosts=[{}]",
+            f.primary,
+            f.reliability,
+            reliability::function_reliability(f.reliability, total),
+            counts[i],
+            f.existing_backups,
+            hosts.join(", ")
+        );
+    }
+
+    let _ = writeln!(out, "\ncloudlet load:");
+    let loads = outcome.augmentation.bin_loads(inst);
+    for (b, bin) in inst.bins.iter().enumerate() {
+        if loads[b] > 0.0 {
+            let _ = writeln!(
+                out,
+                "  {}: {:.0} / {:.0} MHz ({:.0}%)",
+                bin.node,
+                loads[b],
+                bin.residual,
+                100.0 * loads[b] / bin.residual
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic;
+    use crate::instance::{Bin, FunctionSlot};
+    use mecnet::graph::NodeId;
+    use mecnet::vnf::VnfTypeId;
+
+    #[test]
+    fn report_contains_key_fields() {
+        let inst = AugmentationInstance {
+            functions: vec![FunctionSlot {
+                vnf: VnfTypeId(0),
+                demand: 100.0,
+                reliability: 0.8,
+                primary: NodeId(0),
+                eligible_bins: vec![0],
+                max_secondaries: 3,
+                existing_backups: 1,
+            }],
+            bins: vec![Bin { node: NodeId(0), residual: 400.0 }],
+            l: 1,
+            expectation: 0.999,
+        };
+        let out = heuristic::solve(&inst, &Default::default());
+        let text = render(&inst, &out);
+        assert!(text.contains("request reliability"));
+        assert!(text.contains("per-function placement"));
+        assert!(text.contains("shared=1"));
+        assert!(text.contains("cloudlet load"));
+        assert!(text.contains("v0"));
+    }
+}

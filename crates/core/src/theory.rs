@@ -1,0 +1,176 @@
+//! Analytical quantities from the paper's Sections 5 and 6: Chernoff bounds
+//! (Lemma 5.1), the scaling constant `Λ` (Eq. 18), the approximation ratio
+//! and capacity-violation premises of Theorem 5.2, and the item-count bound
+//! of Theorem 6.2.
+//!
+//! These let tests and benches check the *analytical counterparts* the paper
+//! compares its empirical results against ("their empirical results are
+//! superior to their analytical counterparts").
+
+use crate::instance::AugmentationInstance;
+use crate::reliability;
+
+/// Lemma 5.1 (i), upper tail: `Pr[Σx ≥ (1+β)μ] ≤ exp(-β²μ / (2+β))`.
+pub fn chernoff_upper_tail(mu: f64, beta: f64) -> f64 {
+    assert!(beta > 0.0, "upper tail requires beta > 0");
+    assert!(mu >= 0.0);
+    (-(beta * beta * mu) / (2.0 + beta)).exp()
+}
+
+/// Lemma 5.1 (ii), lower tail: `Pr[Σx ≤ (1-β)μ] ≤ exp(-β²μ / 2)`.
+pub fn chernoff_lower_tail(mu: f64, beta: f64) -> f64 {
+    assert!(beta > 0.0 && beta < 1.0, "lower tail requires 0 < beta < 1");
+    assert!(mu >= 0.0);
+    (-(beta * beta * mu) / 2.0).exp()
+}
+
+/// The paper's `Λ` (Eq. 18): the max of the largest item cost, the largest
+/// residual capacity, the largest demand, and the budget `-log ρ_j`.
+pub fn lambda(inst: &AugmentationInstance) -> f64 {
+    let max_cost = inst
+        .items(1e-12)
+        .iter()
+        .map(|it| it.cost)
+        .fold(0.0f64, f64::max);
+    let max_residual = inst.bins.iter().map(|b| b.residual).fold(0.0f64, f64::max);
+    let max_demand = inst.functions.iter().map(|f| f.demand).fold(0.0f64, f64::max);
+    max_cost.max(max_residual).max(max_demand).max(inst.budget())
+}
+
+/// Theorem 5.2's expected approximation ratio `(1/P*)^{1 - 2/Λ}`, where `P*`
+/// is the optimal reliability of the request.
+pub fn approximation_ratio(p_star: f64, lambda: f64) -> f64 {
+    assert!(p_star > 0.0 && p_star <= 1.0);
+    assert!(lambda > 2.0, "the theorem requires Λ > 2");
+    (1.0 / p_star).powf(1.0 - 2.0 / lambda)
+}
+
+/// Theorem 5.2's success probability `min{1 - 1/N, 1 - 1/|V|²}`.
+pub fn success_probability(n_items: usize, num_nodes: usize) -> f64 {
+    assert!(n_items >= 1 && num_nodes >= 1);
+    let a = 1.0 - 1.0 / n_items as f64;
+    let b = 1.0 - 1.0 / (num_nodes as f64 * num_nodes as f64);
+    a.min(b)
+}
+
+/// Theorem 5.2's reliability premise `P* ≥ 1 / N^(3Λ / log e)`.
+pub fn reliability_premise(p_star: f64, n_items: usize, lambda: f64) -> bool {
+    assert!(n_items >= 1);
+    let threshold = (n_items as f64).powf(-(3.0 * lambda) / std::f64::consts::LOG10_E.recip());
+    p_star >= threshold
+}
+
+/// Theorem 5.2's capacity premise `min_v C'_v ≥ 6Λ ln|V|`; when it holds, the
+/// violation at any cloudlet is at most 2× its capacity w.h.p.
+pub fn capacity_premise(inst: &AugmentationInstance, num_nodes: usize) -> bool {
+    if inst.bins.is_empty() {
+        return false;
+    }
+    let min_residual =
+        inst.bins.iter().map(|b| b.residual).fold(f64::INFINITY, f64::min);
+    min_residual >= 6.0 * lambda(inst) * (num_nodes as f64).ln()
+}
+
+/// The per-function optimum `P*` of an instance when capacities are ignored:
+/// every function takes all `K_i` secondaries. An upper bound on any
+/// algorithm's achievable reliability.
+pub fn unconstrained_optimum(inst: &AugmentationInstance) -> f64 {
+    inst.functions
+        .iter()
+        .map(|f| {
+            reliability::function_reliability(
+                f.reliability,
+                f.existing_backups + f.max_secondaries,
+            )
+        })
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Bin, FunctionSlot};
+    use mecnet::graph::NodeId;
+    use mecnet::vnf::VnfTypeId;
+
+    fn tiny() -> AugmentationInstance {
+        AugmentationInstance {
+            functions: vec![FunctionSlot {
+                vnf: VnfTypeId(0),
+                demand: 100.0,
+                reliability: 0.8,
+                primary: NodeId(0),
+                eligible_bins: vec![0],
+                max_secondaries: 3,
+                existing_backups: 0,
+            }],
+            bins: vec![Bin { node: NodeId(0), residual: 350.0 }],
+            l: 1,
+            expectation: 0.99,
+        }
+    }
+
+    #[test]
+    fn chernoff_tails_decay_in_beta_and_mu() {
+        assert!(chernoff_upper_tail(10.0, 0.5) < chernoff_upper_tail(10.0, 0.1));
+        assert!(chernoff_upper_tail(20.0, 0.5) < chernoff_upper_tail(10.0, 0.5));
+        assert!(chernoff_lower_tail(10.0, 0.5) < chernoff_lower_tail(10.0, 0.1));
+        assert!(chernoff_upper_tail(10.0, 0.5) <= 1.0);
+        assert!(chernoff_lower_tail(0.0, 0.5) == 1.0);
+    }
+
+    #[test]
+    fn lambda_dominates_components() {
+        let inst = tiny();
+        let l = lambda(&inst);
+        assert!(l >= 350.0); // at least the max residual
+        assert!(l >= inst.budget());
+        for it in inst.items(1e-12) {
+            assert!(l >= it.cost);
+        }
+    }
+
+    #[test]
+    fn approximation_ratio_monotone() {
+        // Larger Λ -> exponent closer to 1 -> worse (larger) ratio.
+        let r1 = approximation_ratio(0.5, 3.0);
+        let r2 = approximation_ratio(0.5, 30.0);
+        assert!(r2 > r1);
+        // P* = 1 gives ratio 1 regardless.
+        assert!((approximation_ratio(1.0, 5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn success_probability_min_form() {
+        assert!((success_probability(100, 5) - (1.0 - 1.0 / 25.0)).abs() < 1e-12);
+        assert!((success_probability(10, 100) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_premise_detects_scale() {
+        let mut inst = tiny();
+        // Λ >= 350 (residual); 6Λ ln(100) ≈ 9670 ≫ 350 -> premise fails,
+        // exactly the regime where violations above 2x are possible.
+        assert!(!capacity_premise(&inst, 100));
+        // Blow capacities up so the premise holds: but Λ grows with residual,
+        // so it can never hold when residual is the max — a quirk the paper
+        // inherits; verify the implementation reflects the formula.
+        inst.bins[0].residual = 1e9;
+        assert!(!capacity_premise(&inst, 100));
+    }
+
+    #[test]
+    fn unconstrained_optimum_bounds_everything() {
+        let inst = tiny();
+        let p_star = unconstrained_optimum(&inst);
+        assert!((p_star - crate::reliability::function_reliability(0.8, 3)).abs() < 1e-12);
+        let out = crate::ilp::solve(&inst, &Default::default()).unwrap();
+        assert!(out.metrics.reliability <= p_star + 1e-12);
+    }
+
+    #[test]
+    fn reliability_premise_behaviour() {
+        // With a huge Λ the threshold is astronomically small: any P* passes.
+        assert!(reliability_premise(1e-6, 100, 400.0));
+    }
+}

@@ -1,0 +1,120 @@
+//! Tests of the shared-backup extension: `existing_backups > 0` must shift
+//! every algorithm onto the correct point of the diminishing-returns ladder.
+
+use mecnet::graph::NodeId;
+use mecnet::vnf::VnfTypeId;
+use relaug::instance::{AugmentationInstance, Bin, FunctionSlot};
+use relaug::reliability;
+use relaug::{greedy, heuristic, ilp, randomized};
+
+fn instance_with_existing(existing: usize, expectation: f64) -> AugmentationInstance {
+    AugmentationInstance {
+        functions: vec![FunctionSlot {
+            vnf: VnfTypeId(0),
+            demand: 100.0,
+            reliability: 0.8,
+            primary: NodeId(0),
+            eligible_bins: vec![0],
+            max_secondaries: 4,
+            existing_backups: existing,
+        }],
+        bins: vec![Bin { node: NodeId(0), residual: 400.0 }],
+        l: 1,
+        expectation,
+    }
+}
+
+#[test]
+fn base_reliability_includes_existing() {
+    let inst = instance_with_existing(2, 0.99);
+    // R(0.8, 2) = 0.992.
+    assert!((inst.base_reliability() - 0.992).abs() < 1e-12);
+    assert!(inst.expectation_met_by_primaries());
+}
+
+#[test]
+fn items_are_offset_along_the_ladder() {
+    let inst = instance_with_existing(2, 0.9999999);
+    let items = inst.items(0.0);
+    assert_eq!(items.len(), 4);
+    // First new item is slot 3 of the ladder.
+    assert!((items[0].gain - reliability::log_gain(0.8, 3)).abs() < 1e-15);
+    assert!((items[0].cost - reliability::paper_cost(0.8, 3)).abs() < 1e-15);
+}
+
+#[test]
+fn algorithms_early_exit_when_shared_backups_suffice() {
+    let inst = instance_with_existing(2, 0.99);
+    let exact = ilp::solve(&inst, &Default::default()).unwrap();
+    assert_eq!(exact.metrics.total_secondaries, 0);
+    let heur = heuristic::solve(&inst, &Default::default());
+    assert_eq!(heur.metrics.total_secondaries, 0);
+    assert!(heur.metrics.met_expectation);
+}
+
+#[test]
+fn fewer_new_secondaries_needed_with_sharing() {
+    // Target 0.999: R(0.8, 4) = 0.99968 >= 0.999, so 4 new secondaries are
+    // needed without sharing (just fits the 400-MHz bin) but only 2 with two
+    // existing shared instances.
+    let without = instance_with_existing(0, 0.999);
+    let with_two = instance_with_existing(2, 0.999);
+    let a = ilp::solve(&without, &Default::default()).unwrap();
+    let b = ilp::solve(&with_two, &Default::default()).unwrap();
+    assert!(
+        b.metrics.total_secondaries < a.metrics.total_secondaries,
+        "sharing must reduce new deployments: {} vs {}",
+        b.metrics.total_secondaries,
+        a.metrics.total_secondaries
+    );
+    // Both reach the expectation (capacity allows).
+    assert!(a.metrics.met_expectation);
+    assert!(b.metrics.met_expectation);
+}
+
+#[test]
+fn reliability_accounts_for_existing_in_all_algorithms() {
+    let inst = instance_with_existing(1, 0.9999999999);
+    let exact = ilp::solve(
+        &inst,
+        &ilp::IlpConfig { stop_at_expectation: false, ..Default::default() },
+    )
+    .unwrap();
+    // All 4 new secondaries placed on top of 1 existing: R(0.8, 5).
+    assert_eq!(exact.metrics.total_secondaries, 4);
+    let expect = reliability::function_reliability(0.8, 5);
+    assert!((exact.metrics.reliability - expect).abs() < 1e-12);
+
+    let heur = heuristic::solve(
+        &inst,
+        &relaug::heuristic::HeuristicConfig {
+            stop: relaug::heuristic::StopRule::Exhaust,
+            gain_floor: 0.0,
+            batch_rounds: false,
+        },
+    );
+    assert!((heur.metrics.reliability - expect).abs() < 1e-12);
+
+    let greedy_out = greedy::solve(&inst, &Default::default());
+    assert!((greedy_out.metrics.reliability - expect).abs() < 1e-12);
+
+    let mut rng = rand::rngs::mock::StepRng::new(0, 0);
+    let rand_out = randomized::solve(
+        &inst,
+        &relaug::randomized::RandomizedConfig { stop_at_expectation: false, ..Default::default() },
+        &mut rng,
+    )
+    .unwrap();
+    assert!((rand_out.metrics.reliability - expect).abs() < 1e-9);
+}
+
+#[test]
+fn trim_respects_existing_backups() {
+    // 2 existing + capacity for 4 more; expectation 0.999.
+    // R(0.8, 2) = 0.992 < 0.999; R(0.8, 3) = 0.9984 < 0.999;
+    // R(0.8, 4) = 0.99968 >= 0.999 -> need exactly 2 new instances.
+    let inst = instance_with_existing(2, 0.999);
+    let exact = ilp::solve(&inst, &Default::default()).unwrap();
+    assert_eq!(exact.metrics.total_secondaries, 2);
+    assert!(exact.metrics.met_expectation);
+}

@@ -1,0 +1,125 @@
+//! Fixed-bin histograms and exact percentiles for experiment reporting.
+
+/// A histogram over `[lo, hi)` with equal-width bins (values outside the
+/// range are clamped into the first/last bin).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins >= 1` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins >= 1, "need at least one bin");
+        assert!(lo < hi, "empty range");
+        assert!(lo.is_finite() && hi.is_finite());
+        Histogram { lo, hi, counts: vec![0; bins], total: 0 }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite sample");
+        let bins = self.counts.len();
+        let idx = ((x - self.lo) / (self.hi - self.lo) * bins as f64).floor();
+        let idx = (idx.max(0.0) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `(lower edge, upper edge, count)` per bin.
+    pub fn bins(&self) -> Vec<(f64, f64, u64)> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + w * i as f64, self.lo + w * (i + 1) as f64, c))
+            .collect()
+    }
+
+    /// Simple ASCII rendering (one row per bin).
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        self.bins()
+            .into_iter()
+            .map(|(lo, hi, c)| {
+                let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+                format!("[{lo:>10.3}, {hi:>10.3}) |{bar:<width$}| {c}\n")
+            })
+            .collect()
+    }
+}
+
+/// Exact percentile of a sample via the nearest-rank method (`p` in `[0,
+/// 100]`). Panics on an empty slice.
+pub fn percentile(sample: &[f64], p: f64) -> f64 {
+    assert!(!sample.is_empty(), "empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    let mut sorted: Vec<f64> = sample.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    if p == 0.0 {
+        return sorted[0];
+    }
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.5, 2.5, 9.9, -3.0, 42.0] {
+            h.push(x);
+        }
+        assert_eq!(h.count(), 6);
+        // -3.0 clamps into bin 0 (with 0.5 and 1.5); 42.0 into the last.
+        assert_eq!(h.bin_counts(), &[3, 1, 0, 0, 2]);
+        let bins = h.bins();
+        assert_eq!(bins[0].0, 0.0);
+        assert_eq!(bins[4].1, 10.0);
+    }
+
+    #[test]
+    fn render_shows_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.push(0.5);
+        h.push(0.6);
+        h.push(1.5);
+        let s = h.render(10);
+        assert!(s.contains("##"));
+        assert!(s.lines().count() == 2);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let v = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 0.0), 15.0);
+        assert_eq!(percentile(&v, 30.0), 20.0);
+        assert_eq!(percentile(&v, 40.0), 20.0);
+        assert_eq!(percentile(&v, 50.0), 35.0);
+        assert_eq!(percentile(&v, 100.0), 50.0);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+}

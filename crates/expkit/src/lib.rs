@@ -1,0 +1,16 @@
+//! Experiment toolkit shared by the figure-regeneration harness and the
+//! benches: summary statistics with confidence intervals, markdown/CSV table
+//! rendering, deterministic per-trial seed derivation, and a tiny timing
+//! helper.
+
+pub mod histogram;
+pub mod seed;
+pub mod stats;
+pub mod table;
+pub mod timer;
+
+pub use histogram::{percentile, Histogram};
+pub use seed::fan_out;
+pub use stats::Summary;
+pub use table::Table;
+pub use timer::time_it;

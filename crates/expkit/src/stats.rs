@@ -1,0 +1,130 @@
+//! Summary statistics over trial results.
+
+/// Five-number-style summary of a sample, plus a normal-approximation 95%
+/// confidence half-width for the mean.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected); 0 for n < 2.
+    pub std: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Panics on an empty slice or non-finite entries.
+    pub fn of(sample: &[f64]) -> Summary {
+        assert!(!sample.is_empty(), "cannot summarize an empty sample");
+        assert!(sample.iter().all(|x| x.is_finite()), "sample contains non-finite values");
+        let n = sample.len();
+        let mean = sample.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            sample.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sample.iter().copied().fold(f64::INFINITY, f64::min),
+            max: sample.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% CI for the mean.
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        1.96 * self.std / (self.n as f64).sqrt()
+    }
+}
+
+/// Streaming mean/variance accumulator (Welford), for loops that do not want
+/// to keep all samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Accumulator {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    pub fn new() -> Self {
+        Accumulator { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite sample");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    pub fn summary(&self) -> Summary {
+        assert!(self.n > 0, "no samples accumulated");
+        let var = if self.n > 1 { self.m2 / (self.n as f64 - 1.0) } else { 0.0 };
+        Summary { n: self.n, mean: self.mean, std: var.sqrt(), min: self.min, max: self.max }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(s.ci95() > 0.0);
+    }
+
+    #[test]
+    fn singleton_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95(), 0.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn accumulator_matches_batch() {
+        let data = [3.2, -1.0, 4.7, 0.0, 2.2, 9.5];
+        let mut acc = Accumulator::new();
+        for &x in &data {
+            acc.push(x);
+        }
+        let a = acc.summary();
+        let b = Summary::of(&data);
+        assert_eq!(a.n, b.n);
+        assert!((a.mean - b.mean).abs() < 1e-12);
+        assert!((a.std - b.std).abs() < 1e-12);
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+    }
+}

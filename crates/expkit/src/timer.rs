@@ -1,0 +1,27 @@
+//! Wall-clock timing helper.
+
+use std::time::{Duration, Instant};
+
+/// Run `f`, returning its result and elapsed wall-clock time.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let ((), d) = time_it(|| std::thread::sleep(Duration::from_millis(5)));
+        assert!(d >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn passes_value_through() {
+        let (v, _) = time_it(|| 41 + 1);
+        assert_eq!(v, 42);
+    }
+}

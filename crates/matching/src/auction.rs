@@ -1,0 +1,152 @@
+//! Bertsekas' auction algorithm for the assignment problem.
+//!
+//! A third, independently-derived solver (after the flow-based matcher and
+//! the Hungarian algorithm) used to cross-validate the others: persons bid
+//! for objects, prices rise, and ε-scaling drives the assignment to within
+//! `n·ε` of optimal — with `ε < 1/n` on integer-scaled benefits the result
+//! is exactly optimal.
+//!
+//! This implementation maximizes total *benefit* on a dense matrix; to solve
+//! a min-cost assignment, negate the costs (see [`solve_min_cost`]).
+
+/// An assignment of each person (row) to a distinct object (column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuctionResult {
+    /// `object_of[i]` is the object assigned to person `i`.
+    pub object_of: Vec<usize>,
+    /// Total benefit of the assignment.
+    pub benefit: f64,
+    /// Bidding rounds executed.
+    pub rounds: usize,
+}
+
+/// Maximize `Σ benefit[i][object_of(i)]` over perfect assignments of `n`
+/// persons to `n` objects (square matrix, finite entries).
+///
+/// Runs ε-scaling: ε starts at `max|benefit| / 2` and halves until below
+/// `epsilon_final`, re-running the auction each phase with prices carried
+/// over. For exact optima on arbitrary `f64` data, pass an `epsilon_final`
+/// below the smallest meaningful benefit difference divided by `n`.
+pub fn solve_max_benefit(benefit: &[Vec<f64>], epsilon_final: f64) -> AuctionResult {
+    let n = benefit.len();
+    assert!(n > 0, "empty problem");
+    assert!(benefit.iter().all(|r| r.len() == n), "matrix must be square");
+    assert!(epsilon_final > 0.0);
+    let max_abs = benefit
+        .iter()
+        .flat_map(|r| r.iter())
+        .fold(0.0f64, |m, &x| m.max(x.abs()));
+    let mut prices = vec![0.0f64; n];
+    let mut assignment: Vec<Option<usize>> = vec![None; n]; // person -> object
+    let mut owner: Vec<Option<usize>> = vec![None; n]; // object -> person
+    let mut eps = (max_abs / 2.0).max(epsilon_final);
+    let mut rounds = 0usize;
+    loop {
+        // Reset assignment each phase (prices persist — the point of scaling).
+        assignment.fill(None);
+        owner.fill(None);
+        let mut unassigned: Vec<usize> = (0..n).collect();
+        while let Some(person) = unassigned.pop() {
+            rounds += 1;
+            // Best and second-best net value.
+            let mut best = f64::NEG_INFINITY;
+            let mut second = f64::NEG_INFINITY;
+            let mut best_obj = 0usize;
+            for (j, &p) in prices.iter().enumerate() {
+                let v = benefit[person][j] - p;
+                if v > best {
+                    second = best;
+                    best = v;
+                    best_obj = j;
+                } else if v > second {
+                    second = v;
+                }
+            }
+            // Bid: raise the price by the bid increment.
+            let increment = if second.is_finite() { best - second + eps } else { eps };
+            prices[best_obj] += increment;
+            if let Some(evicted) = owner[best_obj].replace(person) {
+                assignment[evicted] = None;
+                unassigned.push(evicted);
+            }
+            assignment[person] = Some(best_obj);
+        }
+        if eps <= epsilon_final {
+            break;
+        }
+        eps = (eps / 2.0).max(epsilon_final * 0.999_999);
+    }
+    let object_of: Vec<usize> =
+        assignment.into_iter().map(|o| o.expect("auction terminates assigned")).collect();
+    let total = object_of.iter().enumerate().map(|(i, &j)| benefit[i][j]).sum();
+    AuctionResult { object_of, benefit: total, rounds }
+}
+
+/// Minimize total cost by auctioning negated costs.
+pub fn solve_min_cost(cost: &[Vec<f64>], epsilon_final: f64) -> AuctionResult {
+    let negated: Vec<Vec<f64>> =
+        cost.iter().map(|r| r.iter().map(|&c| -c).collect()).collect();
+    let mut res = solve_max_benefit(&negated, epsilon_final);
+    res.benefit = -res.benefit;
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungarian;
+
+    #[test]
+    fn three_by_three_exact() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let res = solve_min_cost(&cost, 1e-4);
+        assert!((res.benefit - 5.0).abs() < 1e-6, "cost {}", res.benefit);
+        assert_eq!(res.object_of, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn matches_hungarian_on_random_matrices() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [2usize, 4, 7] {
+            for _ in 0..5 {
+                let cost: Vec<Vec<f64>> = (0..n)
+                    .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+                    .collect();
+                let auction = solve_min_cost(&cost, 1e-7 / n as f64);
+                let hung = hungarian::solve(&cost).unwrap();
+                assert!(
+                    (auction.benefit - hung.cost).abs() < 1e-4,
+                    "n={n}: auction {} vs hungarian {}",
+                    auction.benefit,
+                    hung.cost
+                );
+                // The assignment is a permutation.
+                let mut seen = vec![false; n];
+                for &j in &auction.object_of {
+                    assert!(!seen[j], "object assigned twice");
+                    seen[j] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_person() {
+        let res = solve_max_benefit(&[vec![7.0]], 1e-6);
+        assert_eq!(res.object_of, vec![0]);
+        assert!((res.benefit - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_benefits_any_permutation() {
+        let b = vec![vec![1.0; 3]; 3];
+        let res = solve_max_benefit(&b, 1e-6);
+        assert!((res.benefit - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Hopcroft–Karp maximum-cardinality bipartite matching.
+//!
+//! Used as an independent oracle for the cardinality of
+//! [`crate::min_cost_max_matching`] results: a min-cost *maximum* matching
+//! must have exactly the Hopcroft–Karp cardinality.
+
+const NIL: usize = usize::MAX;
+
+/// Size of a maximum-cardinality matching of the bipartite graph given as an
+/// adjacency list from left nodes to right nodes.
+pub fn max_cardinality(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> usize {
+    assert_eq!(adj.len(), n_left, "adjacency list must cover all left nodes");
+    let mut match_l = vec![NIL; n_left];
+    let mut match_r = vec![NIL; n_right];
+    let mut dist = vec![0usize; n_left];
+    let mut matching = 0;
+    loop {
+        if !bfs(adj, &match_l, &match_r, &mut dist) {
+            break;
+        }
+        for l in 0..n_left {
+            if match_l[l] == NIL && dfs(l, adj, &mut match_l, &mut match_r, &mut dist) {
+                matching += 1;
+            }
+        }
+    }
+    matching
+}
+
+/// Convenience wrapper taking an edge list.
+pub fn max_cardinality_edges(
+    n_left: usize,
+    n_right: usize,
+    edges: &[(usize, usize)],
+) -> usize {
+    let mut adj = vec![Vec::new(); n_left];
+    for &(l, r) in edges {
+        assert!(l < n_left && r < n_right, "edge endpoint out of range");
+        adj[l].push(r);
+    }
+    max_cardinality(n_left, n_right, &adj)
+}
+
+fn bfs(adj: &[Vec<usize>], match_l: &[usize], match_r: &[usize], dist: &mut [usize]) -> bool {
+    let mut queue = std::collections::VecDeque::new();
+    let mut found = false;
+    for l in 0..adj.len() {
+        if match_l[l] == NIL {
+            dist[l] = 0;
+            queue.push_back(l);
+        } else {
+            dist[l] = usize::MAX;
+        }
+    }
+    while let Some(l) = queue.pop_front() {
+        for &r in &adj[l] {
+            match match_r[r] {
+                NIL => found = true,
+                l2 => {
+                    if dist[l2] == usize::MAX {
+                        dist[l2] = dist[l] + 1;
+                        queue.push_back(l2);
+                    }
+                }
+            }
+        }
+    }
+    found
+}
+
+fn dfs(
+    l: usize,
+    adj: &[Vec<usize>],
+    match_l: &mut [usize],
+    match_r: &mut [usize],
+    dist: &mut [usize],
+) -> bool {
+    for i in 0..adj[l].len() {
+        let r = adj[l][i];
+        let advance = match match_r[r] {
+            NIL => true,
+            l2 => dist[l2] == dist[l].wrapping_add(1) && dfs(l2, adj, match_l, match_r, dist),
+        };
+        if advance {
+            match_l[l] = r;
+            match_r[r] = l;
+            return true;
+        }
+    }
+    dist[l] = usize::MAX;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_on_complete() {
+        let adj: Vec<Vec<usize>> = (0..4).map(|_| (0..4).collect()).collect();
+        assert_eq!(max_cardinality(4, 4, &adj), 4);
+    }
+
+    #[test]
+    fn path_graph() {
+        // L0-R0, L1-R0, L1-R1: maximum is 2 (L0-R0, L1-R1).
+        assert_eq!(max_cardinality_edges(2, 2, &[(0, 0), (1, 0), (1, 1)]), 2);
+    }
+
+    #[test]
+    fn bottleneck_right_node() {
+        // All left nodes share one right node.
+        assert_eq!(max_cardinality_edges(3, 1, &[(0, 0), (1, 0), (2, 0)]), 1);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(max_cardinality_edges(3, 3, &[]), 0);
+    }
+
+    #[test]
+    fn augmenting_chain() {
+        // Requires an augmenting path of length 3:
+        // L0: {R0}, L1: {R0, R1}. Greedy L1->R0 would block L0.
+        assert_eq!(max_cardinality_edges(2, 2, &[(1, 0), (1, 1), (0, 0)]), 2);
+    }
+}

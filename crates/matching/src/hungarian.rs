@@ -1,0 +1,166 @@
+//! Dense rectangular assignment (Hungarian / Jonker–Volgenant shortest
+//! augmenting paths with dual potentials).
+//!
+//! Solves `min Σ cost[i][σ(i)]` over injections `σ` from rows into columns,
+//! for matrices with `rows <= cols`. Entries of `f64::INFINITY` mark forbidden
+//! pairs; if some row cannot be assigned at all the solver reports
+//! infeasibility. The paper invokes "the Hungarian algorithm" for its
+//! matchings; the production path uses the sparse flow solver in
+//! [`crate::bipartite`], and this module cross-validates it in tests.
+
+/// An optimal assignment of every row to a distinct column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `col_of_row[i]` is the column assigned to row `i`.
+    pub col_of_row: Vec<usize>,
+    /// Total cost of the assignment.
+    pub cost: f64,
+}
+
+/// Solve the rectangular assignment problem. Returns `None` when no complete
+/// assignment of rows exists (due to `INFINITY` entries) or when
+/// `rows > cols`.
+///
+/// `O(rows² · cols)` time, dense.
+pub fn solve(cost: &[Vec<f64>]) -> Option<Assignment> {
+    let n = cost.len();
+    if n == 0 {
+        return Some(Assignment { col_of_row: Vec::new(), cost: 0.0 });
+    }
+    let m = cost[0].len();
+    if n > m {
+        return None;
+    }
+    debug_assert!(cost.iter().all(|r| r.len() == m), "ragged cost matrix");
+
+    // 1-indexed duals and matching, e-maxx formulation.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // row matched to column j (0 = none)
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            if !delta.is_finite() {
+                return None; // row i cannot be assigned
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut col_of_row = vec![usize::MAX; n];
+    let mut total = 0.0;
+    for j in 1..=m {
+        if p[j] != 0 {
+            col_of_row[p[j] - 1] = j - 1;
+            total += cost[p[j] - 1][j - 1];
+        }
+    }
+    debug_assert!(col_of_row.iter().all(|&c| c != usize::MAX));
+    Some(Assignment { col_of_row, cost: total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_3x3() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let a = solve(&cost).unwrap();
+        assert!((a.cost - 5.0).abs() < 1e-9, "cost = {}", a.cost);
+        assert_eq!(a.col_of_row, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn rectangular_picks_best_columns() {
+        let cost = vec![vec![10.0, 2.0, 8.0], vec![7.0, 3.0, 4.0]];
+        let a = solve(&cost).unwrap();
+        // Row0->col1 (2), Row1->col2 (4) = 6.
+        assert!((a.cost - 6.0).abs() < 1e-9);
+        assert_eq!(a.col_of_row, vec![1, 2]);
+    }
+
+    #[test]
+    fn forbidden_entries_force_detour() {
+        let inf = f64::INFINITY;
+        let cost = vec![vec![1.0, inf], vec![1.0, 5.0]];
+        // Row1 must take col1 (5), forcing row0 to col0 (1).
+        let a = solve(&cost).unwrap();
+        assert!((a.cost - 6.0).abs() < 1e-9);
+        assert_eq!(a.col_of_row, vec![0, 1]);
+    }
+
+    #[test]
+    fn infeasible_when_row_has_no_columns() {
+        let inf = f64::INFINITY;
+        let cost = vec![vec![inf, inf], vec![1.0, 1.0]];
+        assert!(solve(&cost).is_none());
+    }
+
+    #[test]
+    fn more_rows_than_cols_is_infeasible() {
+        let cost = vec![vec![1.0], vec![1.0]];
+        assert!(solve(&cost).is_none());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = solve(&[]).unwrap();
+        assert_eq!(a.cost, 0.0);
+        assert!(a.col_of_row.is_empty());
+    }
+
+    #[test]
+    fn negative_costs_allowed() {
+        let cost = vec![vec![-2.0, 1.0], vec![1.0, -3.0]];
+        let a = solve(&cost).unwrap();
+        assert!((a.cost + 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,32 @@
+//! Bipartite matching substrate for the SFC reliability-augmentation
+//! heuristic.
+//!
+//! The paper's Algorithm 2 repeatedly computes a **minimum-cost maximum
+//! matching** between cloudlets and candidate secondary VNF instances ("find a
+//! minimum-cost maximum matching `M_l` in `G_l`, by the Hungarian algorithm").
+//! On the sparse bipartite graphs the algorithm builds, the cleanest exact
+//! method is successive-shortest-path min-cost max-flow; this crate provides
+//! that as the production API and two independent implementations for
+//! cross-validation:
+//!
+//! * [`bipartite::min_cost_max_matching`] — production API on sparse edge
+//!   lists, backed by [`mcmf`].
+//! * [`hungarian::solve`] — classical dense-matrix assignment
+//!   (Jonker–Volgenant style shortest augmenting paths), used by tests to
+//!   confirm the sparse solver on complete instances.
+//! * [`hopcroft_karp::max_cardinality`] — cardinality-only matching, used to
+//!   verify the "maximum" part of min-cost maximum matching.
+//! * [`brute`] — exponential exact search for tiny graphs, the property-test
+//!   oracle.
+
+pub mod auction;
+pub mod b_matching;
+pub mod bipartite;
+pub mod brute;
+pub mod hopcroft_karp;
+pub mod hungarian;
+pub mod mcmf;
+
+pub use b_matching::min_cost_max_b_matching;
+pub use bipartite::{min_cost_max_matching, Matching};
+pub use mcmf::{FlowResult, McmfGraph};

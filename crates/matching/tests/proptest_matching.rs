@@ -1,0 +1,69 @@
+//! Cross-validation of the three matching implementations:
+//!
+//! * flow-based min-cost maximum matching vs. the brute-force oracle,
+//! * its cardinality vs. Hopcroft–Karp,
+//! * its cost vs. the dense Hungarian solver on complete instances.
+
+use matching::brute::min_cost_max_matching_exact;
+use matching::hopcroft_karp::max_cardinality_edges;
+use matching::hungarian;
+use matching::min_cost_max_matching;
+use proptest::prelude::*;
+
+fn arb_sparse_graph() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (1usize..=6, 1usize..=6).prop_flat_map(|(nl, nr)| {
+        let edges = proptest::collection::vec(
+            (0..nl, 0..nr, 0.0f64..20.0),
+            0..=(nl * nr).min(14),
+        );
+        edges.prop_map(move |e| (nl, nr, e))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn flow_matches_brute_force((nl, nr, edges) in arb_sparse_graph()) {
+        let m = min_cost_max_matching(nl, nr, &edges);
+        let (card, cost) = min_cost_max_matching_exact(nl, nr, &edges);
+        prop_assert_eq!(m.cardinality(), card,
+            "cardinality mismatch on {:?}", edges);
+        prop_assert!((m.cost - cost).abs() < 1e-6,
+            "cost {} vs oracle {} on {:?}", m.cost, cost, edges);
+        // The matching must be a matching: no repeated endpoints.
+        let mut ls: Vec<_> = m.pairs.iter().map(|&(l, _)| l).collect();
+        let mut rs: Vec<_> = m.pairs.iter().map(|&(_, r)| r).collect();
+        ls.sort_unstable(); ls.dedup();
+        rs.sort_unstable(); rs.dedup();
+        prop_assert_eq!(ls.len(), m.pairs.len());
+        prop_assert_eq!(rs.len(), m.pairs.len());
+    }
+
+    #[test]
+    fn flow_cardinality_matches_hopcroft_karp((nl, nr, edges) in arb_sparse_graph()) {
+        let m = min_cost_max_matching(nl, nr, &edges);
+        let plain: Vec<(usize, usize)> = edges.iter().map(|&(l, r, _)| (l, r)).collect();
+        prop_assert_eq!(m.cardinality(), max_cardinality_edges(nl, nr, &plain));
+    }
+
+    #[test]
+    fn flow_matches_hungarian_on_complete_matrices(
+        n in 1usize..=5,
+        seed in proptest::collection::vec(0.0f64..50.0, 25),
+    ) {
+        let cost: Vec<Vec<f64>> =
+            (0..n).map(|i| (0..n).map(|j| seed[i * 5 + j]).collect()).collect();
+        let mut edges = Vec::new();
+        for (i, row) in cost.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                edges.push((i, j, c));
+            }
+        }
+        let flow = min_cost_max_matching(n, n, &edges);
+        let dense = hungarian::solve(&cost).expect("complete matrix is feasible");
+        prop_assert_eq!(flow.cardinality(), n);
+        prop_assert!((flow.cost - dense.cost).abs() < 1e-6,
+            "flow {} vs hungarian {}", flow.cost, dense.cost);
+    }
+}

@@ -1,0 +1,77 @@
+//! GraphViz DOT export for MEC networks — cloudlets rendered as boxes with
+//! capacities, plain APs as circles; optional highlighting of a primary
+//! placement (useful when debugging locality issues in augmentation runs).
+
+use crate::graph::NodeId;
+use crate::network::MecNetwork;
+use std::fmt::Write as _;
+
+/// Render a network as an undirected GraphViz graph.
+pub fn to_dot(net: &MecNetwork) -> String {
+    to_dot_with_highlights(net, &[])
+}
+
+/// Render with a set of highlighted nodes (e.g. a request's primary
+/// placement), drawn filled.
+pub fn to_dot_with_highlights(net: &MecNetwork, highlights: &[NodeId]) -> String {
+    let mut out = String::from("graph mec {\n  node [fontsize=10];\n");
+    for v in net.graph().nodes() {
+        let highlight = highlights.contains(&v);
+        let style = if highlight { ", style=filled, fillcolor=gold" } else { "" };
+        if net.is_cloudlet(v) {
+            let _ = writeln!(
+                out,
+                "  n{} [shape=box, label=\"{}\\n{:.0} MHz\"{}];",
+                v.index(),
+                v,
+                net.capacity(v),
+                style
+            );
+        } else {
+            let _ = writeln!(out, "  n{} [shape=circle, label=\"{}\"{}];", v.index(), v, style);
+        }
+    }
+    for u in net.graph().nodes() {
+        for v in net.graph().neighbors(u) {
+            if v.index() > u.index() {
+                let _ = writeln!(out, "  n{} -- n{};", u.index(), v.index());
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn tiny() -> MecNetwork {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        MecNetwork::new(g, vec![4000.0, 0.0, 0.0])
+    }
+
+    #[test]
+    fn emits_valid_structure() {
+        let dot = to_dot(&tiny());
+        assert!(dot.starts_with("graph mec {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("n0 [shape=box"));
+        assert!(dot.contains("4000 MHz"));
+        assert!(dot.contains("n1 [shape=circle"));
+        assert!(dot.contains("n0 -- n1;"));
+        assert!(dot.contains("n1 -- n2;"));
+        // Each undirected edge appears exactly once.
+        assert_eq!(dot.matches(" -- ").count(), 2);
+    }
+
+    #[test]
+    fn highlights_are_filled() {
+        let dot = to_dot_with_highlights(&tiny(), &[NodeId(1)]);
+        assert!(dot.contains("n1 [shape=circle, label=\"v1\", style=filled"));
+        assert!(!dot.contains("n0 [shape=box, label=\"v0\\n4000 MHz\", style=filled"));
+    }
+}

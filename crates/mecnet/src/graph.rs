@@ -1,0 +1,248 @@
+//! Undirected graph with the hop-distance queries the paper's locality
+//! constraint needs (`N_l(v)`: nodes within `l` hops of `v`).
+
+use std::collections::VecDeque;
+
+/// Index of a node (access point) in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A simple undirected graph stored as adjacency lists.
+///
+/// Self-loops and parallel edges are rejected; node ids are dense `0..n`.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adj: Vec<Vec<usize>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n], num_edges: 0 }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(NodeId)
+    }
+
+    /// Add the undirected edge `{u, v}`. Returns `false` (and does nothing)
+    /// if the edge already exists or is a self-loop.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert!(u.0 < self.adj.len() && v.0 < self.adj.len(), "node out of range");
+        if u == v || self.adj[u.0].contains(&v.0) {
+            return false;
+        }
+        self.adj[u.0].push(v.0);
+        self.adj[v.0].push(u.0);
+        self.num_edges += 1;
+        true
+    }
+
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u.0].contains(&v.0)
+    }
+
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.0].len()
+    }
+
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[v.0].iter().map(|&u| NodeId(u))
+    }
+
+    /// BFS hop distance from `src` to every node (`u32::MAX` if unreachable).
+    pub fn hop_distances(&self, src: NodeId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.adj.len()];
+        let mut q = VecDeque::new();
+        dist[src.0] = 0;
+        q.push_back(src.0);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u];
+            for &w in &self.adj[u] {
+                if dist[w] == u32::MAX {
+                    dist[w] = du + 1;
+                    q.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Hop distance between two nodes (`None` if disconnected).
+    pub fn hop_distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        let d = self.hop_distances(u)[v.0];
+        (d != u32::MAX).then_some(d)
+    }
+
+    /// The paper's `N_l(v)`: all nodes within `l` hops of `v`, *excluding* `v`
+    /// itself.
+    pub fn l_neighborhood(&self, v: NodeId, l: u32) -> Vec<NodeId> {
+        let dist = self.hop_distances(v);
+        (0..self.adj.len())
+            .filter(|&u| u != v.0 && dist[u] <= l)
+            .map(NodeId)
+            .collect()
+    }
+
+    /// The paper's `N_l^+(v) = N_l(v) ∪ {v}`.
+    pub fn l_neighborhood_closed(&self, v: NodeId, l: u32) -> Vec<NodeId> {
+        let dist = self.hop_distances(v);
+        (0..self.adj.len()).filter(|&u| dist[u] <= l).map(NodeId).collect()
+    }
+
+    /// Connected components as lists of node ids.
+    pub fn connected_components(&self) -> Vec<Vec<NodeId>> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut comps = Vec::new();
+        for s in 0..self.adj.len() {
+            if seen[s] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut q = VecDeque::from([s]);
+            seen[s] = true;
+            while let Some(u) = q.pop_front() {
+                comp.push(NodeId(u));
+                for &w in &self.adj[u] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        q.push_back(w);
+                    }
+                }
+            }
+            comps.push(comp);
+        }
+        comps
+    }
+
+    pub fn is_connected(&self) -> bool {
+        self.adj.is_empty() || self.connected_components().len() == 1
+    }
+
+    /// Graph diameter in hops (`None` for empty or disconnected graphs).
+    pub fn diameter(&self) -> Option<u32> {
+        if self.adj.is_empty() || !self.is_connected() {
+            return None;
+        }
+        let mut best = 0;
+        for s in 0..self.adj.len() {
+            let d = self.hop_distances(NodeId(s));
+            best = best.max(*d.iter().max().unwrap());
+        }
+        Some(best)
+    }
+
+    /// Mean node degree.
+    pub fn average_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.num_edges as f64 / self.adj.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        g
+    }
+
+    #[test]
+    fn add_edge_rejects_duplicates_and_loops() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(NodeId(0), NodeId(1)));
+        assert!(!g.add_edge(NodeId(1), NodeId(0)));
+        assert!(!g.add_edge(NodeId(2), NodeId(2)));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn hop_distances_on_path() {
+        let g = path(5);
+        let d = g.hop_distances(NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.hop_distance(NodeId(1), NodeId(4)), Some(3));
+    }
+
+    #[test]
+    fn unreachable_distance() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        assert_eq!(g.hop_distance(NodeId(0), NodeId(2)), None);
+    }
+
+    #[test]
+    fn l_neighborhoods_match_paper_definitions() {
+        let g = path(6);
+        // N_2(2) on a path: {0, 1, 3, 4}.
+        let mut n2 = g.l_neighborhood(NodeId(2), 2);
+        n2.sort();
+        assert_eq!(n2, vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4)]);
+        // N_2^+(2) additionally contains 2 itself.
+        let n2p = g.l_neighborhood_closed(NodeId(2), 2);
+        assert_eq!(n2p.len(), 5);
+        assert!(n2p.contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn l_zero_closed_neighborhood_is_self() {
+        let g = path(4);
+        assert_eq!(g.l_neighborhood_closed(NodeId(1), 0), vec![NodeId(1)]);
+        assert!(g.l_neighborhood(NodeId(1), 0).is_empty());
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let mut g = Graph::new(5);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(2), NodeId(3));
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 3);
+        assert!(!g.is_connected());
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(3), NodeId(4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        assert_eq!(path(5).diameter(), Some(4));
+        let mut g = Graph::new(2);
+        assert_eq!(g.diameter(), None); // disconnected
+        g.add_edge(NodeId(0), NodeId(1));
+        assert_eq!(g.diameter(), Some(1));
+    }
+
+    #[test]
+    fn average_degree() {
+        let g = path(4); // 3 edges, 4 nodes -> 1.5
+        assert!((g.average_degree() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,151 @@
+//! The MEC network: a graph of access points, a subset of which host
+//! cloudlets with computing capacity.
+
+use crate::graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A mobile edge-cloud network `G = (V, E)` with per-node cloudlet
+/// capacities (`C_v > 0` where a cloudlet is co-located, `C_v = 0`
+/// otherwise — exactly the paper's Section 3 model).
+#[derive(Debug, Clone)]
+pub struct MecNetwork {
+    graph: Graph,
+    /// Capacity in MHz per node; `0.0` for plain access points.
+    capacity: Vec<f64>,
+}
+
+impl MecNetwork {
+    /// Wrap a graph with explicit capacities (`capacity.len()` must equal the
+    /// node count; entries must be non-negative).
+    pub fn new(graph: Graph, capacity: Vec<f64>) -> Self {
+        assert_eq!(capacity.len(), graph.num_nodes(), "capacity vector must cover all nodes");
+        assert!(capacity.iter().all(|&c| c >= 0.0 && c.is_finite()), "capacities must be >= 0");
+        MecNetwork { graph, capacity }
+    }
+
+    /// Place `count` cloudlets on distinct random nodes with capacities drawn
+    /// uniformly from `capacity_range` (paper: 10% of nodes, 4 000–8 000 MHz).
+    pub fn with_random_cloudlets<R: Rng + ?Sized>(
+        graph: Graph,
+        count: usize,
+        capacity_range: (f64, f64),
+        rng: &mut R,
+    ) -> Self {
+        assert!(count <= graph.num_nodes(), "more cloudlets than nodes");
+        assert!(capacity_range.0 > 0.0 && capacity_range.0 <= capacity_range.1);
+        let mut ids: Vec<usize> = (0..graph.num_nodes()).collect();
+        ids.shuffle(rng);
+        let mut capacity = vec![0.0; graph.num_nodes()];
+        for &v in ids.iter().take(count) {
+            capacity[v] = rng.gen_range(capacity_range.0..=capacity_range.1);
+        }
+        MecNetwork::new(graph, capacity)
+    }
+
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// `C_v` of node `v`.
+    pub fn capacity(&self, v: NodeId) -> f64 {
+        self.capacity[v.index()]
+    }
+
+    pub fn is_cloudlet(&self, v: NodeId) -> bool {
+        self.capacity[v.index()] > 0.0
+    }
+
+    /// All cloudlet nodes.
+    pub fn cloudlets(&self) -> Vec<NodeId> {
+        self.graph.nodes().filter(|&v| self.is_cloudlet(v)).collect()
+    }
+
+    pub fn num_cloudlets(&self) -> usize {
+        self.capacity.iter().filter(|&&c| c > 0.0).count()
+    }
+
+    /// Total capacity across all cloudlets.
+    pub fn total_capacity(&self) -> f64 {
+        self.capacity.iter().sum()
+    }
+
+    /// The residual-capacity vector at a uniform residual fraction (the
+    /// paper's experiments fix e.g. 25% of each cloudlet's capacity as
+    /// available for secondaries).
+    pub fn residual_capacities(&self, fraction: f64) -> Vec<f64> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        self.capacity.iter().map(|&c| c * fraction).collect()
+    }
+
+    /// Cloudlets within `l` hops of `v`, including `v` itself if it is a
+    /// cloudlet: the candidate hosts `N_l^+(v)` restricted to nodes that can
+    /// actually run VNFs.
+    pub fn cloudlets_within(&self, v: NodeId, l: u32) -> Vec<NodeId> {
+        self.graph
+            .l_neighborhood_closed(v, l)
+            .into_iter()
+            .filter(|&u| self.is_cloudlet(u))
+            .collect()
+    }
+
+    /// Largest cloudlet capacity (`C_max` in the paper's complexity bounds).
+    pub fn max_capacity(&self) -> f64 {
+        self.capacity.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_cloudlet_placement() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = topology::grid(5, 5);
+        let net = MecNetwork::with_random_cloudlets(g, 6, (4000.0, 8000.0), &mut rng);
+        assert_eq!(net.num_cloudlets(), 6);
+        assert_eq!(net.cloudlets().len(), 6);
+        for v in net.cloudlets() {
+            assert!((4000.0..=8000.0).contains(&net.capacity(v)));
+        }
+        assert!(net.total_capacity() >= 6.0 * 4000.0);
+        assert!(net.max_capacity() <= 8000.0);
+    }
+
+    #[test]
+    fn residuals_scale_capacity() {
+        let g = topology::ring(4);
+        let net = MecNetwork::new(g, vec![1000.0, 0.0, 2000.0, 0.0]);
+        let res = net.residual_capacities(0.25);
+        assert_eq!(res, vec![250.0, 0.0, 500.0, 0.0]);
+    }
+
+    #[test]
+    fn cloudlets_within_respects_hops_and_colocations() {
+        // Path 0-1-2-3; cloudlets at 0 and 2.
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        let net = MecNetwork::new(g, vec![5000.0, 0.0, 6000.0, 0.0]);
+        assert_eq!(net.cloudlets_within(NodeId(0), 1), vec![NodeId(0)]);
+        let two_hop = net.cloudlets_within(NodeId(0), 2);
+        assert_eq!(two_hop, vec![NodeId(0), NodeId(2)]);
+        // From a non-cloudlet node, itself is excluded.
+        assert_eq!(net.cloudlets_within(NodeId(1), 1), vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity vector")]
+    fn mismatched_capacity_length_panics() {
+        MecNetwork::new(topology::ring(3), vec![1.0]);
+    }
+}

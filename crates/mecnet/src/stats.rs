@@ -1,0 +1,175 @@
+//! Topology statistics: degree distribution, clustering, path lengths, and
+//! cloudlet-coverage metrics used to sanity-check generated networks against
+//! the GT-ITM-style properties the paper's evaluation assumes.
+
+use crate::graph::{Graph, NodeId};
+use crate::network::MecNetwork;
+
+/// Degree/clustering/path-length summary of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    pub nodes: usize,
+    pub edges: usize,
+    pub min_degree: usize,
+    pub max_degree: usize,
+    pub avg_degree: f64,
+    /// Global clustering coefficient (3 × triangles / connected triples);
+    /// 0 for graphs without paths of length 2.
+    pub clustering: f64,
+    /// Mean shortest-path length over connected pairs (0 if none).
+    pub avg_path_length: f64,
+    pub diameter: Option<u32>,
+}
+
+/// Compute [`GraphStats`]. `O(V·E)` for paths, `O(Σ deg²)` for triangles.
+pub fn graph_stats(g: &Graph) -> GraphStats {
+    let n = g.num_nodes();
+    let degrees: Vec<usize> = (0..n).map(|v| g.degree(NodeId(v))).collect();
+    // Triangles and triples.
+    let mut triangles = 0usize;
+    let mut triples = 0usize;
+    for v in 0..n {
+        let neigh: Vec<usize> = g.neighbors(NodeId(v)).map(|u| u.index()).collect();
+        let d = neigh.len();
+        triples += d.saturating_sub(1) * d / 2;
+        for (i, &a) in neigh.iter().enumerate() {
+            for &b in &neigh[i + 1..] {
+                if g.has_edge(NodeId(a), NodeId(b)) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    // Each triangle is counted once per corner = 3 times.
+    let clustering = if triples > 0 { triangles as f64 / triples as f64 } else { 0.0 };
+
+    let mut total_path = 0u64;
+    let mut pairs = 0u64;
+    for v in 0..n {
+        for (u, &d) in g.hop_distances(NodeId(v)).iter().enumerate() {
+            if u > v && d != u32::MAX {
+                total_path += d as u64;
+                pairs += 1;
+            }
+        }
+    }
+    GraphStats {
+        nodes: n,
+        edges: g.num_edges(),
+        min_degree: degrees.iter().copied().min().unwrap_or(0),
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        avg_degree: g.average_degree(),
+        clustering,
+        avg_path_length: if pairs > 0 { total_path as f64 / pairs as f64 } else { 0.0 },
+        diameter: g.diameter(),
+    }
+}
+
+/// Cloudlet coverage: for each node, the hop distance to its nearest
+/// cloudlet. The paper's `l`-hop constraint makes this the key accessibility
+/// metric — a node whose nearest cloudlet is farther than `l` hops can never
+/// receive backups for a primary placed there.
+pub fn cloudlet_distances(net: &MecNetwork) -> Vec<u32> {
+    let cloudlets = net.cloudlets();
+    let mut best = vec![u32::MAX; net.num_nodes()];
+    for c in cloudlets {
+        for (v, &d) in net.graph().hop_distances(c).iter().enumerate() {
+            if d < best[v] {
+                best[v] = d;
+            }
+        }
+    }
+    best
+}
+
+/// Fraction of cloudlets whose closed `l`-hop neighborhood contains at least
+/// one *other* cloudlet — i.e. how often backups can leave the primary's own
+/// cloudlet at all.
+pub fn cloudlet_adjacency_fraction(net: &MecNetwork, l: u32) -> f64 {
+    let cloudlets = net.cloudlets();
+    if cloudlets.is_empty() {
+        return 0.0;
+    }
+    let with_neighbor = cloudlets
+        .iter()
+        .filter(|&&c| net.cloudlets_within(c, l).len() > 1)
+        .count();
+    with_neighbor as f64 / cloudlets.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn stats_of_complete_graph() {
+        let g = topology::complete(5);
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.edges, 10);
+        assert_eq!(s.min_degree, 4);
+        assert_eq!(s.max_degree, 4);
+        assert!((s.clustering - 1.0).abs() < 1e-12);
+        assert!((s.avg_path_length - 1.0).abs() < 1e-12);
+        assert_eq!(s.diameter, Some(1));
+    }
+
+    #[test]
+    fn stats_of_path_graph() {
+        let mut g = Graph::new(4);
+        for i in 0..3 {
+            g.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        let s = graph_stats(&g);
+        assert_eq!(s.clustering, 0.0); // trees have no triangles
+        // paths: 1+2+3 + 1+2 + 1 = 10 over 6 pairs.
+        assert!((s.avg_path_length - 10.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.diameter, Some(3));
+    }
+
+    #[test]
+    fn triangle_counting() {
+        // Triangle plus a pendant: clustering = 3*1 / (3 + 3) ... compute:
+        // triangle corners have 1 triple each except the one with the pendant
+        // (3 triples): total triples = 1 + 1 + 3 = 5; triangles counted 3x.
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(0));
+        g.add_edge(NodeId(0), NodeId(3));
+        let s = graph_stats(&g);
+        assert!((s.clustering - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cloudlet_distance_field() {
+        // Path 0-1-2-3, cloudlet at 3.
+        let mut g = Graph::new(4);
+        for i in 0..3 {
+            g.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        let net = MecNetwork::new(g, vec![0.0, 0.0, 0.0, 1000.0]);
+        assert_eq!(cloudlet_distances(&net), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn adjacency_fraction_extremes() {
+        // Two adjacent cloudlets: fraction 1 at l = 1.
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        let net = MecNetwork::new(g, vec![1000.0, 1000.0, 0.0]);
+        assert!((cloudlet_adjacency_fraction(&net, 1) - 1.0).abs() < 1e-12);
+        // Two cloudlets at distance 2: fraction 0 at l = 1, 1 at l = 2.
+        let mut g2 = Graph::new(3);
+        g2.add_edge(NodeId(0), NodeId(1));
+        g2.add_edge(NodeId(1), NodeId(2));
+        let net2 = MecNetwork::new(g2, vec![1000.0, 0.0, 1000.0]);
+        assert_eq!(cloudlet_adjacency_fraction(&net2, 1), 0.0);
+        assert_eq!(cloudlet_adjacency_fraction(&net2, 2), 1.0);
+        // No cloudlets.
+        let net3 = MecNetwork::new(topology::ring(3), vec![0.0; 3]);
+        assert_eq!(cloudlet_adjacency_fraction(&net3, 1), 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Network topology generators.
+//!
+//! The paper generates topologies "using the widely adopted approach due to
+//! GT-ITM". GT-ITM's flat random model is the Waxman model: nodes are placed
+//! uniformly in a unit square and each pair `(u, v)` is connected with
+//! probability `α · exp(-d(u,v) / (β·L))` where `L` is the maximum possible
+//! distance. [`waxman`] implements exactly that, plus a connectivity repair
+//! pass (experiments need connected networks so every hop distance is
+//! defined). Regular topologies (grid, ring, complete) and Erdős–Rényi graphs
+//! are provided for tests and ablations.
+
+use crate::graph::{Graph, NodeId};
+use rand::Rng;
+
+/// Parameters of the Waxman/GT-ITM random topology.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct WaxmanConfig {
+    pub nodes: usize,
+    /// Overall edge density, `0 < alpha <= 1`.
+    pub alpha: f64,
+    /// Locality: small `beta` favours short links, `0 < beta <= 1`.
+    pub beta: f64,
+    /// Add a minimum-distance spanning structure if the sample is
+    /// disconnected (the paper's simulations assume connectivity).
+    pub ensure_connected: bool,
+}
+
+impl Default for WaxmanConfig {
+    fn default() -> Self {
+        // alpha/beta tuned to give the sparse metro-network degrees (~3-4)
+        // typical of GT-ITM configurations used in MEC papers.
+        WaxmanConfig { nodes: 100, alpha: 0.4, beta: 0.15, ensure_connected: true }
+    }
+}
+
+/// Generate a Waxman random graph; returns the graph and node positions in
+/// the unit square (positions are kept so callers can draw or re-weight).
+pub fn waxman<R: Rng + ?Sized>(config: &WaxmanConfig, rng: &mut R) -> (Graph, Vec<(f64, f64)>) {
+    assert!(config.alpha > 0.0 && config.alpha <= 1.0, "alpha must be in (0,1]");
+    assert!(config.beta > 0.0 && config.beta <= 1.0, "beta must be in (0,1]");
+    let n = config.nodes;
+    let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let scale = std::f64::consts::SQRT_2; // max distance in the unit square
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let d = dist(positions[u], positions[v]);
+            let p = config.alpha * (-d / (config.beta * scale)).exp();
+            if rng.gen::<f64>() < p {
+                g.add_edge(NodeId(u), NodeId(v));
+            }
+        }
+    }
+    if config.ensure_connected {
+        repair_connectivity(&mut g, &positions);
+    }
+    (g, positions)
+}
+
+/// Connect a disconnected graph by repeatedly adding the geometrically
+/// shortest edge between the first component and any other component.
+pub fn repair_connectivity(g: &mut Graph, positions: &[(f64, f64)]) {
+    loop {
+        let comps = g.connected_components();
+        if comps.len() <= 1 {
+            return;
+        }
+        let base = &comps[0];
+        let mut best: Option<(f64, NodeId, NodeId)> = None;
+        for other in &comps[1..] {
+            for &u in base {
+                for &v in other {
+                    let d = dist(positions[u.index()], positions[v.index()]);
+                    if best.is_none_or(|(bd, _, _)| d < bd) {
+                        best = Some((d, u, v));
+                    }
+                }
+            }
+        }
+        let (_, u, v) = best.expect("multiple components imply a candidate pair");
+        g.add_edge(u, v);
+    }
+}
+
+/// `rows x cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| NodeId(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// Cycle on `n` nodes (`n >= 3`).
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        g.add_edge(NodeId(i), NodeId((i + 1) % n));
+    }
+    g
+}
+
+/// Complete graph on `n` nodes.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)` graph.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                g.add_edge(NodeId(u), NodeId(v));
+            }
+        }
+    }
+    g
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn waxman_is_connected_when_repaired() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5 {
+            let (g, pos) = waxman(&WaxmanConfig::default(), &mut rng);
+            assert_eq!(g.num_nodes(), 100);
+            assert_eq!(pos.len(), 100);
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn waxman_density_tracks_alpha() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let sparse = WaxmanConfig { alpha: 0.1, ensure_connected: false, ..Default::default() };
+        let dense = WaxmanConfig { alpha: 0.9, ensure_connected: false, ..Default::default() };
+        let e_sparse: usize =
+            (0..5).map(|_| waxman(&sparse, &mut rng).0.num_edges()).sum();
+        let e_dense: usize = (0..5).map(|_| waxman(&dense, &mut rng).0.num_edges()).sum();
+        assert!(e_dense > 3 * e_sparse, "dense {e_dense} vs sparse {e_sparse}");
+    }
+
+    #[test]
+    fn waxman_prefers_short_links() {
+        // With tiny beta, edges should connect geometrically close pairs.
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = WaxmanConfig { alpha: 1.0, beta: 0.05, ensure_connected: false, nodes: 150 };
+        let (g, pos) = waxman(&cfg, &mut rng);
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for u in g.nodes() {
+            for v in g.neighbors(u) {
+                if v.index() > u.index() {
+                    total += dist(pos[u.index()], pos[v.index()]);
+                    count += 1;
+                }
+            }
+        }
+        assert!(count > 0);
+        let mean_len = total / count as f64;
+        assert!(mean_len < 0.3, "mean edge length {mean_len} too long for beta=0.05");
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        // edges: 3*3 horizontal + 2*4 vertical = 17
+        assert_eq!(g.num_edges(), 17);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(5));
+    }
+
+    #[test]
+    fn ring_and_complete() {
+        let r = ring(6);
+        assert_eq!(r.num_edges(), 6);
+        assert_eq!(r.diameter(), Some(3));
+        let k = complete(5);
+        assert_eq!(k.num_edges(), 10);
+        assert_eq!(k.diameter(), Some(1));
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(erdos_renyi(10, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, &mut rng).num_edges(), 45);
+    }
+
+    #[test]
+    fn repair_connects_components() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(2), NodeId(3));
+        let pos = vec![(0.0, 0.0), (0.1, 0.0), (0.9, 0.0), (1.0, 0.0)];
+        repair_connectivity(&mut g, &pos);
+        assert!(g.is_connected());
+        // The geometrically closest inter-component pair is (1, 2).
+        assert!(g.has_edge(NodeId(1), NodeId(2)));
+    }
+}

@@ -1,0 +1,245 @@
+//! GT-ITM's transit-stub hierarchical topology model.
+//!
+//! The paper cites GT-ITM for topology generation; besides the flat Waxman
+//! model (see [`crate::topology`]), GT-ITM's flagship mode is the
+//! **transit-stub** hierarchy: a small Waxman graph of *transit domains*
+//! (backbones), each transit node expanded into a Waxman transit subgraph,
+//! with several *stub domains* (access networks) hung off every transit
+//! node. MEC cloudlets naturally sit at the transit/stub attachment points,
+//! so this generator is useful for locality-sensitivity studies beyond the
+//! flat 100-node default.
+
+use crate::graph::{Graph, NodeId};
+use crate::topology::{repair_connectivity, waxman, WaxmanConfig};
+use rand::Rng;
+
+/// Parameters of the transit-stub hierarchy.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TransitStubConfig {
+    /// Number of transit domains (top-level Waxman graph size).
+    pub transit_domains: usize,
+    /// Nodes per transit domain.
+    pub transit_nodes: usize,
+    /// Stub domains attached to each transit node.
+    pub stubs_per_transit_node: usize,
+    /// Nodes per stub domain.
+    pub stub_nodes: usize,
+    /// Edge density inside domains (Waxman `alpha`; `beta` fixed at 0.4 to
+    /// keep small domains connected before repair).
+    pub intra_alpha: f64,
+}
+
+impl Default for TransitStubConfig {
+    fn default() -> Self {
+        // ~1 transit domain x 4 transit nodes x 3 stubs x 8 nodes ≈ 100 APs,
+        // matching the paper's scale.
+        TransitStubConfig {
+            transit_domains: 1,
+            transit_nodes: 4,
+            stubs_per_transit_node: 3,
+            stub_nodes: 8,
+            intra_alpha: 0.6,
+        }
+    }
+}
+
+impl TransitStubConfig {
+    /// Total node count of the generated graph.
+    pub fn total_nodes(&self) -> usize {
+        let transit = self.transit_domains * self.transit_nodes;
+        transit + transit * self.stubs_per_transit_node * self.stub_nodes
+    }
+}
+
+/// Node roles in a transit-stub graph, parallel to the node ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Backbone node of transit domain `domain`.
+    Transit { domain: usize },
+    /// Node of the `stub`-th stub domain of transit node `attached_to`.
+    Stub { attached_to: usize },
+}
+
+/// Generate a transit-stub graph. Returns the graph and the role of each
+/// node (transit nodes are good cloudlet sites).
+pub fn transit_stub<R: Rng + ?Sized>(
+    cfg: &TransitStubConfig,
+    rng: &mut R,
+) -> (Graph, Vec<NodeRole>) {
+    assert!(cfg.transit_domains >= 1);
+    assert!(cfg.transit_nodes >= 1);
+    assert!(cfg.stub_nodes >= 1);
+    let mut g = Graph::new(cfg.total_nodes());
+    let mut roles = Vec::with_capacity(cfg.total_nodes());
+    let mut next = 0usize;
+
+    // 1. Transit domains: an internally-connected Waxman subgraph each.
+    let mut transit_ids: Vec<Vec<usize>> = Vec::with_capacity(cfg.transit_domains);
+    for domain in 0..cfg.transit_domains {
+        let ids: Vec<usize> = (0..cfg.transit_nodes)
+            .map(|_| {
+                let id = next;
+                next += 1;
+                roles.push(NodeRole::Transit { domain });
+                id
+            })
+            .collect();
+        embed_waxman(&mut g, &ids, cfg.intra_alpha, rng);
+        transit_ids.push(ids);
+    }
+    // 2. Inter-domain transit links: a ring over domains (plus the intra
+    //    structure this gives a connected backbone for > 1 domain).
+    for d in 0..cfg.transit_domains {
+        if cfg.transit_domains > 1 {
+            let a = transit_ids[d][rng.gen_range(0..cfg.transit_nodes)];
+            let e = (d + 1) % cfg.transit_domains;
+            let b = transit_ids[e][rng.gen_range(0..cfg.transit_nodes)];
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+    }
+    // 3. Stub domains: internally-connected Waxman subgraphs, one gateway
+    //    edge to their transit node.
+    for ids in &transit_ids {
+        for &tnode in ids {
+            for _ in 0..cfg.stubs_per_transit_node {
+                let stub_ids: Vec<usize> = (0..cfg.stub_nodes)
+                    .map(|_| {
+                        let id = next;
+                        next += 1;
+                        roles.push(NodeRole::Stub { attached_to: tnode });
+                        id
+                    })
+                    .collect();
+                embed_waxman(&mut g, &stub_ids, cfg.intra_alpha, rng);
+                let gateway = stub_ids[rng.gen_range(0..stub_ids.len())];
+                g.add_edge(NodeId(tnode), NodeId(gateway));
+            }
+        }
+    }
+    debug_assert_eq!(next, cfg.total_nodes());
+    (g, roles)
+}
+
+/// Generate a Waxman subgraph over an explicit id set and splice its edges
+/// into `g`, repairing intra-domain connectivity.
+fn embed_waxman<R: Rng + ?Sized>(g: &mut Graph, ids: &[usize], alpha: f64, rng: &mut R) {
+    if ids.len() == 1 {
+        return;
+    }
+    let cfg = WaxmanConfig {
+        nodes: ids.len(),
+        alpha: alpha.clamp(0.05, 1.0),
+        beta: 0.4,
+        ensure_connected: false,
+    };
+    let (mut sub, pos) = waxman(&cfg, rng);
+    repair_connectivity(&mut sub, &pos);
+    for u in sub.nodes() {
+        for v in sub.neighbors(u) {
+            if v.index() > u.index() {
+                g.add_edge(NodeId(ids[u.index()]), NodeId(ids[v.index()]));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_scale_matches_paper() {
+        let cfg = TransitStubConfig::default();
+        assert_eq!(cfg.total_nodes(), 4 + 4 * 3 * 8); // 100
+    }
+
+    #[test]
+    fn generated_graph_is_connected_with_roles() {
+        let cfg = TransitStubConfig::default();
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (g, roles) = transit_stub(&cfg, &mut rng);
+            assert_eq!(g.num_nodes(), cfg.total_nodes());
+            assert_eq!(roles.len(), g.num_nodes());
+            assert!(g.is_connected(), "seed {seed} produced a disconnected graph");
+            let transit = roles.iter().filter(|r| matches!(r, NodeRole::Transit { .. })).count();
+            assert_eq!(transit, 4);
+        }
+    }
+
+    #[test]
+    fn stubs_attach_to_their_transit_node() {
+        let cfg = TransitStubConfig::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, roles) = transit_stub(&cfg, &mut rng);
+        // Every stub node must reach its transit node without crossing
+        // another stub domain: path through the gateway keeps hops small.
+        for (i, role) in roles.iter().enumerate() {
+            if let NodeRole::Stub { attached_to } = role {
+                let d = g.hop_distance(NodeId(i), NodeId(*attached_to)).unwrap();
+                assert!(
+                    d <= cfg.stub_nodes as u32 + 1,
+                    "stub node {i} is {d} hops from its transit node"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_transit_domains_connected() {
+        let cfg = TransitStubConfig {
+            transit_domains: 3,
+            transit_nodes: 3,
+            stubs_per_transit_node: 1,
+            stub_nodes: 4,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let (g, _) = transit_stub(&cfg, &mut rng);
+        assert_eq!(g.num_nodes(), cfg.total_nodes());
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn hierarchy_creates_locality() {
+        // Average distance between nodes of the same stub must be far below
+        // the average distance across stubs.
+        let cfg = TransitStubConfig::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let (g, roles) = transit_stub(&cfg, &mut rng);
+        let stub_nodes: Vec<usize> = roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, NodeRole::Stub { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let mut same = Vec::new();
+        let mut cross = Vec::new();
+        for (a_pos, &a) in stub_nodes.iter().enumerate() {
+            let da = g.hop_distances(NodeId(a));
+            for &b in stub_nodes.iter().skip(a_pos + 1) {
+                let d = da[b] as f64;
+                let same_stub = match (roles[a], roles[b]) {
+                    (NodeRole::Stub { attached_to: x }, NodeRole::Stub { attached_to: y }) => {
+                        x == y
+                    }
+                    _ => false,
+                };
+                if same_stub {
+                    same.push(d);
+                } else {
+                    cross.push(d);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&same) + 1.0 < mean(&cross),
+            "no locality: same-stub {} vs cross-stub {}",
+            mean(&same),
+            mean(&cross)
+        );
+    }
+}

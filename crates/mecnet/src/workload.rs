@@ -1,0 +1,208 @@
+//! Workload generation mirroring the paper's Section 7.1 experiment settings.
+//!
+//! Defaults: 100 APs, 10% of them cloudlets with 4 000–8 000 MHz, GT-ITM
+//! (Waxman) topology, |F| = 30 function types demanding 200–400 MHz,
+//! chain lengths 3–10, function reliabilities 0.8–0.9, residual capacity 25%,
+//! `l = 1`.
+
+use crate::admission::{random_placement, PrimaryPlacement};
+use crate::network::MecNetwork;
+use crate::request::SfcRequest;
+use crate::topology::{waxman, WaxmanConfig};
+use crate::transit_stub::{transit_stub, TransitStubConfig};
+use crate::vnf::VnfCatalog;
+use rand::Rng;
+
+/// Which topology model generated networks use.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub enum TopologyKind {
+    /// GT-ITM's flat random model (the paper's evaluation setting); the node
+    /// count is taken from [`WorkloadConfig::nodes`].
+    Waxman(WaxmanConfig),
+    /// GT-ITM's hierarchical transit-stub model; the node count is implied
+    /// by the hierarchy parameters and overrides [`WorkloadConfig::nodes`].
+    TransitStub(TransitStubConfig),
+}
+
+/// Every knob of the paper's experiment settings.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of access points (paper: 100).
+    pub nodes: usize,
+    /// Fraction of APs co-located with a cloudlet (paper: 10%).
+    pub cloudlet_fraction: f64,
+    /// Cloudlet capacity range in MHz (paper: 4 000–8 000).
+    pub capacity_range: (f64, f64),
+    /// Number of VNF types |F| (paper: 30).
+    pub catalog_size: usize,
+    /// Per-instance demand range in MHz (paper: 200–400).
+    pub demand_range: (f64, f64),
+    /// VNF instance reliability range (Fig. 1/3: [0.8, 0.9]).
+    pub reliability_range: (f64, f64),
+    /// SFC length range (paper default: 3–10; Fig. 1 sweeps 2–20).
+    pub sfc_len_range: (usize, usize),
+    /// Reliability expectation `ρ_j` of generated requests.
+    pub expectation: f64,
+    /// Fraction of each cloudlet's capacity that is residual, i.e. available
+    /// for secondary instances (Fig. 1/2: 25%; Fig. 3 sweeps 1/16–1).
+    pub residual_fraction: f64,
+    /// Topology model parameters.
+    pub waxman: WaxmanConfig,
+    /// Optional override of the topology model; `None` uses `waxman` (the
+    /// paper's setting).
+    pub topology: Option<TopologyKind>,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            nodes: 100,
+            cloudlet_fraction: 0.10,
+            capacity_range: (4000.0, 8000.0),
+            catalog_size: 30,
+            demand_range: (200.0, 400.0),
+            reliability_range: (0.8, 0.9),
+            sfc_len_range: (3, 10),
+            expectation: 0.99,
+            residual_fraction: 0.25,
+            waxman: WaxmanConfig::default(),
+            topology: None,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Number of cloudlets implied by `nodes` and `cloudlet_fraction`
+    /// (at least one).
+    pub fn num_cloudlets(&self) -> usize {
+        ((self.nodes as f64 * self.cloudlet_fraction).round() as usize).max(1)
+    }
+}
+
+/// A fully generated single-request scenario: the input to the augmentation
+/// algorithms.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub network: MecNetwork,
+    pub catalog: VnfCatalog,
+    pub request: SfcRequest,
+    /// Primary placement of the admitted request.
+    pub placement: PrimaryPlacement,
+    /// Residual capacity per node available for secondaries.
+    pub residual: Vec<f64>,
+}
+
+/// Generate a network (topology + cloudlets) from the config.
+pub fn generate_network<R: Rng + ?Sized>(cfg: &WorkloadConfig, rng: &mut R) -> MecNetwork {
+    let graph = match &cfg.topology {
+        None => {
+            let mut wax = cfg.waxman.clone();
+            wax.nodes = cfg.nodes;
+            waxman(&wax, rng).0
+        }
+        Some(TopologyKind::Waxman(w)) => {
+            let mut wax = w.clone();
+            wax.nodes = cfg.nodes;
+            waxman(&wax, rng).0
+        }
+        Some(TopologyKind::TransitStub(ts)) => transit_stub(ts, rng).0,
+    };
+    let cloudlets = ((graph.num_nodes() as f64 * cfg.cloudlet_fraction).round() as usize).max(1);
+    MecNetwork::with_random_cloudlets(graph, cloudlets, cfg.capacity_range, rng)
+}
+
+/// Generate a VNF catalog from the config.
+pub fn generate_catalog<R: Rng + ?Sized>(cfg: &WorkloadConfig, rng: &mut R) -> VnfCatalog {
+    VnfCatalog::random(cfg.catalog_size, cfg.demand_range, cfg.reliability_range, rng)
+}
+
+/// Generate a complete scenario: network, catalog, one admitted request with
+/// randomly placed primaries, and residual capacities.
+pub fn generate_scenario<R: Rng + ?Sized>(cfg: &WorkloadConfig, rng: &mut R) -> Scenario {
+    let network = generate_network(cfg, rng);
+    let catalog = generate_catalog(cfg, rng);
+    let request =
+        SfcRequest::random(0, &catalog, cfg.sfc_len_range, cfg.expectation, cfg.nodes, rng);
+    let placement = random_placement(&network, &request, rng)
+        .expect("generated networks always have at least one cloudlet");
+    let residual = network.residual_capacities(cfg.residual_fraction);
+    Scenario { network, catalog, request, placement, residual }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let cfg = WorkloadConfig::default();
+        assert_eq!(cfg.nodes, 100);
+        assert_eq!(cfg.num_cloudlets(), 10);
+        assert_eq!(cfg.catalog_size, 30);
+        assert_eq!(cfg.capacity_range, (4000.0, 8000.0));
+        assert_eq!(cfg.demand_range, (200.0, 400.0));
+        assert_eq!(cfg.residual_fraction, 0.25);
+    }
+
+    #[test]
+    fn scenario_is_internally_consistent() {
+        let cfg = WorkloadConfig::default();
+        let mut rng = StdRng::seed_from_u64(123);
+        let s = generate_scenario(&cfg, &mut rng);
+        assert_eq!(s.network.num_cloudlets(), 10);
+        assert_eq!(s.placement.len(), s.request.len());
+        assert!(s.placement.locations.iter().all(|&v| s.network.is_cloudlet(v)));
+        assert_eq!(s.residual.len(), s.network.num_nodes());
+        for v in s.network.graph().nodes() {
+            let expected = s.network.capacity(v) * cfg.residual_fraction;
+            assert!((s.residual[v.index()] - expected).abs() < 1e-9);
+        }
+        assert!(s.request.sfc.iter().all(|f| f.index() < s.catalog.len()));
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_per_seed() {
+        let cfg = WorkloadConfig::default();
+        let a = generate_scenario(&cfg, &mut StdRng::seed_from_u64(77));
+        let b = generate_scenario(&cfg, &mut StdRng::seed_from_u64(77));
+        assert_eq!(a.request, b.request);
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.residual, b.residual);
+    }
+
+    #[test]
+    fn tiny_network_still_gets_a_cloudlet() {
+        let cfg = WorkloadConfig { nodes: 5, cloudlet_fraction: 0.01, ..Default::default() };
+        assert_eq!(cfg.num_cloudlets(), 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = generate_network(&cfg, &mut rng);
+        assert_eq!(net.num_cloudlets(), 1);
+    }
+
+    #[test]
+    fn transit_stub_topology_generates() {
+        let cfg = WorkloadConfig {
+            topology: Some(TopologyKind::TransitStub(Default::default())),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let net = generate_network(&cfg, &mut rng);
+        assert_eq!(net.num_nodes(), 100); // 4 transit + 4*3*8 stub nodes
+        assert!(net.graph().is_connected());
+        assert_eq!(net.num_cloudlets(), 10);
+        // Full scenarios work on it too.
+        let s = generate_scenario(&cfg, &mut rng);
+        assert_eq!(s.placement.len(), s.request.len());
+    }
+
+    #[test]
+    fn config_round_trips_through_serde() {
+        let cfg = WorkloadConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: WorkloadConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.nodes, cfg.nodes);
+        assert_eq!(back.residual_fraction, cfg.residual_fraction);
+    }
+}

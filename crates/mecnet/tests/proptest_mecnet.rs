@@ -1,0 +1,95 @@
+//! Property tests on the MEC network substrate: neighborhood and distance
+//! invariants on random topologies, and workload-generator contracts.
+
+use mecnet::graph::NodeId;
+use mecnet::topology::{erdos_renyi, repair_connectivity, waxman, WaxmanConfig};
+use mecnet::workload::{generate_scenario, WorkloadConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hop_distance_is_a_metric(seed in 0u64..5000, n in 5usize..25, p in 0.15f64..0.7) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, p, &mut rng);
+        // Symmetry and triangle inequality over a sample of triples.
+        for a in 0..n.min(6) {
+            for b in 0..n.min(6) {
+                let dab = g.hop_distance(NodeId(a), NodeId(b));
+                let dba = g.hop_distance(NodeId(b), NodeId(a));
+                prop_assert_eq!(dab, dba, "symmetry violated");
+                if a == b {
+                    prop_assert_eq!(dab, Some(0));
+                }
+                for c in 0..n.min(6) {
+                    if let (Some(x), Some(y), Some(z)) = (
+                        g.hop_distance(NodeId(a), NodeId(c)),
+                        g.hop_distance(NodeId(a), NodeId(b)),
+                        g.hop_distance(NodeId(b), NodeId(c)),
+                    ) {
+                        prop_assert!(x <= y + z, "triangle inequality violated");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhoods_grow_monotonically_in_l(seed in 0u64..5000, n in 4usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, 0.3, &mut rng);
+        let v = NodeId(0);
+        let mut prev = 0;
+        for l in 0..(n as u32) {
+            let cur = g.l_neighborhood_closed(v, l).len();
+            prop_assert!(cur >= prev, "N_{l}^+ shrank");
+            prev = cur;
+        }
+        // l = n-1 closed neighborhood covers the whole component of v.
+        let comp_size = g
+            .connected_components()
+            .into_iter()
+            .find(|c| c.contains(&v))
+            .unwrap()
+            .len();
+        prop_assert_eq!(g.l_neighborhood_closed(v, n as u32).len(), comp_size);
+    }
+
+    #[test]
+    fn repair_always_connects(seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = WaxmanConfig { nodes: 30, alpha: 0.05, beta: 0.1, ensure_connected: false };
+        let (mut g, pos) = waxman(&cfg, &mut rng);
+        repair_connectivity(&mut g, &pos);
+        prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn scenario_generator_contracts(seed in 0u64..10_000) {
+        let cfg = WorkloadConfig { nodes: 40, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = generate_scenario(&cfg, &mut rng);
+        prop_assert_eq!(s.network.num_cloudlets(), cfg.num_cloudlets());
+        prop_assert!(s.network.graph().is_connected());
+        prop_assert_eq!(s.placement.len(), s.request.len());
+        prop_assert!((cfg.sfc_len_range.0..=cfg.sfc_len_range.1).contains(&s.request.len()));
+        for &loc in &s.placement.locations {
+            prop_assert!(s.network.is_cloudlet(loc));
+        }
+        for (i, &r) in s.residual.iter().enumerate() {
+            let expected = s.network.capacity(NodeId(i)) * cfg.residual_fraction;
+            prop_assert!((r - expected).abs() < 1e-9);
+        }
+        // Every chain entry resolves in the catalog with paper-range values.
+        for &f in &s.request.sfc {
+            let t = s.catalog.get(f);
+            prop_assert!((cfg.demand_range.0..=cfg.demand_range.1).contains(&t.demand_mhz));
+            prop_assert!(
+                (cfg.reliability_range.0..=cfg.reliability_range.1).contains(&t.reliability)
+            );
+        }
+    }
+}

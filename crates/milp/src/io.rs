@@ -1,0 +1,360 @@
+//! CPLEX-LP-format writer and reader.
+//!
+//! Models can be dumped to the ubiquitous `.lp` text format (for inspection
+//! or feeding to an external solver when cross-checking results) and read
+//! back. The reader supports the subset the writer emits — objective,
+//! constraints with `<= / >= / =`, `Bounds`, `Generals`/`Binaries` — which is
+//! enough for exact round-trips and for hand-written test fixtures.
+
+use crate::problem::{Model, Relation, Sense, VarId};
+use std::fmt::Write as _;
+
+/// Serialize a model to CPLEX LP format. Variables are named `x0, x1, …` by
+/// index.
+pub fn write_lp(model: &Model) -> String {
+    let mut out = String::new();
+    out.push_str(match model.sense() {
+        Sense::Maximize => "Maximize\n",
+        Sense::Minimize => "Minimize\n",
+    });
+    out.push_str(" obj:");
+    let mut first = true;
+    for i in 0..model.num_vars() {
+        let c = model.objective_coeff(VarId(i));
+        if c != 0.0 {
+            write_term(&mut out, c, i, first);
+            first = false;
+        }
+    }
+    if first {
+        out.push_str(" 0 x0");
+    }
+    out.push_str("\nSubject To\n");
+    for (ci, con) in model.constraints.iter().enumerate() {
+        let _ = write!(out, " c{ci}:");
+        let mut first = true;
+        for &(v, a) in &con.terms {
+            if a != 0.0 {
+                write_term(&mut out, a, v.index(), first);
+                first = false;
+            }
+        }
+        if first {
+            out.push_str(" 0 x0");
+        }
+        let rel = match con.relation {
+            Relation::Le => "<=",
+            Relation::Ge => ">=",
+            Relation::Eq => "=",
+        };
+        let _ = writeln!(out, " {rel} {}", fmt_num(con.rhs));
+    }
+    out.push_str("Bounds\n");
+    for i in 0..model.num_vars() {
+        let (lo, hi) = model.var_bounds(VarId(i));
+        match (lo.is_finite(), hi.is_finite()) {
+            (true, true) => {
+                let _ = writeln!(out, " {} <= x{i} <= {}", fmt_num(lo), fmt_num(hi));
+            }
+            (true, false) => {
+                let _ = writeln!(out, " x{i} >= {}", fmt_num(lo));
+            }
+            (false, true) => {
+                let _ = writeln!(out, " -inf <= x{i} <= {}", fmt_num(hi));
+            }
+            (false, false) => {
+                let _ = writeln!(out, " x{i} free");
+            }
+        }
+    }
+    let generals: Vec<usize> =
+        (0..model.num_vars()).filter(|&i| model.is_integer_var(VarId(i))).collect();
+    if !generals.is_empty() {
+        out.push_str("Generals\n");
+        for i in generals {
+            let _ = writeln!(out, " x{i}");
+        }
+    }
+    out.push_str("End\n");
+    out
+}
+
+fn write_term(out: &mut String, coeff: f64, var: usize, first: bool) {
+    if first {
+        if coeff < 0.0 {
+            let _ = write!(out, " - {} x{var}", fmt_num(-coeff));
+        } else {
+            let _ = write!(out, " {} x{var}", fmt_num(coeff));
+        }
+    } else if coeff < 0.0 {
+        let _ = write!(out, " - {} x{var}", fmt_num(-coeff));
+    } else {
+        let _ = write!(out, " + {} x{var}", fmt_num(coeff));
+    }
+}
+
+fn fmt_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Parse the LP subset produced by [`write_lp`]. Returns `None` on any
+/// unrecognized syntax.
+pub fn read_lp(text: &str) -> Option<Model> {
+    #[derive(PartialEq)]
+    enum Section {
+        Objective,
+        Constraints,
+        Bounds,
+        Generals,
+        Done,
+    }
+    let mut sense = None;
+    let mut section = None;
+    let mut obj_terms: Vec<(usize, f64)> = Vec::new();
+    let mut cons: Vec<(Vec<(usize, f64)>, Relation, f64)> = Vec::new();
+    let mut bounds: Vec<(usize, f64, f64)> = Vec::new();
+    let mut generals: Vec<usize> = Vec::new();
+    let mut max_var = 0usize;
+
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line.to_ascii_lowercase().as_str() {
+            "maximize" => {
+                sense = Some(Sense::Maximize);
+                section = Some(Section::Objective);
+                continue;
+            }
+            "minimize" => {
+                sense = Some(Sense::Minimize);
+                section = Some(Section::Objective);
+                continue;
+            }
+            "subject to" => {
+                section = Some(Section::Constraints);
+                continue;
+            }
+            "bounds" => {
+                section = Some(Section::Bounds);
+                continue;
+            }
+            "generals" | "binaries" => {
+                section = Some(Section::Generals);
+                continue;
+            }
+            "end" => {
+                section = Some(Section::Done);
+                continue;
+            }
+            _ => {}
+        }
+        match section.as_ref()? {
+            Section::Objective => {
+                let body = line.split_once(':').map_or(line, |(_, b)| b);
+                obj_terms.extend(parse_terms(body, &mut max_var)?);
+            }
+            Section::Constraints => {
+                let body = line.split_once(':').map_or(line, |(_, b)| b);
+                let (lhs, rel, rhs) = split_relation(body)?;
+                let terms = parse_terms(lhs, &mut max_var)?;
+                cons.push((terms, rel, rhs.trim().parse().ok()?));
+            }
+            Section::Bounds => {
+                bounds.push(parse_bound(line, &mut max_var)?);
+            }
+            Section::Generals => {
+                let idx = parse_var(line.trim(), &mut max_var)?;
+                generals.push(idx);
+            }
+            Section::Done => {}
+        }
+    }
+
+    let mut model = Model::new(sense?);
+    let n = max_var + 1;
+    let mut lo = vec![0.0; n];
+    let mut hi = vec![f64::INFINITY; n];
+    for &(v, l, h) in &bounds {
+        lo[v] = l;
+        hi[v] = h;
+    }
+    let mut obj = vec![0.0; n];
+    for &(v, c) in &obj_terms {
+        obj[v] += c;
+    }
+    let is_int: Vec<bool> = (0..n).map(|i| generals.contains(&i)).collect();
+    let vars: Vec<VarId> = (0..n)
+        .map(|i| {
+            if is_int[i] {
+                model.add_integer_var(lo[i], hi[i], obj[i])
+            } else {
+                model.add_var(lo[i], hi[i], obj[i])
+            }
+        })
+        .collect();
+    for (terms, rel, rhs) in cons {
+        model.add_constraint(
+            terms.into_iter().map(|(v, a)| (vars[v], a)).collect(),
+            rel,
+            rhs,
+        );
+    }
+    Some(model)
+}
+
+fn split_relation(body: &str) -> Option<(&str, Relation, &str)> {
+    for (pat, rel) in [("<=", Relation::Le), (">=", Relation::Ge), ("=", Relation::Eq)] {
+        if let Some(pos) = body.find(pat) {
+            return Some((&body[..pos], rel, &body[pos + pat.len()..]));
+        }
+    }
+    None
+}
+
+fn parse_var(token: &str, max_var: &mut usize) -> Option<usize> {
+    let idx: usize = token.strip_prefix('x')?.parse().ok()?;
+    *max_var = (*max_var).max(idx);
+    Some(idx)
+}
+
+/// Parse `a x0 + b x1 - c x2`-style term lists.
+fn parse_terms(body: &str, max_var: &mut usize) -> Option<Vec<(usize, f64)>> {
+    let mut out = Vec::new();
+    let tokens: Vec<&str> = body.split_whitespace().collect();
+    let mut sign = 1.0;
+    let mut pending: Option<f64> = None;
+    for tok in tokens {
+        match tok {
+            "+" => sign = 1.0,
+            "-" => sign = -1.0,
+            _ if tok.starts_with('x') => {
+                let idx = parse_var(tok, max_var)?;
+                out.push((idx, sign * pending.take().unwrap_or(1.0)));
+                sign = 1.0;
+            }
+            _ => {
+                pending = Some(tok.parse().ok()?);
+            }
+        }
+    }
+    // A dangling coefficient (no variable) is a syntax error.
+    if pending.is_some() {
+        return None;
+    }
+    Some(out)
+}
+
+fn parse_bound(line: &str, max_var: &mut usize) -> Option<(usize, f64, f64)> {
+    let t: Vec<&str> = line.split_whitespace().collect();
+    match t.as_slice() {
+        // "lo <= xN <= hi"
+        [lo, "<=", var, "<=", hi] => {
+            let v = parse_var(var, max_var)?;
+            let l = if *lo == "-inf" { f64::NEG_INFINITY } else { lo.parse().ok()? };
+            Some((v, l, hi.parse().ok()?))
+        }
+        // "xN >= lo"
+        [var, ">=", lo] => {
+            let v = parse_var(var, max_var)?;
+            Some((v, lo.parse().ok()?, f64::INFINITY))
+        }
+        // "xN free"
+        [var, "free"] => {
+            let v = parse_var(var, max_var)?;
+            Some((v, f64::NEG_INFINITY, f64::INFINITY))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Model, Relation, Sense};
+    use crate::{solve_lp, solve_milp};
+
+    fn sample_model() -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, 4.0, 3.0);
+        let y = m.add_integer_var(0.0, f64::INFINITY, 2.0);
+        let z = m.add_var(f64::NEG_INFINITY, f64::INFINITY, -1.5);
+        m.add_constraint(vec![(x, 1.0), (y, 2.0)], Relation::Le, 7.0);
+        m.add_constraint(vec![(y, 1.0), (z, -1.0)], Relation::Ge, 1.0);
+        m.add_constraint(vec![(x, 1.0), (z, 1.0)], Relation::Eq, 2.0);
+        m
+    }
+
+    #[test]
+    fn writer_emits_sections() {
+        let text = write_lp(&sample_model());
+        assert!(text.starts_with("Maximize"));
+        assert!(text.contains("Subject To"));
+        assert!(text.contains("Bounds"));
+        assert!(text.contains("Generals"));
+        assert!(text.trim_end().ends_with("End"));
+        assert!(text.contains("3 x0"));
+        assert!(text.contains("<= 7"));
+    }
+
+    #[test]
+    fn round_trip_preserves_optimum() {
+        let m = sample_model();
+        let text = write_lp(&m);
+        let back = read_lp(&text).expect("parse own output");
+        assert_eq!(back.num_vars(), m.num_vars());
+        assert_eq!(back.num_constraints(), m.num_constraints());
+        let a = solve_milp(&m).unwrap();
+        let b = solve_milp(&back).unwrap();
+        assert!((a.objective - b.objective).abs() < 1e-9, "{} vs {}", a.objective, b.objective);
+    }
+
+    #[test]
+    fn round_trip_lp_relaxation() {
+        let m = sample_model().relax();
+        let back = read_lp(&write_lp(&m)).unwrap();
+        let a = solve_lp(&m).unwrap();
+        let b = solve_lp(&back).unwrap();
+        assert!((a.objective - b.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        assert!(read_lp("nonsense").is_none());
+        assert!(read_lp("Maximize\n obj: 3\nEnd\n").is_none()); // dangling coeff
+    }
+
+    #[test]
+    fn hand_written_fixture() {
+        let text = "\
+Minimize
+ obj: 2 x0 + 3 x1
+Subject To
+ c0: x0 + x1 >= 4
+Bounds
+ 0 <= x0 <= 3
+ 0 <= x1 <= 3
+End
+";
+        let m = read_lp(text).unwrap();
+        let sol = solve_lp(&m).unwrap();
+        assert!((sol.objective - 9.0).abs() < 1e-6); // x0=3, x1=1
+    }
+
+    #[test]
+    fn negative_coefficients_round_trip() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 10.0, -2.5);
+        let y = m.add_var(0.0, 10.0, 1.0);
+        m.add_constraint(vec![(x, -1.0), (y, 1.5)], Relation::Ge, -3.0);
+        let back = read_lp(&write_lp(&m)).unwrap();
+        let a = solve_lp(&m).unwrap();
+        let b = solve_lp(&back).unwrap();
+        assert!((a.objective - b.objective).abs() < 1e-9);
+    }
+}

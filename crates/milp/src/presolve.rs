@@ -1,0 +1,285 @@
+//! Presolve: problem reductions applied before the simplex/branch-and-bound
+//! machinery.
+//!
+//! Implemented reductions (all exact — they never cut off an optimal
+//! solution):
+//!
+//! 1. **Empty rows** — `0 <= rhs`-style constraints are dropped (or proven
+//!    infeasible immediately).
+//! 2. **Singleton rows** — a constraint with one variable becomes a bound.
+//! 3. **Empty columns** — variables in no constraint are fixed at their best
+//!    bound.
+//! 4. **Bound-implied redundant rows** — a `<=` row whose maximum activity
+//!    (from variable bounds) is below its rhs can never bind.
+//!
+//! The output is a smaller [`Model`] over the *same* variable ids (bounds may
+//! be tightened; rows removed), so solutions map back without translation.
+
+use crate::problem::{Model, Relation};
+
+/// Summary of what presolve did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PresolveStats {
+    pub rows_removed: usize,
+    pub bounds_tightened: usize,
+    pub vars_fixed: usize,
+    /// Presolve proved infeasibility outright.
+    pub proven_infeasible: bool,
+}
+
+/// Result of presolving.
+#[derive(Debug, Clone)]
+pub struct Presolved {
+    pub model: Model,
+    pub stats: PresolveStats,
+}
+
+/// Apply the reductions until a fixed point (or infeasibility proof).
+pub fn presolve(model: &Model) -> Presolved {
+    let mut m = model.clone();
+    let mut stats = PresolveStats::default();
+    loop {
+        let before = (m.constraints.len(), stats.bounds_tightened, stats.vars_fixed);
+
+        // Pass 1: singleton and empty rows -> bounds / drops.
+        let mut keep = Vec::with_capacity(m.constraints.len());
+        for con in std::mem::take(&mut m.constraints) {
+            // Merge duplicate terms and drop zero coefficients.
+            let mut terms: Vec<(usize, f64)> = Vec::new();
+            for &(v, a) in &con.terms {
+                if a == 0.0 {
+                    continue;
+                }
+                match terms.iter_mut().find(|(u, _)| *u == v.index()) {
+                    Some((_, acc)) => *acc += a,
+                    None => terms.push((v.index(), a)),
+                }
+            }
+            terms.retain(|&(_, a)| a != 0.0);
+            match terms.len() {
+                0 => {
+                    let violated = match con.relation {
+                        Relation::Le => 0.0 > con.rhs + 1e-9,
+                        Relation::Ge => 0.0 < con.rhs - 1e-9,
+                        Relation::Eq => con.rhs.abs() > 1e-9,
+                    };
+                    if violated {
+                        stats.proven_infeasible = true;
+                        return Presolved { model: m, stats };
+                    }
+                    stats.rows_removed += 1;
+                }
+                1 => {
+                    // a·x <rel> rhs  =>  bound on x (rounded inward for
+                    // integer variables).
+                    let (vi, a) = terms[0];
+                    let bound = con.rhs / a;
+                    let var = &mut m.vars[vi];
+                    let (as_upper, as_lower) = match (con.relation, a > 0.0) {
+                        (Relation::Le, true) | (Relation::Ge, false) => (true, false),
+                        (Relation::Le, false) | (Relation::Ge, true) => (false, true),
+                        (Relation::Eq, _) => (true, true),
+                    };
+                    let upper_bound =
+                        if var.integer { (bound + 1e-9).floor() } else { bound };
+                    let lower_bound =
+                        if var.integer { (bound - 1e-9).ceil() } else { bound };
+                    if as_upper && upper_bound < var.upper {
+                        var.upper = upper_bound;
+                        stats.bounds_tightened += 1;
+                    }
+                    if as_lower && lower_bound > var.lower {
+                        var.lower = lower_bound;
+                        stats.bounds_tightened += 1;
+                    }
+                    if var.lower > var.upper + 1e-9 {
+                        stats.proven_infeasible = true;
+                        return Presolved { model: m, stats };
+                    }
+                    stats.rows_removed += 1;
+                }
+                _ => {
+                    // Pass 4 check: row redundant under bounds?
+                    let extreme = |maximize: bool| -> f64 {
+                        terms
+                            .iter()
+                            .map(|&(vi, a)| {
+                                let (lo, hi) = (m.vars[vi].lower, m.vars[vi].upper);
+                                let pick_hi = (a > 0.0) == maximize;
+                                a * if pick_hi { hi } else { lo }
+                            })
+                            .sum()
+                    };
+                    let redundant = match con.relation {
+                        Relation::Le => {
+                            let max_act = extreme(true);
+                            max_act.is_finite() && max_act <= con.rhs + 1e-9
+                        }
+                        Relation::Ge => {
+                            let min_act = extreme(false);
+                            min_act.is_finite() && min_act >= con.rhs - 1e-9
+                        }
+                        Relation::Eq => false,
+                    };
+                    if redundant {
+                        stats.rows_removed += 1;
+                    } else {
+                        keep.push(con);
+                    }
+                }
+            }
+        }
+        m.constraints = keep;
+
+        // Pass 3: empty columns -> fix at the objective-best bound.
+        let mut used = vec![false; m.vars.len()];
+        for con in &m.constraints {
+            for &(v, a) in &con.terms {
+                if a != 0.0 {
+                    used[v.index()] = true;
+                }
+            }
+        }
+        let maximize = m.sense == crate::problem::Sense::Maximize;
+        for (vi, var) in m.vars.iter_mut().enumerate() {
+            if used[vi] || (var.lower == var.upper) {
+                continue;
+            }
+            let wants_high = (var.objective > 0.0) == maximize && var.objective != 0.0;
+            let target = if var.objective == 0.0 {
+                // Indifferent: fix at a finite bound if one exists.
+                if var.lower.is_finite() {
+                    var.lower
+                } else if var.upper.is_finite() {
+                    var.upper
+                } else {
+                    0.0
+                }
+            } else if wants_high {
+                var.upper
+            } else {
+                var.lower
+            };
+            if target.is_finite() {
+                let target = if var.integer {
+                    // Fix at an integral point inside the bounds.
+                    let t = if target >= var.upper { (target + 1e-9).floor() } else { (target - 1e-9).ceil() };
+                    if t < var.lower - 1e-9 || t > var.upper + 1e-9 {
+                        stats.proven_infeasible = true;
+                        return Presolved { model: m, stats };
+                    }
+                    t
+                } else {
+                    target
+                };
+                var.lower = target;
+                var.upper = target;
+                stats.vars_fixed += 1;
+            }
+            // Unbounded-objective columns are left to the solver, which will
+            // report unboundedness.
+        }
+
+        if (m.constraints.len(), stats.bounds_tightened, stats.vars_fixed) == before {
+            break;
+        }
+    }
+    Presolved { model: m, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Model, Relation, Sense};
+    use crate::solve_lp;
+
+    #[test]
+    fn singleton_rows_become_bounds() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, 2.0)], Relation::Le, 10.0); // x <= 5
+        let p = presolve(&m);
+        assert_eq!(p.stats.rows_removed, 1);
+        assert_eq!(p.model.num_constraints(), 0);
+        // The empty-column pass then fixes x at its objective-best bound.
+        assert_eq!(p.model.var_bounds(x), (5.0, 5.0));
+        // Optima agree.
+        let a = solve_lp(&m).unwrap().objective;
+        let b = solve_lp(&p.model).unwrap().objective;
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_coefficient_singleton() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 100.0, 1.0);
+        m.add_constraint(vec![(x, -1.0)], Relation::Le, -3.0); // x >= 3
+        let p = presolve(&m);
+        // Bound tightened to x >= 3, then fixed at 3 (min sense, empty col).
+        assert_eq!(p.model.var_bounds(x), (3.0, 3.0));
+    }
+
+    #[test]
+    fn detects_empty_row_infeasibility() {
+        let mut m = Model::new(Sense::Minimize);
+        let _x = m.add_var(0.0, 1.0, 1.0);
+        m.add_constraint(vec![], Relation::Ge, 2.0); // 0 >= 2
+        let p = presolve(&m);
+        assert!(p.stats.proven_infeasible);
+    }
+
+    #[test]
+    fn detects_bound_clash() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 10.0, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Relation::Ge, 7.0);
+        m.add_constraint(vec![(x, 1.0)], Relation::Le, 3.0);
+        let p = presolve(&m);
+        assert!(p.stats.proven_infeasible);
+    }
+
+    #[test]
+    fn empty_column_fixed_at_best_bound() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, 4.0, 2.0); // not in any row: wants upper
+        let y = m.add_var(0.0, 9.0, -1.0); // wants lower
+        let p = presolve(&m);
+        assert_eq!(p.stats.vars_fixed, 2);
+        assert_eq!(p.model.var_bounds(x), (4.0, 4.0));
+        assert_eq!(p.model.var_bounds(y), (0.0, 0.0));
+    }
+
+    #[test]
+    fn redundant_row_dropped() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, 1.0, 1.0);
+        let y = m.add_var(0.0, 1.0, 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 5.0); // max activity 2
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 1.5); // binding
+        let p = presolve(&m);
+        assert_eq!(p.model.num_constraints(), 1);
+        let a = solve_lp(&m).unwrap().objective;
+        let b = solve_lp(&p.model).unwrap().objective;
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_terms_merged() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, f64::INFINITY, 1.0);
+        // 1x + 1x <= 6 is really a singleton 2x <= 6.
+        m.add_constraint(vec![(x, 1.0), (x, 1.0)], Relation::Le, 6.0);
+        let p = presolve(&m);
+        assert_eq!(p.model.num_constraints(), 0);
+        assert_eq!(p.model.var_bounds(x), (3.0, 3.0));
+    }
+
+    #[test]
+    fn equality_singleton_fixes_var() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 10.0, 1.0);
+        m.add_constraint(vec![(x, 2.0)], Relation::Eq, 8.0);
+        let p = presolve(&m);
+        assert_eq!(p.model.var_bounds(x), (4.0, 4.0));
+    }
+}

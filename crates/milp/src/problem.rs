@@ -1,0 +1,331 @@
+//! Model builder: variables, bounds, integrality, linear constraints.
+
+use crate::error::SolverError;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    Minimize,
+    Maximize,
+}
+
+/// Relation of a linear constraint to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    Le,
+    Ge,
+    Eq,
+}
+
+/// Opaque handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Index of the variable inside the model (also its index in solution
+    /// vectors).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Opaque handle to a model constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstraintId(pub(crate) usize);
+
+impl ConstraintId {
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Variable {
+    pub lower: f64,
+    pub upper: f64,
+    pub objective: f64,
+    pub integer: bool,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct LinearConstraint {
+    pub terms: Vec<(VarId, f64)>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+/// A linear or mixed-integer linear program.
+///
+/// Variables are continuous by default; mark them integral with
+/// [`Model::add_integer_var`] / [`Model::add_binary_var`]. All bounds may be
+/// infinite except where integrality requires branching (branch and bound
+/// rejects integer variables with two infinite bounds).
+#[derive(Debug, Clone)]
+pub struct Model {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<LinearConstraint>,
+}
+
+impl Model {
+    pub fn new(sense: Sense) -> Self {
+        Model { sense, vars: Vec::new(), constraints: Vec::new() }
+    }
+
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Add a continuous variable with bounds `[lower, upper]` and the given
+    /// objective coefficient.
+    pub fn add_var(&mut self, lower: f64, upper: f64, objective: f64) -> VarId {
+        self.push_var(lower, upper, objective, false)
+    }
+
+    /// Add an integer variable with bounds `[lower, upper]`.
+    pub fn add_integer_var(&mut self, lower: f64, upper: f64, objective: f64) -> VarId {
+        self.push_var(lower, upper, objective, true)
+    }
+
+    /// Add a binary (0/1) variable.
+    pub fn add_binary_var(&mut self, objective: f64) -> VarId {
+        self.push_var(0.0, 1.0, objective, true)
+    }
+
+    fn push_var(&mut self, lower: f64, upper: f64, objective: f64, integer: bool) -> VarId {
+        let id = VarId(self.vars.len());
+        self.vars.push(Variable { lower, upper, objective, integer });
+        id
+    }
+
+    /// Add the constraint `Σ coeff·var  <relation>  rhs`.
+    ///
+    /// Duplicate variable entries in `terms` are allowed and summed.
+    pub fn add_constraint(
+        &mut self,
+        terms: Vec<(VarId, f64)>,
+        relation: Relation,
+        rhs: f64,
+    ) -> ConstraintId {
+        let id = ConstraintId(self.constraints.len());
+        self.constraints.push(LinearConstraint { terms, relation, rhs });
+        id
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Ids of all integer variables.
+    pub fn integer_vars(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.integer)
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+
+    pub fn is_integer_var(&self, v: VarId) -> bool {
+        self.vars[v.0].integer
+    }
+
+    pub fn var_bounds(&self, v: VarId) -> (f64, f64) {
+        (self.vars[v.0].lower, self.vars[v.0].upper)
+    }
+
+    pub fn objective_coeff(&self, v: VarId) -> f64 {
+        self.vars[v.0].objective
+    }
+
+    /// Continuous relaxation: same model with all integrality dropped.
+    pub fn relax(&self) -> Model {
+        let mut m = self.clone();
+        for v in &mut m.vars {
+            v.integer = false;
+        }
+        m
+    }
+
+    /// Evaluate the objective at a point (no feasibility check).
+    pub fn eval_objective(&self, x: &[f64]) -> f64 {
+        self.vars.iter().zip(x).map(|(v, xi)| v.objective * xi).sum()
+    }
+
+    /// Maximum constraint/bound violation of a point.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (i, v) in self.vars.iter().enumerate() {
+            worst = worst.max(v.lower - x[i]).max(x[i] - v.upper);
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * x[v.0]).sum();
+            let viol = match c.relation {
+                Relation::Le => lhs - c.rhs,
+                Relation::Ge => c.rhs - lhs,
+                Relation::Eq => (lhs - c.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        worst
+    }
+
+    /// Check a point against constraints and bounds with tolerance `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        x.len() == self.vars.len() && self.max_violation(x) <= tol
+    }
+
+    /// Size/scale statistics: `(rows, cols, nonzeros, |coeff| range)`.
+    /// Useful when debugging solver behaviour on generated models.
+    pub fn stats(&self) -> ModelStats {
+        let nonzeros: usize = self
+            .constraints
+            .iter()
+            .map(|c| c.terms.iter().filter(|&&(_, a)| a != 0.0).count())
+            .sum();
+        let mut min_abs = f64::INFINITY;
+        let mut max_abs = 0.0f64;
+        for c in &self.constraints {
+            for &(_, a) in &c.terms {
+                if a != 0.0 {
+                    min_abs = min_abs.min(a.abs());
+                    max_abs = max_abs.max(a.abs());
+                }
+            }
+        }
+        ModelStats {
+            rows: self.constraints.len(),
+            cols: self.vars.len(),
+            integers: self.vars.iter().filter(|v| v.integer).count(),
+            nonzeros,
+            min_abs_coeff: if min_abs.is_finite() { min_abs } else { 0.0 },
+            max_abs_coeff: max_abs,
+        }
+    }
+
+    /// Validate the model's internal consistency (finite coefficients, sane
+    /// bounds, valid variable references).
+    pub fn validate(&self) -> Result<(), SolverError> {
+        for (i, v) in self.vars.iter().enumerate() {
+            if v.lower > v.upper {
+                return Err(SolverError::InvertedBounds { var: i, lower: v.lower, upper: v.upper });
+            }
+            if v.objective.is_nan() || v.objective.is_infinite() {
+                return Err(SolverError::NonFiniteInput { what: "objective coefficient" });
+            }
+            if v.lower.is_nan() || v.upper.is_nan() {
+                return Err(SolverError::NonFiniteInput { what: "variable bound" });
+            }
+        }
+        for c in &self.constraints {
+            if !c.rhs.is_finite() {
+                return Err(SolverError::NonFiniteInput { what: "constraint rhs" });
+            }
+            for &(v, a) in &c.terms {
+                if v.0 >= self.vars.len() {
+                    return Err(SolverError::UnknownVariable { var: v.0, num_vars: self.vars.len() });
+                }
+                if !a.is_finite() {
+                    return Err(SolverError::NonFiniteInput { what: "constraint coefficient" });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Size and numerical-scale summary of a model (see [`Model::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelStats {
+    pub rows: usize,
+    pub cols: usize,
+    pub integers: usize,
+    pub nonzeros: usize,
+    pub min_abs_coeff: f64,
+    pub max_abs_coeff: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_counts_sizes() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, 1.0, 1.0);
+        let y = m.add_binary_var(2.0);
+        m.add_constraint(vec![(x, 2.0), (y, 0.0)], Relation::Le, 3.0);
+        m.add_constraint(vec![(y, -0.5)], Relation::Ge, -1.0);
+        let s = m.stats();
+        assert_eq!(s.rows, 2);
+        assert_eq!(s.cols, 2);
+        assert_eq!(s.integers, 1);
+        assert_eq!(s.nonzeros, 2); // the 0.0 coefficient is not counted
+        assert_eq!(s.min_abs_coeff, 0.5);
+        assert_eq!(s.max_abs_coeff, 2.0);
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, 10.0, 1.0);
+        let y = m.add_binary_var(2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 3.0)], Relation::Le, 7.0);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.integer_vars(), vec![y]);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn relax_drops_integrality() {
+        let mut m = Model::new(Sense::Minimize);
+        m.add_binary_var(1.0);
+        let r = m.relax();
+        assert!(r.integer_vars().is_empty());
+        assert_eq!(r.var_bounds(VarId(0)), (0.0, 1.0));
+    }
+
+    #[test]
+    fn validate_rejects_bad_bounds() {
+        let mut m = Model::new(Sense::Minimize);
+        m.add_var(3.0, 1.0, 0.0);
+        assert!(matches!(m.validate(), Err(SolverError::InvertedBounds { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_var() {
+        let mut m1 = Model::new(Sense::Minimize);
+        let mut m2 = Model::new(Sense::Minimize);
+        let x2 = m2.add_var(0.0, 1.0, 0.0);
+        let _ = m2.add_var(0.0, 1.0, 0.0);
+        // Use a var id from the larger model in the smaller one.
+        m1.add_var(0.0, 1.0, 0.0);
+        m1.add_constraint(vec![(VarId(5), 1.0)], Relation::Le, 1.0);
+        assert!(matches!(m1.validate(), Err(SolverError::UnknownVariable { .. })));
+        let _ = x2;
+    }
+
+    #[test]
+    fn feasibility_and_violation() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, 5.0, 1.0);
+        m.add_constraint(vec![(x, 2.0)], Relation::Le, 6.0);
+        assert!(m.is_feasible(&[3.0], 1e-9));
+        assert!(!m.is_feasible(&[3.1], 1e-9));
+        assert!((m.max_violation(&[4.0]) - 2.0).abs() < 1e-12);
+        assert!(!m.is_feasible(&[-0.5], 1e-9));
+    }
+
+    #[test]
+    fn eval_objective_sums_terms() {
+        let mut m = Model::new(Sense::Maximize);
+        let _x = m.add_var(0.0, 1.0, 2.0);
+        let _y = m.add_var(0.0, 1.0, -1.0);
+        assert!((m.eval_objective(&[0.5, 1.0]) - 0.0).abs() < 1e-12);
+    }
+}

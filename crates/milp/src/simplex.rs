@@ -1,0 +1,520 @@
+//! Dense two-phase primal simplex on the full tableau.
+//!
+//! The implementation is deliberately textbook: at the instance sizes produced
+//! by the SFC reliability-augmentation problem (a few hundred rows/columns)
+//! a dense tableau is both fast enough and easy to make *correct*, which is
+//! what matters for an exact reference solver. Anti-cycling is handled by
+//! switching from Dantzig's rule to Bland's rule after a streak of degenerate
+//! pivots.
+
+use crate::error::SolverError;
+use crate::problem::Model;
+use crate::solution::{LpSolution, LpStatus};
+use crate::standard_form::StandardForm;
+use crate::{COST_TOL, FEAS_TOL};
+
+/// Degenerate-pivot streak after which Bland's rule is engaged.
+const BLAND_TRIGGER: usize = 64;
+
+/// Solve the continuous relaxation of `model` (integrality is ignored).
+pub fn solve_lp(model: &Model) -> Result<LpSolution, SolverError> {
+    model.validate()?;
+    solve_lp_with_bounds(model, None)
+}
+
+/// Solve the LP relaxation with per-variable bound overrides (used by branch
+/// and bound). `overrides[i] = Some((lo, hi))` intersects the model bounds.
+pub fn solve_lp_with_bounds(
+    model: &Model,
+    overrides: Option<&[Option<(f64, f64)>]>,
+) -> Result<LpSolution, SolverError> {
+    let Some(sf) = StandardForm::build(model, overrides) else {
+        return Ok(LpSolution::infeasible(0));
+    };
+    if sf.a.is_empty() {
+        // No rows at all: every column is free to sit at zero; pick the bound
+        // minimizing the objective. Columns are non-negative and unconstrained
+        // above, so any negative cost means unbounded.
+        if sf.c.iter().any(|&cj| cj < -COST_TOL) {
+            return Ok(LpSolution::unbounded(0));
+        }
+        let x = sf.recover(&vec![0.0; sf.c.len()]);
+        let objective = sf.recover_objective(0.0);
+        return Ok(LpSolution {
+            status: LpStatus::Optimal,
+            objective,
+            x,
+            iterations: 0,
+            duals: vec![None; model.num_constraints()],
+        });
+    }
+    let mut tab = Tableau::new(&sf);
+    let status = tab.solve()?;
+    match status {
+        TabStatus::Optimal => {
+            let x_std = tab.extract_solution();
+            let obj_std: f64 = sf.c.iter().zip(&x_std).map(|(c, x)| c * x).sum();
+            Ok(LpSolution {
+                status: LpStatus::Optimal,
+                objective: sf.recover_objective(obj_std),
+                x: sf.recover(&x_std),
+                iterations: tab.iterations,
+                duals: recover_duals(&sf, &tab),
+            })
+        }
+        TabStatus::Infeasible => Ok(LpSolution::infeasible(tab.iterations)),
+        TabStatus::Unbounded => Ok(LpSolution::unbounded(tab.iterations)),
+    }
+}
+
+/// Shadow prices of the model constraints from the final reduced costs.
+///
+/// For a slack column `s` of row `i` with coefficient `σ` (±1) and zero cost,
+/// the reduced cost is `d_s = -σ·y_i`, so `y_i = -σ·d_s` in the standard
+/// (minimization) orientation. Mapping back flips the sign for rows the rhs
+/// normalization negated and again for maximization models.
+fn recover_duals(sf: &StandardForm, tab: &Tableau) -> Vec<Option<f64>> {
+    let Some(reduced) = &tab.final_reduced else {
+        return vec![None; sf.num_model_rows];
+    };
+    (0..sf.num_model_rows)
+        .map(|i| {
+            sf.row_slack[i].map(|(col, sigma)| {
+                let mut y = -sigma * reduced[col];
+                if sf.row_flipped[i] {
+                    y = -y;
+                }
+                if sf.maximize {
+                    y = -y;
+                }
+                y
+            })
+        })
+        .collect()
+}
+
+enum TabStatus {
+    Optimal,
+    Infeasible,
+    Unbounded,
+}
+
+/// Full-tableau simplex state. Columns: structural+slack columns of the
+/// standard form, then one artificial per row that lacked a basis hint.
+struct Tableau {
+    /// `rows x cols` coefficient matrix (mutated by pivots).
+    a: Vec<Vec<f64>>,
+    /// Current right-hand side (basic variable values).
+    b: Vec<f64>,
+    /// Phase-2 costs (standard-form costs, zero on artificials).
+    cost: Vec<f64>,
+    /// Basic column per row.
+    basis: Vec<usize>,
+    /// Number of non-artificial columns.
+    real_cols: usize,
+    /// Total columns including artificials.
+    cols: usize,
+    iterations: usize,
+    max_iterations: usize,
+    /// Reduced costs at phase-2 optimality (for dual extraction).
+    final_reduced: Option<Vec<f64>>,
+}
+
+impl Tableau {
+    fn new(sf: &StandardForm) -> Tableau {
+        let m = sf.a.len();
+        let real_cols = sf.c.len();
+        let n_art = sf.basis_hint.iter().filter(|h| h.is_none()).count();
+        let cols = real_cols + n_art;
+        let mut a = Vec::with_capacity(m);
+        let mut basis = Vec::with_capacity(m);
+        let mut next_art = real_cols;
+        for (i, row) in sf.a.iter().enumerate() {
+            let mut r = row.clone();
+            r.resize(cols, 0.0);
+            match sf.basis_hint[i] {
+                Some(col) => basis.push(col),
+                None => {
+                    r[next_art] = 1.0;
+                    basis.push(next_art);
+                    next_art += 1;
+                }
+            }
+            a.push(r);
+        }
+        let mut cost = sf.c.clone();
+        cost.resize(cols, 0.0);
+        let max_iterations = 20_000 + 200 * (m + cols);
+        Tableau {
+            a,
+            b: sf.b.clone(),
+            cost,
+            basis,
+            real_cols,
+            cols,
+            iterations: 0,
+            max_iterations,
+            final_reduced: None,
+        }
+    }
+
+    fn solve(&mut self) -> Result<TabStatus, SolverError> {
+        // ---- Phase 1: minimize the sum of artificial variables. ----
+        if self.basis.iter().any(|&bcol| bcol >= self.real_cols) {
+            let mut phase1_cost = vec![0.0; self.cols];
+            for j in self.real_cols..self.cols {
+                phase1_cost[j] = 1.0;
+            }
+            let mut reduced = self.price_out(&phase1_cost);
+            match self.run_phase(&mut reduced, true)? {
+                TabStatus::Unbounded => unreachable!("phase 1 objective is bounded below by 0"),
+                TabStatus::Infeasible => return Ok(TabStatus::Infeasible),
+                TabStatus::Optimal => {}
+            }
+            let artificial_sum: f64 = self
+                .basis
+                .iter()
+                .zip(&self.b)
+                .filter(|(&bcol, _)| bcol >= self.real_cols)
+                .map(|(_, &v)| v)
+                .sum();
+            if artificial_sum > FEAS_TOL.max(1e-7) {
+                return Ok(TabStatus::Infeasible);
+            }
+            self.evict_artificials();
+        }
+
+        // ---- Phase 2: minimize the real objective. ----
+        let cost = self.cost.clone();
+        let mut reduced = self.price_out(&cost);
+        let status = self.run_phase(&mut reduced, false)?;
+        if matches!(status, TabStatus::Optimal) {
+            self.final_reduced = Some(reduced);
+        }
+        Ok(status)
+    }
+
+    /// Reduced costs of `cost` with respect to the current basis.
+    fn price_out(&self, cost: &[f64]) -> Vec<f64> {
+        let mut reduced = cost.to_vec();
+        for (i, &bcol) in self.basis.iter().enumerate() {
+            let cb = cost[bcol];
+            if cb != 0.0 {
+                let row = &self.a[i];
+                for j in 0..self.cols {
+                    reduced[j] -= cb * row[j];
+                }
+            }
+        }
+        // Basic columns have exactly zero reduced cost by construction; snap
+        // them to kill accumulated round-off.
+        for &bcol in &self.basis {
+            reduced[bcol] = 0.0;
+        }
+        reduced
+    }
+
+    /// Run pivots until optimal/unbounded. In phase 1 (`block_artificials ==
+    /// false` there), artificial columns may leave but not re-enter in phase 2.
+    fn run_phase(&mut self, reduced: &mut [f64], phase1: bool) -> Result<TabStatus, SolverError> {
+        let enter_limit = if phase1 { self.cols } else { self.real_cols };
+        let mut degenerate_streak = 0usize;
+        loop {
+            self.iterations += 1;
+            if self.iterations > self.max_iterations {
+                return Err(SolverError::IterationLimit { iterations: self.max_iterations });
+            }
+            let bland = degenerate_streak >= BLAND_TRIGGER;
+            // Entering column.
+            let mut enter: Option<usize> = None;
+            if bland {
+                for j in 0..enter_limit {
+                    if reduced[j] < -COST_TOL {
+                        enter = Some(j);
+                        break;
+                    }
+                }
+            } else {
+                let mut best = -COST_TOL;
+                for j in 0..enter_limit {
+                    if reduced[j] < best {
+                        best = reduced[j];
+                        enter = Some(j);
+                    }
+                }
+            }
+            let Some(q) = enter else {
+                return Ok(TabStatus::Optimal);
+            };
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.a.len() {
+                let aiq = self.a[i][q];
+                if aiq > FEAS_TOL {
+                    let ratio = self.b[i] / aiq;
+                    let better = ratio < best_ratio - 1e-12
+                        || (ratio < best_ratio + 1e-12
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(p) = leave else {
+                return Ok(TabStatus::Unbounded);
+            };
+            if best_ratio <= 1e-12 {
+                degenerate_streak += 1;
+            } else {
+                degenerate_streak = 0;
+            }
+            self.pivot(p, q, reduced);
+        }
+    }
+
+    /// Pivot on `(row p, col q)`, updating the tableau and the reduced costs.
+    fn pivot(&mut self, p: usize, q: usize, reduced: &mut [f64]) {
+        let piv = self.a[p][q];
+        debug_assert!(piv.abs() > 1e-12, "pivot element too small: {piv}");
+        let inv = 1.0 / piv;
+        for j in 0..self.cols {
+            self.a[p][j] *= inv;
+        }
+        self.b[p] *= inv;
+        self.a[p][q] = 1.0; // exact
+        let (pivot_row, pivot_b) = (self.a[p].clone(), self.b[p]);
+        for i in 0..self.a.len() {
+            if i == p {
+                continue;
+            }
+            let factor = self.a[i][q];
+            if factor != 0.0 {
+                let row = &mut self.a[i];
+                for j in 0..self.cols {
+                    row[j] -= factor * pivot_row[j];
+                }
+                row[q] = 0.0; // exact
+                self.b[i] -= factor * pivot_b;
+                if self.b[i] < 0.0 && self.b[i] > -FEAS_TOL {
+                    self.b[i] = 0.0;
+                }
+            }
+        }
+        let rfactor = reduced[q];
+        if rfactor != 0.0 {
+            for j in 0..self.cols {
+                reduced[j] -= rfactor * pivot_row[j];
+            }
+            reduced[q] = 0.0;
+        }
+        self.basis[p] = q;
+    }
+
+    /// After phase 1: pivot basic artificials out on any non-artificial column
+    /// with a nonzero entry; rows that admit none are redundant and are
+    /// dropped.
+    fn evict_artificials(&mut self) {
+        let mut i = 0;
+        while i < self.a.len() {
+            if self.basis[i] >= self.real_cols {
+                let mut pivot_col = None;
+                for j in 0..self.real_cols {
+                    if self.a[i][j].abs() > 1e-9 {
+                        pivot_col = Some(j);
+                        break;
+                    }
+                }
+                match pivot_col {
+                    Some(q) => {
+                        // Degenerate pivot: the artificial is at value ~0.
+                        let mut dummy = vec![0.0; self.cols];
+                        self.pivot(i, q, &mut dummy);
+                    }
+                    None => {
+                        // Redundant row.
+                        self.a.swap_remove(i);
+                        self.b.swap_remove(i);
+                        self.basis.swap_remove(i);
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+        // Zero out artificial columns so they can never participate again.
+        for row in &mut self.a {
+            for j in self.real_cols..self.cols {
+                row[j] = 0.0;
+            }
+        }
+    }
+
+    fn extract_solution(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.real_cols];
+        for (i, &bcol) in self.basis.iter().enumerate() {
+            if bcol < self.real_cols {
+                x[bcol] = self.b[i].max(0.0);
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Model, Relation, Sense};
+
+    fn assert_opt(m: &Model, expect_obj: f64, expect_x: Option<&[f64]>) {
+        let sol = solve_lp(m).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal, "expected optimal");
+        assert!(
+            (sol.objective - expect_obj).abs() < 1e-6,
+            "objective {} != {expect_obj}",
+            sol.objective
+        );
+        if let Some(ex) = expect_x {
+            for (a, b) in sol.x.iter().zip(ex) {
+                assert!((a - b).abs() < 1e-6, "x = {:?}, expected {:?}", sol.x, ex);
+            }
+        }
+        assert!(m.is_feasible(&sol.x, 1e-6));
+    }
+
+    #[test]
+    fn textbook_max() {
+        // max 3x + 2y s.t. x+y<=4, x+3y<=6 -> x=4, y=0, obj 12
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, f64::INFINITY, 3.0);
+        let y = m.add_var(0.0, f64::INFINITY, 2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        m.add_constraint(vec![(x, 1.0), (y, 3.0)], Relation::Le, 6.0);
+        assert_opt(&m, 12.0, Some(&[4.0, 0.0]));
+    }
+
+    #[test]
+    fn needs_phase_one_ge_rows() {
+        // min x + y s.t. x + 2y >= 4, 3x + y >= 6 -> intersection (1.6, 1.2), obj 2.8
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, f64::INFINITY, 1.0);
+        let y = m.add_var(0.0, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 2.0)], Relation::Ge, 4.0);
+        m.add_constraint(vec![(x, 3.0), (y, 1.0)], Relation::Ge, 6.0);
+        assert_opt(&m, 2.8, Some(&[1.6, 1.2]));
+    }
+
+    #[test]
+    fn equality_rows() {
+        // max x + 4y s.t. x + y = 3, x - y <= 1 -> x in [0..], best y as big as
+        // possible: y = 3 - x, obj = x + 12 - 4x = 12 - 3x -> x = 0, y = 3.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, f64::INFINITY, 1.0);
+        let y = m.add_var(0.0, f64::INFINITY, 4.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 3.0);
+        m.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Le, 1.0);
+        assert_opt(&m, 12.0, Some(&[0.0, 3.0]));
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+        let sol = solve_lp(&m).unwrap();
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, f64::INFINITY, 1.0);
+        let y = m.add_var(0.0, f64::INFINITY, 0.0);
+        m.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Le, 1.0);
+        let sol = solve_lp(&m).unwrap();
+        assert_eq!(sol.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn bounded_vars_no_constraints() {
+        let mut m = Model::new(Sense::Maximize);
+        let _x = m.add_var(0.0, 2.5, 4.0);
+        let _y = m.add_var(1.0, 3.0, -1.0);
+        assert_opt(&m, 9.0, Some(&[2.5, 1.0]));
+    }
+
+    #[test]
+    fn no_rows_unbounded() {
+        let mut m = Model::new(Sense::Maximize);
+        let _x = m.add_var(0.0, f64::INFINITY, 1.0);
+        let sol = solve_lp(&m).unwrap();
+        assert_eq!(sol.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn no_rows_trivial_optimum() {
+        let mut m = Model::new(Sense::Minimize);
+        let _x = m.add_var(0.0, f64::INFINITY, 3.0);
+        let sol = solve_lp(&m).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_variable_lp() {
+        // min |...|-style: min x s.t. x >= -5 (free var via split)
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Relation::Ge, -5.0);
+        assert_opt(&m, -5.0, Some(&[-5.0]));
+    }
+
+    #[test]
+    fn negative_rhs_flip() {
+        // min x s.t. -x <= -3  (i.e. x >= 3)
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, -1.0)], Relation::Le, -3.0);
+        assert_opt(&m, 3.0, Some(&[3.0]));
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degenerate instance (Beale-like structure); just verify
+        // termination and optimality, not a specific vertex.
+        let mut m = Model::new(Sense::Minimize);
+        let x1 = m.add_var(0.0, f64::INFINITY, -0.75);
+        let x2 = m.add_var(0.0, f64::INFINITY, 150.0);
+        let x3 = m.add_var(0.0, f64::INFINITY, -0.02);
+        let x4 = m.add_var(0.0, f64::INFINITY, 6.0);
+        m.add_constraint(vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Relation::Le, 0.0);
+        m.add_constraint(vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Relation::Le, 0.0);
+        m.add_constraint(vec![(x3, 1.0)], Relation::Le, 1.0);
+        let sol = solve_lp(&m).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - (-0.05)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, f64::INFINITY, 1.0);
+        let y = m.add_var(0.0, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
+        m.add_constraint(vec![(x, 2.0), (y, 2.0)], Relation::Eq, 4.0);
+        let sol = solve_lp(&m).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_vars_via_equal_bounds() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(2.0, 2.0, 5.0);
+        let y = m.add_var(0.0, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 6.0);
+        assert_opt(&m, 14.0, Some(&[2.0, 4.0]));
+    }
+}

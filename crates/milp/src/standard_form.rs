@@ -1,0 +1,358 @@
+//! Conversion of a [`Model`] into simplex standard form
+//! `min c'x  s.t.  Ax = b, x >= 0, b >= 0`.
+//!
+//! The conversion handles:
+//!
+//! * maximization (objective negated, flagged so solutions are reported in the
+//!   original sense),
+//! * fixed variables (`lower == upper`): substituted out entirely,
+//! * finite lower bounds: shifted to zero,
+//! * `-inf < x <= u`: mirrored (`x = u - x'`),
+//! * free variables: split into a difference of two non-negatives,
+//! * finite upper bounds: an explicit `x' <= u - l` row,
+//! * `<=` rows: slack column (usable as the initial basis when `rhs >= 0`),
+//! * `>=` / `=` rows: left for the phase-1 artificials of the simplex.
+//!
+//! Branch and bound passes per-variable bound overrides so nodes never have to
+//! clone and mutate the model itself.
+
+use crate::problem::{Model, Relation, Sense};
+
+/// How an original model variable is expressed in standard-form columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VarMapping {
+    /// The variable was fixed by its bounds; it has no column.
+    Fixed(f64),
+    /// `x = offset + column` (offset is the finite lower bound).
+    Shifted { col: usize, offset: f64 },
+    /// `x = offset - column` (mirrored around a finite upper bound).
+    Mirrored { col: usize, offset: f64 },
+    /// Free variable split as `x = pos - neg`.
+    Split { pos: usize, neg: usize },
+}
+
+/// A program in standard form plus the bookkeeping needed to translate
+/// solutions back to the original variable space.
+#[derive(Debug, Clone)]
+pub struct StandardForm {
+    /// Dense row-major constraint matrix, `rows x cols`.
+    pub a: Vec<Vec<f64>>,
+    /// Right-hand sides, all non-negative.
+    pub b: Vec<f64>,
+    /// Minimization objective over the standard-form columns.
+    pub c: Vec<f64>,
+    /// Objective constant accumulated from shifts and fixed variables
+    /// (already in minimization sense).
+    pub c0: f64,
+    /// Column that can serve as the initial basis for each row (`Some` for
+    /// slack columns of `<=` rows), `None` where an artificial is needed.
+    pub basis_hint: Vec<Option<usize>>,
+    /// Per original variable, how to recover its value.
+    pub var_map: Vec<VarMapping>,
+    /// Whether the original model maximized (solutions must negate the
+    /// standard-form objective back).
+    pub maximize: bool,
+    /// Number of structural columns (before slacks).
+    pub structural_cols: usize,
+    /// Per row: the slack/surplus column and its coefficient (`+1` for `<=`,
+    /// `-1` for `>=` after rhs normalization); `None` for equality rows.
+    pub row_slack: Vec<Option<(usize, f64)>>,
+    /// Per row: whether rhs normalization multiplied the row by -1.
+    pub row_flipped: Vec<bool>,
+    /// How many leading rows correspond to model constraints (the remainder
+    /// are synthetic upper-bound rows).
+    pub num_model_rows: usize,
+}
+
+impl StandardForm {
+    /// Build the standard form of `model`, optionally overriding variable
+    /// bounds (used by branch and bound; `overrides[i] = Some((lo, hi))`).
+    ///
+    /// Returns `None` if some variable's effective bounds are inverted, which
+    /// branch and bound treats as an infeasible node.
+    pub fn build(model: &Model, overrides: Option<&[Option<(f64, f64)>]>) -> Option<StandardForm> {
+        let n = model.num_vars();
+        let mut var_map = Vec::with_capacity(n);
+        let mut cols: usize = 0;
+        // Effective bounds.
+        let mut bounds = Vec::with_capacity(n);
+        for i in 0..n {
+            let (mut lo, mut hi) = model.vars[i].bounds();
+            if let Some(ovr) = overrides {
+                if let Some((l, h)) = ovr[i] {
+                    lo = lo.max(l);
+                    hi = hi.min(h);
+                }
+            }
+            if lo > hi + 1e-12 {
+                return None;
+            }
+            bounds.push((lo, hi.max(lo)));
+        }
+
+        // Assign columns.
+        let mut upper_rows: Vec<(usize, f64)> = Vec::new(); // (col, ub) rows to add
+        for (i, &(lo, hi)) in bounds.iter().enumerate() {
+            let _ = i;
+            if (hi - lo).abs() <= 1e-12 && lo.is_finite() {
+                var_map.push(VarMapping::Fixed(lo));
+            } else if lo.is_finite() {
+                let col = cols;
+                cols += 1;
+                if hi.is_finite() {
+                    upper_rows.push((col, hi - lo));
+                }
+                var_map.push(VarMapping::Shifted { col, offset: lo });
+            } else if hi.is_finite() {
+                let col = cols;
+                cols += 1;
+                var_map.push(VarMapping::Mirrored { col, offset: hi });
+            } else {
+                let pos = cols;
+                let neg = cols + 1;
+                cols += 2;
+                var_map.push(VarMapping::Split { pos, neg });
+            }
+        }
+        let structural_cols = cols;
+
+        let maximize = model.sense == Sense::Maximize;
+        let sign = if maximize { -1.0 } else { 1.0 };
+
+        // Objective over columns.
+        let mut c = vec![0.0; structural_cols];
+        let mut c0 = 0.0;
+        for (i, vm) in var_map.iter().enumerate() {
+            let coeff = sign * model.vars[i].objective;
+            match *vm {
+                VarMapping::Fixed(v) => c0 += coeff * v,
+                VarMapping::Shifted { col, offset } => {
+                    c[col] += coeff;
+                    c0 += coeff * offset;
+                }
+                VarMapping::Mirrored { col, offset } => {
+                    c[col] -= coeff;
+                    c0 += coeff * offset;
+                }
+                VarMapping::Split { pos, neg } => {
+                    c[pos] += coeff;
+                    c[neg] -= coeff;
+                }
+            }
+        }
+
+        // Rows: model constraints plus upper-bound rows. We first build them as
+        // (coeffs over structural cols, relation, rhs).
+        struct RawRow {
+            coeffs: Vec<f64>,
+            relation: Relation,
+            rhs: f64,
+            flipped: bool,
+        }
+        let mut raw: Vec<RawRow> = Vec::with_capacity(model.constraints.len() + upper_rows.len());
+        for con in &model.constraints {
+            let mut coeffs = vec![0.0; structural_cols];
+            let mut rhs = con.rhs;
+            for &(v, a) in &con.terms {
+                match var_map[v.index()] {
+                    VarMapping::Fixed(val) => rhs -= a * val,
+                    VarMapping::Shifted { col, offset } => {
+                        coeffs[col] += a;
+                        rhs -= a * offset;
+                    }
+                    VarMapping::Mirrored { col, offset } => {
+                        coeffs[col] -= a;
+                        rhs -= a * offset;
+                    }
+                    VarMapping::Split { pos, neg } => {
+                        coeffs[pos] += a;
+                        coeffs[neg] -= a;
+                    }
+                }
+            }
+            raw.push(RawRow { coeffs, relation: con.relation, rhs, flipped: false });
+        }
+        let num_model_rows = raw.len();
+        for (col, ub) in upper_rows {
+            let mut coeffs = vec![0.0; structural_cols];
+            coeffs[col] = 1.0;
+            raw.push(RawRow { coeffs, relation: Relation::Le, rhs: ub, flipped: false });
+        }
+
+        // Normalize rows to `= rhs` with rhs >= 0, appending slack columns.
+        let m = raw.len();
+        let mut a = Vec::with_capacity(m);
+        let mut b = Vec::with_capacity(m);
+        let mut basis_hint = vec![None; m];
+        // First pass: flip rows so rhs >= 0 (flipping relation too).
+        for row in &mut raw {
+            if row.rhs < 0.0 {
+                row.rhs = -row.rhs;
+                row.flipped = true;
+                for x in &mut row.coeffs {
+                    *x = -*x;
+                }
+                row.relation = match row.relation {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+            }
+        }
+        // Count slacks needed.
+        let n_slacks = raw.iter().filter(|r| r.relation != Relation::Eq).count();
+        let total_cols = structural_cols + n_slacks;
+        let mut next_slack = structural_cols;
+        let mut row_slack = Vec::with_capacity(m);
+        let mut row_flipped = Vec::with_capacity(m);
+        for (i, row) in raw.into_iter().enumerate() {
+            let mut coeffs = row.coeffs;
+            coeffs.resize(total_cols, 0.0);
+            match row.relation {
+                Relation::Le => {
+                    coeffs[next_slack] = 1.0;
+                    basis_hint[i] = Some(next_slack);
+                    row_slack.push(Some((next_slack, 1.0)));
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    coeffs[next_slack] = -1.0;
+                    row_slack.push(Some((next_slack, -1.0)));
+                    next_slack += 1;
+                }
+                Relation::Eq => {
+                    row_slack.push(None);
+                }
+            }
+            row_flipped.push(row.flipped);
+            a.push(coeffs);
+            b.push(row.rhs);
+        }
+        let mut c_full = c;
+        c_full.resize(total_cols, 0.0);
+
+        Some(StandardForm {
+            a,
+            b,
+            c: c_full,
+            c0,
+            basis_hint,
+            var_map,
+            maximize,
+            structural_cols,
+            row_slack,
+            row_flipped,
+            num_model_rows,
+        })
+    }
+
+    /// Translate a standard-form point back to original variable values.
+    pub fn recover(&self, x_std: &[f64]) -> Vec<f64> {
+        self.var_map
+            .iter()
+            .map(|vm| match *vm {
+                VarMapping::Fixed(v) => v,
+                VarMapping::Shifted { col, offset } => offset + x_std[col],
+                VarMapping::Mirrored { col, offset } => offset - x_std[col],
+                VarMapping::Split { pos, neg } => x_std[pos] - x_std[neg],
+            })
+            .collect()
+    }
+
+    /// Translate a standard-form (minimization) objective value back to the
+    /// original sense, including the constant term.
+    pub fn recover_objective(&self, obj_std: f64) -> f64 {
+        let total = obj_std + self.c0;
+        if self.maximize {
+            -total
+        } else {
+            total
+        }
+    }
+}
+
+impl crate::problem::Variable {
+    fn bounds(&self) -> (f64, f64) {
+        (self.lower, self.upper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Model, Relation, Sense};
+
+    #[test]
+    fn fixed_vars_are_substituted() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(2.0, 2.0, 3.0);
+        let y = m.add_var(0.0, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 5.0);
+        let sf = StandardForm::build(&m, None).unwrap();
+        assert_eq!(sf.var_map[x.index()], VarMapping::Fixed(2.0));
+        assert_eq!(sf.structural_cols, 1);
+        // rhs became 5 - 2 = 3
+        assert!((sf.b[0] - 3.0).abs() < 1e-12);
+        assert!((sf.c0 - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_shift_and_upper_row() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(1.0, 4.0, 1.0);
+        let _ = x;
+        let sf = StandardForm::build(&m, None).unwrap();
+        // One structural col, one upper-bound row with slack.
+        assert_eq!(sf.structural_cols, 1);
+        assert_eq!(sf.a.len(), 1);
+        assert!((sf.b[0] - 3.0).abs() < 1e-12);
+        assert_eq!(sf.basis_hint[0], Some(1));
+        // Recover: x' = 2 -> x = 3.
+        assert!((sf.recover(&[2.0, 0.0])[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_variable_split() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Relation::Eq, -7.0);
+        let sf = StandardForm::build(&m, None).unwrap();
+        assert_eq!(sf.structural_cols, 2);
+        // rhs was negative: row flipped, so coefficients are (-1, +1), rhs 7.
+        assert!((sf.b[0] - 7.0).abs() < 1e-12);
+        let x_rec = sf.recover(&[0.0, 7.0]);
+        assert!((x_rec[0] + 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mirrored_upper_only_variable() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(f64::NEG_INFINITY, 3.0, 2.0);
+        let _ = x;
+        let sf = StandardForm::build(&m, None).unwrap();
+        assert_eq!(sf.structural_cols, 1);
+        // x = 3 - x'; maximize 2x -> minimize -2x = -6 + 2x'.
+        assert!((sf.c[0] - 2.0).abs() < 1e-12);
+        assert!((sf.c0 + 6.0).abs() < 1e-12);
+        assert!((sf.recover(&[1.0])[0] - 2.0).abs() < 1e-12);
+        assert!((sf.recover_objective(2.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overrides_tighten_bounds() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary_var(1.0);
+        let ovr = vec![Some((1.0, 1.0))];
+        let sf = StandardForm::build(&m, Some(&ovr)).unwrap();
+        assert_eq!(sf.var_map[x.index()], VarMapping::Fixed(1.0));
+    }
+
+    #[test]
+    fn inverted_override_is_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let _x = m.add_binary_var(1.0);
+        let ovr = vec![Some((2.0, 2.0))];
+        // Effective bounds [2,1] -> infeasible node.
+        assert!(StandardForm::build(&m, Some(&ovr)).is_none());
+    }
+}

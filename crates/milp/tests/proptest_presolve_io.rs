@@ -1,0 +1,93 @@
+//! Property tests: presolve must preserve optima exactly, and the LP-format
+//! writer/reader must round-trip every model.
+
+use milp::presolve::presolve;
+use milp::{io, solve_lp, solve_milp, LpStatus, Model, Relation, Sense};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = Model> {
+    let vars = proptest::collection::vec((0.0f64..5.0, 0.5f64..8.0, any::<bool>()), 1..=8);
+    let rows = proptest::collection::vec(
+        (proptest::collection::vec(-3.0f64..3.0, 8), prop_oneof![Just(0u8), Just(1u8)], 0.5f64..15.0),
+        0..=5,
+    );
+    (vars, rows, any::<bool>()).prop_map(|(vars, rows, maximize)| {
+        let mut m = Model::new(if maximize { Sense::Maximize } else { Sense::Minimize });
+        let ids: Vec<_> = vars
+            .iter()
+            .map(|&(obj, ub, int)| {
+                if int {
+                    m.add_integer_var(0.0, ub.ceil(), obj)
+                } else {
+                    m.add_var(0.0, ub, obj)
+                }
+            })
+            .collect();
+        for (coeffs, rel, rhs) in rows {
+            let terms: Vec<_> = ids
+                .iter()
+                .zip(&coeffs)
+                .filter(|(_, &c)| c.abs() > 0.05)
+                .map(|(&v, &c)| (v, c))
+                .collect();
+            // Only `<=`/`>=` rows with positive rhs keep x = lower-bounds
+            // feasible often enough to be interesting.
+            let relation = if rel == 0 { Relation::Le } else { Relation::Ge };
+            m.add_constraint(terms, relation, rhs);
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn presolve_preserves_lp_optimum(model in arb_model()) {
+        let relaxed = model.relax();
+        let p = presolve(&relaxed);
+        let orig = solve_lp(&relaxed).unwrap();
+        if p.stats.proven_infeasible {
+            prop_assert_eq!(orig.status, LpStatus::Infeasible);
+        } else {
+            let reduced = solve_lp(&p.model).unwrap();
+            prop_assert_eq!(orig.status, reduced.status);
+            if orig.status == LpStatus::Optimal {
+                prop_assert!((orig.objective - reduced.objective).abs()
+                    < 1e-6 * (1.0 + orig.objective.abs()),
+                    "presolve changed optimum: {} vs {}", orig.objective, reduced.objective);
+            }
+        }
+    }
+
+    #[test]
+    fn presolve_preserves_milp_optimum(model in arb_model()) {
+        let p = presolve(&model);
+        let orig = solve_milp(&model).unwrap();
+        if p.stats.proven_infeasible {
+            prop_assert_eq!(orig.status, LpStatus::Infeasible);
+        } else {
+            let reduced = solve_milp(&p.model).unwrap();
+            prop_assert_eq!(orig.status, reduced.status);
+            if orig.status == LpStatus::Optimal {
+                prop_assert!((orig.objective - reduced.objective).abs()
+                    < 1e-6 * (1.0 + orig.objective.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn lp_format_round_trips(model in arb_model()) {
+        let text = io::write_lp(&model);
+        let back = io::read_lp(&text).expect("own output must parse");
+        prop_assert_eq!(back.num_vars(), model.num_vars());
+        prop_assert_eq!(back.num_constraints(), model.num_constraints());
+        let a = solve_lp(&model.relax()).unwrap();
+        let b = solve_lp(&back.relax()).unwrap();
+        prop_assert_eq!(a.status, b.status);
+        if a.status == LpStatus::Optimal {
+            prop_assert!((a.objective - b.objective).abs() < 1e-6 * (1.0 + a.objective.abs()),
+                "round-trip changed optimum: {} vs {}", a.objective, b.objective);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Dual-value (shadow-price) extraction tests: strong duality and
+//! complementary slackness on hand-checked and random LPs.
+
+use milp::{solve_lp, LpStatus, Model, Relation, Sense};
+use proptest::prelude::*;
+
+#[test]
+fn textbook_duals() {
+    // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6.
+    // Optimal x=4, y=0: row 1 binds (dual 3), row 2 slack (dual 0).
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_var(0.0, f64::INFINITY, 3.0);
+    let y = m.add_var(0.0, f64::INFINITY, 2.0);
+    let r1 = m.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+    let r2 = m.add_constraint(vec![(x, 1.0), (y, 3.0)], Relation::Le, 6.0);
+    let sol = solve_lp(&m).unwrap();
+    let y1 = sol.duals[r1.index()].unwrap();
+    let y2 = sol.duals[r2.index()].unwrap();
+    assert!((y1 - 3.0).abs() < 1e-6, "dual of binding row = 3, got {y1}");
+    assert!(y2.abs() < 1e-6, "dual of slack row = 0, got {y2}");
+    // Strong duality: y'b == objective.
+    assert!((y1 * 4.0 + y2 * 6.0 - sol.objective).abs() < 1e-6);
+}
+
+#[test]
+fn minimization_ge_duals() {
+    // min 2x + 3y s.t. x + y >= 4 with x <= 3, y <= 3.
+    // Optimum x=3, y=1 (obj 9); the covering row binds with dual 3 (cost of
+    // the marginal unit comes from y).
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_var(0.0, 3.0, 2.0);
+    let y = m.add_var(0.0, 3.0, 3.0);
+    let r = m.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
+    let sol = solve_lp(&m).unwrap();
+    let d = sol.duals[r.index()].unwrap();
+    assert!((d - 3.0).abs() < 1e-6, "marginal cost should be 3, got {d}");
+}
+
+#[test]
+fn shadow_price_predicts_objective_change() {
+    // Perturb a binding rhs by eps: objective must move by dual*eps.
+    let build = |cap: f64| {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, f64::INFINITY, 5.0);
+        let y = m.add_var(0.0, f64::INFINITY, 4.0);
+        m.add_constraint(vec![(x, 2.0), (y, 1.0)], Relation::Le, cap);
+        m.add_constraint(vec![(x, 1.0), (y, 3.0)], Relation::Le, 9.0);
+        m
+    };
+    let base = solve_lp(&build(8.0)).unwrap();
+    let dual = base.duals[0].unwrap();
+    let eps = 0.05;
+    let perturbed = solve_lp(&build(8.0 + eps)).unwrap();
+    let predicted = base.objective + dual * eps;
+    assert!(
+        (perturbed.objective - predicted).abs() < 1e-6,
+        "predicted {predicted}, got {}",
+        perturbed.objective
+    );
+}
+
+#[test]
+fn equality_rows_report_none() {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_var(0.0, 10.0, 1.0);
+    let e = m.add_constraint(vec![(x, 1.0)], Relation::Eq, 4.0);
+    let sol = solve_lp(&m).unwrap();
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!(sol.duals[e.index()].is_none());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Strong duality + complementary slackness on random max/<= LPs
+    /// (non-negative data keeps them feasible and bounded).
+    #[test]
+    fn duality_invariants_hold(
+        n in 2usize..6,
+        rows in 1usize..4,
+        data in proptest::collection::vec(0.1f64..5.0, 40),
+        rhs in proptest::collection::vec(1.0f64..20.0, 4),
+    ) {
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..n).map(|i| m.add_var(0.0, f64::INFINITY, data[i])).collect();
+        for r in 0..rows {
+            let terms: Vec<_> =
+                xs.iter().enumerate().map(|(i, &v)| (v, data[4 + r * n + i] + 0.05)).collect();
+            m.add_constraint(terms, Relation::Le, rhs[r]);
+        }
+        let sol = solve_lp(&m).unwrap();
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        // Strong duality.
+        let dual_obj: f64 = (0..rows)
+            .map(|r| sol.duals[r].unwrap() * rhs[r])
+            .sum();
+        prop_assert!((dual_obj - sol.objective).abs() < 1e-5 * (1.0 + sol.objective.abs()),
+            "strong duality violated: primal {} dual {}", sol.objective, dual_obj);
+        // Dual feasibility: y >= 0 for <= rows in a max problem.
+        for r in 0..rows {
+            prop_assert!(sol.duals[r].unwrap() >= -1e-7);
+        }
+        // Complementary slackness: y_i > 0 only on binding rows.
+        for (r, con_dual) in sol.duals.iter().take(rows).enumerate() {
+            let activity: f64 =
+                xs.iter().enumerate().map(|(i, &v)| (data[4 + r * n + i] + 0.05) * sol.x[v.index()]).sum();
+            let slack = rhs[r] - activity;
+            prop_assert!(con_dual.unwrap().abs() * slack.abs() < 1e-5,
+                "complementary slackness violated on row {r}: y={} slack={}",
+                con_dual.unwrap(), slack);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Domain scenario: capacity crunch during a flash crowd.
+//!
+//! During a stadium event the edge cloudlets around the venue are nearly
+//! saturated; only a sliver of residual capacity is left for reliability
+//! backups. This example sweeps the residual fraction downward and shows how
+//! each algorithm degrades — the single-request version of the paper's
+//! Fig. 3 — and how often the randomized algorithm's capacity violations
+//! would actually overload a cloudlet.
+//!
+//! Run with: `cargo run --release --example capacity_crunch`
+
+use mec_sfc_reliability::mecnet::workload::{generate_scenario, WorkloadConfig};
+use mec_sfc_reliability::relaug::instance::AugmentationInstance;
+use mec_sfc_reliability::relaug::{greedy, heuristic, ilp, randomized};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!(
+        "{:<10} {:>9} {:>11} {:>10} {:>9} {:>16}",
+        "residual", "ILP", "Randomized", "Heuristic", "Greedy", "rand max usage"
+    );
+    for &fraction in &[0.5, 0.25, 0.125, 0.0625, 0.03125] {
+        let config = WorkloadConfig {
+            residual_fraction: fraction,
+            sfc_len_range: (8, 8),
+            expectation: 0.999,
+            ..Default::default()
+        };
+        // Average a handful of flash-crowd scenarios.
+        let trials = 10;
+        let mut sums = [0.0f64; 4];
+        let mut usage = 0.0f64;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(1000 + t);
+            let scenario = generate_scenario(&config, &mut rng);
+            let inst = AugmentationInstance::from_scenario(&scenario, 1);
+            sums[0] += ilp::solve(&inst, &Default::default()).unwrap().metrics.reliability;
+            let r = randomized::solve(&inst, &Default::default(), &mut rng).unwrap();
+            sums[1] += r.metrics.reliability;
+            usage += r.metrics.max_usage;
+            sums[2] += heuristic::solve(&inst, &Default::default()).metrics.reliability;
+            sums[3] += greedy::solve(&inst, &Default::default()).metrics.reliability;
+        }
+        let n = trials as f64;
+        println!(
+            "{:<10} {:>9.4} {:>11.4} {:>10.4} {:>9.4} {:>15.2}x",
+            format!("{:.4}", fraction),
+            sums[0] / n,
+            sums[1] / n,
+            sums[2] / n,
+            sums[3] / n,
+            usage / n
+        );
+    }
+    println!(
+        "\nReading the last column: values above 1.0 mean the randomized\n\
+         algorithm overcommitted at least one cloudlet — admissible in the\n\
+         paper's model (Theorem 5.2 bounds it by 2x w.h.p.), but an operator\n\
+         would need headroom or preemption to absorb it. The heuristic column\n\
+         never needs either."
+    );
+}

@@ -1,0 +1,73 @@
+//! Domain scenario: a chaos drill — does the provisioned redundancy actually
+//! survive injected failures?
+//!
+//! The operator provisions backups with each algorithm, then runs a
+//! failure-injection campaign (every VNF instance goes down independently
+//! with probability `1 - r`) and compares the *measured* survival rate with
+//! the closed-form reliability the algorithms optimized. This validates the
+//! paper's Eq. 1 model end-to-end and shows which chain positions dominate
+//! the remaining outages.
+//!
+//! Run with: `cargo run --release --example chaos_drill`
+
+use mec_sfc_reliability::mecnet::workload::{generate_scenario, WorkloadConfig};
+use mec_sfc_reliability::relaug::instance::AugmentationInstance;
+use mec_sfc_reliability::relaug::montecarlo::simulate_failures;
+use mec_sfc_reliability::relaug::{heuristic, ilp, randomized};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let config = WorkloadConfig { sfc_len_range: (6, 6), ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(404);
+    let scenario = generate_scenario(&config, &mut rng);
+    let inst = AugmentationInstance::from_scenario(&scenario, 1);
+    println!(
+        "chain of {} functions, base reliability {:.4}, SLO {:.2}\n",
+        inst.chain_len(),
+        inst.base_reliability(),
+        inst.expectation
+    );
+
+    const TRIALS: usize = 200_000;
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>9}",
+        "algorithm", "analytic", "measured", "stderr", "backups"
+    );
+    let solutions = [
+        ("ILP", ilp::solve(&inst, &Default::default()).unwrap()),
+        ("Randomized", randomized::solve(&inst, &Default::default(), &mut rng).unwrap()),
+        ("Heuristic", heuristic::solve(&inst, &Default::default())),
+    ];
+    for (name, out) in &solutions {
+        let report = simulate_failures(&inst, &out.augmentation, TRIALS, &mut rng);
+        println!(
+            "{:<12} {:>10.4} {:>12.4} {:>12.5} {:>9}",
+            name,
+            out.metrics.reliability,
+            report.survival_rate,
+            report.survival_stderr(),
+            out.metrics.total_secondaries
+        );
+    }
+
+    // Outage breakdown for the heuristic's placement.
+    let heur = &solutions[2].1;
+    let report = simulate_failures(&inst, &heur.augmentation, TRIALS, &mut rng);
+    println!("\nper-function outage rates under the heuristic's placement:");
+    let counts = heur.augmentation.counts();
+    for (i, (&outage, f)) in report.outage_rate.iter().zip(&inst.functions).enumerate() {
+        println!(
+            "  f{i}: r = {:.3}, {} backup(s) -> outage {:.5} (analytic {:.5})",
+            f.reliability,
+            counts[i],
+            outage,
+            (1.0 - f.reliability).powi(counts[i] as i32 + 1)
+        );
+    }
+    println!(
+        "\nThe measured survival matches the closed form the algorithms\n\
+         optimize — Eq. 1's independence assumption is exactly what the\n\
+         injector samples, so residual gaps are purely statistical."
+    );
+}

@@ -1,0 +1,72 @@
+//! Domain scenario: a day of service — processing a stream of SFC requests
+//! against one shared edge network.
+//!
+//! The paper augments one admitted request at a time; operators face a
+//! *sequence*. This example pushes 120 requests through the paper-default
+//! network with each algorithm and reports admission rate, mean achieved
+//! reliability, and how reliability erodes for late arrivals as earlier
+//! requests consume the backup capacity.
+//!
+//! Run with: `cargo run --release --example request_stream`
+
+use mec_sfc_reliability::mecnet::request::SfcRequest;
+use mec_sfc_reliability::mecnet::workload::{generate_catalog, generate_network, WorkloadConfig};
+use mec_sfc_reliability::relaug::stream::{process_stream, Algorithm, StreamConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let config = WorkloadConfig::default();
+    let mut rng = StdRng::seed_from_u64(99);
+    let network = generate_network(&config, &mut rng);
+    let catalog = generate_catalog(&config, &mut rng);
+    let requests: Vec<SfcRequest> = (0..120)
+        .map(|i| SfcRequest::random(i, &catalog, (3, 6), 0.99, config.nodes, &mut rng))
+        .collect();
+
+    println!(
+        "network: {} cloudlets, {:.0} MHz total capacity; {} arriving requests\n",
+        network.num_cloudlets(),
+        network.total_capacity(),
+        requests.len()
+    );
+    println!(
+        "{:<12} {:>9} {:>10} {:>12} {:>14} {:>16}",
+        "algorithm", "admitted", "rejected", "mean rel.", "SLO-met rate", "1st vs last 3rd"
+    );
+    for (name, algorithm, share) in [
+        ("ILP", Algorithm::Ilp(Default::default()), false),
+        ("Randomized", Algorithm::Randomized(Default::default()), false),
+        ("Heuristic", Algorithm::Heuristic(Default::default()), false),
+        ("Greedy", Algorithm::Greedy(Default::default()), false),
+        ("Heur+share", Algorithm::Heuristic(Default::default()), true),
+    ] {
+        let mut rng = StdRng::seed_from_u64(7); // same arrivals for each algorithm
+        let cfg = StreamConfig { algorithm, share_backups: share, ..Default::default() };
+        let out = process_stream(&network, &catalog, &requests, &cfg, &mut rng);
+        let admitted: Vec<_> = out.records.iter().filter(|r| r.admitted).collect();
+        let third = (admitted.len() / 3).max(1);
+        let mean = |slice: &[&mec_sfc_reliability::relaug::stream::RequestRecord]| {
+            slice.iter().map(|r| r.achieved_reliability).sum::<f64>() / slice.len().max(1) as f64
+        };
+        let first = mean(&admitted[..third.min(admitted.len())]);
+        let last = mean(&admitted[admitted.len().saturating_sub(third)..]);
+        println!(
+            "{:<12} {:>9} {:>10} {:>12.4} {:>13.0}% {:>9.4}/{:.4}",
+            name,
+            out.admitted(),
+            out.rejected(),
+            out.mean_reliability().unwrap_or(0.0),
+            100.0 * out.expectation_rate().unwrap_or(0.0),
+            first,
+            last,
+        );
+    }
+    println!(
+        "\nThe last column shows the streaming effect the single-request\n\
+         experiments cannot: early arrivals lock in backups, late arrivals\n\
+         find the neighborhoods around their primaries already drained.\n\
+         The Heur+share row lets requests reuse instances of the same VNF\n\
+         type deployed earlier (Qu et al.-style sharing)."
+    );
+}

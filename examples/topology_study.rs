@@ -1,0 +1,78 @@
+//! Domain scenario: how network topology shapes attainable reliability.
+//!
+//! The `l`-hop locality constraint means a cloudlet's *neighborhood* decides
+//! how many backups a function can get. This example runs the heuristic over
+//! four topologies with identical total capacity — Waxman (the paper's
+//! GT-ITM-style random graph), ring, grid, and complete — and reports the
+//! reliability distribution, making the topology sensitivity explicit
+//! (something the paper holds fixed).
+//!
+//! Run with: `cargo run --release --example topology_study`
+
+use mec_sfc_reliability::expkit::stats::Summary;
+use mec_sfc_reliability::mecnet::admission::random_placement;
+use mec_sfc_reliability::mecnet::request::SfcRequest;
+use mec_sfc_reliability::mecnet::topology::{self, WaxmanConfig};
+use mec_sfc_reliability::mecnet::vnf::VnfCatalog;
+use mec_sfc_reliability::mecnet::{Graph, MecNetwork};
+use mec_sfc_reliability::relaug::heuristic;
+use mec_sfc_reliability::relaug::instance::AugmentationInstance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build(name: &str, rng: &mut StdRng) -> (String, Graph) {
+    let g = match name {
+        "waxman" => topology::waxman(&WaxmanConfig { nodes: 64, ..Default::default() }, rng).0,
+        "ring" => topology::ring(64),
+        "grid" => topology::grid(8, 8),
+        "complete" => topology::complete(64),
+        _ => unreachable!(),
+    };
+    (name.to_string(), g)
+}
+
+fn main() {
+    let trials = 25;
+    println!(
+        "{:<10} {:>10} {:>8} {:>8} {:>14} {:>12}",
+        "topology", "mean rel.", "min", "max", "mean backups", "avg degree"
+    );
+    for name in ["waxman", "ring", "grid", "complete"] {
+        let mut rels = Vec::with_capacity(trials);
+        let mut backups = Vec::with_capacity(trials);
+        let mut avg_deg = 0.0;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(t as u64);
+            let (_, graph) = build(name, &mut rng);
+            avg_deg += graph.average_degree() / trials as f64;
+            let network =
+                MecNetwork::with_random_cloudlets(graph, 8, (4000.0, 8000.0), &mut rng);
+            let catalog = VnfCatalog::random(30, (200.0, 400.0), (0.8, 0.9), &mut rng);
+            let request = SfcRequest::random(t, &catalog, (6, 6), 0.9999, 64, &mut rng);
+            let placement = random_placement(&network, &request, &mut rng).unwrap();
+            let residual = network.residual_capacities(0.15);
+            let inst = AugmentationInstance::new(
+                &network,
+                &catalog,
+                &request,
+                &placement.locations,
+                &residual,
+                1,
+            );
+            let out = heuristic::solve(&inst, &Default::default());
+            rels.push(out.metrics.reliability);
+            backups.push(out.metrics.total_secondaries as f64);
+        }
+        let s = Summary::of(&rels);
+        let b = Summary::of(&backups);
+        println!(
+            "{:<10} {:>10.4} {:>8.4} {:>8.4} {:>14.1} {:>12.1}",
+            name, s.mean, s.min, s.max, b.mean, avg_deg
+        );
+    }
+    println!(
+        "\nDenser topologies put more cloudlets inside each 1-hop neighborhood,\n\
+         so the same capacity budget yields more usable backup slots — the\n\
+         complete graph is the paper's 'no locality constraint' upper bound."
+    );
+}

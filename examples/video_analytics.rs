@@ -1,0 +1,84 @@
+//! Domain scenario: a metro edge network running a live video-analytics
+//! service chain (NAT → Firewall → IDS → Transcoder → DPI).
+//!
+//! The operator admitted the request on a 6×6 metro grid with eight
+//! cloudlets; the chain's bare reliability is far below the 99.5% SLO, so the
+//! operator provisions backup VNF instances — but only within one hop of each
+//! primary, to keep state-synchronization latency down. This example shows
+//! how the choice of the locality radius `l` changes what is achievable.
+//!
+//! Run with: `cargo run --release --example video_analytics`
+
+use mec_sfc_reliability::mecnet::admission::dag_placement;
+use mec_sfc_reliability::mecnet::graph::NodeId;
+use mec_sfc_reliability::mecnet::request::SfcRequest;
+use mec_sfc_reliability::mecnet::vnf::{realistic_catalog, VnfTypeId};
+use mec_sfc_reliability::mecnet::{topology, MecNetwork};
+use mec_sfc_reliability::relaug::instance::AugmentationInstance;
+use mec_sfc_reliability::relaug::{heuristic, ilp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // A 6x6 metro grid; 8 cloudlets with 4-8 GHz of compute.
+    let grid = topology::grid(6, 6);
+    let network = MecNetwork::with_random_cloudlets(grid, 8, (4000.0, 8000.0), &mut rng);
+
+    // The video-analytics chain from the realistic catalog:
+    // NAT(0) -> Firewall(1) -> IDS(2) -> Transcoder(5) -> DPI(6).
+    let catalog = realistic_catalog();
+    let request = SfcRequest {
+        id: 42,
+        sfc: vec![VnfTypeId(0), VnfTypeId(1), VnfTypeId(2), VnfTypeId(5), VnfTypeId(6)],
+        expectation: 0.995,
+        source: NodeId(0),
+        destination: NodeId(35),
+    };
+
+    // Admit via the max-reliability DAG placement (link reliability 0.995/hop).
+    let placement = dag_placement(&network, &request, 0.995).expect("admission succeeds");
+    println!("primary placement (by chain position):");
+    for (i, (&f, &loc)) in request.sfc.iter().zip(&placement.locations).enumerate() {
+        println!("  {}: {:<12} -> {}", i, catalog.get(f).name, loc);
+    }
+    println!(
+        "bare chain reliability: {:.4} (SLO {:.3})\n",
+        request.base_reliability(&catalog),
+        request.expectation
+    );
+
+    // 30% of each cloudlet's capacity is free for backups.
+    let residual = network.residual_capacities(0.30);
+
+    println!(
+        "{:<6} {:>12} {:>12} {:>10} {:>10}",
+        "l", "ILP rel.", "Heur rel.", "backups", "SLO met"
+    );
+    for l in [0u32, 1, 2, 3] {
+        let inst = AugmentationInstance::new(
+            &network,
+            &catalog,
+            &request,
+            &placement.locations,
+            &residual,
+            l,
+        );
+        let exact = ilp::solve(&inst, &Default::default()).expect("ILP");
+        let heur = heuristic::solve(&inst, &Default::default());
+        println!(
+            "{:<6} {:>12.5} {:>12.5} {:>10} {:>10}",
+            l,
+            exact.metrics.reliability,
+            heur.metrics.reliability,
+            exact.metrics.total_secondaries,
+            if exact.metrics.met_expectation { "yes" } else { "no" }
+        );
+    }
+    println!(
+        "\nTakeaway: a larger locality radius exposes more cloudlets to host\n\
+         backups — at the price of slower primary/backup state updates, which\n\
+         is exactly the trade-off the paper's l parameter controls."
+    );
+}

@@ -1,0 +1,37 @@
+//! # mec-sfc-reliability
+//!
+//! Facade crate for the reproduction of *"Reliability Augmentation of Requests
+//! with Service Function Chain Requirements in Mobile Edge-Cloud Networks"*
+//! (Liang, Ma, Xu, Jia, Chau — ICPP 2020).
+//!
+//! This crate re-exports the workspace members so downstream users need a
+//! single dependency:
+//!
+//! * [`relaug`] — the paper's contribution: the service reliability
+//!   augmentation problem and its three algorithms (exact ILP, randomized
+//!   LP-rounding, matching-based heuristic).
+//! * [`mecnet`] — the mobile edge-cloud network substrate: topologies,
+//!   cloudlets, VNF catalogs, SFC requests and primary-placement admission.
+//! * [`milp`] — the LP/MILP solver the exact algorithm runs on.
+//! * [`matching`] — min-cost maximum bipartite matching used by the heuristic.
+//! * [`expkit`] — statistics and table utilities used by the experiment
+//!   harness.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use expkit;
+pub use matching;
+pub use mecnet;
+pub use milp;
+pub use relaug;
+
+/// Crate version of the facade (mirrors the workspace version).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

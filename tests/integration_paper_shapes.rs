@@ -1,0 +1,146 @@
+//! Shape tests: scaled-down versions of the paper's three experiments must
+//! reproduce the qualitative findings of Section 7 (who wins, how metrics
+//! move with each swept parameter). These use few trials and small networks
+//! so they run in CI time; the full sweeps live in the bench harness.
+
+use mec_sfc_reliability::mecnet::workload::{generate_scenario, WorkloadConfig};
+use mec_sfc_reliability::relaug::instance::AugmentationInstance;
+use mec_sfc_reliability::relaug::{heuristic, ilp, randomized};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct MiniPoint {
+    ilp: f64,
+    randomized: f64,
+    heuristic: f64,
+    ilp_time: f64,
+    heuristic_time: f64,
+}
+
+fn run_mini(cfg: &WorkloadConfig, trials: u64, seed0: u64) -> MiniPoint {
+    let mut acc = MiniPoint { ilp: 0.0, randomized: 0.0, heuristic: 0.0, ilp_time: 0.0, heuristic_time: 0.0 };
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed0 + t);
+        let s = generate_scenario(cfg, &mut rng);
+        let inst = AugmentationInstance::from_scenario(&s, 1);
+        let e = ilp::solve(&inst, &Default::default()).unwrap();
+        let r = randomized::solve(&inst, &Default::default(), &mut rng).unwrap();
+        let h = heuristic::solve(&inst, &Default::default());
+        acc.ilp += e.metrics.reliability / trials as f64;
+        acc.randomized += r.metrics.reliability / trials as f64;
+        acc.heuristic += h.metrics.reliability / trials as f64;
+        acc.ilp_time += e.runtime.as_secs_f64();
+        acc.heuristic_time += h.runtime.as_secs_f64();
+    }
+    acc
+}
+
+/// Fig. 1 shape: longer chains achieve lower reliability (same resources,
+/// more functions to protect), and the heuristic stays within a few percent
+/// of the exact optimum.
+#[test]
+fn fig1_shape_reliability_decreases_with_chain_length() {
+    let mk = |len: usize| WorkloadConfig {
+        sfc_len_range: (len, len),
+        reliability_range: (0.8, 0.9),
+        residual_fraction: 0.25,
+        ..Default::default()
+    };
+    let short = run_mini(&mk(4), 8, 100);
+    let long = run_mini(&mk(16), 8, 100);
+    assert!(
+        long.ilp < short.ilp - 0.005,
+        "longer chains must be harder: L=16 {} vs L=4 {}",
+        long.ilp,
+        short.ilp
+    );
+    // Heuristic within ~4% of exact (paper: >= 96.03%).
+    assert!(long.heuristic >= 0.93 * long.ilp, "heuristic strayed: {} vs {}", long.heuristic, long.ilp);
+    assert!(short.heuristic >= 0.96 * short.ilp);
+}
+
+/// Fig. 2 shape: more reliable VNFs -> higher chain reliability, and the gap
+/// between the algorithms narrows.
+#[test]
+fn fig2_shape_function_reliability_lifts_all_algorithms() {
+    let mk = |lo: f64, hi: f64| WorkloadConfig {
+        reliability_range: (lo, hi),
+        residual_fraction: 0.25,
+        sfc_len_range: (5, 8),
+        ..Default::default()
+    };
+    let low = run_mini(&mk(0.55, 0.65), 8, 300);
+    let high = run_mini(&mk(0.85, 0.95), 8, 300);
+    assert!(high.ilp > low.ilp + 0.02, "higher r must help: {} vs {}", high.ilp, low.ilp);
+    let low_gap = (low.ilp - low.heuristic).abs();
+    let high_gap = (high.ilp - high.heuristic).abs();
+    assert!(
+        high_gap <= low_gap + 0.01,
+        "gap should narrow with reliability: low {low_gap} high {high_gap}"
+    );
+}
+
+/// Fig. 3 shape: reliability grows monotonically (on average) with residual
+/// capacity and saturates near the expectation.
+#[test]
+fn fig3_shape_residual_capacity_controls_reliability() {
+    let mk = |fraction: f64| WorkloadConfig {
+        residual_fraction: fraction,
+        sfc_len_range: (5, 8),
+        reliability_range: (0.8, 0.9),
+        ..Default::default()
+    };
+    let scarce = run_mini(&mk(1.0 / 16.0), 8, 500);
+    let quarter = run_mini(&mk(0.25), 8, 500);
+    let full = run_mini(&mk(1.0), 8, 500);
+    assert!(scarce.ilp < quarter.ilp, "1/16 {} vs 1/4 {}", scarce.ilp, quarter.ilp);
+    assert!(quarter.ilp <= full.ilp + 0.005);
+    // With full capacity the expectation (0.99) is essentially reached.
+    assert!(full.ilp > 0.97, "full capacity should approach rho: {}", full.ilp);
+    // All algorithms respond to scarcity.
+    assert!(scarce.heuristic < quarter.heuristic);
+    assert!(scarce.randomized < quarter.randomized + 0.02);
+}
+
+/// Fig. 1(c)/2(c)/3(c) shape: the ILP costs orders of magnitude more time
+/// than the heuristic.
+#[test]
+fn runtime_ordering_ilp_slowest_heuristic_fastest() {
+    let cfg = WorkloadConfig {
+        sfc_len_range: (10, 10),
+        residual_fraction: 0.25,
+        ..Default::default()
+    };
+    let p = run_mini(&cfg, 6, 700);
+    assert!(
+        p.ilp_time > 3.0 * p.heuristic_time,
+        "ILP ({}s) should dwarf heuristic ({}s)",
+        p.ilp_time,
+        p.heuristic_time
+    );
+}
+
+/// Fig. 1(b)-style: the randomized algorithm's max usage ratio can exceed 1
+/// (capacity violation) on at least some scarce instances, and the heuristic
+/// never does.
+#[test]
+fn randomized_violations_exist_heuristic_never() {
+    let cfg = WorkloadConfig {
+        residual_fraction: 0.125,
+        sfc_len_range: (8, 10),
+        ..Default::default()
+    };
+    let mut saw_violation = false;
+    for seed in 0..20 {
+        let mut rng = StdRng::seed_from_u64(900 + seed);
+        let s = generate_scenario(&cfg, &mut rng);
+        let inst = AugmentationInstance::from_scenario(&s, 1);
+        let r = randomized::solve(&inst, &Default::default(), &mut rng).unwrap();
+        if r.metrics.max_violation_ratio > 1.0 {
+            saw_violation = true;
+        }
+        let h = heuristic::solve(&inst, &Default::default());
+        assert!(h.metrics.max_violation_ratio <= 1.0 + 1e-9);
+    }
+    assert!(saw_violation, "rounding should overpack at least once in 20 scarce trials");
+}

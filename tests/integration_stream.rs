@@ -1,0 +1,90 @@
+//! End-to-end stream-processing integration tests over the public facade:
+//! admission, augmentation, capacity accounting, and the sharing extension
+//! interacting across crates.
+
+use mec_sfc_reliability::mecnet::request::SfcRequest;
+use mec_sfc_reliability::mecnet::workload::{generate_catalog, generate_network, WorkloadConfig};
+use mec_sfc_reliability::relaug::stream::{process_stream, Algorithm, StreamConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(seed: u64) -> (mec_sfc_reliability::mecnet::MecNetwork, mec_sfc_reliability::mecnet::VnfCatalog, Vec<SfcRequest>)
+{
+    let wl = WorkloadConfig { nodes: 60, ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let network = generate_network(&wl, &mut rng);
+    let catalog = generate_catalog(&wl, &mut rng);
+    let requests: Vec<SfcRequest> = (0..60)
+        .map(|i| SfcRequest::random(i, &catalog, (3, 5), 0.99, wl.nodes, &mut rng))
+        .collect();
+    (network, catalog, requests)
+}
+
+#[test]
+fn capacity_is_conserved_across_the_stream() {
+    let (network, catalog, requests) = setup(1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let out = process_stream(&network, &catalog, &requests, &StreamConfig::default(), &mut rng);
+    // Total consumption = initial - final, must equal primaries + secondaries
+    // placed (all demands are positive; heuristic never overcommits).
+    let initial: f64 = network.total_capacity();
+    let fin: f64 = out.final_residual.iter().sum();
+    assert!(fin <= initial + 1e-6);
+    assert!(fin >= 0.0);
+    // Admitted + rejected partition the stream.
+    assert_eq!(out.admitted() + out.rejected(), requests.len());
+}
+
+#[test]
+fn admission_rate_grows_with_capacity() {
+    let (network, catalog, requests) = setup(3);
+    let run = |fraction: f64| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = StreamConfig { initial_capacity_fraction: fraction, ..Default::default() };
+        process_stream(&network, &catalog, &requests, &cfg, &mut rng).admitted()
+    };
+    let low = run(0.25);
+    let high = run(1.0);
+    assert!(high >= low, "more capacity cannot admit fewer: {high} vs {low}");
+    assert!(high > 0);
+}
+
+#[test]
+fn sharing_never_reduces_slo_rate_materially() {
+    let (network, catalog, requests) = setup(5);
+    let run = |share: bool| {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = StreamConfig { share_backups: share, ..Default::default() };
+        process_stream(&network, &catalog, &requests, &cfg, &mut rng)
+    };
+    let plain = run(false);
+    let shared = run(true);
+    let rate = |o: &mec_sfc_reliability::relaug::stream::StreamOutcome| {
+        o.expectation_rate().unwrap_or(0.0)
+    };
+    assert!(rate(&shared) >= rate(&plain) - 0.1, "sharing should not hurt SLO rate");
+    let secs = |o: &mec_sfc_reliability::relaug::stream::StreamOutcome| -> usize {
+        o.records.iter().map(|r| r.secondaries).sum()
+    };
+    assert!(secs(&shared) <= secs(&plain), "sharing should not deploy more instances");
+}
+
+#[test]
+fn all_algorithms_complete_a_stream() {
+    let (network, catalog, requests) = setup(7);
+    for algorithm in [
+        Algorithm::Ilp(Default::default()),
+        Algorithm::Randomized(Default::default()),
+        Algorithm::Heuristic(Default::default()),
+        Algorithm::Greedy(Default::default()),
+    ] {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = StreamConfig { algorithm, ..Default::default() };
+        let out = process_stream(&network, &catalog, &requests[..20], &cfg, &mut rng);
+        assert_eq!(out.records.len(), 20);
+        for r in out.records.iter().filter(|r| r.admitted) {
+            assert!(r.achieved_reliability >= r.base_reliability - 1e-9);
+            assert!(r.achieved_reliability <= 1.0 + 1e-12);
+        }
+    }
+}

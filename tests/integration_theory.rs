@@ -1,0 +1,133 @@
+//! Empirical checks of the paper's analytical results (Section 5): the
+//! randomized algorithm's expected objective matches the LP optimum, and
+//! realized capacity violations stay within the 2x band of Theorem 5.2 on
+//! essentially all trials.
+
+use mec_sfc_reliability::mecnet::workload::{generate_scenario, WorkloadConfig};
+use mec_sfc_reliability::relaug::instance::AugmentationInstance;
+use mec_sfc_reliability::relaug::randomized::RandomizedConfig;
+use mec_sfc_reliability::relaug::{ilp, randomized, theory};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The rounded solution's expected gain equals the LP's; empirically the
+/// mean randomized reliability over many draws must come close to the LP
+/// optimum (here we compare against the ILP, a lower bound on the LP).
+#[test]
+fn randomized_mean_tracks_lp_optimum() {
+    let cfg = WorkloadConfig { sfc_len_range: (6, 6), nodes: 50, ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(42);
+    let s = generate_scenario(&cfg, &mut rng);
+    let inst = AugmentationInstance::from_scenario(&s, 1);
+    // Compare in uncapped mode so no trimming noise enters.
+    let exact = ilp::solve(
+        &inst,
+        &ilp::IlpConfig { stop_at_expectation: false, ..Default::default() },
+    )
+    .unwrap();
+    let rcfg = RandomizedConfig { stop_at_expectation: false, ..Default::default() };
+    let n = 60;
+    let mean: f64 = (0..n)
+        .map(|i| {
+            let mut r = StdRng::seed_from_u64(1_000 + i);
+            randomized::solve(&inst, &rcfg, &mut r).unwrap().metrics.reliability
+        })
+        .sum::<f64>()
+        / n as f64;
+    // Within a few percent of the exact optimum (the paper observes >= 97.8%).
+    assert!(
+        mean >= 0.92 * exact.metrics.reliability,
+        "mean randomized {} too far below exact {}",
+        mean,
+        exact.metrics.reliability
+    );
+}
+
+/// Theorem 5.2's violation band: the randomized algorithm should essentially
+/// never place more than 2x a cloudlet's residual capacity.
+#[test]
+fn violations_stay_within_twice_capacity() {
+    let cfg = WorkloadConfig {
+        residual_fraction: 0.25,
+        sfc_len_range: (6, 10),
+        ..Default::default()
+    };
+    let rcfg = RandomizedConfig { stop_at_expectation: false, ..Default::default() };
+    let mut worst: f64 = 0.0;
+    let mut over_2x = 0usize;
+    let trials = 60;
+    for seed in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = generate_scenario(&cfg, &mut rng);
+        let inst = AugmentationInstance::from_scenario(&s, 1);
+        let out = randomized::solve(&inst, &rcfg, &mut rng).unwrap();
+        worst = worst.max(out.metrics.max_violation_ratio);
+        if out.metrics.max_violation_ratio > 2.0 {
+            over_2x += 1;
+        }
+    }
+    // "With high probability": allow a stray tail event but not a pattern.
+    assert!(
+        over_2x <= trials as usize / 20,
+        "violations above 2x in {over_2x}/{trials} trials (worst {worst:.2})"
+    );
+}
+
+/// The analytical quantities are computable and consistent on generated
+/// instances.
+#[test]
+fn theorem_quantities_are_consistent() {
+    let cfg = WorkloadConfig::default();
+    let mut rng = StdRng::seed_from_u64(5);
+    let s = generate_scenario(&cfg, &mut rng);
+    let inst = AugmentationInstance::from_scenario(&s, 1);
+
+    let lambda = theory::lambda(&inst);
+    assert!(lambda > 2.0, "paper premise Λ > 2 holds on realistic instances");
+    // N and its Theorem 6.2 bound.
+    let n = inst.total_items();
+    assert!(n <= inst.item_count_bound().max(1));
+    if n > 0 {
+        let p = theory::success_probability(n, s.network.num_nodes());
+        assert!(p > 0.0 && p < 1.0);
+        // The approximation ratio is >= 1 and finite.
+        let p_star = theory::unconstrained_optimum(&inst).max(1e-9);
+        let ratio = theory::approximation_ratio(p_star, lambda);
+        assert!(ratio >= 1.0 - 1e-12 && ratio.is_finite());
+    }
+    // Chernoff bounds are proper probabilities and decay.
+    assert!(theory::chernoff_upper_tail(10.0, 0.5) < 1.0);
+    assert!(theory::chernoff_upper_tail(10.0, 1.0) < theory::chernoff_upper_tail(10.0, 0.2));
+}
+
+/// The empirical result the paper highlights: measured behaviour beats the
+/// analytical counterpart — the realized approximation gap is far smaller
+/// than `(1/P*)^{1-2/Λ}`.
+#[test]
+fn empirical_beats_analytical_ratio() {
+    let cfg = WorkloadConfig { sfc_len_range: (5, 8), nodes: 60, ..Default::default() };
+    for seed in 0..5 {
+        let mut rng = StdRng::seed_from_u64(300 + seed);
+        let s = generate_scenario(&cfg, &mut rng);
+        let inst = AugmentationInstance::from_scenario(&s, 1);
+        if inst.total_items() == 0 {
+            continue;
+        }
+        let exact = ilp::solve(
+            &inst,
+            &ilp::IlpConfig { stop_at_expectation: false, ..Default::default() },
+        )
+        .unwrap();
+        let rcfg = RandomizedConfig { stop_at_expectation: false, ..Default::default() };
+        let rand_out = randomized::solve(&inst, &rcfg, &mut rng).unwrap();
+        let p_star = exact.metrics.reliability.max(1e-9);
+        let lambda = theory::lambda(&inst);
+        let analytical = theory::approximation_ratio(p_star, lambda);
+        // Empirical multiplicative gap in reliability.
+        let empirical = p_star / rand_out.metrics.reliability.max(1e-12);
+        assert!(
+            empirical <= analytical + 1e-9,
+            "seed {seed}: empirical gap {empirical:.4} exceeds analytical {analytical:.4}"
+        );
+    }
+}
