@@ -115,11 +115,9 @@ fn bench_matching_vs_greedy(c: &mut Criterion) {
         })
     });
     let batch_cfg = relaug::heuristic::HeuristicConfig { batch_rounds: true, ..Default::default() };
-    let batch_rel: f64 = insts
-        .iter()
-        .map(|i| heuristic::solve(i, &batch_cfg).metrics.reliability)
-        .sum::<f64>()
-        / insts.len() as f64;
+    let batch_rel: f64 =
+        insts.iter().map(|i| heuristic::solve(i, &batch_cfg).metrics.reliability).sum::<f64>()
+            / insts.len() as f64;
     eprintln!("batch (b-matching) heuristic mean reliability {batch_rel:.4}");
     group.bench_function("batch_heuristic", |b| {
         let mut i = 0;

@@ -36,9 +36,8 @@ fn bench_algorithms(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(1);
             let mut i = 0;
             b.iter(|| {
-                let out =
-                    randomized::solve(&insts[i % insts.len()], &Default::default(), &mut rng)
-                        .unwrap();
+                let out = randomized::solve(&insts[i % insts.len()], &Default::default(), &mut rng)
+                    .unwrap();
                 i += 1;
                 out.metrics.reliability
             })

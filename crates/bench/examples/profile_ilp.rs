@@ -6,8 +6,12 @@ use std::time::Instant;
 fn main() {
     for len in [10usize, 16, 20] {
         let cfg = WorkloadConfig { sfc_len_range: (len, len), ..Default::default() };
-        let mut tot_ilp = 0.0; let mut tot_lp = 0.0; let mut tot_heu = 0.0;
-        let mut nodes_tot = 0usize; let mut iters_tot = 0usize; let mut lp_iters = 0usize;
+        let mut tot_ilp = 0.0;
+        let mut tot_lp = 0.0;
+        let mut tot_heu = 0.0;
+        let mut nodes_tot = 0usize;
+        let mut iters_tot = 0usize;
+        let mut lp_iters = 0usize;
         for seed in 0..5u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let s = generate_scenario(&cfg, &mut rng);
@@ -15,8 +19,9 @@ fn main() {
             let t = Instant::now();
             let out = relaug::ilp::solve(&inst, &Default::default()).unwrap();
             tot_ilp += t.elapsed().as_secs_f64();
-            if let relaug::solution::SolverInfo::Ilp { nodes, lp_iterations } = out.solver {
-                nodes_tot += nodes; iters_tot += lp_iterations;
+            if let relaug::solution::SolverInfo::Ilp { nodes, lp_iterations, .. } = out.solver {
+                nodes_tot += nodes;
+                iters_tot += lp_iterations;
             }
             let t = Instant::now();
             let r = relaug::randomized::solve(&inst, &Default::default(), &mut rng).unwrap();
@@ -28,7 +33,14 @@ fn main() {
             let _ = relaug::heuristic::solve(&inst, &Default::default());
             tot_heu += t.elapsed().as_secs_f64();
         }
-        println!("L={len}: ilp {:.3}s (nodes {}, iters {}), lp {:.3}s (iters {}), heu {:.4}s",
-            tot_ilp/5.0, nodes_tot/5, iters_tot/5, tot_lp/5.0, lp_iters/5, tot_heu/5.0);
+        println!(
+            "L={len}: ilp {:.3}s (nodes {}, iters {}), lp {:.3}s (iters {}), heu {:.4}s",
+            tot_ilp / 5.0,
+            nodes_tot / 5,
+            iters_tot / 5,
+            tot_lp / 5.0,
+            lp_iters / 5,
+            tot_heu / 5.0
+        );
     }
 }

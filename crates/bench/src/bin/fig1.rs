@@ -17,10 +17,7 @@ fn main() {
         }
     };
     println!("## Fig. 1 — varying the SFC length of a request from 2 to 20");
-    println!(
-        "({} trials/point, seed {}, {} threads)\n",
-        args.trials, args.seed, args.threads
-    );
+    println!("({} trials/point, seed {}, {} threads)\n", args.trials, args.seed, args.threads);
     let mut points = Vec::new();
     for len in sweeps::fig1_lengths() {
         let cfg = args.apply(sweeps::fig1_point(len, args.trials, args.seed));

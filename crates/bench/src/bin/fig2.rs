@@ -17,10 +17,7 @@ fn main() {
         }
     };
     println!("## Fig. 2 — varying the network function reliability from 0.6 to 0.9");
-    println!(
-        "({} trials/point, seed {}, {} threads)\n",
-        args.trials, args.seed, args.threads
-    );
+    println!("({} trials/point, seed {}, {} threads)\n", args.trials, args.seed, args.threads);
     let mut points = Vec::new();
     for interval in sweeps::fig2_intervals() {
         let cfg = args.apply(sweeps::fig2_point(interval, args.trials, args.seed));

@@ -17,19 +17,13 @@ fn main() {
         }
     };
     println!("## Fig. 3 — varying the residual computing capacity from 1/16 to 1");
-    println!(
-        "({} trials/point, seed {}, {} threads)\n",
-        args.trials, args.seed, args.threads
-    );
+    println!("({} trials/point, seed {}, {} threads)\n", args.trials, args.seed, args.threads);
     let mut points = Vec::new();
     for fraction in sweeps::fig3_fractions() {
         let cfg = args.apply(sweeps::fig3_point(fraction, args.trials, args.seed));
         let started = std::time::Instant::now();
         let res = run_point(&cfg);
-        eprintln!(
-            "  point C'={fraction:.4} done in {:.1} s",
-            started.elapsed().as_secs_f64()
-        );
+        eprintln!("  point C'={fraction:.4} done in {:.1} s", started.elapsed().as_secs_f64());
         points.push(res);
     }
     println!("{}", render_figure(&points));

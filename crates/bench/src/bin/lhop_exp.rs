@@ -4,12 +4,16 @@
 //! work the paper differentiates itself from (Lin et al. 2020).
 //!
 //! Usage: `cargo run -p bench-harness --release --bin lhop_exp --
-//! [--trials N] [--seed S] [--no-ilp]`
+//! [--trials N] [--seed S] [--no-ilp] [--trace PATH]`
+//!
+//! `--trace PATH` records the first trial of every `l` as JSONL solver
+//! events (one file for the whole sweep; filter on the `l` field).
 
 use bench_harness::HarnessArgs;
 use expkit::stats::Accumulator;
 use expkit::Table;
 use mecnet::workload::{generate_scenario, WorkloadConfig};
+use obs::Recorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use relaug::instance::AugmentationInstance;
@@ -22,6 +26,13 @@ fn main() {
             eprintln!("lhop_exp: {e}");
             std::process::exit(2);
         }
+    };
+    let mut rec = match &args.trace {
+        Some(path) => Recorder::jsonl_file(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("lhop_exp: cannot open trace file {path}: {e}");
+            std::process::exit(2);
+        }),
+        None => Recorder::noop(),
     };
     println!("## Locality-radius ablation ({} trials per l)\n", args.trials);
     let mut table = Table::new(vec![
@@ -47,21 +58,25 @@ fn main() {
             let s = generate_scenario(&wl, &mut rng);
             let inst = AugmentationInstance::from_scenario(&s, l);
             items.push(inst.total_items() as f64);
-            let mean_elig = inst
-                .functions
-                .iter()
-                .map(|f| f.eligible_bins.len() as f64)
-                .sum::<f64>()
-                / inst.chain_len().max(1) as f64;
+            let mean_elig =
+                inst.functions.iter().map(|f| f.eligible_bins.len() as f64).sum::<f64>()
+                    / inst.chain_len().max(1) as f64;
             eligible.push(mean_elig);
+            // Trace the first trial of each l; the rest run untraced.
+            let mut noop = Recorder::noop();
+            let trial_rec: &mut Recorder = if t == 0 { &mut rec } else { &mut noop };
+            trial_rec.emit_with(|| {
+                obs::Event::new("lhop.trial").with("l", l).with("items", inst.total_items())
+            });
             if args.ilp {
-                let e = ilp::solve(&inst, &Default::default()).expect("ilp");
+                let e = ilp::solve_traced(&inst, &Default::default(), trial_rec).expect("ilp");
                 ilp_rel.push(e.metrics.reliability);
                 ilp_time.push(e.runtime.as_secs_f64());
             }
-            let r = randomized::solve(&inst, &Default::default(), &mut rng).expect("lp");
+            let r = randomized::solve_traced(&inst, &Default::default(), &mut rng, trial_rec)
+                .expect("lp");
             rand_rel.push(r.metrics.reliability);
-            let h = heuristic::solve(&inst, &Default::default());
+            let h = heuristic::solve_traced(&inst, &Default::default(), trial_rec);
             heur_rel.push(h.metrics.reliability);
         }
         let label = if l >= 99 { "inf".to_string() } else { l.to_string() };
@@ -80,6 +95,10 @@ fn main() {
         ]);
     }
     println!("{}", table.to_markdown());
+    rec.flush().expect("flush trace");
+    if let Some(path) = &args.trace {
+        println!("\nwrote {} telemetry events to {path}", rec.events_emitted());
+    }
     println!(
         "\nLarger l exposes more cloudlets per function (last column), raising\n\
          attainable reliability at the price of a bigger ILP (N, time) — and of\n\

@@ -3,12 +3,18 @@
 //!
 //! Usage: `cargo run -p bench-harness --release --bin solve_one --
 //! [--seed S] [--len L] [--residual F] [--l HOPS] [--algo ilp|rand|heur|greedy]
-//! [--dot PATH]`
+//! [--dot PATH] [--trace PATH] [--json]`
+//!
+//! `--trace PATH` streams one JSONL telemetry event per solver step to PATH;
+//! `--json` replaces the human-readable report with a single JSON document
+//! (metrics + solver effort + telemetry summary) on stdout.
 
 use mecnet::workload::{generate_scenario, WorkloadConfig};
+use obs::Recorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use relaug::instance::AugmentationInstance;
+use relaug::solution::{Metrics, SolverInfo};
 use relaug::{greedy, heuristic, ilp, randomized, report};
 
 struct Args {
@@ -18,6 +24,8 @@ struct Args {
     l: u32,
     algo: String,
     dot: Option<String>,
+    trace: Option<String>,
+    json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,6 +36,8 @@ fn parse_args() -> Result<Args, String> {
         l: 1,
         algo: "ilp".into(),
         dot: None,
+        trace: None,
+        json: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -41,6 +51,8 @@ fn parse_args() -> Result<Args, String> {
             "--l" => args.l = val("--l")?.parse().map_err(|e| format!("{e}"))?,
             "--algo" => args.algo = val("--algo")?,
             "--dot" => args.dot = Some(val("--dot")?),
+            "--trace" => args.trace = Some(val("--trace")?),
+            "--json" => args.json = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -48,6 +60,20 @@ fn parse_args() -> Result<Args, String> {
         return Err(format!("unknown algorithm '{}'", args.algo));
     }
     Ok(args)
+}
+
+/// The `--json` document: everything a script needs from one solve.
+#[derive(serde::Serialize)]
+struct JsonReport {
+    algo: String,
+    seed: u64,
+    chain_len: usize,
+    l: u32,
+    runtime_s: f64,
+    solver_effort: String,
+    metrics: Metrics,
+    solver: SolverInfo,
+    telemetry: obs::Telemetry,
 }
 
 fn main() {
@@ -66,27 +92,60 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(args.seed);
     let scenario = generate_scenario(&config, &mut rng);
     let inst = AugmentationInstance::from_scenario(&scenario, args.l);
-    println!(
-        "scenario: {} APs, {} cloudlets, chain length {}, l = {}, N = {} items\n",
-        scenario.network.num_nodes(),
-        scenario.network.num_cloudlets(),
-        inst.chain_len(),
-        args.l,
-        inst.total_items()
-    );
-    let outcome = match args.algo.as_str() {
-        "ilp" => ilp::solve(&inst, &Default::default()).expect("ILP"),
-        "rand" => randomized::solve(&inst, &Default::default(), &mut rng).expect("LP"),
-        "heur" => heuristic::solve(&inst, &Default::default()),
-        _ => greedy::solve(&inst, &Default::default()),
-    };
-    print!("{}", report::render(&inst, &outcome));
-    if let Some(path) = args.dot {
-        let dot = mecnet::dot::to_dot_with_highlights(
-            &scenario.network,
-            &scenario.placement.locations,
+    if !args.json {
+        println!(
+            "scenario: {} APs, {} cloudlets, chain length {}, l = {}, N = {} items\n",
+            scenario.network.num_nodes(),
+            scenario.network.num_cloudlets(),
+            inst.chain_len(),
+            args.l,
+            inst.total_items()
         );
+    }
+    // Trace to JSONL when asked; otherwise keep events in memory so the
+    // telemetry summary is populated for `--json` and the report's timing
+    // lines. The plain path costs nothing extra: `solve` == noop-traced.
+    let mut rec = match &args.trace {
+        Some(path) => Recorder::jsonl_file(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("solve_one: cannot open trace file {path}: {e}");
+            std::process::exit(2);
+        }),
+        None => Recorder::memory(),
+    };
+    let outcome = match args.algo.as_str() {
+        "ilp" => ilp::solve_traced(&inst, &Default::default(), &mut rec).expect("ILP"),
+        "rand" => {
+            randomized::solve_traced(&inst, &Default::default(), &mut rng, &mut rec).expect("LP")
+        }
+        "heur" => heuristic::solve_traced(&inst, &Default::default(), &mut rec),
+        _ => greedy::solve_traced(&inst, &Default::default(), &mut rec),
+    };
+    rec.flush().expect("flush trace");
+    if args.json {
+        let doc = JsonReport {
+            algo: args.algo.clone(),
+            seed: args.seed,
+            chain_len: inst.chain_len(),
+            l: args.l,
+            runtime_s: outcome.runtime.as_secs_f64(),
+            solver_effort: report::solver_effort(&outcome),
+            metrics: outcome.metrics.clone(),
+            solver: outcome.solver.clone(),
+            telemetry: outcome.telemetry.clone(),
+        };
+        println!("{}", serde_json::to_string_pretty(&doc).expect("serialize report"));
+    } else {
+        print!("{}", report::render(&inst, &outcome));
+        if let Some(path) = &args.trace {
+            println!("\nwrote {} telemetry events to {path}", rec.events_emitted());
+        }
+    }
+    if let Some(path) = args.dot {
+        let dot =
+            mecnet::dot::to_dot_with_highlights(&scenario.network, &scenario.placement.locations);
         std::fs::write(&path, dot).expect("write DOT file");
-        println!("\nwrote {path} (render with `dot -Tsvg`)");
+        if !args.json {
+            println!("\nwrote {path} (render with `dot -Tsvg`)");
+        }
     }
 }

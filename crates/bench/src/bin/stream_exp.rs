@@ -4,18 +4,24 @@
 //! expectation-met rate, and the early-vs-late reliability erosion.
 //!
 //! Usage: `cargo run -p bench-harness --release --bin stream_exp --
-//! [--trials N] [--seed S]` (trials = independent network/stream pairs).
+//! [--trials N] [--seed S] [--requests R] [--trace PATH]`
+//! (trials = independent network/stream pairs).
+//!
+//! `--trace PATH` writes the full telemetry of each algorithm's first stream
+//! as JSONL: exactly one `stream.request` event per request processed (with
+//! admitted/rejected + reason, solver runtime and a residual snapshot), with
+//! the per-request solver events interleaved in arrival order. A telemetry
+//! summary table is printed at the end of every run, traced or not.
 
 use bench_harness::HarnessArgs;
 use expkit::stats::Accumulator;
 use expkit::Table;
 use mecnet::request::SfcRequest;
 use mecnet::workload::{generate_catalog, generate_network, WorkloadConfig};
+use obs::Recorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use relaug::stream::{process_stream, Algorithm, StreamConfig};
-
-const REQUESTS_PER_STREAM: usize = 100;
+use relaug::stream::{process_stream, process_stream_traced, Algorithm, StreamConfig};
 
 fn main() {
     let args = match HarnessArgs::parse(std::env::args().skip(1)) {
@@ -26,7 +32,22 @@ fn main() {
         }
     };
     let trials = args.trials.min(200);
-    println!("## Stream experiment — {REQUESTS_PER_STREAM} requests per stream, {trials} streams\n");
+    let requests_per_stream = args.requests.unwrap_or(100);
+    println!(
+        "## Stream experiment — {requests_per_stream} requests per stream, {trials} streams\n"
+    );
+
+    // Telemetry sink: the first stream of each algorithm runs traced — into
+    // the JSONL file when `--trace` is given, into memory otherwise — so the
+    // end-of-run summary table always has data. Remaining trials run with the
+    // no-op recorder (zero overhead).
+    let mut rec = match &args.trace {
+        Some(path) => Recorder::jsonl_file(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("stream_exp: cannot open trace file {path}: {e}");
+            std::process::exit(2);
+        }),
+        None => Recorder::memory(),
+    };
 
     let algorithms: Vec<(&str, Algorithm)> = vec![
         ("ILP", Algorithm::Ilp(Default::default())),
@@ -42,23 +63,29 @@ fn main() {
         "early rel.",
         "late rel.",
     ]);
+    let mut effort = Table::new(vec!["algorithm", "events", "admitted", "rejected", "solve time"]);
     for (name, algorithm) in algorithms {
         let mut admitted = Accumulator::new();
         let mut rel = Accumulator::new();
         let mut slo = Accumulator::new();
         let mut early = Accumulator::new();
         let mut late = Accumulator::new();
+        let effort_base = rec.summary();
         for t in 0..trials {
             let seed = expkit::fan_out(args.seed, t as u64);
             let mut rng = StdRng::seed_from_u64(seed);
             let wl = WorkloadConfig::default();
             let network = generate_network(&wl, &mut rng);
             let catalog = generate_catalog(&wl, &mut rng);
-            let requests: Vec<SfcRequest> = (0..REQUESTS_PER_STREAM)
+            let requests: Vec<SfcRequest> = (0..requests_per_stream)
                 .map(|i| SfcRequest::random(i, &catalog, (3, 6), 0.99, wl.nodes, &mut rng))
                 .collect();
             let cfg = StreamConfig { algorithm: algorithm.clone(), ..Default::default() };
-            let out = process_stream(&network, &catalog, &requests, &cfg, &mut rng);
+            let out = if t == 0 {
+                process_stream_traced(&network, &catalog, &requests, &cfg, &mut rng, &mut rec)
+            } else {
+                process_stream(&network, &catalog, &requests, &cfg, &mut rng)
+            };
             admitted.push(out.admitted() as f64);
             if let Some(m) = out.mean_reliability() {
                 rel.push(m);
@@ -66,30 +93,41 @@ fn main() {
             if let Some(e) = out.expectation_rate() {
                 slo.push(e);
             }
-            let adm: Vec<f64> = out
-                .records
-                .iter()
-                .filter(|r| r.admitted)
-                .map(|r| r.achieved_reliability)
-                .collect();
+            let adm: Vec<f64> =
+                out.records.iter().filter(|r| r.admitted).map(|r| r.achieved_reliability).collect();
             if adm.len() >= 4 {
                 let third = adm.len() / 3;
                 early.push(adm[..third].iter().sum::<f64>() / third as f64);
-                late.push(
-                    adm[adm.len() - third..].iter().sum::<f64>() / third as f64,
-                );
+                late.push(adm[adm.len() - third..].iter().sum::<f64>() / third as f64);
             }
         }
         table.add_row(vec![
             name.to_string(),
-            format!("{:.1}/{}", admitted.summary().mean, REQUESTS_PER_STREAM),
+            format!("{:.1}/{}", admitted.summary().mean, requests_per_stream),
             format!("{:.4}", rel.summary().mean),
             format!("{:.0}%", 100.0 * slo.summary().mean),
             format!("{:.4}", early.summary().mean),
             format!("{:.4}", late.summary().mean),
         ]);
+        // Delta of the cumulative telemetry = this algorithm's traced stream.
+        let now = rec.summary();
+        effort.add_row(vec![
+            name.to_string(),
+            format!("{}", now.events_emitted - effort_base.events_emitted),
+            format!("{}", now.counter("stream.admitted") - effort_base.counter("stream.admitted")),
+            format!("{}", now.counter("stream.rejected") - effort_base.counter("stream.rejected")),
+            expkit::table::fmt_duration_s(
+                now.timing_s("stream.solve") - effort_base.timing_s("stream.solve"),
+            ),
+        ]);
     }
     println!("{}", table.to_markdown());
+    println!("\n### telemetry (first stream per algorithm)\n");
+    println!("{}", effort.to_markdown());
+    rec.flush().expect("flush trace");
+    if let Some(path) = &args.trace {
+        println!("\nwrote {} telemetry events to {path}", rec.events_emitted());
+    }
     println!(
         "\nEarly vs late: the reliability requests get degrades over the\n\
          stream as earlier arrivals consume the backup capacity around\n\

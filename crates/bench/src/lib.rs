@@ -142,7 +142,11 @@ fn run_trial(cfg: &PointConfig, seed: u64) -> TrialRow {
         let out = randomized::solve(&inst, &RandomizedConfig::default(), &mut rng)
             .expect("randomized solve failed");
         (
-            Some((out.metrics.reliability, out.runtime.as_secs_f64(), out.metrics.total_secondaries)),
+            Some((
+                out.metrics.reliability,
+                out.runtime.as_secs_f64(),
+                out.metrics.total_secondaries,
+            )),
             Some((out.metrics.avg_usage, out.metrics.min_usage, out.metrics.max_usage)),
         )
     } else {
@@ -202,7 +206,8 @@ pub fn run_point(cfg: &PointConfig) -> PointResult {
         rows.into_iter().map(|r| r.expect("all trials completed")).collect()
     };
 
-    let collect = |pick: &dyn Fn(&TrialRow) -> Option<(f64, f64, usize)>| -> Option<AlgoStats> {
+    type Picker<'a> = &'a dyn Fn(&TrialRow) -> Option<(f64, f64, usize)>;
+    let collect = |pick: Picker| -> Option<AlgoStats> {
         let triples: Vec<(f64, f64, usize)> = rows.iter().filter_map(pick).collect();
         if triples.is_empty() {
             return None;
@@ -316,7 +321,8 @@ pub mod sweeps {
 pub fn render_figure(points: &[PointResult]) -> String {
     let mut out = String::new();
 
-    let mut rel = Table::new(vec!["point", "ILP", "Randomized", "Heuristic", "Rand/ILP", "Heu/ILP"]);
+    let mut rel =
+        Table::new(vec!["point", "ILP", "Randomized", "Heuristic", "Rand/ILP", "Heu/ILP"]);
     for p in points {
         let f = |s: &Option<AlgoStats>| {
             s.as_ref().map_or("-".to_string(), |a| format!("{:.4}", a.reliability.mean))
@@ -338,7 +344,8 @@ pub fn render_figure(points: &[PointResult]) -> String {
     out.push_str("### (a) achieved SFC reliability\n\n");
     out.push_str(&rel.to_markdown());
 
-    let mut usage = Table::new(vec!["point", "avg usage", "min usage", "max usage", "viol. trials"]);
+    let mut usage =
+        Table::new(vec!["point", "avg usage", "min usage", "max usage", "viol. trials"]);
     for p in points {
         match &p.randomized_usage {
             Some(u) => usage.add_row(vec![
@@ -348,13 +355,9 @@ pub fn render_figure(points: &[PointResult]) -> String {
                 format!("{:.3}", u.max.mean),
                 format!("{:.0}%", 100.0 * u.violation_fraction),
             ]),
-            None => usage.add_row(vec![
-                p.label.clone(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-            ]),
+            None => {
+                usage.add_row(vec![p.label.clone(), "-".into(), "-".into(), "-".into(), "-".into()])
+            }
         }
     }
     out.push_str("\n### (b) Randomized capacity usage ratio\n\n");
@@ -363,8 +366,7 @@ pub fn render_figure(points: &[PointResult]) -> String {
     let mut rt = Table::new(vec!["point", "ILP", "Randomized", "Heuristic", "N (items)"]);
     for p in points {
         let f = |s: &Option<AlgoStats>| {
-            s.as_ref()
-                .map_or("-".to_string(), |a| expkit::table::fmt_duration_s(a.runtime_s.mean))
+            s.as_ref().map_or("-".to_string(), |a| expkit::table::fmt_duration_s(a.runtime_s.mean))
         };
         rt.add_row(vec![
             p.label.clone(),
@@ -380,7 +382,8 @@ pub fn render_figure(points: &[PointResult]) -> String {
 }
 
 /// Tiny CLI-flag parser shared by the figure binaries:
-/// `--trials N --seed S --threads T --json PATH --greedy --no-ilp`.
+/// `--trials N --seed S --threads T --json PATH --greedy --no-ilp
+/// --trace PATH --requests N`.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
     pub trials: usize,
@@ -389,6 +392,10 @@ pub struct HarnessArgs {
     pub json: Option<String>,
     pub greedy: bool,
     pub ilp: bool,
+    /// JSONL telemetry sink (binaries that support tracing).
+    pub trace: Option<String>,
+    /// Requests per stream (stream binaries only; `None` = binary default).
+    pub requests: Option<usize>,
 }
 
 impl Default for HarnessArgs {
@@ -400,6 +407,8 @@ impl Default for HarnessArgs {
             json: None,
             greedy: false,
             ilp: true,
+            trace: None,
+            requests: None,
         }
     }
 }
@@ -412,7 +421,9 @@ impl HarnessArgs {
             let mut value =
                 |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
             match flag.as_str() {
-                "--trials" => out.trials = value("--trials")?.parse().map_err(|e| format!("{e}"))?,
+                "--trials" => {
+                    out.trials = value("--trials")?.parse().map_err(|e| format!("{e}"))?
+                }
                 "--seed" => out.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
                 "--threads" => {
                     out.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?
@@ -420,11 +431,18 @@ impl HarnessArgs {
                 "--json" => out.json = Some(value("--json")?),
                 "--greedy" => out.greedy = true,
                 "--no-ilp" => out.ilp = false,
+                "--trace" => out.trace = Some(value("--trace")?),
+                "--requests" => {
+                    out.requests = Some(value("--requests")?.parse().map_err(|e| format!("{e}"))?)
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
         if out.trials == 0 {
             return Err("--trials must be >= 1".into());
+        }
+        if out.requests == Some(0) {
+            return Err("--requests must be >= 1".into());
         }
         Ok(out)
     }
@@ -511,20 +529,34 @@ mod tests {
     #[test]
     fn args_parse_round_trip() {
         let args = HarnessArgs::parse(
-            ["--trials", "7", "--seed", "9", "--greedy", "--no-ilp"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--trials",
+                "7",
+                "--seed",
+                "9",
+                "--greedy",
+                "--no-ilp",
+                "--trace",
+                "t.jsonl",
+                "--requests",
+                "200",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         )
         .unwrap();
         assert_eq!(args.trials, 7);
         assert_eq!(args.seed, 9);
         assert!(args.greedy);
         assert!(!args.ilp);
+        assert_eq!(args.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(args.requests, Some(200));
+        assert!(
+            HarnessArgs::parse(["--requests".to_string(), "0".to_string()].into_iter()).is_err()
+        );
         assert!(HarnessArgs::parse(["--bogus".to_string()].into_iter()).is_err());
         assert!(HarnessArgs::parse(["--trials".to_string()].into_iter()).is_err());
-        assert!(
-            HarnessArgs::parse(["--trials".to_string(), "0".to_string()].into_iter()).is_err()
-        );
+        assert!(HarnessArgs::parse(["--trials".to_string(), "0".to_string()].into_iter()).is_err());
     }
 
     #[test]

@@ -88,10 +88,8 @@ mod tests {
         let backups = chain_backups_for_target(&[0.9; 4], 0.999).unwrap();
         assert_eq!(backups, vec![3, 3, 3, 3]);
         // Verify sufficiency.
-        let chain: f64 = backups
-            .iter()
-            .map(|&k| crate::reliability::function_reliability(0.9, k))
-            .product();
+        let chain: f64 =
+            backups.iter().map(|&k| crate::reliability::function_reliability(0.9, k)).product();
         assert!(chain >= 0.999);
         // Unreachable target.
         assert!(chain_backups_for_target(&[0.9], 1.0).is_none());

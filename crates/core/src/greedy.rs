@@ -7,6 +7,8 @@
 
 use std::time::Instant;
 
+use obs::Recorder;
+
 use crate::instance::AugmentationInstance;
 use crate::reliability;
 use crate::solution::{Augmentation, Metrics, Outcome, SolverInfo};
@@ -31,6 +33,16 @@ pub struct GreedyConfig {
 /// that still fits one instance, commit the placement maximizing the rule's
 /// score; stop when the expectation is met or nothing fits.
 pub fn solve(inst: &AugmentationInstance, cfg: &GreedyConfig) -> Outcome {
+    solve_traced(inst, cfg, &mut Recorder::noop())
+}
+
+/// [`solve`] with telemetry: emits one `greedy.step` event per committed
+/// placement (function, bin, score under the configured rule).
+pub fn solve_traced(
+    inst: &AugmentationInstance,
+    cfg: &GreedyConfig,
+    rec: &mut Recorder,
+) -> Outcome {
     let started = Instant::now();
     let mut aug = Augmentation::empty(inst.chain_len());
     let mut steps = 0usize;
@@ -46,8 +58,7 @@ pub fn solve(inst: &AugmentationInstance, cfg: &GreedyConfig) -> Outcome {
                 if counts[i] >= f.max_secondaries {
                     continue;
                 }
-                let gain =
-                    reliability::log_gain(f.reliability, f.existing_backups + counts[i] + 1);
+                let gain = reliability::log_gain(f.reliability, f.existing_backups + counts[i] + 1);
                 let score = match cfg.rule {
                     GreedyRule::GainPerResource => gain / f.demand,
                     GreedyRule::GainOnly => gain,
@@ -67,17 +78,31 @@ pub fn solve(inst: &AugmentationInstance, cfg: &GreedyConfig) -> Outcome {
                     }
                 }
             }
-            let Some((_, i, b)) = best else { break };
+            let Some((score, i, b)) = best else { break };
             residual[b] -= inst.functions[i].demand;
             counts[i] += 1;
             aug.add(i, b, 1);
             steps += 1;
+            rec.count("greedy.steps", 1);
+            rec.emit_with(|| {
+                obs::Event::new("greedy.step")
+                    .with("step", steps)
+                    .with("function", i)
+                    .with("bin", b)
+                    .with("score", score)
+            });
         }
     }
     debug_assert!(aug.is_capacity_feasible(inst));
     debug_assert!(aug.respects_locality(inst));
     let metrics = Metrics::compute(&aug, inst);
-    Outcome { augmentation: aug, metrics, runtime: started.elapsed(), solver: SolverInfo::Greedy { steps } }
+    Outcome {
+        augmentation: aug,
+        metrics,
+        runtime: started.elapsed(),
+        solver: SolverInfo::Greedy { steps },
+        telemetry: rec.summary(),
+    }
 }
 
 #[cfg(test)]
@@ -116,10 +141,7 @@ mod tests {
     #[test]
     fn prefers_weak_functions_first() {
         let inst = AugmentationInstance {
-            functions: vec![
-                slot(200.0, 0.9, vec![0], 1),
-                slot(200.0, 0.6, vec![0], 1),
-            ],
+            functions: vec![slot(200.0, 0.9, vec![0], 1), slot(200.0, 0.6, vec![0], 1)],
             bins: vec![Bin { node: NodeId(0), residual: 200.0 }],
             l: 1,
             expectation: 0.99999,
@@ -134,10 +156,7 @@ mod tests {
         // 400-MHz bin, gain-per-resource picks four f0 instances (4 × 0.0953
         // = 0.38 > 0.336), gain-only picks one f1 instance first.
         let inst = AugmentationInstance {
-            functions: vec![
-                slot(100.0, 0.9, vec![0], 10),
-                slot(400.0, 0.6, vec![0], 1),
-            ],
+            functions: vec![slot(100.0, 0.9, vec![0], 10), slot(400.0, 0.6, vec![0], 1)],
             bins: vec![Bin { node: NodeId(0), residual: 400.0 }],
             l: 1,
             expectation: 0.9999999999,

@@ -15,6 +15,7 @@
 use std::time::Instant;
 
 use matching::{min_cost_max_b_matching, min_cost_max_matching};
+use obs::Recorder;
 
 use crate::instance::AugmentationInstance;
 use crate::reliability;
@@ -59,15 +60,31 @@ impl HeuristicConfig {
 
 /// Run Algorithm 2. Never violates capacities or locality.
 pub fn solve(inst: &AugmentationInstance, cfg: &HeuristicConfig) -> Outcome {
+    solve_traced(inst, cfg, &mut Recorder::noop())
+}
+
+/// [`solve`] with telemetry: emits one `heuristic.round` event per matching
+/// round carrying the bipartite graph dimensions (bins × items, edge count),
+/// the matching size, the placements committed and the reliability gain.
+pub fn solve_traced(
+    inst: &AugmentationInstance,
+    cfg: &HeuristicConfig,
+    rec: &mut Recorder,
+) -> Outcome {
     let started = Instant::now();
     let mut aug = Augmentation::empty(inst.chain_len());
     if inst.expectation_met_by_primaries() {
         let metrics = Metrics::compute(&aug, inst);
+        rec.emit_with(|| {
+            obs::Event::new("heuristic.early_exit")
+                .with("base_reliability", metrics.base_reliability)
+        });
         return Outcome {
             augmentation: aug,
             metrics,
             runtime: started.elapsed(),
             solver: SolverInfo::Heuristic { matching_rounds: 0 },
+            telemetry: rec.summary(),
         };
     }
 
@@ -102,12 +119,8 @@ pub fn solve(inst: &AugmentationInstance, cfg: &HeuristicConfig) -> Outcome {
         let mut edges: Vec<(usize, usize, f64)> = Vec::new();
         let mut item_of: Vec<(usize, usize)> = Vec::new(); // right idx -> (func, k)
         for (i, f) in inst.functions.iter().enumerate() {
-            let usable: Vec<usize> = f
-                .eligible_bins
-                .iter()
-                .copied()
-                .filter(|&b| residual[b] >= f.demand)
-                .collect();
+            let usable: Vec<usize> =
+                f.eligible_bins.iter().copied().filter(|&b| residual[b] >= f.demand).collect();
             if usable.is_empty() {
                 continue;
             }
@@ -129,6 +142,7 @@ pub fn solve(inst: &AugmentationInstance, cfg: &HeuristicConfig) -> Outcome {
             break;
         }
         rounds += 1;
+        let rel_before = if rec.enabled() { aug.reliability(inst) } else { 0.0 };
         let m = if cfg.batch_rounds {
             // Conservative per-bin multiplicity: what certainly fits even if
             // every match demands the largest eligible function.
@@ -173,6 +187,26 @@ pub fn solve(inst: &AugmentationInstance, cfg: &HeuristicConfig) -> Outcome {
                 committed += 1;
             }
         }
+        rec.count("heuristic.rounds", 1);
+        rec.count("heuristic.committed", committed as u64);
+        rec.emit_with(|| {
+            let left_bins = {
+                let mut seen = vec![false; inst.bins.len()];
+                for &(b, _, _) in &edges {
+                    seen[b] = true;
+                }
+                seen.iter().filter(|&&s| s).count()
+            };
+            obs::Event::new("heuristic.round")
+                .with("round", rounds)
+                .with("left_bins", left_bins)
+                .with("right_items", item_of.len())
+                .with("edges", edges.len())
+                .with("matched", m.pairs.len())
+                .with("committed", committed)
+                .with("reliability", aug.reliability(inst))
+                .with("reliability_gain", aug.reliability(inst) - rel_before)
+        });
         if committed == 0 {
             break;
         }
@@ -186,7 +220,8 @@ pub fn solve(inst: &AugmentationInstance, cfg: &HeuristicConfig) -> Outcome {
     if cfg.stop == StopRule::Expectation {
         // The final matching round may overshoot the expectation; trim the
         // surplus like the other algorithms do.
-        aug.trim_to_expectation(inst);
+        let trimmed = aug.trim_to_expectation(inst);
+        rec.count("heuristic.trimmed_secondaries", trimmed as u64);
     }
     debug_assert!(aug.is_capacity_feasible(inst));
     debug_assert!(aug.respects_locality(inst));
@@ -196,6 +231,7 @@ pub fn solve(inst: &AugmentationInstance, cfg: &HeuristicConfig) -> Outcome {
         metrics,
         runtime: started.elapsed(),
         solver: SolverInfo::Heuristic { matching_rounds: rounds },
+        telemetry: rec.summary(),
     }
 }
 
@@ -279,10 +315,7 @@ mod tests {
     #[test]
     fn exhaust_rule_fills_everything() {
         let inst = AugmentationInstance {
-            functions: vec![
-                slot(100.0, 0.9, vec![0, 1], 7),
-                slot(150.0, 0.85, vec![1], 2),
-            ],
+            functions: vec![slot(100.0, 0.9, vec![0, 1], 7), slot(150.0, 0.85, vec![1], 2)],
             bins: vec![
                 Bin { node: NodeId(0), residual: 250.0 },
                 Bin { node: NodeId(1), residual: 400.0 },
@@ -294,7 +327,10 @@ mod tests {
         // the base misses.
         let mut inst = inst;
         inst.expectation = 0.9999999999;
-        let out = solve(&inst, &HeuristicConfig { stop: StopRule::Exhaust, gain_floor: 0.0, batch_rounds: false });
+        let out = solve(
+            &inst,
+            &HeuristicConfig { stop: StopRule::Exhaust, gain_floor: 0.0, batch_rounds: false },
+        );
         // Bin0 fits 2 f0-instances (200 <= 250); bin1: best packing uses all
         // 400 MHz; the matching is greedy per round so verify only feasibility
         // and that nothing more could fit.
@@ -321,10 +357,7 @@ mod tests {
         // cost(r, 1) = -ln(r(1-r)); r=0.6 -> -ln(0.24)=1.43; r=0.9 ->
         // -ln(0.09)=2.41. So f(r=0.6) wins — which also maximizes gain here.
         let inst = AugmentationInstance {
-            functions: vec![
-                slot(200.0, 0.6, vec![0], 1),
-                slot(200.0, 0.9, vec![0], 1),
-            ],
+            functions: vec![slot(200.0, 0.6, vec![0], 1), slot(200.0, 0.9, vec![0], 1)],
             bins: vec![Bin { node: NodeId(0), residual: 200.0 }],
             l: 1,
             expectation: 0.999999,
@@ -371,19 +404,42 @@ mod tests {
             expectation: 0.99999999,
         };
         let unit = solve(&inst, &HeuristicConfig::default());
-        let batch = solve(
-            &inst,
-            &HeuristicConfig { batch_rounds: true, ..Default::default() },
-        );
+        let batch = solve(&inst, &HeuristicConfig { batch_rounds: true, ..Default::default() });
         assert!(batch.augmentation.is_capacity_feasible(&inst));
         assert!(batch.augmentation.respects_locality(&inst));
-        let (SolverInfo::Heuristic { matching_rounds: ru }, SolverInfo::Heuristic { matching_rounds: rb }) =
-            (&unit.solver, &batch.solver)
+        let (
+            SolverInfo::Heuristic { matching_rounds: ru },
+            SolverInfo::Heuristic { matching_rounds: rb },
+        ) = (&unit.solver, &batch.solver)
         else {
             panic!("wrong solver info")
         };
         assert!(rb <= ru, "batch rounds {rb} should not exceed unit rounds {ru}");
         assert!(batch.metrics.reliability >= 0.95 * unit.metrics.reliability);
+    }
+
+    #[test]
+    fn traced_solve_records_rounds() {
+        let inst = AugmentationInstance {
+            functions: vec![slot(100.0, 0.8, vec![0], 3)],
+            bins: vec![Bin { node: NodeId(0), residual: 350.0 }],
+            l: 1,
+            expectation: 0.9999999,
+        };
+        let mut rec = Recorder::memory();
+        let out = solve_traced(&inst, &HeuristicConfig::default(), &mut rec);
+        assert_eq!(out.solver, SolverInfo::Heuristic { matching_rounds: 3 });
+        assert_eq!(out.telemetry.counter("heuristic.rounds"), 3);
+        let rounds: Vec<_> = rec.events().iter().filter(|e| e.kind == "heuristic.round").collect();
+        assert_eq!(rounds.len(), 3);
+        // One bin -> each round matches and commits exactly one placement,
+        // and every round strictly improves the reliability.
+        for e in &rounds {
+            assert_eq!(e.field("matched").unwrap().as_u64(), Some(1));
+            assert_eq!(e.field("committed").unwrap().as_u64(), Some(1));
+            assert_eq!(e.field("left_bins").unwrap().as_u64(), Some(1));
+            assert!(e.field("reliability_gain").unwrap().as_f64().unwrap() > 0.0);
+        }
     }
 
     #[test]

@@ -24,7 +24,8 @@
 
 use std::time::Instant;
 
-use milp::{BnbConfig, Model, Relation, Sense, SolverError, VarId};
+use milp::{BnbConfig, BnbStats, Model, Relation, Sense, SolverError, VarId};
+use obs::Recorder;
 
 use crate::instance::{AugmentationInstance, Item};
 use crate::reliability;
@@ -197,11 +198,7 @@ pub fn build_aggregated(
         }
         // Do not pack more instances than enumerated slots (junk placements
         // would waste capacity without gain).
-        model.add_constraint(
-            ns.iter().map(|&v| (v, 1.0)).collect(),
-            Relation::Le,
-            cap as f64,
-        );
+        model.add_constraint(ns.iter().map(|&v| (v, 1.0)).collect(), Relation::Le, cap as f64);
     }
     // Capacity per bin.
     let mut per_bin: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); inst.bins.len()];
@@ -232,9 +229,7 @@ impl AggModel {
     ) -> Vec<f64> {
         let mut x = vec![0.0; self.model.num_vars()];
         for &(i, b, v) in &self.n_vars {
-            if let Some(&(_, c)) =
-                aug.placements_of(i).iter().find(|&&(bin, _)| bin == b)
-            {
+            if let Some(&(_, c)) = aug.placements_of(i).iter().find(|&&(bin, _)| bin == b) {
                 // Clamp into the variable's bound (the warm solution may have
                 // used more slots than the gain-floor cap enumerates).
                 let (_, ub) = self.model.var_bounds(v);
@@ -333,11 +328,11 @@ fn decompose(inst: &AugmentationInstance) -> Vec<(Vec<usize>, Vec<usize>)> {
 }
 
 /// Solve one (sub-)instance to optimality, uncapped and without the
-/// early-exit check. Returns the augmentation plus solver effort.
+/// early-exit check. Returns the augmentation plus the full search stats.
 fn solve_component(
     inst: &AugmentationInstance,
     cfg: &IlpConfig,
-) -> Result<(Augmentation, usize, usize), SolverError> {
+) -> Result<(Augmentation, BnbStats), SolverError> {
     let agg = build_aggregated(inst, cfg.gain_floor, None);
     let mut bnb = cfg.bnb.clone();
     if cfg.warm_start {
@@ -352,29 +347,50 @@ fn solve_component(
     bnb.branch_priority = Some(priority);
     let sol = milp::solve_milp_with(&agg.model, &bnb)?;
     debug_assert!(sol.is_optimal(), "placement ILPs are always feasible (x = 0)");
-    Ok((agg.extract(inst, &sol.x), sol.nodes, sol.lp_iterations))
+    Ok((agg.extract(inst, &sol.x), sol.stats))
 }
 
 /// Solve the instance exactly. Returns the optimal augmentation, or the empty
 /// augmentation immediately when the primaries already meet `ρ_j` (the
 /// EXIT in line 2–3 of Algorithm 1, shared by the ILP path).
 pub fn solve(inst: &AugmentationInstance, cfg: &IlpConfig) -> Result<Outcome, SolverError> {
+    solve_traced(inst, cfg, &mut Recorder::noop())
+}
+
+/// [`solve`] with telemetry: emits one `ilp.component` event per independent
+/// component (branch-and-bound nodes, simplex iterations, incumbent updates,
+/// prune counts by reason) and accumulates the same quantities as counters.
+pub fn solve_traced(
+    inst: &AugmentationInstance,
+    cfg: &IlpConfig,
+    rec: &mut Recorder,
+) -> Result<Outcome, SolverError> {
     let started = Instant::now();
     if inst.expectation_met_by_primaries() {
         let aug = Augmentation::empty(inst.chain_len());
         let metrics = Metrics::compute(&aug, inst);
+        rec.emit_with(|| {
+            obs::Event::new("ilp.early_exit").with("base_reliability", metrics.base_reliability)
+        });
         return Ok(Outcome {
             augmentation: aug,
             metrics,
             runtime: started.elapsed(),
-            solver: SolverInfo::Ilp { nodes: 0, lp_iterations: 0 },
+            solver: SolverInfo::Ilp {
+                nodes: 0,
+                lp_iterations: 0,
+                incumbent_updates: 0,
+                pruned_bound: 0,
+                pruned_infeasible: 0,
+            },
+            telemetry: rec.summary(),
         });
     }
     let comps = decompose(inst);
+    rec.count("ilp.components", comps.len() as u64);
     let mut aug = Augmentation::empty(inst.chain_len());
-    let mut nodes = 0;
-    let mut lp_iterations = 0;
-    for (funcs, bins) in comps {
+    let mut stats = BnbStats::default();
+    for (ci, (funcs, bins)) in comps.into_iter().enumerate() {
         // Build the sub-instance with remapped bin indices.
         let bin_map: std::collections::HashMap<usize, usize> =
             bins.iter().enumerate().map(|(local, &global)| (global, local)).collect();
@@ -393,9 +409,33 @@ pub fn solve(inst: &AugmentationInstance, cfg: &IlpConfig) -> Result<Outcome, So
             l: inst.l,
             expectation: inst.expectation,
         };
-        let (sub_aug, n, it) = solve_component(&sub, cfg)?;
-        nodes += n;
-        lp_iterations += it;
+        let comp_started = Instant::now();
+        let (sub_aug, s) = solve_component(&sub, cfg)?;
+        let comp_elapsed = comp_started.elapsed();
+        stats.nodes += s.nodes;
+        stats.lp_iterations += s.lp_iterations;
+        stats.incumbent_updates += s.incumbent_updates;
+        stats.pruned_bound += s.pruned_bound;
+        stats.pruned_infeasible += s.pruned_infeasible;
+        rec.count("ilp.nodes", s.nodes as u64);
+        rec.count("ilp.lp_iterations", s.lp_iterations as u64);
+        rec.count("ilp.incumbent_updates", s.incumbent_updates as u64);
+        rec.count("ilp.pruned_bound", s.pruned_bound as u64);
+        rec.count("ilp.pruned_infeasible", s.pruned_infeasible as u64);
+        rec.record_time("ilp.component_solve", comp_elapsed);
+        rec.emit_with(|| {
+            obs::Event::new("ilp.component")
+                .with("component", ci)
+                .with("functions", funcs.len())
+                .with("bins", bins.len())
+                .with("nodes", s.nodes)
+                .with("lp_iterations", s.lp_iterations)
+                .with("incumbent_updates", s.incumbent_updates)
+                .with("pruned_bound", s.pruned_bound)
+                .with("pruned_infeasible", s.pruned_infeasible)
+                .with("secondaries", sub_aug.total_secondaries())
+                .with("solve_s", comp_elapsed.as_secs_f64())
+        });
         for (local_f, &global_f) in funcs.iter().enumerate() {
             for &(local_b, count) in sub_aug.placements_of(local_f) {
                 aug.add(global_f, bins[local_b], count);
@@ -403,7 +443,8 @@ pub fn solve(inst: &AugmentationInstance, cfg: &IlpConfig) -> Result<Outcome, So
         }
     }
     if cfg.stop_at_expectation {
-        aug.trim_to_expectation(inst);
+        let trimmed = aug.trim_to_expectation(inst);
+        rec.count("ilp.trimmed_secondaries", trimmed as u64);
     }
     debug_assert!(aug.is_capacity_feasible(inst));
     debug_assert!(aug.respects_locality(inst));
@@ -412,7 +453,14 @@ pub fn solve(inst: &AugmentationInstance, cfg: &IlpConfig) -> Result<Outcome, So
         augmentation: aug,
         metrics,
         runtime: started.elapsed(),
-        solver: SolverInfo::Ilp { nodes, lp_iterations },
+        solver: SolverInfo::Ilp {
+            nodes: stats.nodes,
+            lp_iterations: stats.lp_iterations,
+            incumbent_updates: stats.incumbent_updates,
+            pruned_bound: stats.pruned_bound,
+            pruned_infeasible: stats.pruned_infeasible,
+        },
+        telemetry: rec.summary(),
     })
 }
 
@@ -467,7 +515,38 @@ mod tests {
         inst.expectation = 0.5; // base reliability 0.8 >= 0.5
         let out = solve(&inst, &IlpConfig::default()).unwrap();
         assert_eq!(out.metrics.total_secondaries, 0);
-        assert_eq!(out.solver, SolverInfo::Ilp { nodes: 0, lp_iterations: 0 });
+        assert_eq!(
+            out.solver,
+            SolverInfo::Ilp {
+                nodes: 0,
+                lp_iterations: 0,
+                incumbent_updates: 0,
+                pruned_bound: 0,
+                pruned_infeasible: 0,
+            }
+        );
+        assert!(out.telemetry.is_empty(), "untraced solve leaves telemetry empty");
+    }
+
+    #[test]
+    fn traced_solve_reports_effort() {
+        let inst = single_function_instance();
+        let mut rec = Recorder::memory();
+        let out = solve_traced(&inst, &IlpConfig::default(), &mut rec).unwrap();
+        // One coupled component, at least one B&B node explored and recorded
+        // identically in the counters, the events and the SolverInfo.
+        assert_eq!(rec.counter("ilp.components"), 1);
+        let SolverInfo::Ilp { nodes, lp_iterations, .. } = out.solver else {
+            panic!("wrong solver info")
+        };
+        assert!(nodes >= 1);
+        assert_eq!(out.telemetry.counter("ilp.nodes"), nodes as u64);
+        assert_eq!(out.telemetry.counter("ilp.lp_iterations"), lp_iterations as u64);
+        let comp_events: Vec<_> =
+            rec.events().iter().filter(|e| e.kind == "ilp.component").collect();
+        assert_eq!(comp_events.len(), 1);
+        assert_eq!(comp_events[0].field("nodes").unwrap().as_u64(), Some(nodes as u64));
+        assert!(out.telemetry.timing_s("ilp.component_solve") > 0.0);
     }
 
     #[test]
@@ -542,7 +621,7 @@ mod tests {
         let m = build_model(&inst, 0.0, None);
         assert_eq!(m.items.len(), 2);
         assert_eq!(m.vars.len(), 2); // one eligible bin each
-        // 2 item rows + 1 capacity row.
+                                     // 2 item rows + 1 capacity row.
         assert_eq!(m.model.num_constraints(), 3);
     }
 

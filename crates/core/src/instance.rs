@@ -131,10 +131,8 @@ impl AugmentationInstance {
                     })
                     .collect();
                 eligible.sort_unstable();
-                let max_secondaries: usize = eligible
-                    .iter()
-                    .map(|&b| (bins[b].residual / demand).floor() as usize)
-                    .sum();
+                let max_secondaries: usize =
+                    eligible.iter().map(|&b| (bins[b].residual / demand).floor() as usize).sum();
                 FunctionSlot {
                     vnf,
                     demand,
@@ -224,8 +222,7 @@ impl AugmentationInstance {
             return 0;
         }
         let c_max = self.bins.iter().map(|b| b.residual).fold(0.0, f64::max);
-        let c_min =
-            self.functions.iter().map(|f| f.demand).fold(f64::INFINITY, f64::min);
+        let c_min = self.functions.iter().map(|f| f.demand).fold(f64::INFINITY, f64::min);
         let d_max = self.functions.iter().map(|f| f.eligible_bins.len()).max().unwrap_or(0);
         (self.chain_len() as f64 * c_max * d_max as f64 / c_min).ceil() as usize
     }

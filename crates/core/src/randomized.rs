@@ -12,6 +12,7 @@
 use std::time::Instant;
 
 use milp::SolverError;
+use obs::Recorder;
 use rand::Rng;
 
 use crate::ilp::build_model;
@@ -45,22 +46,52 @@ pub fn solve<R: Rng + ?Sized>(
     cfg: &RandomizedConfig,
     rng: &mut R,
 ) -> Result<Outcome, SolverError> {
+    solve_traced(inst, cfg, rng, &mut Recorder::noop())
+}
+
+/// [`solve`] with telemetry: records the LP-relaxation solve time, one
+/// `randomized.draw` event per rounding draw (secondaries, reliability,
+/// whether the draw violates capacity) and the repair/trim steps that bring
+/// the kept draw back to the expectation.
+pub fn solve_traced<R: Rng + ?Sized>(
+    inst: &AugmentationInstance,
+    cfg: &RandomizedConfig,
+    rng: &mut R,
+    rec: &mut Recorder,
+) -> Result<Outcome, SolverError> {
     assert!(cfg.rounds >= 1, "at least one rounding draw is required");
     let started = Instant::now();
     if inst.expectation_met_by_primaries() {
         let aug = Augmentation::empty(inst.chain_len());
         let metrics = Metrics::compute(&aug, inst);
+        rec.emit_with(|| {
+            obs::Event::new("randomized.early_exit")
+                .with("base_reliability", metrics.base_reliability)
+        });
         return Ok(Outcome {
             augmentation: aug,
             metrics,
             runtime: started.elapsed(),
-            solver: SolverInfo::Randomized { lp_iterations: 0, rounds: 0 },
+            solver: SolverInfo::Randomized { lp_iterations: 0, rounds: 0, repairs: 0 },
+            telemetry: rec.summary(),
         });
     }
 
     let ilp = build_model(inst, cfg.gain_floor, None);
+    let lp_started = Instant::now();
     let lp = milp::solve_lp(&ilp.model.relax())?;
+    let lp_elapsed = lp_started.elapsed();
     debug_assert!(lp.is_optimal(), "the relaxation is always feasible (x = 0)");
+    rec.record_time("randomized.lp_solve", lp_elapsed);
+    rec.count("randomized.lp_iterations", lp.iterations as u64);
+    rec.emit_with(|| {
+        obs::Event::new("randomized.lp_relaxation")
+            .with("items", ilp.items.len())
+            .with("variables", ilp.vars.len())
+            .with("iterations", lp.iterations)
+            .with("objective", lp.objective)
+            .with("solve_s", lp_elapsed.as_secs_f64())
+    });
 
     // Group LP fractions per item: (bin, fraction) lists.
     let mut fractions: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ilp.items.len()];
@@ -73,7 +104,7 @@ pub fn solve<R: Rng + ?Sized>(
 
     let mut best: Option<Augmentation> = None;
     let mut best_rel = f64::NEG_INFINITY;
-    for _ in 0..cfg.rounds {
+    for round in 0..cfg.rounds {
         let mut aug = Augmentation::empty(inst.chain_len());
         for (idx, dist) in fractions.iter().enumerate() {
             if dist.is_empty() {
@@ -90,14 +121,33 @@ pub fn solve<R: Rng + ?Sized>(
             }
         }
         let rel = aug.reliability(inst);
+        rec.count("randomized.draws", 1);
+        rec.emit_with(|| {
+            obs::Event::new("randomized.draw")
+                .with("round", round)
+                .with("secondaries", aug.total_secondaries())
+                .with("reliability", rel)
+                .with("capacity_feasible", aug.is_capacity_feasible(inst))
+                .with("kept", rel > best_rel)
+        });
         if rel > best_rel {
             best_rel = rel;
             best = Some(aug);
         }
     }
     let mut aug = best.expect("rounds >= 1");
+    let mut repairs = 0;
     if cfg.stop_at_expectation {
-        aug.trim_to_expectation(inst);
+        repairs = aug.trim_to_expectation(inst);
+        rec.count("randomized.repairs", repairs as u64);
+        if repairs > 0 {
+            rec.emit_with(|| {
+                obs::Event::new("randomized.repair")
+                    .with("removed", repairs)
+                    .with("reliability", aug.reliability(inst))
+                    .with("capacity_feasible", aug.is_capacity_feasible(inst))
+            });
+        }
     }
     debug_assert!(aug.respects_locality(inst));
     let metrics = Metrics::compute(&aug, inst);
@@ -105,7 +155,12 @@ pub fn solve<R: Rng + ?Sized>(
         augmentation: aug,
         metrics,
         runtime: started.elapsed(),
-        solver: SolverInfo::Randomized { lp_iterations: lp.iterations, rounds: cfg.rounds },
+        solver: SolverInfo::Randomized {
+            lp_iterations: lp.iterations,
+            rounds: cfg.rounds,
+            repairs,
+        },
+        telemetry: rec.summary(),
     })
 }
 
@@ -141,7 +196,26 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let out = solve(&inst, &RandomizedConfig::default(), &mut rng).unwrap();
         assert_eq!(out.metrics.total_secondaries, 0);
-        assert_eq!(out.solver, SolverInfo::Randomized { lp_iterations: 0, rounds: 0 });
+        assert_eq!(out.solver, SolverInfo::Randomized { lp_iterations: 0, rounds: 0, repairs: 0 });
+    }
+
+    #[test]
+    fn traced_solve_records_lp_and_draws() {
+        let inst = instance(300.0, 0.999999);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rec = Recorder::memory();
+        let cfg = RandomizedConfig { rounds: 4, ..Default::default() };
+        let out = solve_traced(&inst, &cfg, &mut rng, &mut rec).unwrap();
+        assert_eq!(out.telemetry.counter("randomized.draws"), 4);
+        let draws: Vec<_> = rec.events().iter().filter(|e| e.kind == "randomized.draw").collect();
+        assert_eq!(draws.len(), 4);
+        assert!(rec.events().iter().any(|e| e.kind == "randomized.lp_relaxation"));
+        assert!(out.telemetry.timing_s("randomized.lp_solve") > 0.0);
+        let SolverInfo::Randomized { lp_iterations, rounds, .. } = out.solver else {
+            panic!("wrong solver info")
+        };
+        assert_eq!(rounds, 4);
+        assert_eq!(out.telemetry.counter("randomized.lp_iterations"), lp_iterations as u64);
     }
 
     #[test]
@@ -207,7 +281,10 @@ mod tests {
                 .unwrap();
             best_single = best_single.max(s.metrics.reliability);
             best_multi = best_multi.max(m.metrics.reliability);
-            assert!(m.metrics.reliability >= s.metrics.reliability - 1e-12 || m.metrics.reliability > 0.0);
+            assert!(
+                m.metrics.reliability >= s.metrics.reliability - 1e-12
+                    || m.metrics.reliability > 0.0
+            );
         }
         assert!(best_multi >= best_single - 1e-12);
     }

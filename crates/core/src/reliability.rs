@@ -51,11 +51,7 @@ pub fn log_gain(r: f64, k: usize) -> f64 {
 /// `u_j = Π_i R(f_i, m_i)` (Section 3.1).
 pub fn chain_reliability(reliabilities: &[f64], secondary_counts: &[usize]) -> f64 {
     debug_assert_eq!(reliabilities.len(), secondary_counts.len());
-    reliabilities
-        .iter()
-        .zip(secondary_counts)
-        .map(|(&r, &m)| function_reliability(r, m))
-        .product()
+    reliabilities.iter().zip(secondary_counts).map(|(&r, &m)| function_reliability(r, m)).product()
 }
 
 /// The paper's budget `C = -log ρ_j` (Section 4.2).

@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 
 use crate::instance::AugmentationInstance;
 use crate::reliability;
-use crate::solution::Outcome;
+use crate::solution::{Outcome, SolverInfo};
 
 /// Render a placement report as plain text (fixed-width columns).
 pub fn render(inst: &AugmentationInstance, outcome: &Outcome) -> String {
@@ -24,7 +24,48 @@ pub fn render(inst: &AugmentationInstance, outcome: &Outcome) -> String {
         "secondaries placed: {}   paper cost c(S): {:.4}   runtime: {:?}",
         m.total_secondaries, m.paper_cost, outcome.runtime
     );
+    let _ = writeln!(out, "solver effort: {}", solver_effort(outcome));
+    if !outcome.telemetry.is_empty() {
+        for (name, secs) in &outcome.telemetry.timings_s {
+            let _ = writeln!(out, "  time {name}: {:.3} ms", secs * 1e3);
+        }
+    }
+    render_placements(inst, outcome, &mut out);
+    out
+}
 
+/// One-line solver-effort summary for an outcome (always available — it is
+/// derived from `SolverInfo`, not from the optional telemetry).
+pub fn solver_effort(outcome: &Outcome) -> String {
+    match outcome.solver {
+        SolverInfo::Ilp {
+            nodes,
+            lp_iterations,
+            incumbent_updates,
+            pruned_bound,
+            pruned_infeasible,
+        } => format!(
+            "ILP — {nodes} B&B nodes, {lp_iterations} LP iterations, \
+             {incumbent_updates} incumbent updates, pruned {pruned_bound} by bound / \
+             {pruned_infeasible} infeasible"
+        ),
+        SolverInfo::Randomized { lp_iterations, rounds, repairs } => format!(
+            "Randomized — {rounds} rounding draws, {lp_iterations} LP iterations, \
+             {repairs} repair removals"
+        ),
+        SolverInfo::Heuristic { matching_rounds } => {
+            let gain = outcome.metrics.reliability - outcome.metrics.base_reliability;
+            format!(
+                "Heuristic — {matching_rounds} matching rounds, {:.6} reliability gain/round",
+                gain / matching_rounds.max(1) as f64
+            )
+        }
+        SolverInfo::Greedy { steps } => format!("Greedy — {steps} steps"),
+    }
+}
+
+/// Render the placement body (everything below the headline lines).
+fn render_placements(inst: &AugmentationInstance, outcome: &Outcome, out: &mut String) {
     let _ = writeln!(out, "\nper-function placement:");
     let counts = outcome.augmentation.counts();
     for (i, f) in inst.functions.iter().enumerate() {
@@ -61,7 +102,6 @@ pub fn render(inst: &AugmentationInstance, outcome: &Outcome) -> String {
             );
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -91,9 +131,35 @@ mod tests {
         let out = heuristic::solve(&inst, &Default::default());
         let text = render(&inst, &out);
         assert!(text.contains("request reliability"));
+        assert!(text.contains("solver effort: Heuristic"));
+        assert!(text.contains("matching rounds"));
         assert!(text.contains("per-function placement"));
         assert!(text.contains("shared=1"));
         assert!(text.contains("cloudlet load"));
         assert!(text.contains("v0"));
+    }
+
+    #[test]
+    fn traced_report_includes_timing_lines() {
+        let inst = AugmentationInstance {
+            functions: vec![FunctionSlot {
+                vnf: VnfTypeId(0),
+                demand: 100.0,
+                reliability: 0.8,
+                primary: NodeId(0),
+                eligible_bins: vec![0],
+                max_secondaries: 3,
+                existing_backups: 0,
+            }],
+            bins: vec![Bin { node: NodeId(0), residual: 400.0 }],
+            l: 1,
+            expectation: 0.999,
+        };
+        let mut rec = obs::Recorder::memory();
+        let out = crate::ilp::solve_traced(&inst, &Default::default(), &mut rec).unwrap();
+        let text = render(&inst, &out);
+        assert!(text.contains("solver effort: ILP"));
+        assert!(text.contains("B&B nodes"));
+        assert!(text.contains("time ilp.component_solve"));
     }
 }

@@ -78,18 +78,16 @@ impl Augmentation {
     /// Whether every bin's load fits its residual capacity (tolerance for
     /// floating-point demand sums).
     pub fn is_capacity_feasible(&self, inst: &AugmentationInstance) -> bool {
-        self.bin_loads(inst)
-            .iter()
-            .zip(&inst.bins)
-            .all(|(&load, bin)| load <= bin.residual + 1e-6)
+        self.bin_loads(inst).iter().zip(&inst.bins).all(|(&load, bin)| load <= bin.residual + 1e-6)
     }
 
     /// Whether every placement goes to a bin eligible for its function
     /// (the `l`-hop locality constraint).
     pub fn respects_locality(&self, inst: &AugmentationInstance) -> bool {
-        self.placements.iter().enumerate().all(|(i, row)| {
-            row.iter().all(|&(b, _)| inst.functions[i].eligible_bins.contains(&b))
-        })
+        self.placements
+            .iter()
+            .enumerate()
+            .all(|(i, row)| row.iter().all(|&(b, _)| inst.functions[i].eligible_bins.contains(&b)))
     }
 
     /// Remove one secondary of `func` from `bin`; returns `false` if none is
@@ -173,7 +171,7 @@ impl Augmentation {
 }
 
 /// Everything the paper's figures need from one algorithm run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Metrics {
     /// Achieved request reliability `u_j`.
     pub reliability: f64,
@@ -236,13 +234,30 @@ impl Metrics {
     }
 }
 
-/// Per-algorithm solver telemetry.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Per-algorithm solver-effort summary, always populated (telemetry on or
+/// off): the headline numbers `report::render` prints per algorithm.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub enum SolverInfo {
-    Ilp { nodes: usize, lp_iterations: usize },
-    Randomized { lp_iterations: usize, rounds: usize },
-    Heuristic { matching_rounds: usize },
-    Greedy { steps: usize },
+    Ilp {
+        nodes: usize,
+        lp_iterations: usize,
+        incumbent_updates: usize,
+        pruned_bound: usize,
+        pruned_infeasible: usize,
+    },
+    Randomized {
+        lp_iterations: usize,
+        rounds: usize,
+        /// Secondaries removed while repairing overshoot / trimming to the
+        /// expectation after the best draw was selected.
+        repairs: usize,
+    },
+    Heuristic {
+        matching_rounds: usize,
+    },
+    Greedy {
+        steps: usize,
+    },
 }
 
 /// The result of running one augmentation algorithm on one instance.
@@ -252,6 +267,9 @@ pub struct Outcome {
     pub metrics: Metrics,
     pub runtime: Duration,
     pub solver: SolverInfo,
+    /// Counter/timing summary from the telemetry recorder the solve ran
+    /// under; empty (`Telemetry::default()`) for untraced entry points.
+    pub telemetry: obs::Telemetry,
 }
 
 #[cfg(test)]
@@ -342,7 +360,8 @@ mod tests {
         let inst = tiny_instance();
         let mut aug = Augmentation::empty(2);
         aug.add(0, 0, 2);
-        let expect = crate::reliability::paper_cost(0.8, 1) + crate::reliability::paper_cost(0.8, 2);
+        let expect =
+            crate::reliability::paper_cost(0.8, 1) + crate::reliability::paper_cost(0.8, 2);
         assert!((aug.paper_cost(&inst) - expect).abs() < 1e-12);
     }
 

@@ -13,10 +13,13 @@
 //! single-request experiments cannot: early requests eat the capacity that
 //! late requests would have used for backups.
 
+use std::time::Instant;
+
 use mecnet::admission::random_placement_capacity_aware;
 use mecnet::network::MecNetwork;
 use mecnet::request::SfcRequest;
 use mecnet::vnf::VnfCatalog;
+use obs::Recorder;
 use rand::Rng;
 
 use crate::heuristic::HeuristicConfig;
@@ -100,12 +103,8 @@ impl StreamOutcome {
 
     /// Mean achieved reliability over admitted requests (`None` if none).
     pub fn mean_reliability(&self) -> Option<f64> {
-        let adm: Vec<f64> = self
-            .records
-            .iter()
-            .filter(|r| r.admitted)
-            .map(|r| r.achieved_reliability)
-            .collect();
+        let adm: Vec<f64> =
+            self.records.iter().filter(|r| r.admitted).map(|r| r.achieved_reliability).collect();
         (!adm.is_empty()).then(|| adm.iter().sum::<f64>() / adm.len() as f64)
     }
 
@@ -113,8 +112,7 @@ impl StreamOutcome {
     pub fn expectation_rate(&self) -> Option<f64> {
         let adm: Vec<bool> =
             self.records.iter().filter(|r| r.admitted).map(|r| r.met_expectation).collect();
-        (!adm.is_empty())
-            .then(|| adm.iter().filter(|&&m| m).count() as f64 / adm.len() as f64)
+        (!adm.is_empty()).then(|| adm.iter().filter(|&&m| m).count() as f64 / adm.len() as f64)
     }
 }
 
@@ -133,6 +131,22 @@ pub fn process_stream<R: Rng + ?Sized>(
     cfg: &StreamConfig,
     rng: &mut R,
 ) -> StreamOutcome {
+    process_stream_traced(network, catalog, requests, cfg, rng, &mut Recorder::noop())
+}
+
+/// [`process_stream`] with telemetry: emits exactly one `stream.request`
+/// event per request — admitted or rejected (with a reason), the algorithm's
+/// runtime, the secondaries placed and a residual-capacity snapshot after the
+/// request was committed. The per-request solver also runs traced, so its
+/// events interleave in arrival order.
+pub fn process_stream_traced<R: Rng + ?Sized>(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    requests: &[SfcRequest],
+    cfg: &StreamConfig,
+    rng: &mut R,
+    rec: &mut Recorder,
+) -> StreamOutcome {
     assert!(
         (0.0..=1.0).contains(&cfg.initial_capacity_fraction),
         "capacity fraction must be in [0, 1]"
@@ -148,6 +162,12 @@ pub fn process_stream<R: Rng + ?Sized>(
         let Some(placement) =
             random_placement_capacity_aware(network, req, &demands, &mut residual, rng)
         else {
+            rec.count("stream.rejected", 1);
+            rec.emit_with(|| {
+                stream_request_event(req.id, &residual)
+                    .with("admitted", false)
+                    .with("reason", "no_primary_placement")
+            });
             records.push(RequestRecord {
                 id: req.id,
                 admitted: false,
@@ -178,14 +198,17 @@ pub fn process_stream<R: Rng + ?Sized>(
                 f.existing_backups = shared;
             }
         }
+        let solve_started = Instant::now();
         let outcome: Outcome = match &cfg.algorithm {
-            Algorithm::Ilp(c) => ilp::solve(&inst, c).expect("ILP solve in stream"),
+            Algorithm::Ilp(c) => ilp::solve_traced(&inst, c, rec).expect("ILP solve in stream"),
             Algorithm::Randomized(c) => {
-                randomized::solve(&inst, c, rng).expect("LP solve in stream")
+                randomized::solve_traced(&inst, c, rng, rec).expect("LP solve in stream")
             }
-            Algorithm::Heuristic(c) => heuristic::solve(&inst, c),
-            Algorithm::Greedy(c) => greedy::solve(&inst, c),
+            Algorithm::Heuristic(c) => heuristic::solve_traced(&inst, c, rec),
+            Algorithm::Greedy(c) => greedy::solve_traced(&inst, c, rec),
         };
+        let solve_elapsed = solve_started.elapsed();
+        rec.record_time("stream.solve", solve_elapsed);
         // Commit the secondaries' consumption (clamped at zero: the
         // randomized algorithm may overcommit).
         for (bin_idx, &load) in outcome.augmentation.bin_loads(&inst).iter().enumerate() {
@@ -196,8 +219,7 @@ pub fn process_stream<R: Rng + ?Sized>(
         for (i, &loc) in req.sfc.iter().zip(&placement.locations) {
             *deployed.entry((i.index(), loc.index())).or_insert(0) += 1;
         }
-        for (func, row) in
-            (0..inst.chain_len()).map(|f| (f, outcome.augmentation.placements_of(f)))
+        for (func, row) in (0..inst.chain_len()).map(|f| (f, outcome.augmentation.placements_of(f)))
         {
             let type_idx = req.sfc[func].index();
             for &(bin_idx, count) in row {
@@ -205,6 +227,16 @@ pub fn process_stream<R: Rng + ?Sized>(
                 *deployed.entry((type_idx, node)).or_insert(0) += count;
             }
         }
+        rec.count("stream.admitted", 1);
+        rec.emit_with(|| {
+            stream_request_event(req.id, &residual)
+                .with("admitted", true)
+                .with("base_reliability", outcome.metrics.base_reliability)
+                .with("achieved_reliability", outcome.metrics.reliability)
+                .with("met_expectation", outcome.metrics.met_expectation)
+                .with("secondaries", outcome.metrics.total_secondaries)
+                .with("solve_s", solve_elapsed.as_secs_f64())
+        });
         records.push(RequestRecord {
             id: req.id,
             admitted: true,
@@ -215,6 +247,19 @@ pub fn process_stream<R: Rng + ?Sized>(
         });
     }
     StreamOutcome { records, final_residual: residual }
+}
+
+/// Common prefix of a `stream.request` event: the request id plus a snapshot
+/// of the residual capacity *after* this request was processed.
+fn stream_request_event(id: usize, residual: &[f64]) -> obs::Event {
+    let total: f64 = residual.iter().sum();
+    let min = residual.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = residual.iter().copied().fold(0.0f64, f64::max);
+    obs::Event::new("stream.request")
+        .with("id", id)
+        .with("residual_total", total)
+        .with("residual_min", if min.is_finite() { min } else { 0.0 })
+        .with("residual_max", max)
 }
 
 #[cfg(test)]
@@ -262,8 +307,7 @@ mod tests {
         let reqs = make_requests(30, &cat, net.num_nodes(), 8);
         let mut rng = StdRng::seed_from_u64(3);
         let out = process_stream(&net, &cat, &reqs, &StreamConfig::default(), &mut rng);
-        let admitted: Vec<&RequestRecord> =
-            out.records.iter().filter(|r| r.admitted).collect();
+        let admitted: Vec<&RequestRecord> = out.records.iter().filter(|r| r.admitted).collect();
         assert!(admitted.len() >= 4);
         let half = admitted.len() / 2;
         let early: f64 =
@@ -324,9 +368,8 @@ mod tests {
         let shared = run(true);
         // Sharing never hurts: fewer secondaries in total for at least the
         // same overall reliability mass.
-        let total_secondaries = |o: &StreamOutcome| -> usize {
-            o.records.iter().map(|r| r.secondaries).sum()
-        };
+        let total_secondaries =
+            |o: &StreamOutcome| -> usize { o.records.iter().map(|r| r.secondaries).sum() };
         assert!(
             total_secondaries(&shared) <= total_secondaries(&plain),
             "sharing should reduce secondary deployments: {} vs {}",
@@ -350,6 +393,33 @@ mod tests {
         // that reliabilities remain valid probabilities and records complete.
         for r in &out.records {
             assert!(r.achieved_reliability >= 0.0 && r.achieved_reliability <= 1.0);
+        }
+    }
+
+    #[test]
+    fn traced_stream_emits_one_event_per_request() {
+        let (net, cat) = setup();
+        let reqs = make_requests(15, &cat, net.num_nodes(), 12);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut rec = Recorder::memory();
+        let out =
+            process_stream_traced(&net, &cat, &reqs, &StreamConfig::default(), &mut rng, &mut rec);
+        let req_events: Vec<_> =
+            rec.events().iter().filter(|e| e.kind == "stream.request").collect();
+        assert_eq!(req_events.len(), reqs.len(), "exactly one stream.request event per request");
+        let admitted_events =
+            req_events.iter().filter(|e| e.field("admitted").unwrap().as_bool() == Some(true));
+        assert_eq!(admitted_events.count(), out.admitted());
+        assert_eq!(rec.counter("stream.admitted"), out.admitted() as u64);
+        assert_eq!(rec.counter("stream.rejected"), out.rejected() as u64);
+        for e in &req_events {
+            if e.field("admitted").unwrap().as_bool() == Some(false) {
+                assert_eq!(e.field("reason").unwrap().as_str(), Some("no_primary_placement"));
+            } else {
+                assert!(e.field("solve_s").unwrap().as_f64().is_some());
+                assert!(e.field("secondaries").unwrap().as_u64().is_some());
+            }
+            assert!(e.field("residual_total").unwrap().as_f64().unwrap() >= 0.0);
         }
     }
 

@@ -27,11 +27,7 @@ pub fn chernoff_lower_tail(mu: f64, beta: f64) -> f64 {
 /// The paper's `Λ` (Eq. 18): the max of the largest item cost, the largest
 /// residual capacity, the largest demand, and the budget `-log ρ_j`.
 pub fn lambda(inst: &AugmentationInstance) -> f64 {
-    let max_cost = inst
-        .items(1e-12)
-        .iter()
-        .map(|it| it.cost)
-        .fold(0.0f64, f64::max);
+    let max_cost = inst.items(1e-12).iter().map(|it| it.cost).fold(0.0f64, f64::max);
     let max_residual = inst.bins.iter().map(|b| b.residual).fold(0.0f64, f64::max);
     let max_demand = inst.functions.iter().map(|f| f.demand).fold(0.0f64, f64::max);
     max_cost.max(max_residual).max(max_demand).max(inst.budget())
@@ -66,8 +62,7 @@ pub fn capacity_premise(inst: &AugmentationInstance, num_nodes: usize) -> bool {
     if inst.bins.is_empty() {
         return false;
     }
-    let min_residual =
-        inst.bins.iter().map(|b| b.residual).fold(f64::INFINITY, f64::min);
+    let min_residual = inst.bins.iter().map(|b| b.residual).fold(f64::INFINITY, f64::min);
     min_residual >= 6.0 * lambda(inst) * (num_nodes as f64).ln()
 }
 
@@ -78,10 +73,7 @@ pub fn unconstrained_optimum(inst: &AugmentationInstance) -> f64 {
     inst.functions
         .iter()
         .map(|f| {
-            reliability::function_reliability(
-                f.reliability,
-                f.existing_backups + f.max_secondaries,
-            )
+            reliability::function_reliability(f.reliability, f.existing_backups + f.max_secondaries)
         })
         .product()
 }

@@ -29,10 +29,8 @@ fn arb_instance() -> impl Strategy<Value = AugmentationInstance> {
                     .filter(|&b| (i + b) % 3 != 0 || b == i % bins.len())
                     .filter(|&b| bins[b].residual >= demand)
                     .collect();
-                let max_secondaries = eligible
-                    .iter()
-                    .map(|&b| (bins[b].residual / demand).floor() as usize)
-                    .sum();
+                let max_secondaries =
+                    eligible.iter().map(|&b| (bins[b].residual / demand).floor() as usize).sum();
                 FunctionSlot {
                     vnf: VnfTypeId(i),
                     demand,

@@ -75,11 +75,9 @@ fn fewer_new_secondaries_needed_with_sharing() {
 #[test]
 fn reliability_accounts_for_existing_in_all_algorithms() {
     let inst = instance_with_existing(1, 0.9999999999);
-    let exact = ilp::solve(
-        &inst,
-        &ilp::IlpConfig { stop_at_expectation: false, ..Default::default() },
-    )
-    .unwrap();
+    let exact =
+        ilp::solve(&inst, &ilp::IlpConfig { stop_at_expectation: false, ..Default::default() })
+            .unwrap();
     // All 4 new secondaries placed on top of 1 existing: R(0.8, 5).
     assert_eq!(exact.metrics.total_secondaries, 4);
     let expect = reliability::function_reliability(0.8, 5);

@@ -11,6 +11,6 @@ pub mod timer;
 
 pub use histogram::{percentile, Histogram};
 pub use seed::fan_out;
-pub use stats::Summary;
+pub use stats::{Accumulator, Summary};
 pub use table::Table;
-pub use timer::time_it;
+pub use timer::{time_it, Stopwatch};

@@ -29,17 +29,12 @@ impl Table {
             .headers
             .iter()
             .enumerate()
-            .map(|(i, h)| {
-                self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(0)
-            })
+            .map(|(i, h)| self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(0))
             .collect();
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let body: Vec<String> = cells
-                .iter()
-                .zip(widths)
-                .map(|(c, &w)| format!("{c:<w$}"))
-                .collect();
+            let body: Vec<String> =
+                cells.iter().zip(widths).map(|(c, &w)| format!("{c:<w$}")).collect();
             format!("| {} |\n", body.join(" | "))
         };
         out.push_str(&fmt_row(&self.headers, &widths));

@@ -1,12 +1,74 @@
-//! Wall-clock timing helper.
+//! Wall-clock timing helpers: a one-shot closure timer and a [`Stopwatch`]
+//! for timing interior phases of a loop (laps) with named accumulated splits.
 
 use std::time::{Duration, Instant};
 
-/// Run `f`, returning its result and elapsed wall-clock time.
+/// Run `f`, returning its result and elapsed wall-clock time. Thin wrapper
+/// over [`Stopwatch`] for the single-phase case.
 pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
-    let start = Instant::now();
+    let sw = Stopwatch::start();
     let out = f();
-    (out, start.elapsed())
+    (out, sw.elapsed())
+}
+
+/// A monotonic stopwatch supporting laps (time since the previous lap) and
+/// named accumulated splits (total time attributed to each phase across
+/// laps). Unlike [`time_it`], it can time interior phases without
+/// restructuring the code into closures.
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    start: Instant,
+    last_lap: Instant,
+    laps: Vec<Duration>,
+    splits: Vec<(&'static str, Duration)>,
+}
+
+impl Stopwatch {
+    pub fn start() -> Stopwatch {
+        let now = Instant::now();
+        Stopwatch { start: now, last_lap: now, laps: Vec::new(), splits: Vec::new() }
+    }
+
+    /// Total time since the stopwatch started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Close the current lap: record and return the time since the previous
+    /// lap (or since start for the first lap).
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let lap = now - self.last_lap;
+        self.last_lap = now;
+        self.laps.push(lap);
+        lap
+    }
+
+    /// Like [`lap`](Self::lap), but also accumulate the lap's duration into
+    /// the named split, so repeated phases sum across iterations.
+    pub fn lap_as(&mut self, name: &'static str) -> Duration {
+        let lap = self.lap();
+        match self.splits.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, total)) => *total += lap,
+            None => self.splits.push((name, lap)),
+        }
+        lap
+    }
+
+    /// All closed laps, in order.
+    pub fn laps(&self) -> &[Duration] {
+        &self.laps
+    }
+
+    /// Accumulated time per named split, in first-seen order.
+    pub fn splits(&self) -> &[(&'static str, Duration)] {
+        &self.splits
+    }
+
+    /// Accumulated total for one named split (zero if never recorded).
+    pub fn split(&self, name: &str) -> Duration {
+        self.splits.iter().find(|(n, _)| *n == name).map(|(_, d)| *d).unwrap_or(Duration::ZERO)
+    }
 }
 
 #[cfg(test)]
@@ -23,5 +85,35 @@ mod tests {
     fn passes_value_through() {
         let (v, _) = time_it(|| 41 + 1);
         assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn laps_partition_elapsed_time() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(3));
+        let l1 = sw.lap();
+        std::thread::sleep(Duration::from_millis(3));
+        let l2 = sw.lap();
+        assert!(l1 >= Duration::from_millis(2));
+        assert!(l2 >= Duration::from_millis(2));
+        assert_eq!(sw.laps().len(), 2);
+        // Laps cover disjoint intervals, so their sum cannot exceed elapsed.
+        assert!(l1 + l2 <= sw.elapsed());
+    }
+
+    #[test]
+    fn named_splits_accumulate_across_laps() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        sw.lap_as("solve");
+        std::thread::sleep(Duration::from_millis(1));
+        sw.lap_as("commit");
+        std::thread::sleep(Duration::from_millis(2));
+        sw.lap_as("solve");
+        assert_eq!(sw.splits().len(), 2);
+        assert_eq!(sw.laps().len(), 3);
+        assert!(sw.split("solve") >= Duration::from_millis(3));
+        assert!(sw.split("solve") > sw.split("commit"));
+        assert_eq!(sw.split("absent"), Duration::ZERO);
     }
 }

@@ -32,10 +32,7 @@ pub fn solve_max_benefit(benefit: &[Vec<f64>], epsilon_final: f64) -> AuctionRes
     assert!(n > 0, "empty problem");
     assert!(benefit.iter().all(|r| r.len() == n), "matrix must be square");
     assert!(epsilon_final > 0.0);
-    let max_abs = benefit
-        .iter()
-        .flat_map(|r| r.iter())
-        .fold(0.0f64, |m, &x| m.max(x.abs()));
+    let max_abs = benefit.iter().flat_map(|r| r.iter()).fold(0.0f64, |m, &x| m.max(x.abs()));
     let mut prices = vec![0.0f64; n];
     let mut assignment: Vec<Option<usize>> = vec![None; n]; // person -> object
     let mut owner: Vec<Option<usize>> = vec![None; n]; // object -> person
@@ -84,8 +81,7 @@ pub fn solve_max_benefit(benefit: &[Vec<f64>], epsilon_final: f64) -> AuctionRes
 
 /// Minimize total cost by auctioning negated costs.
 pub fn solve_min_cost(cost: &[Vec<f64>], epsilon_final: f64) -> AuctionResult {
-    let negated: Vec<Vec<f64>> =
-        cost.iter().map(|r| r.iter().map(|&c| -c).collect()).collect();
+    let negated: Vec<Vec<f64>> = cost.iter().map(|r| r.iter().map(|&c| -c).collect()).collect();
     let mut res = solve_max_benefit(&negated, epsilon_final);
     res.benefit = -res.benefit;
     res
@@ -98,11 +94,7 @@ mod tests {
 
     #[test]
     fn three_by_three_exact() {
-        let cost = vec![
-            vec![4.0, 1.0, 3.0],
-            vec![2.0, 0.0, 5.0],
-            vec![3.0, 2.0, 2.0],
-        ];
+        let cost = vec![vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0], vec![3.0, 2.0, 2.0]];
         let res = solve_min_cost(&cost, 1e-4);
         assert!((res.benefit - 5.0).abs() < 1e-6, "cost {}", res.benefit);
         assert_eq!(res.object_of, vec![1, 0, 2]);
@@ -115,9 +107,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for n in [2usize, 4, 7] {
             for _ in 0..5 {
-                let cost: Vec<Vec<f64>> = (0..n)
-                    .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
-                    .collect();
+                let cost: Vec<Vec<f64>> =
+                    (0..n).map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect()).collect();
                 let auction = solve_min_cost(&cost, 1e-7 / n as f64);
                 let hung = hungarian::solve(&cost).unwrap();
                 assert!(

@@ -28,11 +28,7 @@ pub fn max_cardinality(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> usi
 }
 
 /// Convenience wrapper taking an edge list.
-pub fn max_cardinality_edges(
-    n_left: usize,
-    n_right: usize,
-    edges: &[(usize, usize)],
-) -> usize {
+pub fn max_cardinality_edges(n_left: usize, n_right: usize, edges: &[(usize, usize)]) -> usize {
     let mut adj = vec![Vec::new(); n_left];
     for &(l, r) in edges {
         assert!(l < n_left && r < n_right, "edge endpoint out of range");

@@ -108,11 +108,7 @@ mod tests {
 
     #[test]
     fn square_3x3() {
-        let cost = vec![
-            vec![4.0, 1.0, 3.0],
-            vec![2.0, 0.0, 5.0],
-            vec![3.0, 2.0, 2.0],
-        ];
+        let cost = vec![vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0], vec![3.0, 2.0, 2.0]];
         let a = solve(&cost).unwrap();
         assert!((a.cost - 5.0).abs() < 1e-9, "cost = {}", a.cost);
         assert_eq!(a.col_of_row, vec![1, 0, 2]);

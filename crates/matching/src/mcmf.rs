@@ -35,8 +35,8 @@ pub struct FlowResult {
 /// A directed flow network with real-valued arc costs.
 #[derive(Debug, Clone)]
 pub struct McmfGraph {
-    arcs: Vec<Arc>,          // forward arc at even index, residual at odd
-    adj: Vec<Vec<usize>>,    // node -> arc indices
+    arcs: Vec<Arc>,       // forward arc at even index, residual at odd
+    adj: Vec<Vec<usize>>, // node -> arc indices
     has_negative_cost: bool,
 }
 

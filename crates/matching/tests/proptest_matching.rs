@@ -12,10 +12,7 @@ use proptest::prelude::*;
 
 fn arb_sparse_graph() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
     (1usize..=6, 1usize..=6).prop_flat_map(|(nl, nr)| {
-        let edges = proptest::collection::vec(
-            (0..nl, 0..nr, 0.0f64..20.0),
-            0..=(nl * nr).min(14),
-        );
+        let edges = proptest::collection::vec((0..nl, 0..nr, 0.0f64..20.0), 0..=(nl * nr).min(14));
         edges.prop_map(move |e| (nl, nr, e))
     })
 }

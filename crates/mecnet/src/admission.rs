@@ -78,13 +78,9 @@ pub fn random_placement_capacity_aware<R: Rng + ?Sized>(
     let mut locations = Vec::with_capacity(request.len());
     let mut debited: Vec<(usize, f64)> = Vec::with_capacity(request.len());
     for (&_f, &demand) in request.sfc.iter().zip(demands) {
-        let feasible: Vec<NodeId> = cloudlets
-            .iter()
-            .copied()
-            .filter(|&c| residual[c.index()] >= demand)
-            .collect();
-        let Some(&choice) = feasible.get(rng.gen_range(0..feasible.len().max(1)))
-        else {
+        let feasible: Vec<NodeId> =
+            cloudlets.iter().copied().filter(|&c| residual[c.index()] >= demand).collect();
+        let Some(&choice) = feasible.get(rng.gen_range(0..feasible.len().max(1))) else {
             // Roll back and reject.
             for &(idx, amount) in &debited {
                 residual[idx] += amount;
@@ -126,8 +122,7 @@ pub fn dag_placement(
     // Hop distances from source, destination, and every cloudlet.
     let from_source = g.hop_distances(request.source);
     let from_dest = g.hop_distances(request.destination);
-    let from_cloudlet: Vec<Vec<u32>> =
-        cloudlets.iter().map(|&c| g.hop_distances(c)).collect();
+    let from_cloudlet: Vec<Vec<u32>> = cloudlets.iter().map(|&c| g.hop_distances(c)).collect();
 
     let hops = |dists: &Vec<u32>, v: NodeId| -> Option<f64> {
         let d = dists[v.index()];

@@ -99,10 +99,7 @@ impl Graph {
     /// itself.
     pub fn l_neighborhood(&self, v: NodeId, l: u32) -> Vec<NodeId> {
         let dist = self.hop_distances(v);
-        (0..self.adj.len())
-            .filter(|&u| u != v.0 && dist[u] <= l)
-            .map(NodeId)
-            .collect()
+        (0..self.adj.len()).filter(|&u| u != v.0 && dist[u] <= l).map(NodeId).collect()
     }
 
     /// The paper's `N_l^+(v) = N_l(v) ∪ {v}`.

@@ -65,10 +65,7 @@ impl SfcRequest {
         assert!(num_nodes >= 1);
         let len = rng.gen_range(len_range.0..=len_range.1);
         let sfc = if len <= catalog.len() {
-            rand::seq::index::sample(rng, catalog.len(), len)
-                .into_iter()
-                .map(VnfTypeId)
-                .collect()
+            rand::seq::index::sample(rng, catalog.len(), len).into_iter().map(VnfTypeId).collect()
         } else {
             (0..len).map(|_| VnfTypeId(rng.gen_range(0..catalog.len()))).collect()
         };

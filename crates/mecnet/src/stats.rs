@@ -90,10 +90,7 @@ pub fn cloudlet_adjacency_fraction(net: &MecNetwork, l: u32) -> f64 {
     if cloudlets.is_empty() {
         return 0.0;
     }
-    let with_neighbor = cloudlets
-        .iter()
-        .filter(|&&c| net.cloudlets_within(c, l).len() > 1)
-        .count();
+    let with_neighbor = cloudlets.iter().filter(|&&c| net.cloudlets_within(c, l).len() > 1).count();
     with_neighbor as f64 / cloudlets.len() as f64
 }
 
@@ -123,7 +120,7 @@ mod tests {
         }
         let s = graph_stats(&g);
         assert_eq!(s.clustering, 0.0); // trees have no triangles
-        // paths: 1+2+3 + 1+2 + 1 = 10 over 6 pairs.
+                                       // paths: 1+2+3 + 1+2 + 1 = 10 over 6 pairs.
         assert!((s.avg_path_length - 10.0 / 6.0).abs() < 1e-12);
         assert_eq!(s.diameter, Some(3));
     }

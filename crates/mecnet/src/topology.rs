@@ -160,8 +160,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let sparse = WaxmanConfig { alpha: 0.1, ensure_connected: false, ..Default::default() };
         let dense = WaxmanConfig { alpha: 0.9, ensure_connected: false, ..Default::default() };
-        let e_sparse: usize =
-            (0..5).map(|_| waxman(&sparse, &mut rng).0.num_edges()).sum();
+        let e_sparse: usize = (0..5).map(|_| waxman(&sparse, &mut rng).0.num_edges()).sum();
         let e_dense: usize = (0..5).map(|_| waxman(&dense, &mut rng).0.num_edges()).sum();
         assert!(e_dense > 3 * e_sparse, "dense {e_dense} vs sparse {e_sparse}");
     }

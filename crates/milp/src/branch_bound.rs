@@ -51,12 +51,20 @@ impl Default for BnbConfig {
     }
 }
 
-/// Search statistics, exposed for the paper's running-time figures.
-#[derive(Debug, Clone, Default)]
+/// Search statistics, exposed for the paper's running-time figures and the
+/// telemetry layer's solver-effort reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BnbStats {
+    /// Branch-and-bound nodes expanded (LP relaxations solved).
     pub nodes: usize,
+    /// Total simplex iterations across all node LPs.
     pub lp_iterations: usize,
+    /// How many times a better incumbent was found (warm start included).
     pub incumbent_updates: usize,
+    /// Nodes discarded because their bound could not beat the incumbent.
+    pub pruned_bound: usize,
+    /// Nodes discarded because their LP relaxation was infeasible.
+    pub pruned_infeasible: usize,
 }
 
 /// Solve `model` to proven optimality with default configuration.
@@ -129,7 +137,8 @@ pub fn solve_milp_with(model: &Model, config: &BnbConfig) -> Result<MilpSolution
     while let Some(node) = heap.pop() {
         if let Some((best, _)) = &incumbent {
             if node.bound >= best - config.gap_tol {
-                continue; // pruned by bound
+                stats.pruned_bound += 1;
+                continue;
             }
         }
         stats.nodes += 1;
@@ -153,7 +162,10 @@ pub fn solve_milp_with(model: &Model, config: &BnbConfig) -> Result<MilpSolution
         let lp = solve_lp_with_bounds(model, Some(&node.overrides))?;
         stats.lp_iterations += lp.iterations;
         match lp.status {
-            LpStatus::Infeasible => continue,
+            LpStatus::Infeasible => {
+                stats.pruned_infeasible += 1;
+                continue;
+            }
             LpStatus::Unbounded => {
                 // An unbounded relaxation at the root means the MILP is
                 // unbounded or infeasible; we report unbounded (standard
@@ -169,6 +181,7 @@ pub fn solve_milp_with(model: &Model, config: &BnbConfig) -> Result<MilpSolution
         let node_bound = to_min(lp.objective);
         if let Some((best, _)) = &incumbent {
             if node_bound >= best - config.gap_tol {
+                stats.pruned_bound += 1;
                 continue;
             }
         }
@@ -234,29 +247,20 @@ pub fn solve_milp_with(model: &Model, config: &BnbConfig) -> Result<MilpSolution
             status: LpStatus::Unbounded,
             objective: f64::NAN,
             x: Vec::new(),
-            nodes: stats.nodes,
-            lp_iterations: stats.lp_iterations,
+            stats,
             proven: true,
         });
     }
     match incumbent {
         Some((obj_min, x)) => {
             let objective = if model.sense() == Sense::Maximize { -obj_min } else { obj_min };
-            Ok(MilpSolution {
-                status: LpStatus::Optimal,
-                objective,
-                x,
-                nodes: stats.nodes,
-                lp_iterations: stats.lp_iterations,
-                proven,
-            })
+            Ok(MilpSolution { status: LpStatus::Optimal, objective, x, stats, proven })
         }
         None => Ok(MilpSolution {
             status: LpStatus::Infeasible,
             objective: f64::NAN,
             x: Vec::new(),
-            nodes: stats.nodes,
-            lp_iterations: stats.lp_iterations,
+            stats,
             proven: true,
         }),
     }
@@ -377,10 +381,7 @@ mod tests {
         // With 1 node we may or may not finish; accept either Ok or NodeLimit,
         // but with max_nodes=0 we must hit the limit.
         let cfg0 = BnbConfig { max_nodes: 0, ..Default::default() };
-        assert!(matches!(
-            solve_milp_with(&m, &cfg0),
-            Err(SolverError::NodeLimit { .. })
-        ));
+        assert!(matches!(solve_milp_with(&m, &cfg0), Err(SolverError::NodeLimit { .. })));
         let _ = solve_milp_with(&m, &cfg);
     }
 

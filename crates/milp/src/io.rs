@@ -101,6 +101,9 @@ fn fmt_num(x: f64) -> String {
     }
 }
 
+/// A parsed constraint row: terms, relation, right-hand side.
+type ParsedRow = (Vec<(usize, f64)>, Relation, f64);
+
 /// Parse the LP subset produced by [`write_lp`]. Returns `None` on any
 /// unrecognized syntax.
 pub fn read_lp(text: &str) -> Option<Model> {
@@ -115,7 +118,7 @@ pub fn read_lp(text: &str) -> Option<Model> {
     let mut sense = None;
     let mut section = None;
     let mut obj_terms: Vec<(usize, f64)> = Vec::new();
-    let mut cons: Vec<(Vec<(usize, f64)>, Relation, f64)> = Vec::new();
+    let mut cons: Vec<ParsedRow> = Vec::new();
     let mut bounds: Vec<(usize, f64, f64)> = Vec::new();
     let mut generals: Vec<usize> = Vec::new();
     let mut max_var = 0usize;
@@ -199,11 +202,7 @@ pub fn read_lp(text: &str) -> Option<Model> {
         })
         .collect();
     for (terms, rel, rhs) in cons {
-        model.add_constraint(
-            terms.into_iter().map(|(v, a)| (vars[v], a)).collect(),
-            rel,
-            rhs,
-        );
+        model.add_constraint(terms.into_iter().map(|(v, a)| (vars[v], a)).collect(), rel, rhs);
     }
     Some(model)
 }

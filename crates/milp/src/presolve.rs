@@ -80,10 +80,8 @@ pub fn presolve(model: &Model) -> Presolved {
                         (Relation::Le, false) | (Relation::Ge, true) => (false, true),
                         (Relation::Eq, _) => (true, true),
                     };
-                    let upper_bound =
-                        if var.integer { (bound + 1e-9).floor() } else { bound };
-                    let lower_bound =
-                        if var.integer { (bound - 1e-9).ceil() } else { bound };
+                    let upper_bound = if var.integer { (bound + 1e-9).floor() } else { bound };
+                    let lower_bound = if var.integer { (bound - 1e-9).ceil() } else { bound };
                     if as_upper && upper_bound < var.upper {
                         var.upper = upper_bound;
                         stats.bounds_tightened += 1;
@@ -163,7 +161,11 @@ pub fn presolve(model: &Model) -> Presolved {
             if target.is_finite() {
                 let target = if var.integer {
                     // Fix at an integral point inside the bounds.
-                    let t = if target >= var.upper { (target + 1e-9).floor() } else { (target - 1e-9).ceil() };
+                    let t = if target >= var.upper {
+                        (target + 1e-9).floor()
+                    } else {
+                        (target - 1e-9).ceil()
+                    };
                     if t < var.lower - 1e-9 || t > var.upper + 1e-9 {
                         stats.proven_infeasible = true;
                         return Presolved { model: m, stats };

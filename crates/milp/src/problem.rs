@@ -122,12 +122,7 @@ impl Model {
 
     /// Ids of all integer variables.
     pub fn integer_vars(&self) -> Vec<VarId> {
-        self.vars
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| v.integer)
-            .map(|(i, _)| VarId(i))
-            .collect()
+        self.vars.iter().enumerate().filter(|(_, v)| v.integer).map(|(i, _)| VarId(i)).collect()
     }
 
     pub fn is_integer_var(&self, v: VarId) -> bool {
@@ -227,7 +222,10 @@ impl Model {
             }
             for &(v, a) in &c.terms {
                 if v.0 >= self.vars.len() {
-                    return Err(SolverError::UnknownVariable { var: v.0, num_vars: self.vars.len() });
+                    return Err(SolverError::UnknownVariable {
+                        var: v.0,
+                        num_vars: self.vars.len(),
+                    });
                 }
                 if !a.is_finite() {
                     return Err(SolverError::NonFiniteInput { what: "constraint coefficient" });

@@ -162,8 +162,8 @@ impl Tableau {
         // ---- Phase 1: minimize the sum of artificial variables. ----
         if self.basis.iter().any(|&bcol| bcol >= self.real_cols) {
             let mut phase1_cost = vec![0.0; self.cols];
-            for j in self.real_cols..self.cols {
-                phase1_cost[j] = 1.0;
+            for c in &mut phase1_cost[self.real_cols..] {
+                *c = 1.0;
             }
             let mut reduced = self.price_out(&phase1_cost);
             match self.run_phase(&mut reduced, true)? {
@@ -228,17 +228,17 @@ impl Tableau {
             // Entering column.
             let mut enter: Option<usize> = None;
             if bland {
-                for j in 0..enter_limit {
-                    if reduced[j] < -COST_TOL {
+                for (j, &r) in reduced.iter().enumerate().take(enter_limit) {
+                    if r < -COST_TOL {
                         enter = Some(j);
                         break;
                     }
                 }
             } else {
                 let mut best = -COST_TOL;
-                for j in 0..enter_limit {
-                    if reduced[j] < best {
-                        best = reduced[j];
+                for (j, &r) in reduced.iter().enumerate().take(enter_limit) {
+                    if r < best {
+                        best = r;
                         enter = Some(j);
                     }
                 }
@@ -344,9 +344,10 @@ impl Tableau {
             i += 1;
         }
         // Zero out artificial columns so they can never participate again.
+        let real_cols = self.real_cols;
         for row in &mut self.a {
-            for j in self.real_cols..self.cols {
-                row[j] = 0.0;
+            for v in &mut row[real_cols..] {
+                *v = 0.0;
             }
         }
     }

@@ -59,10 +59,9 @@ pub struct MilpSolution {
     pub objective: f64,
     /// Values of the original model variables (integral entries snapped).
     pub x: Vec<f64>,
-    /// Branch-and-bound nodes explored.
-    pub nodes: usize,
-    /// Total simplex iterations across all node LPs.
-    pub lp_iterations: usize,
+    /// Full search statistics: nodes, LP iterations, incumbent updates and
+    /// prune counts by reason.
+    pub stats: crate::branch_bound::BnbStats,
     /// `true` when the search closed (the solution is a proven optimum);
     /// `false` when a node or time limit stopped the search and the solution
     /// is the best incumbent found so far.
@@ -72,5 +71,15 @@ pub struct MilpSolution {
 impl MilpSolution {
     pub fn is_optimal(&self) -> bool {
         self.status == LpStatus::Optimal
+    }
+
+    /// Branch-and-bound nodes explored.
+    pub fn nodes(&self) -> usize {
+        self.stats.nodes
+    }
+
+    /// Total simplex iterations across all node LPs.
+    pub fn lp_iterations(&self) -> usize {
+        self.stats.lp_iterations
     }
 }

@@ -48,12 +48,9 @@ impl RandomBinaryProgram {
 fn arb_program() -> impl Strategy<Value = RandomBinaryProgram> {
     (2usize..=10, 1usize..=4).prop_flat_map(|(n, m)| {
         let profits = proptest::collection::vec(0.0f64..10.0, n);
-        let rows = proptest::collection::vec(
-            (proptest::collection::vec(0.0f64..5.0, n), 0.5f64..12.0),
-            m,
-        );
-        (profits, rows)
-            .prop_map(|(profits, rows)| RandomBinaryProgram { profits, rows })
+        let rows =
+            proptest::collection::vec((proptest::collection::vec(0.0f64..5.0, n), 0.5f64..12.0), m);
+        (profits, rows).prop_map(|(profits, rows)| RandomBinaryProgram { profits, rows })
     })
 }
 
@@ -120,8 +117,10 @@ fn larger_knapsack_against_dp() {
     // Deterministic 18-item 0/1 knapsack cross-checked against dynamic
     // programming (integer weights).
     let weights: [i64; 18] = [3, 7, 2, 9, 5, 4, 8, 6, 1, 10, 3, 7, 5, 2, 6, 4, 9, 8];
-    let values: [f64; 18] =
-        [4.0, 9.0, 3.0, 11.0, 6.0, 5.0, 10.0, 7.0, 1.5, 13.0, 4.5, 8.0, 6.5, 2.5, 7.5, 5.5, 12.0, 9.5];
+    let values: [f64; 18] = [
+        4.0, 9.0, 3.0, 11.0, 6.0, 5.0, 10.0, 7.0, 1.5, 13.0, 4.5, 8.0, 6.5, 2.5, 7.5, 5.5, 12.0,
+        9.5,
+    ];
     let cap: i64 = 30;
 
     // DP over weights.

@@ -8,21 +8,25 @@ use proptest::prelude::*;
 fn arb_model() -> impl Strategy<Value = Model> {
     let vars = proptest::collection::vec((0.0f64..5.0, 0.5f64..8.0, any::<bool>()), 1..=8);
     let rows = proptest::collection::vec(
-        (proptest::collection::vec(-3.0f64..3.0, 8), prop_oneof![Just(0u8), Just(1u8)], 0.5f64..15.0),
+        (
+            proptest::collection::vec(-3.0f64..3.0, 8),
+            prop_oneof![Just(0u8), Just(1u8)],
+            0.5f64..15.0,
+        ),
         0..=5,
     );
     (vars, rows, any::<bool>()).prop_map(|(vars, rows, maximize)| {
         let mut m = Model::new(if maximize { Sense::Maximize } else { Sense::Minimize });
-        let ids: Vec<_> = vars
-            .iter()
-            .map(|&(obj, ub, int)| {
-                if int {
-                    m.add_integer_var(0.0, ub.ceil(), obj)
-                } else {
-                    m.add_var(0.0, ub, obj)
-                }
-            })
-            .collect();
+        let ids: Vec<_> =
+            vars.iter()
+                .map(|&(obj, ub, int)| {
+                    if int {
+                        m.add_integer_var(0.0, ub.ceil(), obj)
+                    } else {
+                        m.add_var(0.0, ub, obj)
+                    }
+                })
+                .collect();
         for (coeffs, rel, rhs) in rows {
             let terms: Vec<_> = ids
                 .iter()

@@ -1,0 +1,66 @@
+//! Structured telemetry events: a kind tag plus ordered key/value fields,
+//! rendered to one JSON object per line for JSONL export.
+
+use serde::{Serialize, Value};
+
+/// One telemetry event. Field order is preserved so JSONL output is stable
+/// and diffable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub kind: &'static str,
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    pub fn new(kind: &'static str) -> Event {
+        Event { kind, fields: Vec::new() }
+    }
+
+    /// Append a field. Accepts anything serializable into the value tree.
+    #[must_use]
+    pub fn with<T: Serialize>(mut self, key: &'static str, value: T) -> Event {
+        self.fields.push((key, value.to_value()));
+        self
+    }
+
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Render as a single JSON object with the kind under `"event"`.
+    pub fn to_json(&self) -> String {
+        let mut obj: Vec<(String, Value)> = Vec::with_capacity(self.fields.len() + 1);
+        obj.push(("event".to_string(), Value::Str(self.kind.to_string())));
+        for (k, v) in &self.fields {
+            obj.push((k.to_string(), v.clone()));
+        }
+        serde_json::to_string(&Value::Obj(obj)).expect("value tree renders")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_preserves_order_and_types() {
+        let e = Event::new("stream.request")
+            .with("id", 7usize)
+            .with("admitted", true)
+            .with("runtime_s", 0.25f64)
+            .with("reason", "capacity");
+        assert_eq!(e.field("id").unwrap().as_u64(), Some(7));
+        assert_eq!(e.field("admitted").unwrap().as_bool(), Some(true));
+        let json = e.to_json();
+        assert!(json.starts_with(r#"{"event":"stream.request","id":7"#), "got {json}");
+        assert!(json.contains(r#""reason":"capacity""#));
+    }
+
+    #[test]
+    fn json_line_parses_back() {
+        let e = Event::new("x").with("v", vec![1u64, 2, 3]);
+        let parsed: Value = serde_json::from_str(&e.to_json()).unwrap();
+        assert_eq!(parsed.get("event").unwrap().as_str(), Some("x"));
+        assert_eq!(parsed.get("v").unwrap().as_array().unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,12 @@
+//! Structured telemetry for the solver crates: spans, counters, histograms,
+//! and a `Recorder` that sinks events to memory or a JSONL writer.
+
+pub mod event;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+
+pub use event::Event;
+pub use metrics::{Counter, Distribution, Gauge};
+pub use recorder::{Recorder, Sink, Telemetry};
+pub use span::{timed, Span};

@@ -1,0 +1,123 @@
+//! Atomic counters/gauges for concurrent call sites (the bench harness fans
+//! trials across threads) and an expkit-backed histogram for distributions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic atomic counter, shareable across threads.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins f64 gauge (stored as bits so it stays lock-free).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge(AtomicU64::new(0.0f64.to_bits()))
+    }
+
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Distribution metric over a fixed range, backed by `expkit::Histogram`,
+/// with a streaming summary alongside so mean/min/max survive binning.
+#[derive(Debug, Clone)]
+pub struct Distribution {
+    hist: expkit::Histogram,
+    acc: expkit::Accumulator,
+}
+
+impl Distribution {
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Distribution {
+        Distribution { hist: expkit::Histogram::new(lo, hi, bins), acc: expkit::Accumulator::new() }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.hist.push(x);
+        self.acc.push(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    pub fn histogram(&self) -> &expkit::Histogram {
+        &self.hist
+    }
+
+    pub fn summary(&self) -> Option<expkit::Summary> {
+        if self.acc.is_empty() {
+            None
+        } else {
+            Some(self.acc.summary())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn gauge_stores_floats() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(-2.5);
+        assert_eq!(g.get(), -2.5);
+    }
+
+    #[test]
+    fn distribution_tracks_summary_and_bins() {
+        let mut d = Distribution::new(0.0, 10.0, 5);
+        for x in [1.0, 3.0, 9.0] {
+            d.push(x);
+        }
+        assert_eq!(d.count(), 3);
+        let s = d.summary().unwrap();
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 13.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.histogram().bin_counts().iter().sum::<u64>(), 3);
+    }
+}

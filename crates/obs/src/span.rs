@@ -1,0 +1,73 @@
+//! Spans: named monotonic timers whose elapsed time lands in the recorder's
+//! timing map (and optionally as an event) when finished.
+
+use crate::recorder::Recorder;
+use std::time::{Duration, Instant};
+
+/// A started timer. Create with [`Span::start`], close with
+/// [`Span::finish`] to record the elapsed time under the span's name.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+}
+
+impl Span {
+    pub fn start(name: &'static str) -> Span {
+        Span { name, start: Instant::now() }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Accumulate the elapsed time into `rec`'s timing for this span's name
+    /// and return it.
+    pub fn finish(self, rec: &mut Recorder) -> Duration {
+        let elapsed = self.elapsed();
+        rec.record_time(self.name, elapsed);
+        elapsed
+    }
+}
+
+/// Time a closure and record it under `name`. Returns the closure's output.
+pub fn timed<T>(rec: &mut Recorder, name: &'static str, f: impl FnOnce() -> T) -> T {
+    let span = Span::start(name);
+    let out = f();
+    span.finish(rec);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_accumulates_under_name() {
+        let mut rec = Recorder::memory();
+        let s = Span::start("phase");
+        std::thread::sleep(Duration::from_millis(2));
+        let d = s.finish(&mut rec);
+        assert!(d >= Duration::from_millis(2));
+        assert!(rec.summary().timing_s("phase") > 0.0);
+    }
+
+    #[test]
+    fn timed_returns_output() {
+        let mut rec = Recorder::memory();
+        let out = timed(&mut rec, "work", || 40 + 2);
+        assert_eq!(out, 42);
+        assert!(rec.summary().timings_s.iter().any(|(k, _)| k == "work"));
+    }
+
+    #[test]
+    fn noop_recorder_drops_timing() {
+        let mut rec = Recorder::noop();
+        timed(&mut rec, "work", || ());
+        assert!(rec.summary().timings_s.is_empty());
+    }
+}

@@ -17,7 +17,11 @@ fn main() {
     let config = WorkloadConfig::default();
     let scenario = generate_scenario(&config, &mut rng);
 
-    println!("network : {} APs, {} cloudlets", scenario.network.num_nodes(), scenario.network.num_cloudlets());
+    println!(
+        "network : {} APs, {} cloudlets",
+        scenario.network.num_nodes(),
+        scenario.network.num_cloudlets()
+    );
     println!(
         "request : SFC of {} functions, expectation rho = {}",
         scenario.request.len(),
@@ -46,7 +50,10 @@ fn main() {
     // 3. Algorithm 2: iterated min-cost maximum matchings (always feasible).
     let heur = heuristic::solve(&inst, &Default::default());
 
-    println!("\n{:<12} {:>12} {:>12} {:>14} {:>12}", "algorithm", "reliability", "secondaries", "max bin usage", "runtime");
+    println!(
+        "\n{:<12} {:>12} {:>12} {:>14} {:>12}",
+        "algorithm", "reliability", "secondaries", "max bin usage", "runtime"
+    );
     for (name, out) in [("ILP", &exact), ("Randomized", &rand_out), ("Heuristic", &heur)] {
         println!(
             "{:<12} {:>12.4} {:>12} {:>14.3} {:>9.2?}",
@@ -61,8 +68,5 @@ fn main() {
         "\nRandomized violated a cloudlet capacity: {}",
         if rand_out.metrics.max_violation_ratio > 1.0 { "yes (allowed by design)" } else { "no" }
     );
-    println!(
-        "Heuristic is always feasible: {}",
-        heur.augmentation.is_capacity_feasible(&inst)
-    );
+    println!("Heuristic is always feasible: {}", heur.augmentation.is_capacity_feasible(&inst));
 }

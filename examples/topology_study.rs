@@ -45,8 +45,7 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(t as u64);
             let (_, graph) = build(name, &mut rng);
             avg_deg += graph.average_degree() / trials as f64;
-            let network =
-                MecNetwork::with_random_cloudlets(graph, 8, (4000.0, 8000.0), &mut rng);
+            let network = MecNetwork::with_random_cloudlets(graph, 8, (4000.0, 8000.0), &mut rng);
             let catalog = VnfCatalog::random(30, (200.0, 400.0), (0.8, 0.9), &mut rng);
             let request = SfcRequest::random(t, &catalog, (6, 6), 0.9999, 64, &mut rng);
             let placement = random_placement(&network, &request, &mut rng).unwrap();

@@ -16,6 +16,8 @@
 //! * [`matching`] — min-cost maximum bipartite matching used by the heuristic.
 //! * [`expkit`] — statistics and table utilities used by the experiment
 //!   harness.
+//! * [`obs`] — structured telemetry: recorders, solver-trace events and
+//!   JSONL export consumed by the `*_traced` solver entry points.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -23,6 +25,7 @@ pub use expkit;
 pub use matching;
 pub use mecnet;
 pub use milp;
+pub use obs;
 pub use relaug;
 
 /// Crate version of the facade (mirrors the workspace version).

@@ -31,7 +31,10 @@ fn ilp_dominates_feasible_algorithms() {
     for seed in 0..15 {
         let inst = scenario_instance(seed, &small_cfg());
         let exact = ilp::solve(&inst, &uncapped_ilp()).expect("ilp");
-        let heur = heuristic::solve(&inst, &HeuristicConfig { stop: StopRule::Exhaust, gain_floor: 1e-12, batch_rounds: false });
+        let heur = heuristic::solve(
+            &inst,
+            &HeuristicConfig { stop: StopRule::Exhaust, gain_floor: 1e-12, batch_rounds: false },
+        );
         let greed = greedy::solve(&inst, &Default::default());
         assert!(
             heur.metrics.reliability <= exact.metrics.reliability + 1e-9,
@@ -143,8 +146,7 @@ fn brute_force_best(inst: &AugmentationInstance) -> f64 {
     ) {
         if func == inst.functions.len() {
             let rels: Vec<f64> = inst.functions.iter().map(|f| f.reliability).collect();
-            let rel =
-                mec_sfc_reliability::relaug::reliability::chain_reliability(&rels, counts);
+            let rel = mec_sfc_reliability::relaug::reliability::chain_reliability(&rels, counts);
             if rel > *best {
                 *best = rel;
             }
@@ -186,10 +188,8 @@ fn brute_force_best(inst: &AugmentationInstance) -> f64 {
 #[test]
 fn node_limited_solver_still_returns_incumbent() {
     let inst = scenario_instance(99, &WorkloadConfig::default());
-    let cfg = IlpConfig {
-        bnb: BnbConfig { max_nodes: 3, ..Default::default() },
-        ..Default::default()
-    };
+    let cfg =
+        IlpConfig { bnb: BnbConfig { max_nodes: 3, ..Default::default() }, ..Default::default() };
     // With the greedy warm start an incumbent always exists, so a tiny node
     // budget degrades quality but never errors.
     let out = ilp::solve(&inst, &cfg).expect("incumbent fallback");
@@ -204,10 +204,8 @@ fn deterministic_across_runs() {
         let e = ilp::solve(&inst, &Default::default()).unwrap().metrics.reliability;
         let h = heuristic::solve(&inst, &Default::default()).metrics.reliability;
         let mut rng = StdRng::seed_from_u64(seed);
-        let r = randomized::solve(&inst, &Default::default(), &mut rng)
-            .unwrap()
-            .metrics
-            .reliability;
+        let r =
+            randomized::solve(&inst, &Default::default(), &mut rng).unwrap().metrics.reliability;
         (e, h, r)
     };
     assert_eq!(run(7), run(7));

@@ -18,7 +18,8 @@ struct MiniPoint {
 }
 
 fn run_mini(cfg: &WorkloadConfig, trials: u64, seed0: u64) -> MiniPoint {
-    let mut acc = MiniPoint { ilp: 0.0, randomized: 0.0, heuristic: 0.0, ilp_time: 0.0, heuristic_time: 0.0 };
+    let mut acc =
+        MiniPoint { ilp: 0.0, randomized: 0.0, heuristic: 0.0, ilp_time: 0.0, heuristic_time: 0.0 };
     for t in 0..trials {
         let mut rng = StdRng::seed_from_u64(seed0 + t);
         let s = generate_scenario(cfg, &mut rng);
@@ -55,7 +56,12 @@ fn fig1_shape_reliability_decreases_with_chain_length() {
         short.ilp
     );
     // Heuristic within ~4% of exact (paper: >= 96.03%).
-    assert!(long.heuristic >= 0.93 * long.ilp, "heuristic strayed: {} vs {}", long.heuristic, long.ilp);
+    assert!(
+        long.heuristic >= 0.93 * long.ilp,
+        "heuristic strayed: {} vs {}",
+        long.heuristic,
+        long.ilp
+    );
     assert!(short.heuristic >= 0.96 * short.ilp);
 }
 
@@ -106,11 +112,8 @@ fn fig3_shape_residual_capacity_controls_reliability() {
 /// than the heuristic.
 #[test]
 fn runtime_ordering_ilp_slowest_heuristic_fastest() {
-    let cfg = WorkloadConfig {
-        sfc_len_range: (10, 10),
-        residual_fraction: 0.25,
-        ..Default::default()
-    };
+    let cfg =
+        WorkloadConfig { sfc_len_range: (10, 10), residual_fraction: 0.25, ..Default::default() };
     let p = run_mini(&cfg, 6, 700);
     assert!(
         p.ilp_time > 3.0 * p.heuristic_time,
@@ -125,11 +128,8 @@ fn runtime_ordering_ilp_slowest_heuristic_fastest() {
 /// never does.
 #[test]
 fn randomized_violations_exist_heuristic_never() {
-    let cfg = WorkloadConfig {
-        residual_fraction: 0.125,
-        sfc_len_range: (8, 10),
-        ..Default::default()
-    };
+    let cfg =
+        WorkloadConfig { residual_fraction: 0.125, sfc_len_range: (8, 10), ..Default::default() };
     let mut saw_violation = false;
     for seed in 0..20 {
         let mut rng = StdRng::seed_from_u64(900 + seed);

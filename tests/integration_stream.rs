@@ -8,8 +8,13 @@ use mec_sfc_reliability::relaug::stream::{process_stream, Algorithm, StreamConfi
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn setup(seed: u64) -> (mec_sfc_reliability::mecnet::MecNetwork, mec_sfc_reliability::mecnet::VnfCatalog, Vec<SfcRequest>)
-{
+fn setup(
+    seed: u64,
+) -> (
+    mec_sfc_reliability::mecnet::MecNetwork,
+    mec_sfc_reliability::mecnet::VnfCatalog,
+    Vec<SfcRequest>,
+) {
     let wl = WorkloadConfig { nodes: 60, ..Default::default() };
     let mut rng = StdRng::seed_from_u64(seed);
     let network = generate_network(&wl, &mut rng);
@@ -66,7 +71,56 @@ fn sharing_never_reduces_slo_rate_materially() {
     let secs = |o: &mec_sfc_reliability::relaug::stream::StreamOutcome| -> usize {
         o.records.iter().map(|r| r.secondaries).sum()
     };
-    assert!(secs(&shared) <= secs(&plain), "sharing should not deploy more instances");
+    // Sharing shifts which bins each solve sees, so individual requests may
+    // round differently; allow the same kind of small slack as the SLO-rate
+    // check above rather than demanding instance-count dominance per seed.
+    assert!(
+        secs(&shared) <= secs(&plain) + 1 + secs(&plain) / 20,
+        "sharing should not deploy materially more instances: {} vs {}",
+        secs(&shared),
+        secs(&plain)
+    );
+}
+
+#[test]
+fn traced_stream_logs_every_request_with_reasons() {
+    use mec_sfc_reliability::obs::Recorder;
+    use mec_sfc_reliability::relaug::stream::process_stream_traced;
+
+    let (network, catalog, requests) = setup(9);
+    let mut rng = StdRng::seed_from_u64(10);
+    // Shrink capacity so the stream produces both admissions and rejections.
+    let cfg =
+        StreamConfig { share_backups: true, initial_capacity_fraction: 0.3, ..Default::default() };
+    let mut rec = Recorder::memory();
+    let out = process_stream_traced(&network, &catalog, &requests, &cfg, &mut rng, &mut rec);
+
+    // Exactly one stream.request event per request, in arrival order.
+    let events: Vec<_> = rec.events().iter().filter(|e| e.kind == "stream.request").collect();
+    assert_eq!(events.len(), requests.len());
+    for (event, record) in events.iter().zip(&out.records) {
+        assert_eq!(event.field("id").unwrap().as_u64(), Some(record.id as u64));
+        assert_eq!(event.field("admitted").unwrap().as_bool(), Some(record.admitted));
+        if record.admitted {
+            assert!(event.field("solve_s").unwrap().as_f64().unwrap() >= 0.0);
+            assert_eq!(
+                event.field("secondaries").unwrap().as_u64(),
+                Some(record.secondaries as u64)
+            );
+        } else {
+            // Every rejection carries a machine-readable reason.
+            assert_eq!(event.field("reason").unwrap().as_str(), Some("no_primary_placement"));
+        }
+        // Residual snapshots never go negative: commits are clamped, so the
+        // stream can never exceed the network's residual capacity.
+        assert!(event.field("residual_min").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(event.field("residual_total").unwrap().as_f64().unwrap() >= 0.0);
+    }
+    assert!(out.rejected() > 0, "capacity squeeze should reject something");
+    assert!(out.admitted() > 0, "capacity squeeze should still admit something");
+    assert_eq!(rec.summary().counter("stream.admitted"), out.admitted() as u64);
+    assert_eq!(rec.summary().counter("stream.rejected"), out.rejected() as u64);
+    assert!(out.final_residual.iter().all(|&r| r >= 0.0));
 }
 
 #[test]

@@ -20,13 +20,13 @@ fn simplex_on_assignment_polytope_matches_hungarian() {
 
         let mut m = Model::new(Sense::Minimize);
         let mut vars = vec![vec![]; n];
-        for (i, vrow) in vars.iter_mut().enumerate() {
-            for j in 0..n {
-                vrow.push(m.add_var(0.0, f64::INFINITY, cost[i][j]));
+        for (vrow, crow) in vars.iter_mut().zip(&cost) {
+            for &c in crow.iter().take(n) {
+                vrow.push(m.add_var(0.0, f64::INFINITY, c));
             }
         }
-        for i in 0..n {
-            m.add_constraint((0..n).map(|j| (vars[i][j], 1.0)).collect(), Relation::Eq, 1.0);
+        for (i, vrow) in vars.iter().enumerate() {
+            m.add_constraint(vrow.iter().map(|&v| (v, 1.0)).collect(), Relation::Eq, 1.0);
             m.add_constraint((0..n).map(|j| (vars[j][i], 1.0)).collect(), Relation::Eq, 1.0);
         }
         let lp = solve_lp(&m).unwrap();
@@ -69,8 +69,7 @@ fn flow_matching_matches_milp_formulation() {
         // MILP: maximize BONUS*selected - cost so cardinality dominates.
         const BONUS: f64 = 1_000.0;
         let mut m = Model::new(Sense::Maximize);
-        let vars: Vec<_> =
-            edges.iter().map(|&(_, _, c)| m.add_binary_var(BONUS - c)).collect();
+        let vars: Vec<_> = edges.iter().map(|&(_, _, c)| m.add_binary_var(BONUS - c)).collect();
         for l in 0..nl {
             let terms: Vec<_> = edges
                 .iter()
@@ -110,14 +109,8 @@ fn flow_matching_matches_milp_formulation() {
 /// alone (no branching) must already reproduce the flow solver's optimum.
 #[test]
 fn matching_lp_relaxation_is_integral() {
-    let edges = [
-        (0usize, 0usize, 2.0f64),
-        (0, 1, 5.0),
-        (1, 0, 4.0),
-        (1, 2, 1.0),
-        (2, 1, 3.0),
-        (2, 2, 6.0),
-    ];
+    let edges =
+        [(0usize, 0usize, 2.0f64), (0, 1, 5.0), (1, 0, 4.0), (1, 2, 1.0), (2, 1, 3.0), (2, 2, 6.0)];
     let matching = min_cost_max_matching(3, 3, &edges);
     assert_eq!(matching.cardinality(), 3);
 

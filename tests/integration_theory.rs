@@ -20,11 +20,9 @@ fn randomized_mean_tracks_lp_optimum() {
     let s = generate_scenario(&cfg, &mut rng);
     let inst = AugmentationInstance::from_scenario(&s, 1);
     // Compare in uncapped mode so no trimming noise enters.
-    let exact = ilp::solve(
-        &inst,
-        &ilp::IlpConfig { stop_at_expectation: false, ..Default::default() },
-    )
-    .unwrap();
+    let exact =
+        ilp::solve(&inst, &ilp::IlpConfig { stop_at_expectation: false, ..Default::default() })
+            .unwrap();
     let rcfg = RandomizedConfig { stop_at_expectation: false, ..Default::default() };
     let n = 60;
     let mean: f64 = (0..n)
@@ -47,11 +45,8 @@ fn randomized_mean_tracks_lp_optimum() {
 /// never place more than 2x a cloudlet's residual capacity.
 #[test]
 fn violations_stay_within_twice_capacity() {
-    let cfg = WorkloadConfig {
-        residual_fraction: 0.25,
-        sfc_len_range: (6, 10),
-        ..Default::default()
-    };
+    let cfg =
+        WorkloadConfig { residual_fraction: 0.25, sfc_len_range: (6, 10), ..Default::default() };
     let rcfg = RandomizedConfig { stop_at_expectation: false, ..Default::default() };
     let mut worst: f64 = 0.0;
     let mut over_2x = 0usize;
@@ -113,11 +108,9 @@ fn empirical_beats_analytical_ratio() {
         if inst.total_items() == 0 {
             continue;
         }
-        let exact = ilp::solve(
-            &inst,
-            &ilp::IlpConfig { stop_at_expectation: false, ..Default::default() },
-        )
-        .unwrap();
+        let exact =
+            ilp::solve(&inst, &ilp::IlpConfig { stop_at_expectation: false, ..Default::default() })
+                .unwrap();
         let rcfg = RandomizedConfig { stop_at_expectation: false, ..Default::default() };
         let rand_out = randomized::solve(&inst, &rcfg, &mut rng).unwrap();
         let p_star = exact.metrics.reliability.max(1e-9);

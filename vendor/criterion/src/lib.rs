@@ -1,0 +1,238 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro and builder surface the workspace benches use
+//! (`criterion_group!` with `name`/`config`/`targets`, `criterion_main!`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, `Bencher::iter`) with a simple wall-clock runner: each
+//! benchmark is warmed up briefly, then timed for `sample_size` samples whose
+//! total duration is bounded by `measurement_time`. Mean and min per-iteration
+//! times are printed — no statistics, plots, or baselines.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+#[derive(Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        let cfg = self.clone();
+        run_benchmark(&cfg, &id.to_string(), f);
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, &label, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, &label, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { text: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+pub struct Bencher {
+    /// Per-iteration durations for the current sample, appended by `iter`.
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            hint::black_box(routine());
+        }
+        let total = start.elapsed();
+        self.samples.push(total / self.iters_per_sample.max(1) as u32);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(cfg: &Criterion, label: &str, mut f: F) {
+    // Warm-up: run once to estimate the per-call cost, then pick an iteration
+    // count so each sample is long enough to time but all samples fit in the
+    // measurement budget.
+    let warm_start = Instant::now();
+    let mut probe = Bencher { samples: Vec::new(), iters_per_sample: 1 };
+    let mut calls = 0u64;
+    while warm_start.elapsed() < cfg.warm_up_time && calls < 1000 {
+        f(&mut probe);
+        calls += 1;
+    }
+    let per_iter = probe
+        .samples
+        .iter()
+        .copied()
+        .min()
+        .unwrap_or(Duration::from_micros(1))
+        .max(Duration::from_nanos(1));
+
+    let budget_per_sample = cfg.measurement_time / cfg.sample_size as u32;
+    let iters_per_sample =
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut bencher = Bencher { samples: Vec::new(), iters_per_sample };
+    let deadline = Instant::now() + cfg.measurement_time;
+    for _ in 0..cfg.sample_size {
+        f(&mut bencher);
+        if Instant::now() > deadline {
+            break;
+        }
+    }
+
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("{label}: no samples collected");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().copied().min().unwrap();
+    println!(
+        "{label}: mean {} / min {} over {} samples x {} iters",
+        fmt_time(mean),
+        fmt_time(min),
+        samples.len(),
+        iters_per_sample
+    );
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("demo");
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for `crossbeam`. Only the `channel` module is provided,
+//! as a thin facade over `std::sync::mpsc` — sufficient for the fan-out /
+//! collect pattern the bench harness uses (clone senders into scoped threads,
+//! drain the receiver by iteration).
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter(self.0.iter())
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter(self.0.into_iter())
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    pub struct Iter<'a, T>(mpsc::Iter<'a, T>);
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.next()
+        }
+    }
+
+    pub struct IntoIter<T>(mpsc::IntoIter<T>);
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.next()
+        }
+    }
+
+    pub struct SendError<T>(pub T);
+
+    // Like the real crate (and std's mpsc), Debug does not require T: Debug.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_in_preserves_all_messages() {
+            let (tx, rx) = unbounded::<(usize, usize)>();
+            std::thread::scope(|scope| {
+                for w in 0..4 {
+                    let tx = tx.clone();
+                    scope.spawn(move || {
+                        for i in (w..20).step_by(4) {
+                            tx.send((i, i * i)).unwrap();
+                        }
+                    });
+                }
+                drop(tx);
+                let mut got = vec![None; 20];
+                for (i, sq) in rx {
+                    got[i] = Some(sq);
+                }
+                for (i, sq) in got.iter().enumerate() {
+                    assert_eq!(*sq, Some(i * i));
+                }
+            });
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Instead of serde's visitor-based zero-copy machinery, this stub uses a
+//! simple tree model: `Serialize` maps a value into a [`Value`] tree and
+//! `Deserialize` reads one back. The vendored `serde_json` crate renders and
+//! parses `Value` as JSON. The derive macros live in the vendored
+//! `serde_derive` crate and are re-exported here so `#[derive(Serialize)]`
+//! resolves exactly as it does with the real crates.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A self-describing data tree — the interchange format between the
+/// `Serialize`/`Deserialize` traits and concrete formats (JSON).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U64(x) => Some(*x as f64),
+            Value::I64(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(x) => Some(*x),
+            Value::I64(x) if *x >= 0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(x) => Some(*x),
+            Value::U64(x) if *x <= i64::MAX as u64 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object-key or array-index lookup, mirroring `serde_json::Value::get`.
+    pub fn get<I: ValueIndex>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+}
+
+pub trait ValueIndex {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value>;
+}
+
+impl ValueIndex for &str {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        match v {
+            Value::Obj(entries) => entries.iter().find(|(k, _)| k == self).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl ValueIndex for usize {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        match v {
+            Value::Arr(items) => items.get(*self),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// -- helpers used by generated code -----------------------------------------
+
+/// Look up a field in an `Obj` value; missing fields resolve to `Null` so
+/// `Option<T>` fields absent from the input deserialize to `None`.
+pub fn obj_field<'a>(obj: &'a [(String, Value)], name: &str, ty: &str) -> Result<&'a Value, Error> {
+    const NULL: &Value = &Value::Null;
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => Ok(v),
+        None => {
+            let _ = ty;
+            Ok(NULL)
+        }
+    }
+}
+
+pub fn as_obj<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
+    match v {
+        Value::Obj(entries) => Ok(entries),
+        other => Err(Error::custom(format!("expected object for {ty}, found {other:?}"))),
+    }
+}
+
+pub fn arr_elem<'a>(v: &'a Value, idx: usize, ty: &str) -> Result<&'a Value, Error> {
+    match v {
+        Value::Arr(items) => {
+            items.get(idx).ok_or_else(|| Error::custom(format!("missing element {idx} for {ty}")))
+        }
+        other => Err(Error::custom(format!("expected array for {ty}, found {other:?}"))),
+    }
+}
+
+// -- impls for primitives and std types -------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_u64()
+                    .and_then(|x| <$t>::try_from(x).ok())
+                    .ok_or_else(|| Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {:?}"), v)))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_i64()
+                    .and_then(|x| <$t>::try_from(x).ok())
+                    .ok_or_else(|| Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {:?}"), v)))
+            }
+        }
+    )*};
+}
+
+ser_de_uint!(u8, u16, u32, u64, usize);
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom(format!("expected f64, found {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().map(|x| x as f32).ok_or_else(|| Error::custom("expected f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom(format!("expected bool, found {v:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, found {v:?}")))
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Arr(items) => Ok(($(
+                        $t::from_value(items.get($n).ok_or_else(|| {
+                            Error::custom("tuple too short")
+                        })?)?,
+                    )+)),
+                    other => Err(Error::custom(format!("expected tuple array, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Obj(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
+            other => Err(Error::custom(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(entries)
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Obj(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
+            other => Err(Error::custom(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::F64(self.as_secs_f64())
+    }
+}
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(std::time::Duration::from_secs_f64)
+            .ok_or_else(|| Error::custom("expected duration seconds"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        let t = (1usize, 2.5f64);
+        assert_eq!(<(usize, f64)>::from_value(&t.to_value()).unwrap(), t);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&none.to_value()).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Some(9u32).to_value()).unwrap(), Some(9));
+    }
+
+    #[test]
+    fn missing_field_is_null() {
+        let obj = vec![("a".to_string(), Value::U64(1))];
+        assert_eq!(obj_field(&obj, "b", "T").unwrap(), &Value::Null);
+    }
+}

@@ -1,0 +1,316 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (a tree-model API: `to_value` / `from_value`). The parser walks the
+//! raw token stream directly — no `syn`/`quote` in the offline environment —
+//! and supports the shapes this workspace uses:
+//!
+//! * structs with named fields (any field types that themselves implement the
+//!   traits; types are never parsed, inference binds them),
+//! * enums with unit variants, 1-tuple variants, and named-field variants.
+//!
+//! `#[serde(...)]` attributes are not interpreted; none are used in-tree.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __obj: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Obj(__obj)"
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| serialize_arm(&item.name, v)).collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        item.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::obj_field(__obj, \"{f}\", \"{n}\")?)?,\n",
+                        n = item.name
+                    )
+                })
+                .collect();
+            format!(
+                "let __obj = ::serde::as_obj(__v, \"{n}\")?;\nOk({n} {{\n{inits}}})",
+                n = item.name
+            )
+        }
+        Shape::Enum(variants) => deserialize_enum_body(&item.name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {} {{\n fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n",
+        item.name
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn serialize_arm(enum_name: &str, v: &Variant) -> String {
+    match &v.payload {
+        Payload::Unit => format!(
+            "{e}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n",
+            e = enum_name,
+            v = v.name
+        ),
+        Payload::Tuple(arity) => {
+            let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+            let payload = if *arity == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let elems: String =
+                    binds.iter().map(|b| format!("::serde::Serialize::to_value({b}),")).collect();
+                format!("::serde::Value::Arr(vec![{elems}])")
+            };
+            format!(
+                "{e}::{v}({binds}) => ::serde::Value::Obj(vec![(\"{v}\".to_string(), {payload})]),\n",
+                e = enum_name,
+                v = v.name,
+                binds = binds.join(", ")
+            )
+        }
+        Payload::Struct(fields) => {
+            let binds = fields.join(", ");
+            let pushes: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"))
+                .collect();
+            format!(
+                "{e}::{v} {{ {binds} }} => ::serde::Value::Obj(vec![(\"{v}\".to_string(), ::serde::Value::Obj(vec![{pushes}]))]),\n",
+                e = enum_name,
+                v = v.name
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(enum_name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.payload, Payload::Unit))
+        .map(|v| format!("\"{v}\" => return Ok({e}::{v}),\n", v = v.name, e = enum_name))
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| match &v.payload {
+            Payload::Unit => None,
+            Payload::Tuple(1) => Some(format!(
+                "\"{v}\" => return Ok({e}::{v}(::serde::Deserialize::from_value(__payload)?)),\n",
+                v = v.name,
+                e = enum_name
+            )),
+            Payload::Tuple(arity) => {
+                let elems: String = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(::serde::arr_elem(__payload, {i}, \"{e}::{v}\")?)?,",
+                            e = enum_name,
+                            v = v.name
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => return Ok({e}::{v}({elems})),\n",
+                    v = v.name,
+                    e = enum_name
+                ))
+            }
+            Payload::Struct(fields) => {
+                let inits: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::obj_field(__fields, \"{f}\", \"{e}::{v}\")?)?,",
+                            e = enum_name,
+                            v = v.name
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => {{ let __fields = ::serde::as_obj(__payload, \"{e}::{v}\")?; return Ok({e}::{v} {{ {inits} }}); }}\n",
+                    v = v.name,
+                    e = enum_name
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "match __v {{\n\
+           ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+             _ => {{}}\n}},\n\
+           ::serde::Value::Obj(__entries) if __entries.len() == 1 => {{\n\
+             let (__tag, __payload) = &__entries[0];\n\
+             match __tag.as_str() {{\n{tagged_arms}\
+               _ => {{}}\n}}\n}},\n\
+           _ => {{}}\n}}\n\
+         Err(::serde::Error::custom(format!(\"no variant of {enum_name} matches {{:?}}\", __v)))"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + bracket group
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1; // pub(crate) etc.
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    // Generic parameters are unsupported (none used in-tree).
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive stub does not support generic types ({name})");
+    }
+    let body = loop {
+        match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1, // skip `where` clauses etc.
+            None => panic!("missing body for {name}"),
+        }
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body)),
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Split a brace-group body on top-level commas, tracking `<...>` depth so
+/// commas inside generic arguments do not split fields.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth: i32 = 0;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().unwrap().push(tt);
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+/// Extract field names from a named-field body: for each top-level-comma part,
+/// the identifier immediately before the first top-level `:`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|part| {
+            let mut prev_ident: Option<String> = None;
+            for tt in &part {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == ':' => {
+                        return prev_ident.expect("field name before `:`");
+                    }
+                    TokenTree::Ident(id) => prev_ident = Some(id.to_string()),
+                    _ => {}
+                }
+            }
+            panic!("tuple structs are not supported by the derive stub")
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|part| {
+            let mut name: Option<String> = None;
+            let mut payload = Payload::Unit;
+            let mut i = 0;
+            while i < part.len() {
+                match &part[i] {
+                    TokenTree::Punct(p) if p.as_char() == '#' => i += 1, // attr `#`
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {} // attr body
+                    TokenTree::Ident(id) => name = Some(id.to_string()),
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        payload = Payload::Tuple(split_top_level(g.stream()).len());
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        payload = Payload::Struct(parse_named_fields(g.stream()));
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            Variant { name: name.expect("variant name"), payload }
+        })
+        .collect()
+}
