@@ -1,0 +1,150 @@
+//! Discrete-event failure/recovery experiment: simulate a stream of SFC
+//! requests on one shared network under instance failure/repair dynamics and
+//! compare repair policies by *measured* availability against the analytic
+//! `u_j` the augmentation promises.
+//!
+//! Usage: `cargo run -p bench-harness --release --bin sim_exp --
+//! [--policy none|reactive|audit] [--duration T] [--seed S]
+//! [--audit-interval T] [--trace PATH] [--json PATH]`
+//!
+//! Without `--policy`, all three policies run on the *same* seed (and thus
+//! the same arrival stream — the workload RNG is fanned out separately from
+//! the solver RNG), giving a paired comparison table. `--trace PATH` writes
+//! the full `sim.*` event log as JSONL; runs are deterministic, so the same
+//! seed reproduces the trace byte for byte. `--json PATH` dumps every run's
+//! full SLO report.
+
+use bench_harness::HarnessArgs;
+use expkit::Table;
+use mecnet::workload::{generate_catalog, generate_network, WorkloadConfig};
+use obs::Recorder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim::{from_name, SimConfig, SloReport};
+
+fn main() {
+    let args = match HarnessArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sim_exp: {e}");
+            std::process::exit(2);
+        }
+    };
+    let audit_interval = args.audit_interval.unwrap_or(5.0);
+    let policy_names: Vec<String> = match &args.policy {
+        Some(name) => vec![name.clone()],
+        None => vec!["none".into(), "reactive".into(), "audit".into()],
+    };
+    let policies = match policy_names
+        .iter()
+        .map(|n| from_name(n, audit_interval))
+        .collect::<Result<Vec<_>, _>>()
+    {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sim_exp: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // One shared substrate for every policy run.
+    let wl = WorkloadConfig::default();
+    let mut substrate_rng = StdRng::seed_from_u64(expkit::fan_out(args.seed, 0xBEEF));
+    let network = generate_network(&wl, &mut substrate_rng);
+    let catalog = generate_catalog(&wl, &mut substrate_rng);
+    let cfg = SimConfig {
+        duration: args.duration.unwrap_or(400.0),
+        arrival_rate: 0.1,
+        mean_holding: 120.0,
+        mttr: 1.5,
+        sfc_len_range: (3, 5),
+        expectation: wl.expectation,
+        seed: args.seed,
+        ..Default::default()
+    };
+    println!(
+        "## Failure/recovery simulation — duration {}, arrival rate {}, MTTR {}\n",
+        cfg.duration, cfg.arrival_rate, cfg.mttr
+    );
+
+    let mut rec = match &args.trace {
+        Some(path) => Recorder::jsonl_file(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("sim_exp: cannot open trace file {path}: {e}");
+            std::process::exit(2);
+        }),
+        None => Recorder::noop(),
+    };
+
+    let mut reports: Vec<SloReport> = Vec::new();
+    for policy in &policies {
+        reports.push(sim::run_traced(&network, &catalog, &cfg, policy.as_ref(), &mut rec));
+    }
+
+    let mut table = Table::new(vec![
+        "policy",
+        "admitted",
+        "availability",
+        "analytic u",
+        "gap",
+        "SLO met",
+        "outages",
+        "outage time",
+        "repairs",
+        "re-augment",
+    ]);
+    for rep in &reports {
+        table.add_row(vec![
+            rep.policy.clone(),
+            format!("{}/{}", rep.admitted, rep.arrivals),
+            format!("{:.4}", rep.mean_availability),
+            format!("{:.4}", rep.mean_analytic),
+            format!("{:+.4}", rep.mean_availability - rep.mean_analytic),
+            format!("{:.0}%", 100.0 * rep.slo_attainment),
+            format!("{}", rep.outage_count),
+            format!("{:.1}", rep.total_outage_time),
+            format!("{}", rep.instance_repairs),
+            format!("{}", rep.reaugmentations),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    let mut dist = Table::new(vec![
+        "policy",
+        "outage p50",
+        "outage p95",
+        "repair mean",
+        "repair p95",
+        "secondaries",
+    ]);
+    for rep in &reports {
+        dist.add_row(vec![
+            rep.policy.clone(),
+            format!("{:.2}", rep.outage_p50),
+            format!("{:.2}", rep.outage_p95),
+            format!("{:.2}", rep.repair_latency_mean),
+            format!("{:.2}", rep.repair_latency_p95),
+            format!("{}", rep.secondaries_placed),
+        ]);
+    }
+    println!("\n### outage / repair distributions\n");
+    println!("{}", dist.to_markdown());
+
+    if let Some(path) = &args.json {
+        let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("sim_exp: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("\nwrote {} SLO report(s) to {path}", reports.len());
+    }
+    rec.flush().expect("flush trace");
+    if let Some(path) = &args.trace {
+        println!("\nwrote {} telemetry events to {path}", rec.events_emitted());
+    }
+    println!(
+        "\nThe analytic u_j is a steady-state promise; with no repair policy\n\
+         the measured availability converges to it, while reactive and\n\
+         audit-driven re-augmentation push availability above the promise by\n\
+         replacing redundancy the failures destroy."
+    );
+}

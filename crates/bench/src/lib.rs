@@ -383,7 +383,7 @@ pub fn render_figure(points: &[PointResult]) -> String {
 
 /// Tiny CLI-flag parser shared by the figure binaries:
 /// `--trials N --seed S --threads T --json PATH --greedy --no-ilp
-/// --trace PATH --requests N`.
+/// --trace PATH --requests N --policy NAME --duration T --audit-interval T`.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
     pub trials: usize,
@@ -396,6 +396,12 @@ pub struct HarnessArgs {
     pub trace: Option<String>,
     /// Requests per stream (stream binaries only; `None` = binary default).
     pub requests: Option<usize>,
+    /// Repair policy (`sim_exp` only; `None` = compare all policies).
+    pub policy: Option<String>,
+    /// Simulation horizon (`sim_exp` only; `None` = binary default).
+    pub duration: Option<f64>,
+    /// Audit period of the periodic-audit policy (`sim_exp` only).
+    pub audit_interval: Option<f64>,
 }
 
 impl Default for HarnessArgs {
@@ -409,6 +415,9 @@ impl Default for HarnessArgs {
             ilp: true,
             trace: None,
             requests: None,
+            policy: None,
+            duration: None,
+            audit_interval: None,
         }
     }
 }
@@ -435,6 +444,14 @@ impl HarnessArgs {
                 "--requests" => {
                     out.requests = Some(value("--requests")?.parse().map_err(|e| format!("{e}"))?)
                 }
+                "--policy" => out.policy = Some(value("--policy")?),
+                "--duration" => {
+                    out.duration = Some(value("--duration")?.parse().map_err(|e| format!("{e}"))?)
+                }
+                "--audit-interval" => {
+                    out.audit_interval =
+                        Some(value("--audit-interval")?.parse().map_err(|e| format!("{e}"))?)
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -443,6 +460,12 @@ impl HarnessArgs {
         }
         if out.requests == Some(0) {
             return Err("--requests must be >= 1".into());
+        }
+        if out.duration.is_some_and(|d| !(d > 0.0 && d.is_finite())) {
+            return Err("--duration must be positive".into());
+        }
+        if out.audit_interval.is_some_and(|d| !(d > 0.0 && d.is_finite())) {
+            return Err("--audit-interval must be positive".into());
         }
         Ok(out)
     }
@@ -551,6 +574,18 @@ mod tests {
         assert!(!args.ilp);
         assert_eq!(args.trace.as_deref(), Some("t.jsonl"));
         assert_eq!(args.requests, Some(200));
+        let sim_args = HarnessArgs::parse(
+            ["--policy", "reactive", "--duration", "750.5", "--audit-interval", "4"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(sim_args.policy.as_deref(), Some("reactive"));
+        assert_eq!(sim_args.duration, Some(750.5));
+        assert_eq!(sim_args.audit_interval, Some(4.0));
+        assert!(
+            HarnessArgs::parse(["--duration".to_string(), "-1".to_string()].into_iter()).is_err()
+        );
         assert!(
             HarnessArgs::parse(["--requests".to_string(), "0".to_string()].into_iter()).is_err()
         );

@@ -44,6 +44,40 @@ impl Default for Algorithm {
     }
 }
 
+impl Algorithm {
+    /// Display name of the configured algorithm.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Ilp(_) => "ILP",
+            Algorithm::Randomized(_) => "Randomized",
+            Algorithm::Heuristic(_) => "Heuristic",
+            Algorithm::Greedy(_) => "Greedy",
+        }
+    }
+
+    /// Run the configured algorithm on one instance with telemetry — the
+    /// single dispatch point every multi-request driver (the stream pipeline,
+    /// the failure/recovery simulator) shares. `rng` only feeds the
+    /// randomized algorithm; the others ignore it. Solver errors (ILP/LP
+    /// infeasibility, which well-formed instances never produce) panic, as
+    /// the callers have no meaningful recovery.
+    pub fn solve_traced<R: Rng + ?Sized>(
+        &self,
+        inst: &AugmentationInstance,
+        rng: &mut R,
+        rec: &mut Recorder,
+    ) -> Outcome {
+        match self {
+            Algorithm::Ilp(c) => ilp::solve_traced(inst, c, rec).expect("ILP solve"),
+            Algorithm::Randomized(c) => {
+                randomized::solve_traced(inst, c, rng, rec).expect("LP solve")
+            }
+            Algorithm::Heuristic(c) => heuristic::solve_traced(inst, c, rec),
+            Algorithm::Greedy(c) => greedy::solve_traced(inst, c, rec),
+        }
+    }
+}
+
 /// Stream-processing knobs.
 #[derive(Debug, Clone)]
 pub struct StreamConfig {
@@ -199,14 +233,7 @@ pub fn process_stream_traced<R: Rng + ?Sized>(
             }
         }
         let solve_started = Instant::now();
-        let outcome: Outcome = match &cfg.algorithm {
-            Algorithm::Ilp(c) => ilp::solve_traced(&inst, c, rec).expect("ILP solve in stream"),
-            Algorithm::Randomized(c) => {
-                randomized::solve_traced(&inst, c, rng, rec).expect("LP solve in stream")
-            }
-            Algorithm::Heuristic(c) => heuristic::solve_traced(&inst, c, rec),
-            Algorithm::Greedy(c) => greedy::solve_traced(&inst, c, rec),
-        };
+        let outcome: Outcome = cfg.algorithm.solve_traced(&inst, rng, rec);
         let solve_elapsed = solve_started.elapsed();
         rec.record_time("stream.solve", solve_elapsed);
         // Commit the secondaries' consumption (clamped at zero: the

@@ -1,0 +1,122 @@
+//! Property tests pinning the Monte-Carlo failure injector to the paper's
+//! closed forms: over random redundancy profiles, the empirical survival
+//! rate must sit within four binomial standard errors of the analytic
+//! `u_j = Π_i (1 − (1 − r_i)^{n_i})`, and each position's empirical outage
+//! rate must match its own `(1 − r_i)^{n_i}` term.
+
+use mecnet::graph::NodeId;
+use mecnet::vnf::VnfTypeId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use relaug::instance::{AugmentationInstance, Bin, FunctionSlot};
+use relaug::montecarlo::simulate_failures;
+use relaug::solution::Augmentation;
+
+const TRIALS: usize = 40_000;
+
+/// A redundancy profile: per chain position, the instance reliability plus
+/// how many shared (existing) and fresh secondaries back the primary.
+#[derive(Debug, Clone)]
+struct Profile {
+    funcs: Vec<(f64, usize, usize)>, // (reliability, existing_backups, secondaries)
+}
+
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    proptest::collection::vec((0.55f64..0.98, 0usize..3, 0usize..4), 1..=4)
+        .prop_map(|funcs| Profile { funcs })
+}
+
+/// Materialize the profile as an instance (one roomy bin) plus an
+/// augmentation holding the chosen secondary counts.
+fn build(profile: &Profile) -> (AugmentationInstance, Augmentation) {
+    let functions: Vec<FunctionSlot> = profile
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(i, &(reliability, existing, _))| FunctionSlot {
+            vnf: VnfTypeId(i),
+            demand: 100.0,
+            reliability,
+            primary: NodeId(0),
+            eligible_bins: vec![0],
+            max_secondaries: 16,
+            existing_backups: existing,
+        })
+        .collect();
+    let inst = AugmentationInstance {
+        functions,
+        bins: vec![Bin { node: NodeId(0), residual: 1e9 }],
+        l: 1,
+        expectation: 0.99,
+    };
+    let mut aug = Augmentation::empty(profile.funcs.len());
+    for (i, &(_, _, secondaries)) in profile.funcs.iter().enumerate() {
+        if secondaries > 0 {
+            aug.add(i, 0, secondaries);
+        }
+    }
+    (inst, aug)
+}
+
+/// Total instances at position `i`: primary + shared + fresh secondaries.
+fn instances_at(profile: &Profile, i: usize) -> usize {
+    let (_, existing, secondaries) = profile.funcs[i];
+    1 + existing + secondaries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn survival_is_within_four_stderr_of_analytic_u(
+        profile in arb_profile(),
+        seed in 0u64..64,
+    ) {
+        let (inst, aug) = build(&profile);
+        let analytic: f64 = profile
+            .funcs
+            .iter()
+            .enumerate()
+            .map(|(i, &(r, _, _))| 1.0 - (1.0 - r).powi(instances_at(&profile, i) as i32))
+            .product();
+        prop_assert!((aug.reliability(&inst) - analytic).abs() < 1e-12,
+            "closed form disagrees with Augmentation::reliability");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let report = simulate_failures(&inst, &aug, TRIALS, &mut rng);
+        // Binomial stderr at the analytic mean, floored to keep the band
+        // meaningful when u_j is very close to 1.
+        let stderr = (analytic * (1.0 - analytic) / TRIALS as f64).sqrt().max(2.5e-4);
+        prop_assert!((report.survival_rate - analytic).abs() < 4.0 * stderr,
+            "MC {} vs analytic {analytic} (4σ = {})", report.survival_rate, 4.0 * stderr);
+        prop_assert!((report.survival_stderr() - stderr).abs() < 5.0 * stderr,
+            "reported stderr {} inconsistent with binomial {stderr}", report.survival_stderr());
+    }
+
+    #[test]
+    fn outage_rate_matches_per_position_formula(
+        profile in arb_profile(),
+        seed in 0u64..64,
+    ) {
+        let (inst, aug) = build(&profile);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
+        let report = simulate_failures(&inst, &aug, TRIALS, &mut rng);
+        prop_assert_eq!(report.outage_rate.len(), profile.funcs.len());
+        for (i, &(r, _, _)) in profile.funcs.iter().enumerate() {
+            let q = (1.0 - r).powi(instances_at(&profile, i) as i32);
+            let stderr = (q * (1.0 - q) / TRIALS as f64).sqrt().max(2.5e-4);
+            prop_assert!((report.outage_rate[i] - q).abs() < 4.0 * stderr,
+                "position {i}: outage {} vs (1-r)^n = {q} (4σ = {})",
+                report.outage_rate[i], 4.0 * stderr);
+        }
+        // Survival and outages must be consistent within one run: a request
+        // survives exactly when no position is in outage, so survival can
+        // never exceed the smallest per-position live probability.
+        let min_live = report
+            .outage_rate
+            .iter()
+            .map(|&q| 1.0 - q)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(report.survival_rate <= min_live + 1e-12);
+    }
+}

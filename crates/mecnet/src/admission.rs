@@ -94,6 +94,22 @@ pub fn random_placement_capacity_aware<R: Rng + ?Sized>(
     Some(PrimaryPlacement { locations })
 }
 
+/// Release an admitted placement's primary demands back into `residual` —
+/// the exact inverse of the debit [`random_placement_capacity_aware`]
+/// performed, for when the request departs (or admission must be unwound).
+/// Secondary demands are released separately by whoever committed them.
+pub fn release_placement(
+    net: &MecNetwork,
+    demands: &[f64],
+    placement: &PrimaryPlacement,
+    residual: &mut [f64],
+) {
+    assert_eq!(demands.len(), placement.len(), "one demand per placed primary");
+    for (&demand, &node) in demands.iter().zip(&placement.locations) {
+        net.release_capacity(residual, node, demand);
+    }
+}
+
 /// Maximum-reliability placement via the layered DAG of Ma et al.
 ///
 /// `link_reliability` is the per-hop reliability of network links (1.0 makes
@@ -267,6 +283,28 @@ mod tests {
         let before = residual.clone();
         let q = random_placement_capacity_aware(&net, &req, &demands, &mut residual, &mut rng);
         assert!(q.is_none());
+        assert_eq!(residual, before);
+    }
+
+    #[test]
+    fn admit_then_release_round_trips_residual_exactly() {
+        let net = line_net();
+        let req = two_fn_request();
+        let mut rng = StdRng::seed_from_u64(7);
+        let demands = [1250.0, 750.0];
+        let mut residual = vec![0.0, 5000.0, 0.0, 5000.0, 0.0];
+        let before = residual.clone();
+        let p = random_placement_capacity_aware(&net, &req, &demands, &mut residual, &mut rng)
+            .expect("plenty of room");
+        assert_ne!(residual, before, "admission must debit");
+        release_placement(&net, &demands, &p, &mut residual);
+        assert_eq!(residual, before, "admit -> release must round-trip exactly");
+        // Repeatedly admitting and releasing never drifts.
+        for _ in 0..50 {
+            let p = random_placement_capacity_aware(&net, &req, &demands, &mut residual, &mut rng)
+                .unwrap();
+            release_placement(&net, &demands, &p, &mut residual);
+        }
         assert_eq!(residual, before);
     }
 

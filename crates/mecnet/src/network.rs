@@ -97,6 +97,25 @@ impl MecNetwork {
     pub fn max_capacity(&self) -> f64 {
         self.capacity.iter().copied().fold(0.0, f64::max)
     }
+
+    /// Return `amount` MHz of previously-debited capacity to node `v`'s
+    /// residual — the inverse of an admission/augmentation debit, used when a
+    /// request departs or an instance is permanently lost. Only ever hand
+    /// back what was actually taken: the release must not lift the residual
+    /// above the node's full capacity `C_v`.
+    pub fn release_capacity(&self, residual: &mut [f64], v: NodeId, amount: f64) {
+        assert_eq!(residual.len(), self.capacity.len(), "residual must cover all nodes");
+        assert!(amount >= 0.0 && amount.is_finite(), "release amount must be >= 0");
+        let idx = v.index();
+        let restored = residual[idx] + amount;
+        assert!(
+            restored <= self.capacity[idx] + 1e-6,
+            "release of {amount} MHz would lift node {idx} above its capacity \
+             ({restored} > {})",
+            self.capacity[idx]
+        );
+        residual[idx] = restored.min(self.capacity[idx]);
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +166,27 @@ mod tests {
     #[should_panic(expected = "capacity vector")]
     fn mismatched_capacity_length_panics() {
         MecNetwork::new(topology::ring(3), vec![1.0]);
+    }
+
+    #[test]
+    fn release_restores_debited_capacity_exactly() {
+        let g = topology::ring(4);
+        let net = MecNetwork::new(g, vec![1000.0, 0.0, 2000.0, 0.0]);
+        let mut residual = net.residual_capacities(0.5);
+        let before = residual.clone();
+        residual[0] -= 300.0;
+        residual[2] -= 450.0;
+        net.release_capacity(&mut residual, NodeId(0), 300.0);
+        net.release_capacity(&mut residual, NodeId(2), 450.0);
+        assert_eq!(residual, before, "debit then release must round-trip exactly");
+    }
+
+    #[test]
+    #[should_panic(expected = "above its capacity")]
+    fn release_beyond_capacity_panics() {
+        let g = topology::ring(3);
+        let net = MecNetwork::new(g, vec![1000.0, 0.0, 0.0]);
+        let mut residual = vec![900.0, 0.0, 0.0];
+        net.release_capacity(&mut residual, NodeId(0), 200.0);
     }
 }

@@ -1,0 +1,85 @@
+//! Stochastic processes of the simulator: exponential inter-event times and
+//! the derivation tying each instance's failure/repair clocks to the
+//! catalog's reliability `r_i`.
+//!
+//! An instance alternates exponentially-distributed up periods (mean MTBF)
+//! and down periods (mean MTTR). The long-run fraction of time it is up —
+//! its steady-state availability — is `MTBF / (MTBF + MTTR)`. The paper
+//! treats `r_i` as exactly that availability, so given an operator-chosen
+//! MTTR the simulator derives `MTBF_i = MTTR · r_i / (1 − r_i)`; the
+//! analytic `u_j = Π_i (1 − (1 − r_i)^{n_i})` is then the steady-state
+//! probability the whole chain is served, which the time-weighted empirical
+//! availability of a long `NoRepair` run must converge to.
+
+use rand::Rng;
+
+/// Sample an exponential holding time with the given mean (inverse-CDF).
+pub fn sample_exp<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> f64 {
+    assert!(mean > 0.0 && mean.is_finite(), "mean must be positive");
+    let u: f64 = rng.gen(); // in [0, 1)
+    -mean * (1.0 - u).ln()
+}
+
+/// Mean time between failures giving steady-state availability `r` at mean
+/// repair time `mttr`: `MTBF = MTTR · r / (1 − r)`. `None` for `r >= 1`
+/// (a perfectly reliable instance never fails).
+pub fn mtbf_for_availability(r: f64, mttr: f64) -> Option<f64> {
+    assert!(r > 0.0 && r <= 1.0, "reliability must be in (0, 1]");
+    assert!(mttr > 0.0 && mttr.is_finite(), "MTTR must be positive");
+    (r < 1.0).then(|| mttr * r / (1.0 - r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mtbf_matches_availability_identity() {
+        for &(r, mttr) in &[(0.8, 1.0), (0.9, 2.5), (0.55, 0.25), (0.999, 10.0)] {
+            let mtbf = mtbf_for_availability(r, mttr).unwrap();
+            let availability = mtbf / (mtbf + mttr);
+            assert!((availability - r).abs() < 1e-12, "r={r} mttr={mttr}: got {availability}");
+        }
+        assert_eq!(mtbf_for_availability(1.0, 1.0), None);
+    }
+
+    #[test]
+    fn exponential_sample_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let mean = 3.5;
+        let sum: f64 = (0..n).map(|_| sample_exp(mean, &mut rng)).sum();
+        let empirical = sum / n as f64;
+        // Standard error is mean/sqrt(n) ≈ 0.008; allow 5 sigma.
+        assert!((empirical - mean).abs() < 0.04, "empirical mean {empirical}");
+    }
+
+    #[test]
+    fn samples_are_positive_and_finite() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = sample_exp(0.01, &mut rng);
+            assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn simulated_two_state_process_hits_target_availability() {
+        // Alternate Exp(MTBF) up / Exp(MTTR) down periods and measure the
+        // up fraction: the closed loop behind the whole simulator.
+        let (r, mttr) = (0.85, 2.0);
+        let mtbf = mtbf_for_availability(r, mttr).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let (mut up_time, mut total) = (0.0, 0.0);
+        for _ in 0..60_000 {
+            let up = sample_exp(mtbf, &mut rng);
+            let down = sample_exp(mttr, &mut rng);
+            up_time += up;
+            total += up + down;
+        }
+        let availability = up_time / total;
+        assert!((availability - r).abs() < 0.005, "measured {availability}, want {r}");
+    }
+}
