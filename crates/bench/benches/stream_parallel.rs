@@ -1,0 +1,151 @@
+//! Sequential-vs-parallel admission throughput benchmark.
+//!
+//! Pushes one fixed request stream through `relaug::parallel` at several
+//! worker counts, prints the criterion timings, and records the measured
+//! throughput into `BENCH_stream.json` at the workspace root (the CI
+//! artifact). Worker counts beyond the machine's core count are still run —
+//! the JSON records `cores` so a reader can judge which speedups were
+//! physically attainable — and every parallel run is checked byte-identical
+//! to the sequential baseline before its timing is trusted.
+
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mecnet::request::SfcRequest;
+use mecnet::workload::{generate_catalog, generate_network, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use relaug::parallel::{process_stream_parallel, ParallelConfig};
+use relaug::stream::{Algorithm, StreamConfig, StreamOutcome};
+use serde::Value;
+
+const SEED: u64 = 42;
+const REQUESTS: usize = 120;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Hand-timed repetitions per worker count for the JSON record (criterion's
+/// printed numbers come from its own sampling loop).
+const RECORD_REPS: usize = 5;
+
+struct Fixture {
+    network: mecnet::MecNetwork,
+    catalog: mecnet::vnf::VnfCatalog,
+    requests: Vec<SfcRequest>,
+}
+
+fn fixture() -> Fixture {
+    let wl = WorkloadConfig::default();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let network = generate_network(&wl, &mut rng);
+    let catalog = generate_catalog(&wl, &mut rng);
+    let requests = (0..REQUESTS)
+        .map(|i| SfcRequest::random(i, &catalog, (3, 6), 0.99, wl.nodes, &mut rng))
+        .collect();
+    Fixture { network, catalog, requests }
+}
+
+fn run(fx: &Fixture, workers: usize) -> StreamOutcome {
+    let pcfg = ParallelConfig {
+        stream: StreamConfig {
+            algorithm: Algorithm::Heuristic(Default::default()),
+            ..Default::default()
+        },
+        workers,
+        seed: SEED,
+        max_inflight: 0,
+    };
+    process_stream_parallel(&fx.network, &fx.catalog, &fx.requests, &pcfg)
+}
+
+struct WorkerResult {
+    workers: usize,
+    mean_s: f64,
+    min_s: f64,
+    throughput_rps: f64,
+    speedup_vs_sequential: f64,
+    identical_to_sequential: bool,
+}
+
+impl WorkerResult {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("workers".into(), Value::U64(self.workers as u64)),
+            ("mean_s".into(), Value::F64(self.mean_s)),
+            ("min_s".into(), Value::F64(self.min_s)),
+            ("throughput_rps".into(), Value::F64(self.throughput_rps)),
+            ("speedup_vs_sequential".into(), Value::F64(self.speedup_vs_sequential)),
+            ("identical_to_sequential".into(), Value::Bool(self.identical_to_sequential)),
+        ])
+    }
+}
+
+fn bench_stream_parallel(c: &mut Criterion) {
+    let fx = fixture();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let baseline = run(&fx, 1);
+
+    let mut group = c.benchmark_group("stream_admission");
+    let mut results: Vec<WorkerResult> = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            b.iter(|| black_box(run(&fx, w)))
+        });
+
+        let mut total = 0.0f64;
+        let mut min_s = f64::INFINITY;
+        let mut identical = true;
+        for _ in 0..RECORD_REPS {
+            let started = Instant::now();
+            let out = black_box(run(&fx, workers));
+            let elapsed = started.elapsed().as_secs_f64();
+            total += elapsed;
+            min_s = min_s.min(elapsed);
+            identical &=
+                out.records == baseline.records && out.final_residual == baseline.final_residual;
+        }
+        let mean_s = total / RECORD_REPS as f64;
+        results.push(WorkerResult {
+            workers,
+            mean_s,
+            min_s,
+            throughput_rps: REQUESTS as f64 / mean_s,
+            speedup_vs_sequential: f64::NAN, // filled once the baseline mean is known
+            identical_to_sequential: identical,
+        });
+    }
+    group.finish();
+
+    let seq_mean = results[0].mean_s;
+    for r in &mut results {
+        r.speedup_vs_sequential = seq_mean / r.mean_s;
+    }
+
+    let json = render_json(cores, &results);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json");
+    std::fs::write(path, &json).expect("write BENCH_stream.json");
+    println!("wrote {path}");
+}
+
+fn render_json(cores: usize, results: &[WorkerResult]) -> String {
+    let report = Value::Obj(vec![
+        ("benchmark".into(), Value::Str("stream_parallel".into())),
+        ("cores".into(), Value::U64(cores as u64)),
+        ("requests".into(), Value::U64(REQUESTS as u64)),
+        ("seed".into(), Value::U64(SEED)),
+        ("algorithm".into(), Value::Str("heuristic".into())),
+        ("record_reps".into(), Value::U64(RECORD_REPS as u64)),
+        ("results".into(), Value::Arr(results.iter().map(WorkerResult::to_value).collect())),
+    ]);
+    let mut json = serde_json::to_string_pretty(&report).expect("report serializes");
+    json.push('\n');
+    json
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(4));
+    targets = bench_stream_parallel
+}
+criterion_main!(benches);

@@ -5,7 +5,7 @@
 //!
 //! Usage: `cargo run -p bench-harness --release --bin sim_exp --
 //! [--policy none|reactive|audit] [--duration T] [--seed S]
-//! [--audit-interval T] [--trace PATH] [--json PATH]`
+//! [--audit-interval T] [--trace PATH] [--json PATH] [--workers W]`
 //!
 //! Without `--policy`, all three policies run on the *same* seed (and thus
 //! the same arrival stream — the workload RNG is fanned out separately from
@@ -13,6 +13,11 @@
 //! the full `sim.*` event log as JSONL; runs are deterministic, so the same
 //! seed reproduces the trace byte for byte. `--json PATH` dumps every run's
 //! full SLO report.
+//!
+//! `--workers W` (default 1) runs the per-policy simulations on up to `W`
+//! threads. Policy runs are fully independent (each gets its own policy
+//! instance and telemetry recorder, merged back in policy order), so the
+//! tables, the JSON dump and the trace are byte-identical to `--workers 1`.
 
 use bench_harness::HarnessArgs;
 use expkit::Table;
@@ -75,10 +80,44 @@ fn main() {
         None => Recorder::noop(),
     };
 
-    let mut reports: Vec<SloReport> = Vec::new();
-    for policy in &policies {
-        reports.push(sim::run_traced(&network, &catalog, &cfg, policy.as_ref(), &mut rec));
-    }
+    let reports: Vec<SloReport> = if args.workers > 1 && policy_names.len() > 1 {
+        // Policy runs share nothing mutable: fan them out over a small thread
+        // pool, buffering each run's telemetry in a memory recorder, then
+        // merge the results back in policy order so output is byte-identical
+        // to the sequential path.
+        drop(policies);
+        let slots: Vec<std::sync::Mutex<Option<(SloReport, Recorder)>>> =
+            policy_names.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let trace_enabled = rec.enabled();
+        std::thread::scope(|scope| {
+            for _ in 0..args.workers.min(policy_names.len()) {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(name) = policy_names.get(idx) else { break };
+                    let policy = from_name(name, audit_interval).expect("validated above");
+                    let mut local =
+                        if trace_enabled { Recorder::memory() } else { Recorder::noop() };
+                    let report =
+                        sim::run_traced(&network, &catalog, &cfg, policy.as_ref(), &mut local);
+                    *slots[idx].lock().unwrap() = Some((report, local));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                let (report, local) = slot.into_inner().unwrap().expect("every slot filled");
+                rec.absorb(local);
+                report
+            })
+            .collect()
+    } else {
+        policies
+            .iter()
+            .map(|policy| sim::run_traced(&network, &catalog, &cfg, policy.as_ref(), &mut rec))
+            .collect()
+    };
 
     let mut table = Table::new(vec![
         "policy",

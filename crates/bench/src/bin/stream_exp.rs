@@ -4,8 +4,13 @@
 //! expectation-met rate, and the early-vs-late reliability erosion.
 //!
 //! Usage: `cargo run -p bench-harness --release --bin stream_exp --
-//! [--trials N] [--seed S] [--requests R] [--trace PATH]`
+//! [--trials N] [--seed S] [--requests R] [--trace PATH] [--workers W]`
 //! (trials = independent network/stream pairs).
+//!
+//! `--workers W` (default 1) runs each stream through the speculative
+//! parallel admission pipeline with `W` worker threads. Results and
+//! telemetry are byte-identical to `--workers 1` by construction — the
+//! flag only changes wall-clock time.
 //!
 //! `--trace PATH` writes the full telemetry of each algorithm's first stream
 //! as JSONL: exactly one `stream.request` event per request processed (with
@@ -21,7 +26,8 @@ use mecnet::workload::{generate_catalog, generate_network, WorkloadConfig};
 use obs::Recorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use relaug::stream::{process_stream, process_stream_traced, Algorithm, StreamConfig};
+use relaug::parallel::{process_stream_parallel, process_stream_parallel_traced, ParallelConfig};
+use relaug::stream::{Algorithm, StreamConfig};
 
 fn main() {
     let args = match HarnessArgs::parse(std::env::args().skip(1)) {
@@ -34,7 +40,12 @@ fn main() {
     let trials = args.trials.min(200);
     let requests_per_stream = args.requests.unwrap_or(100);
     println!(
-        "## Stream experiment — {requests_per_stream} requests per stream, {trials} streams\n"
+        "## Stream experiment — {requests_per_stream} requests per stream, {trials} streams{}\n",
+        if args.workers > 1 {
+            format!(", {} pipeline workers", args.workers)
+        } else {
+            String::new()
+        }
     );
 
     // Telemetry sink: the first stream of each algorithm runs traced — into
@@ -81,10 +92,14 @@ fn main() {
                 .map(|i| SfcRequest::random(i, &catalog, (3, 6), 0.99, wl.nodes, &mut rng))
                 .collect();
             let cfg = StreamConfig { algorithm: algorithm.clone(), ..Default::default() };
+            // Always route through the parallel pipeline: at `--workers 1` it
+            // delegates to the seeded sequential path, so the per-request
+            // derived RNGs make output independent of the worker count.
+            let pcfg = ParallelConfig { stream: cfg, workers: args.workers, seed, max_inflight: 0 };
             let out = if t == 0 {
-                process_stream_traced(&network, &catalog, &requests, &cfg, &mut rng, &mut rec)
+                process_stream_parallel_traced(&network, &catalog, &requests, &pcfg, &mut rec)
             } else {
-                process_stream(&network, &catalog, &requests, &cfg, &mut rng)
+                process_stream_parallel(&network, &catalog, &requests, &pcfg)
             };
             admitted.push(out.admitted() as f64);
             if let Some(m) = out.mean_reliability() {

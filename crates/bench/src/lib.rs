@@ -382,13 +382,17 @@ pub fn render_figure(points: &[PointResult]) -> String {
 }
 
 /// Tiny CLI-flag parser shared by the figure binaries:
-/// `--trials N --seed S --threads T --json PATH --greedy --no-ilp
-/// --trace PATH --requests N --policy NAME --duration T --audit-interval T`.
+/// `--trials N --seed S --threads T --workers W --json PATH --greedy
+/// --no-ilp --trace PATH --requests N --policy NAME --duration T
+/// --audit-interval T`.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
     pub trials: usize,
     pub seed: u64,
     pub threads: usize,
+    /// Worker threads for the parallel admission pipeline (`stream_exp`) or
+    /// the per-policy fan-out (`sim_exp`). `1` = sequential.
+    pub workers: usize,
     pub json: Option<String>,
     pub greedy: bool,
     pub ilp: bool,
@@ -410,6 +414,7 @@ impl Default for HarnessArgs {
             trials: 40,
             seed: 0xC0FFEE,
             threads: default_threads(),
+            workers: 1,
             json: None,
             greedy: false,
             ilp: true,
@@ -437,6 +442,9 @@ impl HarnessArgs {
                 "--threads" => {
                     out.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?
                 }
+                "--workers" => {
+                    out.workers = value("--workers")?.parse().map_err(|e| format!("{e}"))?
+                }
                 "--json" => out.json = Some(value("--json")?),
                 "--greedy" => out.greedy = true,
                 "--no-ilp" => out.ilp = false,
@@ -457,6 +465,9 @@ impl HarnessArgs {
         }
         if out.trials == 0 {
             return Err("--trials must be >= 1".into());
+        }
+        if out.workers == 0 {
+            return Err("--workers must be >= 1".into());
         }
         if out.requests == Some(0) {
             return Err("--requests must be >= 1".into());

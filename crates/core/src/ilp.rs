@@ -434,7 +434,6 @@ pub fn solve_traced(
                 .with("pruned_bound", s.pruned_bound)
                 .with("pruned_infeasible", s.pruned_infeasible)
                 .with("secondaries", sub_aug.total_secondaries())
-                .with("solve_s", comp_elapsed.as_secs_f64())
         });
         for (local_f, &global_f) in funcs.iter().enumerate() {
             for &(local_b, count) in sub_aug.placements_of(local_f) {

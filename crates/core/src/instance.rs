@@ -25,7 +25,7 @@ pub struct Bin {
 
 /// One chain position: a function, its primary's location, and its candidate
 /// bins.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FunctionSlot {
     pub vnf: VnfTypeId,
     /// Per-instance computing demand `c(f_i)` in MHz.
@@ -82,7 +82,12 @@ impl FunctionSlot {
 }
 
 /// The full instance handed to the algorithms.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every input the solvers read (functions, bins with
+/// exact residuals, `l`, expectation): two equal instances are guaranteed to
+/// produce bit-identical solver runs given equal RNG state — the conflict
+/// check the speculative parallel pipeline relies on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct AugmentationInstance {
     pub functions: Vec<FunctionSlot>,
     pub bins: Vec<Bin>,
@@ -145,6 +150,38 @@ impl AugmentationInstance {
             })
             .collect();
         AugmentationInstance { functions, bins, l, expectation: request.expectation }
+    }
+
+    /// Like [`AugmentationInstance::new`], but the bin set is restricted to
+    /// cloudlets inside the union of the closed `l`-hop neighborhoods of the
+    /// primaries — the only nodes whose residual capacity the solvers can
+    /// ever read or write for this request.
+    ///
+    /// Solutions and metrics are identical in value to the full-bin
+    /// construction (eligibility is already `l`-local); what changes is that
+    /// the instance stops depending on the residual state of *unrelated*
+    /// cloudlets. The stream pipelines build instances this way so that two
+    /// constructions agree (`==`) exactly when the request-relevant slice of
+    /// the network agrees — the conflict test that lets the parallel engine
+    /// commit speculative solves untouched.
+    pub fn new_localized(
+        network: &MecNetwork,
+        catalog: &VnfCatalog,
+        request: &SfcRequest,
+        placement: &[NodeId],
+        residual: &[f64],
+        l: u32,
+    ) -> Self {
+        assert_eq!(residual.len(), network.num_nodes(), "residual must cover all nodes");
+        let mut relevant = vec![false; network.num_nodes()];
+        for &primary in placement {
+            for u in network.graph().l_neighborhood_closed(primary, l) {
+                relevant[u.index()] = true;
+            }
+        }
+        let masked: Vec<f64> =
+            residual.iter().enumerate().map(|(v, &c)| if relevant[v] { c } else { 0.0 }).collect();
+        AugmentationInstance::new(network, catalog, request, placement, &masked, l)
     }
 
     /// Build from a generated [`Scenario`] with locality radius `l`.
@@ -345,6 +382,36 @@ mod tests {
         assert_eq!(inst.total_items(), 0);
         assert_eq!(inst.item_count_bound(), 0);
         assert!(inst.items(0.0).is_empty());
+    }
+
+    #[test]
+    fn localized_instance_keeps_eligibility_and_drops_far_bins() {
+        let (net, cat, req) = fixture();
+        let placement = [NodeId(1), NodeId(1)];
+        let residual = vec![0.0, 1000.0, 800.0, 600.0];
+        let full = AugmentationInstance::new(&net, &cat, &req, &placement, &residual, 1);
+        let local = AugmentationInstance::new_localized(&net, &cat, &req, &placement, &residual, 1);
+        // N_1^+(1) = {0, 1, 2}: the cloudlet at node 3 is irrelevant and gone.
+        let local_nodes: Vec<NodeId> = local.bins.iter().map(|b| b.node).collect();
+        assert_eq!(local_nodes, vec![NodeId(1), NodeId(2)]);
+        assert!(full.bins.len() > local.bins.len());
+        // Same eligible hosts and item counts per function.
+        for (lf, ff) in local.functions.iter().zip(&full.functions) {
+            let lh: Vec<NodeId> = lf.eligible_bins.iter().map(|&b| local.bins[b].node).collect();
+            let fh: Vec<NodeId> = ff.eligible_bins.iter().map(|&b| full.bins[b].node).collect();
+            assert_eq!(lh, fh);
+            assert_eq!(lf.max_secondaries, ff.max_secondaries);
+        }
+        assert_eq!(local.total_items(), full.total_items());
+        // Changing residual outside the neighborhood changes the full
+        // construction but not the localized one — the conflict-check
+        // property the parallel pipeline needs.
+        let mut far = residual.clone();
+        far[3] = 100.0;
+        let local2 = AugmentationInstance::new_localized(&net, &cat, &req, &placement, &far, 1);
+        assert_eq!(local, local2);
+        let full2 = AugmentationInstance::new(&net, &cat, &req, &placement, &far, 1);
+        assert_ne!(full, full2);
     }
 
     #[test]

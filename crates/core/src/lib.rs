@@ -47,6 +47,7 @@ pub mod heuristic;
 pub mod ilp;
 pub mod instance;
 pub mod montecarlo;
+pub mod parallel;
 pub mod randomized;
 pub mod reliability;
 pub mod report;

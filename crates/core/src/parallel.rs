@@ -1,0 +1,267 @@
+//! Parallel admission pipeline with a deterministic, sequenced commit.
+//!
+//! Requests fan out over a pool of worker threads that solve augmentation
+//! *speculatively* against capacity snapshots; a coordinator commits results
+//! strictly in arrival order through the network's two-phase reserve/commit
+//! ledger ([`mecnet::MecNetwork::try_reserve`]). A speculation is valid iff
+//! the authoritative admission replay lands on the same primary placement
+//! *and* the rebuilt (localized) [`crate::AugmentationInstance`] compares
+//! equal to the one the worker solved — instance equality plus the
+//! per-request derived RNG guarantees the solver would reproduce the
+//! speculated outcome bit for bit, so reusing it is sound. On a mismatch the
+//! request is re-solved inline on the authoritative state, which is exactly
+//! the sequential computation. Either way every commit equals what
+//! [`crate::stream::process_stream_seeded`] produces, so the pipeline is
+//! **byte-identical to the sequential one for the same seed and arrival
+//! order**, for any worker count and any thread timing.
+//!
+//! Telemetry follows the same discipline: workers record solver events into
+//! private memory recorders, and the coordinator absorbs them into the main
+//! recorder at commit time — i.e. ordered by request sequence, not by
+//! completion time ([`obs::Recorder::absorb`]).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use crossbeam::channel;
+use mecnet::network::MecNetwork;
+use mecnet::request::SfcRequest;
+use mecnet::vnf::VnfCatalog;
+use obs::Recorder;
+
+use crate::stream::{
+    commit_request, process_stream_seeded_traced, speculate, PipelineState, Speculation,
+    StreamConfig, StreamOutcome,
+};
+
+/// Knobs for the parallel engine.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    pub stream: StreamConfig,
+    /// Worker threads. `1` runs the sequential seeded pipeline inline.
+    pub workers: usize,
+    /// Base seed for the per-request derived RNGs.
+    pub seed: u64,
+    /// Cap on dispatched-but-uncommitted requests (`0` = `2 * workers`).
+    /// Small windows keep snapshots fresh (fewer conflicts); large windows
+    /// keep workers busier.
+    pub max_inflight: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig { stream: StreamConfig::default(), workers: 1, seed: 0, max_inflight: 0 }
+    }
+}
+
+/// Immutable state snapshot a speculation runs against.
+struct Snapshot {
+    residual: Vec<f64>,
+    deployed: Option<HashMap<(usize, usize), usize>>,
+}
+
+/// Process a request stream with `cfg.workers` speculative workers.
+///
+/// Byte-identical to [`crate::stream::process_stream_seeded`] with the same
+/// `(cfg.stream, cfg.seed)` — see the module docs for why.
+pub fn process_stream_parallel(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    requests: &[SfcRequest],
+    cfg: &ParallelConfig,
+) -> StreamOutcome {
+    process_stream_parallel_traced(network, catalog, requests, cfg, &mut Recorder::noop())
+}
+
+/// [`process_stream_parallel`] with telemetry. After the deterministic merge
+/// the recorder's event stream is identical to the sequential pipeline's;
+/// `stream.conflicts` counts speculations the commit step had to redo (a
+/// counter, not an event, so it never perturbs the JSONL stream).
+pub fn process_stream_parallel_traced(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    requests: &[SfcRequest],
+    cfg: &ParallelConfig,
+    rec: &mut Recorder,
+) -> StreamOutcome {
+    assert!(cfg.workers >= 1, "need at least one worker");
+    if cfg.workers == 1 || requests.len() <= 1 {
+        return process_stream_seeded_traced(
+            network,
+            catalog,
+            requests,
+            &cfg.stream,
+            cfg.seed,
+            rec,
+        );
+    }
+    let traced = rec.enabled();
+    let max_inflight = if cfg.max_inflight == 0 { 2 * cfg.workers } else { cfg.max_inflight };
+    let mut state = PipelineState::new(network, &cfg.stream);
+    let mut records = Vec::with_capacity(requests.len());
+    let (job_tx, job_rx) = channel::unbounded::<(usize, Arc<Snapshot>)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, Speculation)>();
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let stream_cfg = &cfg.stream;
+            let seed = cfg.seed;
+            scope.spawn(move || {
+                for (k, snapshot) in job_rx.iter() {
+                    let spec = speculate(
+                        network,
+                        catalog,
+                        stream_cfg,
+                        seed,
+                        k,
+                        &requests[k],
+                        &snapshot.residual,
+                        snapshot.deployed.as_ref(),
+                        traced,
+                    );
+                    if res_tx.send((k, spec)).is_err() {
+                        break; // coordinator gone
+                    }
+                }
+            });
+        }
+        // The coordinator holds the only remaining result receiver and job
+        // sender; dropping the worker-side clones here lets disconnection
+        // propagate when the loop below finishes.
+        drop(job_rx);
+        drop(res_tx);
+        let mut next_dispatch = 0usize;
+        // Completed speculations that arrived ahead of their commit turn.
+        let mut pending: BTreeMap<usize, Speculation> = BTreeMap::new();
+        for k in 0..requests.len() {
+            // Keep the window full, always snapshotting the freshest
+            // committed state available at dispatch time.
+            while next_dispatch < requests.len() && next_dispatch - k < max_inflight {
+                let snapshot = Arc::new(Snapshot {
+                    residual: state.residual.clone(),
+                    deployed: state.deployed.clone(),
+                });
+                job_tx.send((next_dispatch, snapshot)).expect("workers alive");
+                next_dispatch += 1;
+            }
+            let spec = loop {
+                if let Some(spec) = pending.remove(&k) {
+                    break spec;
+                }
+                let (done_k, spec) = res_rx.recv().expect("workers alive while jobs pending");
+                pending.insert(done_k, spec);
+            };
+            records.push(commit_request(
+                network,
+                catalog,
+                &cfg.stream,
+                cfg.seed,
+                k,
+                &requests[k],
+                &mut state,
+                Some(spec),
+                rec,
+            ));
+        }
+        drop(job_tx); // disconnect: workers drain and exit
+    });
+    StreamOutcome { records, final_residual: state.residual }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{process_stream_seeded, process_stream_seeded_traced, Algorithm};
+    use mecnet::topology;
+    use mecnet::vnf::VnfType;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (MecNetwork, VnfCatalog) {
+        let g = topology::grid(4, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = MecNetwork::with_random_cloudlets(g, 4, (2000.0, 3000.0), &mut rng);
+        let mut cat = VnfCatalog::new();
+        cat.add(VnfType { name: "a".into(), demand_mhz: 300.0, reliability: 0.85 });
+        cat.add(VnfType { name: "b".into(), demand_mhz: 400.0, reliability: 0.9 });
+        (net, cat)
+    }
+
+    fn make_requests(n: usize, cat: &VnfCatalog, nodes: usize, seed: u64) -> Vec<SfcRequest> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|i| SfcRequest::random(i, cat, (2, 2), 0.99, nodes, &mut rng)).collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_default_algorithm() {
+        let (net, cat) = setup();
+        let reqs = make_requests(30, &cat, net.num_nodes(), 7);
+        let seq = process_stream_seeded(&net, &cat, &reqs, &StreamConfig::default(), 11);
+        for workers in [1, 2, 4] {
+            let cfg = ParallelConfig { workers, seed: 11, ..Default::default() };
+            let par = process_stream_parallel(&net, &cat, &reqs, &cfg);
+            assert_eq!(par, seq, "workers={workers} must be byte-identical to sequential");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_sharing_and_randomized() {
+        let (net, cat) = setup();
+        let reqs = make_requests(20, &cat, net.num_nodes(), 8);
+        for algorithm in
+            [Algorithm::Randomized(Default::default()), Algorithm::Greedy(Default::default())]
+        {
+            let stream = StreamConfig { share_backups: true, algorithm, ..Default::default() };
+            let seq = process_stream_seeded(&net, &cat, &reqs, &stream, 5);
+            let cfg = ParallelConfig { stream, workers: 3, seed: 5, ..Default::default() };
+            let par = process_stream_parallel(&net, &cat, &reqs, &cfg);
+            assert_eq!(par, seq);
+        }
+    }
+
+    #[test]
+    fn merged_telemetry_matches_sequential_event_stream() {
+        let (net, cat) = setup();
+        let reqs = make_requests(25, &cat, net.num_nodes(), 9);
+        let stream = StreamConfig::default();
+        let mut seq_rec = Recorder::memory();
+        let seq = process_stream_seeded_traced(&net, &cat, &reqs, &stream, 3, &mut seq_rec);
+        let cfg = ParallelConfig { stream, workers: 4, seed: 3, ..Default::default() };
+        let mut par_rec = Recorder::memory();
+        let par = process_stream_parallel_traced(&net, &cat, &reqs, &cfg, &mut par_rec);
+        assert_eq!(par, seq);
+        assert_eq!(
+            par_rec.events(),
+            seq_rec.events(),
+            "deterministic merge must reorder worker events into sequence order"
+        );
+        assert_eq!(par_rec.counter("stream.admitted"), seq_rec.counter("stream.admitted"));
+        assert_eq!(par_rec.counter("stream.rejected"), seq_rec.counter("stream.rejected"));
+    }
+
+    #[test]
+    fn tight_capacity_forces_conflicts_but_not_divergence() {
+        // A nearly-full network maximizes speculation conflicts (every commit
+        // moves the residual the later speculations snapshotted); the merge
+        // must still be exact.
+        let (net, cat) = setup();
+        let reqs = make_requests(40, &cat, net.num_nodes(), 10);
+        let stream = StreamConfig { initial_capacity_fraction: 0.35, ..Default::default() };
+        let seq = process_stream_seeded(&net, &cat, &reqs, &stream, 2);
+        let cfg = ParallelConfig { stream, workers: 4, max_inflight: 8, seed: 2 };
+        let par = process_stream_parallel(&net, &cat, &reqs, &cfg);
+        assert_eq!(par, seq);
+        assert!(seq.rejected() > 0, "capacity pressure should reject something");
+    }
+
+    #[test]
+    fn single_worker_delegates_to_sequential() {
+        let (net, cat) = setup();
+        let reqs = make_requests(5, &cat, net.num_nodes(), 12);
+        let cfg = ParallelConfig { workers: 1, seed: 4, ..Default::default() };
+        let par = process_stream_parallel(&net, &cat, &reqs, &cfg);
+        let seq = process_stream_seeded(&net, &cat, &reqs, &StreamConfig::default(), 4);
+        assert_eq!(par, seq);
+    }
+}

@@ -90,7 +90,6 @@ pub fn solve_traced<R: Rng + ?Sized>(
             .with("variables", ilp.vars.len())
             .with("iterations", lp.iterations)
             .with("objective", lp.objective)
-            .with("solve_s", lp_elapsed.as_secs_f64())
     });
 
     // Group LP fractions per item: (bin, fraction) lists.

@@ -13,14 +13,17 @@
 //! single-request experiments cannot: early requests eat the capacity that
 //! late requests would have used for backups.
 
-use std::time::Instant;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
-use mecnet::admission::random_placement_capacity_aware;
+use mecnet::admission::{random_placement_capacity_aware, PrimaryPlacement};
+use mecnet::graph::NodeId;
 use mecnet::network::MecNetwork;
 use mecnet::request::SfcRequest;
 use mecnet::vnf::VnfCatalog;
 use obs::Recorder;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::heuristic::HeuristicConfig;
 use crate::ilp::IlpConfig;
@@ -106,7 +109,7 @@ impl Default for StreamConfig {
 }
 
 /// Per-request record of what happened.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestRecord {
     pub id: usize,
     pub admitted: bool,
@@ -119,7 +122,7 @@ pub struct RequestRecord {
 }
 
 /// Aggregate outcome of a processed stream.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamOutcome {
     pub records: Vec<RequestRecord>,
     /// Residual capacity per node after the whole stream.
@@ -274,6 +277,325 @@ pub fn process_stream_traced<R: Rng + ?Sized>(
         });
     }
     StreamOutcome { records, final_residual: residual }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded pipeline — the machinery shared by the seeded sequential driver and
+// the parallel engine in [`crate::parallel`].
+//
+// The legacy `process_stream` threads ONE caller-owned RNG through the
+// admission and solve of every request, which serializes the whole stream by
+// construction. The seeded pipeline instead derives an independent admission
+// RNG and solve RNG per request position `k` from a base seed, so any
+// request's computation is a pure function of (network state it sees, seed,
+// k) — exactly what speculative execution needs to replay bit-identically.
+// ---------------------------------------------------------------------------
+
+/// Domain-separation salts for the per-request derived RNG streams.
+const ADMIT_SALT: u64 = 0x0041_444d_4954; // "ADMIT"
+const SOLVE_SALT: u64 = 0x0053_4f4c_5645; // "SOLVE"
+
+/// splitmix64 finalizer — mixes the (seed, k, salt) triple into a seed with
+/// good avalanche so neighboring request positions get unrelated streams.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The RNG for request position `k`'s admission (`ADMIT_SALT`) or solve
+/// (`SOLVE_SALT`) step. Independent per (seed, k, salt), so a worker can
+/// compute request `k` without knowing how much randomness requests `0..k`
+/// consumed.
+pub(crate) fn request_rng(seed: u64, k: usize, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(splitmix64(seed ^ salt).wrapping_add(k as u64)))
+}
+
+/// Authoritative mutable state the commit step owns: the network residual and
+/// (when sharing is on) the deployed-instance ledger.
+pub(crate) struct PipelineState {
+    pub residual: Vec<f64>,
+    /// `Some` iff `share_backups`; `(VNF type, node) -> instances`.
+    pub deployed: Option<HashMap<(usize, usize), usize>>,
+}
+
+impl PipelineState {
+    pub(crate) fn new(network: &MecNetwork, cfg: &StreamConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.initial_capacity_fraction),
+            "capacity fraction must be in [0, 1]"
+        );
+        PipelineState {
+            residual: network.residual_capacities(cfg.initial_capacity_fraction),
+            deployed: cfg.share_backups.then(HashMap::new),
+        }
+    }
+}
+
+/// A worker's speculative result for one request, computed against a
+/// capacity snapshot. `placement: None` means the snapshot had no room for
+/// the primaries. The commit step validates the speculation against the
+/// authoritative state and reuses `outcome` only on an exact match.
+pub(crate) struct Speculation {
+    pub placement: Option<PrimaryPlacement>,
+    pub instance: Option<AugmentationInstance>,
+    pub outcome: Option<Outcome>,
+    /// Solver events captured in a private memory recorder (traced runs
+    /// only), replayed into the main recorder at commit in sequence order.
+    pub solver_rec: Option<Recorder>,
+    pub solve_elapsed: Duration,
+}
+
+/// Build the augmentation instance for an admitted request: localized to the
+/// primaries' `l`-neighborhoods (so equality is insensitive to unrelated
+/// commits elsewhere in the network) and, when sharing, seeded with the
+/// existing deployed instances in range.
+fn build_instance(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    cfg: &StreamConfig,
+    req: &SfcRequest,
+    placement: &PrimaryPlacement,
+    residual: &[f64],
+    deployed: Option<&HashMap<(usize, usize), usize>>,
+) -> AugmentationInstance {
+    let mut inst = AugmentationInstance::new_localized(
+        network,
+        catalog,
+        req,
+        &placement.locations,
+        residual,
+        cfg.l,
+    );
+    if let Some(deployed) = deployed {
+        for (i, f) in inst.functions.iter_mut().enumerate() {
+            let type_idx = req.sfc[i].index();
+            f.existing_backups = network
+                .graph()
+                .l_neighborhood_closed(f.primary, cfg.l)
+                .into_iter()
+                .filter_map(|u| deployed.get(&(type_idx, u.index())))
+                .sum();
+        }
+    }
+    inst
+}
+
+/// Speculatively process request `k` against a state snapshot: admit, build
+/// the instance, solve. Pure in (snapshot, seed, k) — no shared state is
+/// touched, so workers can run this concurrently and out of order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn speculate(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    cfg: &StreamConfig,
+    seed: u64,
+    k: usize,
+    req: &SfcRequest,
+    residual_snapshot: &[f64],
+    deployed_snapshot: Option<&HashMap<(usize, usize), usize>>,
+    traced: bool,
+) -> Speculation {
+    let demands: Vec<f64> = req.sfc.iter().map(|&f| catalog.demand(f)).collect();
+    let mut residual = residual_snapshot.to_vec();
+    let mut admit_rng = request_rng(seed, k, ADMIT_SALT);
+    let Some(placement) =
+        random_placement_capacity_aware(network, req, &demands, &mut residual, &mut admit_rng)
+    else {
+        return Speculation {
+            placement: None,
+            instance: None,
+            outcome: None,
+            solver_rec: None,
+            solve_elapsed: Duration::ZERO,
+        };
+    };
+    let inst = build_instance(network, catalog, cfg, req, &placement, &residual, deployed_snapshot);
+    let mut solve_rng = request_rng(seed, k, SOLVE_SALT);
+    let mut solver_rec = if traced { Recorder::memory() } else { Recorder::noop() };
+    let solve_started = Instant::now();
+    let outcome = cfg.algorithm.solve_traced(&inst, &mut solve_rng, &mut solver_rec);
+    Speculation {
+        placement: Some(placement),
+        instance: Some(inst),
+        outcome: Some(outcome),
+        solver_rec: traced.then_some(solver_rec),
+        solve_elapsed: solve_started.elapsed(),
+    }
+}
+
+/// Commit request `k` against the authoritative state, in sequence order.
+///
+/// Re-runs admission (cheap — it also applies the primaries' debits), then
+/// rebuilds the localized instance and compares it against the speculation.
+/// On an exact match ([`AugmentationInstance`] equality guarantees the solver
+/// would reproduce the speculated outcome bit for bit, given the same derived
+/// RNG) the speculated outcome is reused; otherwise the request is re-solved
+/// inline — which is *exactly* what the sequential pipeline would compute, so
+/// the merged result is byte-identical regardless of worker count or timing.
+/// Secondaries commit through the network's two-phase reserve/commit ledger;
+/// only the randomized algorithm can overcommit, in which case the debit
+/// falls back to the legacy clamp-at-zero semantics.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn commit_request(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    cfg: &StreamConfig,
+    seed: u64,
+    k: usize,
+    req: &SfcRequest,
+    state: &mut PipelineState,
+    spec: Option<Speculation>,
+    rec: &mut Recorder,
+) -> RequestRecord {
+    let demands: Vec<f64> = req.sfc.iter().map(|&f| catalog.demand(f)).collect();
+    let mut admit_rng = request_rng(seed, k, ADMIT_SALT);
+    let Some(placement) = random_placement_capacity_aware(
+        network,
+        req,
+        &demands,
+        &mut state.residual,
+        &mut admit_rng,
+    ) else {
+        rec.count("stream.rejected", 1);
+        rec.emit_with(|| {
+            stream_request_event(req.id, &state.residual)
+                .with("admitted", false)
+                .with("reason", "no_primary_placement")
+        });
+        return RequestRecord {
+            id: req.id,
+            admitted: false,
+            base_reliability: 0.0,
+            achieved_reliability: 0.0,
+            met_expectation: false,
+            secondaries: 0,
+        };
+    };
+    let inst = build_instance(
+        network,
+        catalog,
+        cfg,
+        req,
+        &placement,
+        &state.residual,
+        state.deployed.as_ref(),
+    );
+    let speculated = spec.is_some();
+    let valid = match &spec {
+        Some(s) => s.placement.as_ref() == Some(&placement) && s.instance.as_ref() == Some(&inst),
+        None => false,
+    };
+    let (outcome, solver_rec, solve_elapsed) = if valid {
+        let s = spec.unwrap();
+        (s.outcome.unwrap(), s.solver_rec, s.solve_elapsed)
+    } else {
+        if speculated {
+            rec.count("stream.conflicts", 1);
+        }
+        let mut solve_rng = request_rng(seed, k, SOLVE_SALT);
+        let mut solver_rec = if rec.enabled() { Recorder::memory() } else { Recorder::noop() };
+        let solve_started = Instant::now();
+        let outcome = cfg.algorithm.solve_traced(&inst, &mut solve_rng, &mut solver_rec);
+        (outcome, rec.enabled().then_some(solver_rec), solve_started.elapsed())
+    };
+    if let Some(solver_rec) = solver_rec {
+        rec.absorb(solver_rec);
+    }
+    rec.record_time("stream.solve", solve_elapsed);
+    // Commit the secondaries' consumption through the two-phase ledger —
+    // all-or-nothing against the authoritative residual. The feasible
+    // algorithms never exceed the bin residuals the instance advertised; the
+    // randomized rounding may, and then the debit falls back to the legacy
+    // clamp-at-zero (the overcommit shows up as unmet expectations later in
+    // the stream, not as negative capacity).
+    let loads = outcome.augmentation.bin_loads(&inst);
+    let debits: Vec<(NodeId, f64)> = loads
+        .iter()
+        .enumerate()
+        .filter(|&(_, &load)| load > 0.0)
+        .map(|(bin_idx, &load)| (inst.bins[bin_idx].node, load))
+        .collect();
+    match network.try_reserve(&mut state.residual, &debits) {
+        Ok(mut reservation) => {
+            network.commit(&mut reservation).expect("fresh reservation commits");
+        }
+        Err(_) => {
+            for &(node, load) in &debits {
+                let v = node.index();
+                state.residual[v] = (state.residual[v] - load).max(0.0);
+            }
+        }
+    }
+    if let Some(deployed) = state.deployed.as_mut() {
+        for (f, &loc) in req.sfc.iter().zip(&placement.locations) {
+            *deployed.entry((f.index(), loc.index())).or_insert(0) += 1;
+        }
+        for func in 0..inst.chain_len() {
+            let type_idx = req.sfc[func].index();
+            for &(bin_idx, count) in outcome.augmentation.placements_of(func) {
+                *deployed.entry((type_idx, inst.bins[bin_idx].node.index())).or_insert(0) += count;
+            }
+        }
+    }
+    rec.count("stream.admitted", 1);
+    // Unlike the legacy event this one carries no wall-clock field
+    // (`solve_s`): the JSONL stream must be byte-identical across worker
+    // counts, and wall time is the one thing speculation cannot replay.
+    // Solve time still lands in the `stream.solve` timing aggregate.
+    rec.emit_with(|| {
+        stream_request_event(req.id, &state.residual)
+            .with("admitted", true)
+            .with("base_reliability", outcome.metrics.base_reliability)
+            .with("achieved_reliability", outcome.metrics.reliability)
+            .with("met_expectation", outcome.metrics.met_expectation)
+            .with("secondaries", outcome.metrics.total_secondaries)
+    });
+    RequestRecord {
+        id: req.id,
+        admitted: true,
+        base_reliability: outcome.metrics.base_reliability,
+        achieved_reliability: outcome.metrics.reliability,
+        met_expectation: outcome.metrics.met_expectation,
+        secondaries: outcome.metrics.total_secondaries,
+    }
+}
+
+/// Sequential reference implementation of the seeded pipeline.
+///
+/// Same contract as [`process_stream`] but with per-request derived RNGs
+/// instead of one shared stream: the result depends only on `(network,
+/// catalog, requests, cfg, seed)`, never on how randomness interleaves.
+/// [`crate::parallel::process_stream_parallel`] is byte-identical to this for
+/// every worker count.
+pub fn process_stream_seeded(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    requests: &[SfcRequest],
+    cfg: &StreamConfig,
+    seed: u64,
+) -> StreamOutcome {
+    process_stream_seeded_traced(network, catalog, requests, cfg, seed, &mut Recorder::noop())
+}
+
+/// [`process_stream_seeded`] with telemetry; the event stream is identical to
+/// the parallel engine's after its deterministic merge.
+pub fn process_stream_seeded_traced(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    requests: &[SfcRequest],
+    cfg: &StreamConfig,
+    seed: u64,
+    rec: &mut Recorder,
+) -> StreamOutcome {
+    let mut state = PipelineState::new(network, cfg);
+    let records = requests
+        .iter()
+        .enumerate()
+        .map(|(k, req)| commit_request(network, catalog, cfg, seed, k, req, &mut state, None, rec))
+        .collect();
+    StreamOutcome { records, final_residual: state.residual }
 }
 
 /// Common prefix of a `stream.request` event: the request id plus a snapshot

@@ -36,6 +36,6 @@ pub mod vnf;
 pub mod workload;
 
 pub use graph::{Graph, NodeId};
-pub use network::MecNetwork;
+pub use network::{MecNetwork, Reservation, ReservationState, ReserveError};
 pub use request::SfcRequest;
 pub use vnf::{VnfCatalog, VnfType, VnfTypeId};

@@ -4,6 +4,74 @@
 use crate::graph::{Graph, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::fmt;
+
+/// Lifecycle of a [`Reservation`]: capacity is debited at `try_reserve`
+/// time, made permanent by `commit`, or returned by `abort`. Any transition
+/// out of a terminal state is a hard error in every build profile — this is
+/// what makes double-release/double-commit impossible to ship silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReservationState {
+    Pending,
+    Committed,
+    Aborted,
+}
+
+/// A two-phase capacity reservation: the set of per-node debits
+/// [`MecNetwork::try_reserve`] applied to a residual vector, awaiting
+/// [`MecNetwork::commit`] or [`MecNetwork::abort`]. The parallel admission
+/// pipeline reserves speculatively-solved secondary loads through this and
+/// commits them strictly in request-sequence order.
+#[derive(Debug)]
+#[must_use = "a pending reservation holds capacity until committed or aborted"]
+pub struct Reservation {
+    /// `(node index, amount)` pairs actually debited, one entry per node.
+    debits: Vec<(usize, f64)>,
+    state: ReservationState,
+}
+
+impl Reservation {
+    pub fn state(&self) -> ReservationState {
+        self.state
+    }
+
+    /// Total MHz held by this reservation.
+    pub fn total(&self) -> f64 {
+        self.debits.iter().map(|&(_, a)| a).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.debits.is_empty()
+    }
+}
+
+/// Why a reservation operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReserveError {
+    /// A node lacks the residual capacity for its requested debit; nothing
+    /// was debited.
+    Insufficient { node: NodeId, requested: f64, available: f64 },
+    /// `commit`/`abort` on a reservation that is not pending — a
+    /// double-commit, double-abort, or use-after-abort.
+    NotPending { state: ReservationState },
+}
+
+impl fmt::Display for ReserveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReserveError::Insufficient { node, requested, available } => write!(
+                f,
+                "insufficient capacity at node {node}: requested {requested} MHz, \
+                 available {available} MHz"
+            ),
+            ReserveError::NotPending { state } => {
+                write!(f, "reservation is not pending (state: {state:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReserveError {}
 
 /// A mobile edge-cloud network `G = (V, E)` with per-node cloudlet
 /// capacities (`C_v > 0` where a cloudlet is co-located, `C_v = 0`
@@ -116,6 +184,81 @@ impl MecNetwork {
         );
         residual[idx] = restored.min(self.capacity[idx]);
     }
+
+    /// Phase one of a two-phase capacity commit: debit every `(node,
+    /// amount)` pair from `residual`, all-or-nothing. On success the debits
+    /// are applied and a pending [`Reservation`] is returned; finish it with
+    /// [`MecNetwork::commit`] (debits become permanent) or
+    /// [`MecNetwork::abort`] (debits are returned). On failure `residual` is
+    /// left exactly as it was.
+    ///
+    /// Multiple debits against the same node are allowed and accumulate. A
+    /// `1e-9` slack absorbs floating-point drift in load sums; amounts must
+    /// be non-negative and finite.
+    pub fn try_reserve(
+        &self,
+        residual: &mut [f64],
+        debits: &[(NodeId, f64)],
+    ) -> Result<Reservation, ReserveError> {
+        assert_eq!(residual.len(), self.capacity.len(), "residual must cover all nodes");
+        // Merge per node first so the feasibility check sees the total
+        // demand against each node, not just the last increment.
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(debits.len());
+        for &(node, amount) in debits {
+            assert!(amount >= 0.0 && amount.is_finite(), "reserve amount must be >= 0");
+            if amount == 0.0 {
+                continue;
+            }
+            let idx = node.index();
+            match merged.iter_mut().find(|(n, _)| *n == idx) {
+                Some((_, a)) => *a += amount,
+                None => merged.push((idx, amount)),
+            }
+        }
+        for &(idx, amount) in &merged {
+            if residual[idx] + 1e-9 < amount {
+                return Err(ReserveError::Insufficient {
+                    node: NodeId(idx),
+                    requested: amount,
+                    available: residual[idx],
+                });
+            }
+        }
+        for &(idx, amount) in &merged {
+            residual[idx] = (residual[idx] - amount).max(0.0);
+        }
+        Ok(Reservation { debits: merged, state: ReservationState::Pending })
+    }
+
+    /// Phase two, success path: make a pending reservation's debits
+    /// permanent. Rejects (hard error, all build profiles) any reservation
+    /// that was already committed or aborted.
+    pub fn commit(&self, reservation: &mut Reservation) -> Result<(), ReserveError> {
+        if reservation.state != ReservationState::Pending {
+            return Err(ReserveError::NotPending { state: reservation.state });
+        }
+        reservation.state = ReservationState::Committed;
+        Ok(())
+    }
+
+    /// Phase two, failure path: return a pending reservation's debits to
+    /// `residual`. Rejects (hard error, all build profiles) any reservation
+    /// that was already committed or aborted — aborting twice would
+    /// double-release the capacity.
+    pub fn abort(
+        &self,
+        residual: &mut [f64],
+        reservation: &mut Reservation,
+    ) -> Result<(), ReserveError> {
+        if reservation.state != ReservationState::Pending {
+            return Err(ReserveError::NotPending { state: reservation.state });
+        }
+        for &(idx, amount) in &reservation.debits {
+            self.release_capacity(residual, NodeId(idx), amount);
+        }
+        reservation.state = ReservationState::Aborted;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -188,5 +331,104 @@ mod tests {
         let net = MecNetwork::new(g, vec![1000.0, 0.0, 0.0]);
         let mut residual = vec![900.0, 0.0, 0.0];
         net.release_capacity(&mut residual, NodeId(0), 200.0);
+    }
+
+    fn reserve_fixture() -> (MecNetwork, Vec<f64>) {
+        let g = topology::ring(4);
+        let net = MecNetwork::new(g, vec![1000.0, 0.0, 2000.0, 0.0]);
+        let residual = net.residual_capacities(1.0);
+        (net, residual)
+    }
+
+    #[test]
+    fn reserve_commit_keeps_debits() {
+        let (net, mut residual) = reserve_fixture();
+        let mut r = net
+            .try_reserve(&mut residual, &[(NodeId(0), 300.0), (NodeId(2), 500.0)])
+            .expect("fits");
+        assert_eq!(r.state(), ReservationState::Pending);
+        assert!((r.total() - 800.0).abs() < 1e-12);
+        assert_eq!(residual, vec![700.0, 0.0, 1500.0, 0.0]);
+        net.commit(&mut r).expect("pending commits");
+        assert_eq!(r.state(), ReservationState::Committed);
+        assert_eq!(residual, vec![700.0, 0.0, 1500.0, 0.0], "commit keeps the debits");
+    }
+
+    #[test]
+    fn reserve_abort_round_trips() {
+        let (net, mut residual) = reserve_fixture();
+        let before = residual.clone();
+        let mut r = net
+            .try_reserve(&mut residual, &[(NodeId(0), 300.0), (NodeId(0), 200.0)])
+            .expect("fits");
+        assert_eq!(residual[0], 500.0, "same-node debits accumulate");
+        net.abort(&mut residual, &mut r).expect("pending aborts");
+        assert_eq!(residual, before, "abort must return every debit exactly");
+        assert_eq!(r.state(), ReservationState::Aborted);
+    }
+
+    #[test]
+    fn reserve_abort_commit_sequence_is_rejected() {
+        // Regression: a commit must not be able to resurrect an aborted
+        // reservation (which would re-debit capacity the abort returned).
+        let (net, mut residual) = reserve_fixture();
+        let before = residual.clone();
+        let mut r = net.try_reserve(&mut residual, &[(NodeId(2), 750.0)]).expect("fits");
+        net.abort(&mut residual, &mut r).expect("first abort is fine");
+        assert_eq!(
+            net.commit(&mut r),
+            Err(ReserveError::NotPending { state: ReservationState::Aborted }),
+            "commit after abort must be rejected"
+        );
+        assert_eq!(
+            net.abort(&mut residual, &mut r),
+            Err(ReserveError::NotPending { state: ReservationState::Aborted }),
+            "double abort must be rejected"
+        );
+        assert_eq!(r.state(), ReservationState::Aborted);
+        assert_eq!(residual, before, "failed transitions must not touch capacity");
+    }
+
+    #[test]
+    fn commit_then_abort_is_rejected() {
+        let (net, mut residual) = reserve_fixture();
+        let mut r = net.try_reserve(&mut residual, &[(NodeId(0), 100.0)]).expect("fits");
+        net.commit(&mut r).unwrap();
+        assert_eq!(
+            net.abort(&mut residual, &mut r),
+            Err(ReserveError::NotPending { state: ReservationState::Committed })
+        );
+        assert_eq!(
+            net.commit(&mut r),
+            Err(ReserveError::NotPending { state: ReservationState::Committed }),
+            "double commit must be rejected"
+        );
+        assert_eq!(residual[0], 900.0, "committed debit stays");
+    }
+
+    #[test]
+    fn insufficient_reserve_is_all_or_nothing() {
+        let (net, mut residual) = reserve_fixture();
+        let before = residual.clone();
+        let err = net
+            .try_reserve(&mut residual, &[(NodeId(0), 600.0), (NodeId(0), 600.0)])
+            .expect_err("1200 > 1000 must fail even split across two debits");
+        match err {
+            ReserveError::Insufficient { node, requested, available } => {
+                assert_eq!(node, NodeId(0));
+                assert!((requested - 1200.0).abs() < 1e-12);
+                assert!((available - 1000.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert_eq!(residual, before, "failed reserve must not debit anything");
+    }
+
+    #[test]
+    fn zero_amount_debits_are_dropped() {
+        let (net, mut residual) = reserve_fixture();
+        let r = net.try_reserve(&mut residual, &[(NodeId(0), 0.0)]).expect("trivially fits");
+        assert!(r.is_empty());
+        assert_eq!(residual, vec![1000.0, 0.0, 2000.0, 0.0]);
     }
 }

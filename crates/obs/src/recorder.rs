@@ -127,6 +127,29 @@ impl Recorder {
         Ok(())
     }
 
+    /// Fold another recorder into this one: its memory-captured events are
+    /// re-emitted here *in their original order*, and its counters and
+    /// timings are added onto this recorder's. This is the deterministic
+    /// telemetry merge of the parallel pipeline — each worker records into a
+    /// private memory recorder, and the coordinator absorbs them strictly in
+    /// request-sequence order, so the merged stream is byte-identical to a
+    /// sequential run regardless of worker completion order. Events of a
+    /// non-memory sink cannot be replayed (they were already written
+    /// elsewhere); only its counters/timings are merged.
+    pub fn absorb(&mut self, other: Recorder) {
+        if let Sink::Memory(events) = other.sink {
+            for event in events {
+                self.emit(event);
+            }
+        }
+        for (name, delta) in other.counters {
+            *self.counters.entry(name).or_insert(0) += delta;
+        }
+        for (name, elapsed) in other.timings {
+            *self.timings.entry(name).or_insert(Duration::ZERO) += elapsed;
+        }
+    }
+
     /// Snapshot counters and timings into a portable summary.
     pub fn summary(&self) -> Telemetry {
         Telemetry {
@@ -200,6 +223,26 @@ mod tests {
         assert_eq!(t.counter("nodes"), 7);
         assert!((t.timing_s("lp") - 0.015).abs() < 1e-9);
         assert_eq!(t.counter("missing"), 0);
+    }
+
+    #[test]
+    fn absorb_replays_events_and_merges_counters() {
+        let mut main = Recorder::memory();
+        main.emit(Event::new("before"));
+        main.count("shared", 1);
+        let mut worker = Recorder::memory();
+        worker.emit(Event::new("w.a").with("i", 1u64));
+        worker.emit(Event::new("w.b").with("i", 2u64));
+        worker.count("shared", 2);
+        worker.count("worker_only", 5);
+        worker.record_time("solve", Duration::from_millis(4));
+        main.absorb(worker);
+        let kinds: Vec<&str> = main.events().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["before", "w.a", "w.b"], "order preserved");
+        assert_eq!(main.events_emitted(), 3);
+        assert_eq!(main.counter("shared"), 3);
+        assert_eq!(main.counter("worker_only"), 5);
+        assert!((main.summary().timing_s("solve") - 0.004).abs() < 1e-9);
     }
 
     #[test]

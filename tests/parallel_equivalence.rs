@@ -1,0 +1,152 @@
+//! Parallel-vs-sequential equivalence: the speculative worker-pool pipeline
+//! must be indistinguishable from the seeded sequential pipeline for every
+//! worker count — same admitted set, same per-request secondaries, same
+//! final residual capacities, and a byte-identical telemetry JSONL stream
+//! after the deterministic merge.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use mec_sfc_reliability::mecnet::topology;
+use mec_sfc_reliability::mecnet::vnf::{VnfCatalog, VnfType};
+use mec_sfc_reliability::mecnet::{MecNetwork, SfcRequest};
+use mec_sfc_reliability::obs::Recorder;
+use mec_sfc_reliability::relaug::parallel::{process_stream_parallel_traced, ParallelConfig};
+use mec_sfc_reliability::relaug::stream::{
+    process_stream_seeded_traced, Algorithm, StreamConfig, StreamOutcome,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `Write` sink whose bytes can be read back after the recorder is dropped.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn setup(net_seed: u64, cloudlets: usize) -> (MecNetwork, VnfCatalog) {
+    let g = topology::grid(5, 5);
+    let mut rng = StdRng::seed_from_u64(net_seed);
+    let net = MecNetwork::with_random_cloudlets(g, cloudlets, (2000.0, 4000.0), &mut rng);
+    let mut cat = VnfCatalog::new();
+    cat.add(VnfType { name: "fw".into(), demand_mhz: 300.0, reliability: 0.85 });
+    cat.add(VnfType { name: "nat".into(), demand_mhz: 400.0, reliability: 0.9 });
+    cat.add(VnfType { name: "ids".into(), demand_mhz: 250.0, reliability: 0.8 });
+    (net, cat)
+}
+
+fn make_requests(n: usize, cat: &VnfCatalog, nodes: usize, seed: u64) -> Vec<SfcRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|i| SfcRequest::random(i, cat, (2, 4), 0.99, nodes, &mut rng)).collect()
+}
+
+/// Run a pipeline variant with a JSONL recorder; return the outcome and the
+/// exact bytes it streamed.
+fn run_jsonl<F>(run: F) -> (StreamOutcome, Vec<u8>)
+where
+    F: FnOnce(&mut Recorder) -> StreamOutcome,
+{
+    let buf = SharedBuf::default();
+    let mut rec = Recorder::jsonl_writer(Box::new(buf.clone()));
+    let out = run(&mut rec);
+    rec.flush().unwrap();
+    drop(rec);
+    let bytes = buf.0.lock().unwrap().clone();
+    (out, bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn parallel_is_byte_identical_to_sequential(
+        (net_seed, req_seed, pipeline_seed) in (0u64..10_000, 0u64..10_000, 0u64..10_000),
+        n_requests in 8usize..=36,
+        capacity_fraction in prop_oneof![Just(0.3), Just(0.6), Just(1.0)],
+        share_backups in any::<bool>(),
+        algorithm in prop_oneof![
+            Just(Algorithm::Heuristic(Default::default())),
+            Just(Algorithm::Greedy(Default::default())),
+            Just(Algorithm::Randomized(Default::default())),
+        ],
+    ) {
+        let (net, cat) = setup(net_seed, 6);
+        let reqs = make_requests(n_requests, &cat, net.num_nodes(), req_seed);
+        let stream = StreamConfig {
+            algorithm,
+            initial_capacity_fraction: capacity_fraction,
+            share_backups,
+            ..Default::default()
+        };
+        let (seq, seq_bytes) = run_jsonl(|rec| {
+            process_stream_seeded_traced(&net, &cat, &reqs, &stream, pipeline_seed, rec)
+        });
+        prop_assert_eq!(seq.records.len(), reqs.len());
+        for workers in [1usize, 2, 4, 8] {
+            let cfg = ParallelConfig {
+                stream: stream.clone(),
+                workers,
+                seed: pipeline_seed,
+                max_inflight: 0,
+            };
+            let (par, par_bytes) = run_jsonl(|rec| {
+                process_stream_parallel_traced(&net, &cat, &reqs, &cfg, rec)
+            });
+            // Admitted set, per-request secondaries, reliabilities.
+            prop_assert_eq!(&par.records, &seq.records, "records diverged at workers={}", workers);
+            // Final residual capacities, exactly.
+            prop_assert_eq!(&par.final_residual, &seq.final_residual,
+                "residuals diverged at workers={}", workers);
+            // Telemetry JSONL, byte for byte.
+            prop_assert_eq!(&par_bytes, &seq_bytes, "JSONL diverged at workers={}", workers);
+        }
+    }
+}
+
+/// The ILP is the most stateful solver (warm starts, branch-and-bound
+/// telemetry); one dedicated non-property case keeps the proptest sweep
+/// fast while still covering it.
+#[test]
+fn parallel_matches_sequential_with_ilp() {
+    let (net, cat) = setup(3, 5);
+    let reqs = make_requests(10, &cat, net.num_nodes(), 4);
+    let stream =
+        StreamConfig { algorithm: Algorithm::Ilp(Default::default()), ..Default::default() };
+    let (seq, seq_bytes) =
+        run_jsonl(|rec| process_stream_seeded_traced(&net, &cat, &reqs, &stream, 9, rec));
+    for workers in [2usize, 8] {
+        let cfg = ParallelConfig { stream: stream.clone(), workers, seed: 9, max_inflight: 0 };
+        let (par, par_bytes) =
+            run_jsonl(|rec| process_stream_parallel_traced(&net, &cat, &reqs, &cfg, rec));
+        assert_eq!(par, seq);
+        assert_eq!(par_bytes, seq_bytes);
+    }
+}
+
+/// A tiny in-flight window and a large one must both converge to the same
+/// sequential result — the window only trades conflicts for idle workers.
+#[test]
+fn inflight_window_does_not_change_results() {
+    let (net, cat) = setup(5, 6);
+    let reqs = make_requests(24, &cat, net.num_nodes(), 6);
+    let stream = StreamConfig { initial_capacity_fraction: 0.4, ..Default::default() };
+    let seq = {
+        let mut rec = Recorder::noop();
+        process_stream_seeded_traced(&net, &cat, &reqs, &stream, 1, &mut rec)
+    };
+    for max_inflight in [1usize, 3, 64] {
+        let cfg = ParallelConfig { stream: stream.clone(), workers: 4, seed: 1, max_inflight };
+        let mut rec = Recorder::noop();
+        let par = process_stream_parallel_traced(&net, &cat, &reqs, &cfg, &mut rec);
+        assert_eq!(par, seq, "max_inflight={max_inflight}");
+    }
+}

@@ -1,41 +1,95 @@
-//! Offline stand-in for `crossbeam`. Only the `channel` module is provided,
-//! as a thin facade over `std::sync::mpsc` — sufficient for the fan-out /
-//! collect pattern the bench harness uses (clone senders into scoped threads,
-//! drain the receiver by iteration).
+//! Offline stand-in for `crossbeam`. Only the `channel` module is provided:
+//! an unbounded multi-producer **multi-consumer** queue (mutex-protected
+//! `VecDeque` plus a condvar), matching the subset of the real
+//! `crossbeam-channel` API this workspace uses — clone senders *and*
+//! receivers into scoped threads, `recv`/`try_recv`, drain by iteration.
+//! Disconnection follows the real crate's semantics: `recv` on an empty
+//! channel whose senders are all dropped returns `Err(RecvError)`.
 
 pub mod channel {
-    use std::sync::mpsc;
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
 
-    pub struct Sender<T>(mpsc::Sender<T>);
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    pub struct Sender<T>(Arc<Shared<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.senders.fetch_add(1, Ordering::SeqCst);
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.0.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake all blocked receivers so they can
+                // observe the disconnection.
+                self.0.ready.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            if self.0.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
+            self.0.queue.lock().unwrap().push_back(value);
+            self.0.ready.notify_one();
+            Ok(())
         }
     }
 
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.receivers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
 
     impl<T> Receiver<T> {
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            let mut queue = self.0.queue.lock().unwrap();
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.0.ready.wait(queue).unwrap();
+            }
         }
 
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => TryRecvError::Empty,
-                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            let mut queue = self.0.queue.lock().unwrap();
+            match queue.pop_front() {
+                Some(v) => Ok(v),
+                None if self.0.senders.load(Ordering::SeqCst) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
         }
 
         pub fn iter(&self) -> Iter<'_, T> {
-            Iter(self.0.iter())
+            Iter(self)
         }
     }
 
@@ -43,7 +97,7 @@ pub mod channel {
         type Item = T;
         type IntoIter = IntoIter<T>;
         fn into_iter(self) -> IntoIter<T> {
-            IntoIter(self.0.into_iter())
+            IntoIter(self)
         }
     }
 
@@ -55,21 +109,21 @@ pub mod channel {
         }
     }
 
-    pub struct Iter<'a, T>(mpsc::Iter<'a, T>);
+    pub struct Iter<'a, T>(&'a Receiver<T>);
 
     impl<T> Iterator for Iter<'_, T> {
         type Item = T;
         fn next(&mut self) -> Option<T> {
-            self.0.next()
+            self.0.recv().ok()
         }
     }
 
-    pub struct IntoIter<T>(mpsc::IntoIter<T>);
+    pub struct IntoIter<T>(Receiver<T>);
 
     impl<T> Iterator for IntoIter<T> {
         type Item = T;
         fn next(&mut self) -> Option<T> {
-            self.0.next()
+            self.0.recv().ok()
         }
     }
 
@@ -98,8 +152,13 @@ pub mod channel {
     }
 
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
     }
 
     #[cfg(test)]
@@ -127,6 +186,51 @@ pub mod channel {
                     assert_eq!(*sq, Some(i * i));
                 }
             });
+        }
+
+        #[test]
+        fn fan_out_to_cloned_receivers_covers_all_jobs() {
+            let (tx, rx) = unbounded::<usize>();
+            let (done_tx, done_rx) = unbounded::<usize>();
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let rx = rx.clone();
+                    let done_tx = done_tx.clone();
+                    scope.spawn(move || {
+                        for job in rx.iter() {
+                            done_tx.send(job * 10).unwrap();
+                        }
+                    });
+                }
+                drop(rx);
+                drop(done_tx);
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+                drop(tx);
+                let mut results: Vec<usize> = done_rx.iter().collect();
+                results.sort_unstable();
+                assert_eq!(results, (0..100).map(|i| i * 10).collect::<Vec<_>>());
+            });
+        }
+
+        #[test]
+        fn recv_reports_disconnection_only_when_drained() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn send_to_dropped_receiver_errors() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert!(tx.send(7).is_err());
         }
     }
 }
