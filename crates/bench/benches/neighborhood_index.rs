@@ -1,0 +1,83 @@
+//! Cached neighborhood index vs per-request BFS.
+//!
+//! The streaming hot path asks "which cloudlets are within `l` hops of this
+//! node?" once per function per request. This bench compares the three ways
+//! to answer it on the default workload topology:
+//!
+//! * `bfs_per_query` — the legacy [`mecnet::MecNetwork::cloudlets_within`]:
+//!   a full BFS plus two allocations per query;
+//! * `index_lookup` — [`mecnet::neighborhood::NeighborhoodIndex`] slice
+//!   lookups (O(1), allocation-free) with the index already built;
+//! * `index_build` — the one-time cost of building the index, to show after
+//!   how many queries the cache pays for itself.
+//!
+//! Set `QUICK=1` for CI: shrinks criterion's sampling so the whole bench
+//! finishes in a few seconds.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mecnet::neighborhood::NeighborhoodIndex;
+use mecnet::workload::{generate_network, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 42;
+
+fn bench_neighborhood(c: &mut Criterion) {
+    let wl = WorkloadConfig::default();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let network = generate_network(&wl, &mut rng);
+    let nodes: Vec<_> = network.graph().nodes().collect();
+
+    let mut group = c.benchmark_group("neighborhood");
+    for l in [1u32, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("bfs_per_query", l), &l, |b, &l| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &v in &nodes {
+                    total += network.cloudlets_within(black_box(v), l).len();
+                }
+                total
+            })
+        });
+        let idx = NeighborhoodIndex::build(network.graph(), network.cloudlet_ids(), l);
+        group.bench_with_input(BenchmarkId::new("index_lookup", l), &l, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &v in &nodes {
+                    total += idx.cloudlets_within(black_box(v)).len();
+                }
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("index_build", l), &l, |b, &l| {
+            b.iter(|| {
+                black_box(NeighborhoodIndex::build(network.graph(), network.cloudlet_ids(), l))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    let quick = std::env::var_os("QUICK").is_some();
+    if quick {
+        Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(500))
+    } else {
+        Criterion::default()
+            .sample_size(50)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(3))
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_neighborhood
+}
+criterion_main!(benches);

@@ -4,19 +4,26 @@
 //! expectation-met rate, and the early-vs-late reliability erosion.
 //!
 //! Usage: `cargo run -p bench-harness --release --bin stream_exp --
-//! [--trials N] [--seed S] [--requests R] [--trace PATH] [--workers W]`
-//! (trials = independent network/stream pairs).
+//! [--trials N] [--seed S] [--requests R] [--trace PATH] [--workers W]
+//! [--batch B]` (trials = independent network/stream pairs).
 //!
 //! `--workers W` (default 1) runs each stream through the speculative
-//! parallel admission pipeline with `W` worker threads. Results and
-//! telemetry are byte-identical to `--workers 1` by construction — the
-//! flag only changes wall-clock time.
+//! parallel admission pipeline with `W` worker threads; `--batch B` sets the
+//! requests-per-speculation-batch (default 0 = auto: the dispatch window
+//! split evenly across workers). At `--workers 1` the binary takes a
+//! sequential fast path — the seeded stream driver directly, no channels or
+//! snapshots. Results and telemetry are byte-identical across all engine
+//! configurations by construction — the flags only change wall-clock time.
+//! The header line `engine: …` records which path ran (stdout only; it never
+//! appears in the JSONL trace).
 //!
 //! `--trace PATH` writes the full telemetry of each algorithm's first stream
 //! as JSONL: exactly one `stream.request` event per request processed (with
 //! admitted/rejected + reason, solver runtime and a residual snapshot), with
 //! the per-request solver events interleaved in arrival order. A telemetry
-//! summary table is printed at the end of every run, traced or not.
+//! summary table — including per-request solve-time p50/p95/p99 from the
+//! recorder's in-memory samples — is printed at the end of every run,
+//! traced or not.
 
 use bench_harness::HarnessArgs;
 use expkit::stats::Accumulator;
@@ -26,8 +33,10 @@ use mecnet::workload::{generate_catalog, generate_network, WorkloadConfig};
 use obs::Recorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use relaug::parallel::{process_stream_parallel, process_stream_parallel_traced, ParallelConfig};
-use relaug::stream::{Algorithm, StreamConfig};
+use relaug::parallel::{process_stream_batched, process_stream_batched_traced, ParallelConfig};
+use relaug::stream::{
+    process_stream_seeded, process_stream_seeded_traced, Algorithm, StreamConfig,
+};
 
 fn main() {
     let args = match HarnessArgs::parse(std::env::args().skip(1)) {
@@ -40,13 +49,17 @@ fn main() {
     let trials = args.trials.min(200);
     let requests_per_stream = args.requests.unwrap_or(100);
     println!(
-        "## Stream experiment — {requests_per_stream} requests per stream, {trials} streams{}\n",
-        if args.workers > 1 {
-            format!(", {} pipeline workers", args.workers)
-        } else {
-            String::new()
-        }
+        "## Stream experiment — {requests_per_stream} requests per stream, {trials} streams\n"
     );
+    // Record which engine path the run used. Stdout only — the JSONL trace
+    // stays byte-identical across engine configurations.
+    if args.workers == 1 {
+        println!("engine: sequential\n");
+    } else if args.batch == 0 {
+        println!("engine: batched(batch=auto), workers={}\n", args.workers);
+    } else {
+        println!("engine: batched(batch={}), workers={}\n", args.batch, args.workers);
+    }
 
     // Telemetry sink: the first stream of each algorithm runs traced — into
     // the JSONL file when `--trace` is given, into memory otherwise — so the
@@ -74,7 +87,16 @@ fn main() {
         "early rel.",
         "late rel.",
     ]);
-    let mut effort = Table::new(vec!["algorithm", "events", "admitted", "rejected", "solve time"]);
+    let mut effort = Table::new(vec![
+        "algorithm",
+        "events",
+        "admitted",
+        "rejected",
+        "solve time",
+        "p50",
+        "p95",
+        "p99",
+    ]);
     for (name, algorithm) in algorithms {
         let mut admitted = Accumulator::new();
         let mut rel = Accumulator::new();
@@ -82,6 +104,7 @@ fn main() {
         let mut early = Accumulator::new();
         let mut late = Accumulator::new();
         let effort_base = rec.summary();
+        let samples_base = rec.time_samples("stream.solve").len();
         for t in 0..trials {
             let seed = expkit::fan_out(args.seed, t as u64);
             let mut rng = StdRng::seed_from_u64(seed);
@@ -92,14 +115,29 @@ fn main() {
                 .map(|i| SfcRequest::random(i, &catalog, (3, 6), 0.99, wl.nodes, &mut rng))
                 .collect();
             let cfg = StreamConfig { algorithm: algorithm.clone(), ..Default::default() };
-            // Always route through the parallel pipeline: at `--workers 1` it
-            // delegates to the seeded sequential path, so the per-request
-            // derived RNGs make output independent of the worker count.
-            let pcfg = ParallelConfig { stream: cfg, workers: args.workers, seed, max_inflight: 0 };
-            let out = if t == 0 {
-                process_stream_parallel_traced(&network, &catalog, &requests, &pcfg, &mut rec)
+            // `--workers 1`: sequential fast path through the seeded stream
+            // driver (no channels, no snapshots). Otherwise: the batched
+            // speculative pipeline — byte-identical output, per-request
+            // derived RNGs make it independent of worker count and batch
+            // size.
+            let out = if args.workers == 1 {
+                if t == 0 {
+                    process_stream_seeded_traced(
+                        &network, &catalog, &requests, &cfg, seed, &mut rec,
+                    )
+                } else {
+                    process_stream_seeded(&network, &catalog, &requests, &cfg, seed)
+                }
             } else {
-                process_stream_parallel(&network, &catalog, &requests, &pcfg)
+                let pcfg =
+                    ParallelConfig { stream: cfg, workers: args.workers, seed, max_inflight: 0 };
+                if t == 0 {
+                    process_stream_batched_traced(
+                        &network, &catalog, &requests, &pcfg, args.batch, &mut rec,
+                    )
+                } else {
+                    process_stream_batched(&network, &catalog, &requests, &pcfg, args.batch)
+                }
             };
             admitted.push(out.admitted() as f64);
             if let Some(m) = out.mean_reliability() {
@@ -126,6 +164,14 @@ fn main() {
         ]);
         // Delta of the cumulative telemetry = this algorithm's traced stream.
         let now = rec.summary();
+        let solve_samples = &rec.time_samples("stream.solve")[samples_base..];
+        let pct = |p: f64| {
+            if solve_samples.is_empty() {
+                "-".to_string()
+            } else {
+                expkit::table::fmt_duration_s(expkit::percentile(solve_samples, p))
+            }
+        };
         effort.add_row(vec![
             name.to_string(),
             format!("{}", now.events_emitted - effort_base.events_emitted),
@@ -134,6 +180,9 @@ fn main() {
             expkit::table::fmt_duration_s(
                 now.timing_s("stream.solve") - effort_base.timing_s("stream.solve"),
             ),
+            pct(50.0),
+            pct(95.0),
+            pct(99.0),
         ]);
     }
     println!("{}", table.to_markdown());

@@ -382,8 +382,8 @@ pub fn render_figure(points: &[PointResult]) -> String {
 }
 
 /// Tiny CLI-flag parser shared by the figure binaries:
-/// `--trials N --seed S --threads T --workers W --json PATH --greedy
-/// --no-ilp --trace PATH --requests N --policy NAME --duration T
+/// `--trials N --seed S --threads T --workers W --batch B --json PATH
+/// --greedy --no-ilp --trace PATH --requests N --policy NAME --duration T
 /// --audit-interval T`.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
@@ -393,6 +393,10 @@ pub struct HarnessArgs {
     /// Worker threads for the parallel admission pipeline (`stream_exp`) or
     /// the per-policy fan-out (`sim_exp`). `1` = sequential.
     pub workers: usize,
+    /// Requests per speculation batch in the parallel pipeline
+    /// (`stream_exp` only). `0` = auto: the dispatch window split evenly
+    /// across workers.
+    pub batch: usize,
     pub json: Option<String>,
     pub greedy: bool,
     pub ilp: bool,
@@ -415,6 +419,7 @@ impl Default for HarnessArgs {
             seed: 0xC0FFEE,
             threads: default_threads(),
             workers: 1,
+            batch: 0,
             json: None,
             greedy: false,
             ilp: true,
@@ -445,6 +450,7 @@ impl HarnessArgs {
                 "--workers" => {
                     out.workers = value("--workers")?.parse().map_err(|e| format!("{e}"))?
                 }
+                "--batch" => out.batch = value("--batch")?.parse().map_err(|e| format!("{e}"))?,
                 "--json" => out.json = Some(value("--json")?),
                 "--greedy" => out.greedy = true,
                 "--no-ilp" => out.ilp = false,
@@ -585,6 +591,12 @@ mod tests {
         assert!(!args.ilp);
         assert_eq!(args.trace.as_deref(), Some("t.jsonl"));
         assert_eq!(args.requests, Some(200));
+        assert_eq!(args.batch, 0);
+        let batched =
+            HarnessArgs::parse(["--workers", "4", "--batch", "3"].iter().map(|s| s.to_string()))
+                .unwrap();
+        assert_eq!(batched.workers, 4);
+        assert_eq!(batched.batch, 3);
         let sim_args = HarnessArgs::parse(
             ["--policy", "reactive", "--duration", "750.5", "--audit-interval", "4"]
                 .iter()

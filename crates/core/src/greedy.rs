@@ -11,7 +11,8 @@ use obs::Recorder;
 
 use crate::instance::AugmentationInstance;
 use crate::reliability;
-use crate::solution::{Augmentation, Metrics, Outcome, SolverInfo};
+use crate::scratch::SolveScratch;
+use crate::solution::{Metrics, Outcome, SolverInfo};
 
 /// How the next placement is scored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,16 +44,53 @@ pub fn solve_traced(
     cfg: &GreedyConfig,
     rec: &mut Recorder,
 ) -> Outcome {
+    solve_scratch(inst, cfg, rec, &mut SolveScratch::new())
+}
+
+/// [`solve_traced`] on caller-owned scratch buffers; allocation-free with a
+/// warm scratch, except for the returned [`Outcome`].
+pub fn solve_scratch(
+    inst: &AugmentationInstance,
+    cfg: &GreedyConfig,
+    rec: &mut Recorder,
+    scratch: &mut SolveScratch,
+) -> Outcome {
     let started = Instant::now();
-    let mut aug = Augmentation::empty(inst.chain_len());
+    let steps = solve_in(inst, cfg, rec, scratch);
+    let aug = scratch.sol.materialize();
+    debug_assert!(aug.is_capacity_feasible(inst));
+    debug_assert!(aug.respects_locality(inst));
+    let metrics = Metrics::compute(&aug, inst);
+    Outcome {
+        augmentation: aug,
+        metrics,
+        runtime: started.elapsed(),
+        solver: SolverInfo::Greedy { steps },
+        telemetry: rec.summary(),
+    }
+}
+
+/// Allocation-free core of the greedy baseline: builds the solution in
+/// `scratch.sol` and returns the number of committed steps. Bit-identical to
+/// the historical allocating implementation for any prior scratch state.
+pub fn solve_in(
+    inst: &AugmentationInstance,
+    cfg: &GreedyConfig,
+    rec: &mut Recorder,
+    scratch: &mut SolveScratch,
+) -> usize {
+    let SolveScratch { sol, heur, .. } = scratch;
+    sol.begin(inst.chain_len());
     let mut steps = 0usize;
     if !inst.expectation_met_by_primaries() {
-        let mut residual: Vec<f64> = inst.bins.iter().map(|b| b.residual).collect();
-        let mut counts = vec![0usize; inst.chain_len()];
+        let residual = &mut heur.residual;
+        residual.clear();
+        residual.extend(inst.bins.iter().map(|b| b.residual));
         loop {
-            if aug.reliability(inst) >= inst.expectation {
+            if sol.reliability(inst) >= inst.expectation {
                 break;
             }
+            let counts = sol.counts();
             let mut best: Option<(f64, usize, usize)> = None; // (score, func, bin)
             for (i, f) in inst.functions.iter().enumerate() {
                 if counts[i] >= f.max_secondaries {
@@ -80,8 +118,7 @@ pub fn solve_traced(
             }
             let Some((score, i, b)) = best else { break };
             residual[b] -= inst.functions[i].demand;
-            counts[i] += 1;
-            aug.add(i, b, 1);
+            sol.add(i, b);
             steps += 1;
             rec.count("greedy.steps", 1);
             rec.emit_with(|| {
@@ -93,16 +130,7 @@ pub fn solve_traced(
             });
         }
     }
-    debug_assert!(aug.is_capacity_feasible(inst));
-    debug_assert!(aug.respects_locality(inst));
-    let metrics = Metrics::compute(&aug, inst);
-    Outcome {
-        augmentation: aug,
-        metrics,
-        runtime: started.elapsed(),
-        solver: SolverInfo::Greedy { steps },
-        telemetry: rec.summary(),
-    }
+    steps
 }
 
 #[cfg(test)]

@@ -14,12 +14,13 @@
 
 use std::time::Instant;
 
-use matching::{min_cost_max_b_matching, min_cost_max_matching};
+use matching::{min_cost_max_b_matching, min_cost_max_matching_into};
 use obs::Recorder;
 
 use crate::instance::AugmentationInstance;
 use crate::reliability;
-use crate::solution::{Augmentation, Metrics, Outcome, SolverInfo};
+use crate::scratch::SolveScratch;
+use crate::solution::{Metrics, Outcome, SolverInfo};
 
 /// When the matching loop stops (besides running out of edges).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,28 +72,74 @@ pub fn solve_traced(
     cfg: &HeuristicConfig,
     rec: &mut Recorder,
 ) -> Outcome {
+    solve_scratch(inst, cfg, rec, &mut SolveScratch::new())
+}
+
+/// [`solve_traced`] on caller-owned scratch buffers. With a warm
+/// [`SolveScratch`] the whole solve — matching network included — runs
+/// without heap allocation (see `crates/bench/benches/solve_alloc.rs`),
+/// except for the returned [`Outcome`] itself.
+pub fn solve_scratch(
+    inst: &AugmentationInstance,
+    cfg: &HeuristicConfig,
+    rec: &mut Recorder,
+    scratch: &mut SolveScratch,
+) -> Outcome {
     let started = Instant::now();
-    let mut aug = Augmentation::empty(inst.chain_len());
+    let rounds = solve_in(inst, cfg, rec, scratch);
+    let aug = scratch.sol.materialize();
+    debug_assert!(aug.is_capacity_feasible(inst));
+    debug_assert!(aug.respects_locality(inst));
+    let metrics = Metrics::compute(&aug, inst);
+    Outcome {
+        augmentation: aug,
+        metrics,
+        runtime: started.elapsed(),
+        solver: SolverInfo::Heuristic { matching_rounds: rounds },
+        telemetry: rec.summary(),
+    }
+}
+
+/// Allocation-free core of Algorithm 2: builds the solution in `scratch.sol`
+/// (materialize it for an owned [`crate::solution::Augmentation`]) and
+/// returns the number of matching rounds. The result is bit-identical to the
+/// historical allocating implementation — same graphs, same matchings, same
+/// commit order, same floating-point expressions — for any prior state of
+/// `scratch`. Only the `batch_rounds` ablation and enabled-recorder event
+/// closures still allocate.
+pub fn solve_in(
+    inst: &AugmentationInstance,
+    cfg: &HeuristicConfig,
+    rec: &mut Recorder,
+    scratch: &mut SolveScratch,
+) -> usize {
+    let SolveScratch { sol, heur, matching, matching_out, .. } = scratch;
+    let crate::scratch::HeuristicScratch {
+        cap,
+        next_k,
+        residual,
+        edges,
+        item_of,
+        pairs,
+        placed_per_func,
+    } = heur;
+    sol.begin(inst.chain_len());
     if inst.expectation_met_by_primaries() {
-        let metrics = Metrics::compute(&aug, inst);
         rec.emit_with(|| {
             obs::Event::new("heuristic.early_exit")
-                .with("base_reliability", metrics.base_reliability)
+                .with("base_reliability", inst.base_reliability())
         });
-        return Outcome {
-            augmentation: aug,
-            metrics,
-            runtime: started.elapsed(),
-            solver: SolverInfo::Heuristic { matching_rounds: 0 },
-            telemetry: rec.summary(),
-        };
+        return 0;
     }
 
     let gain_floor = if cfg.gain_floor > 0.0 { cfg.gain_floor } else { 0.0 };
     // Per function: slots still to place are next_k[i]..=cap[i].
-    let cap: Vec<usize> = inst.functions.iter().map(|f| f.capped_slots(gain_floor)).collect();
-    let mut next_k: Vec<usize> = vec![1; inst.chain_len()];
-    let mut residual: Vec<f64> = inst.bins.iter().map(|b| b.residual).collect();
+    cap.clear();
+    cap.extend(inst.functions.iter().map(|f| f.capped_slots(gain_floor)));
+    next_k.clear();
+    next_k.resize(inst.chain_len(), 1);
+    residual.clear();
+    residual.extend(inst.bins.iter().map(|b| b.residual));
     let budget = inst.budget();
     let mut total_cost = 0.0f64;
     let mut rounds = 0usize;
@@ -101,7 +148,7 @@ pub fn solve_traced(
         // Stop-rule check before building the next graph.
         match cfg.stop {
             StopRule::Expectation => {
-                if aug.reliability(inst) >= inst.expectation {
+                if sol.reliability(inst) >= inst.expectation {
                     break;
                 }
             }
@@ -116,25 +163,26 @@ pub fn solve_traced(
         // Build G_l: left = bins with residual capacity, right = remaining
         // items; edge iff the bin is eligible for the item's function and can
         // fit one instance.
-        let mut edges: Vec<(usize, usize, f64)> = Vec::new();
-        let mut item_of: Vec<(usize, usize)> = Vec::new(); // right idx -> (func, k)
+        edges.clear();
+        item_of.clear();
         for (i, f) in inst.functions.iter().enumerate() {
-            let usable: Vec<usize> =
-                f.eligible_bins.iter().copied().filter(|&b| residual[b] >= f.demand).collect();
-            if usable.is_empty() {
+            let usable = f.eligible_bins.iter().filter(|&&b| residual[b] >= f.demand).count();
+            if usable == 0 {
                 continue;
             }
-            // A function can gain at most `usable.len()` placements per round
-            // (each bin hosts at most one match), so only its next
-            // `usable.len()` slots can possibly be matched; enumerating more
-            // only inflates the graph.
-            let hi = cap[i].min(next_k[i] + usable.len() - 1);
+            // A function can gain at most `usable` placements per round (each
+            // bin hosts at most one match), so only its next `usable` slots
+            // can possibly be matched; enumerating more only inflates the
+            // graph.
+            let hi = cap[i].min(next_k[i] + usable - 1);
             for k in next_k[i]..=hi {
                 let right = item_of.len();
                 item_of.push((i, k));
                 let cost = reliability::paper_cost(f.reliability, f.existing_backups + k);
-                for &b in &usable {
-                    edges.push((b, right, cost));
+                for &b in &f.eligible_bins {
+                    if residual[b] >= f.demand {
+                        edges.push((b, right, cost));
+                    }
                 }
             }
         }
@@ -142,10 +190,11 @@ pub fn solve_traced(
             break;
         }
         rounds += 1;
-        let rel_before = if rec.enabled() { aug.reliability(inst) } else { 0.0 };
-        let m = if cfg.batch_rounds {
+        let rel_before = if rec.enabled() { sol.reliability(inst) } else { 0.0 };
+        if cfg.batch_rounds {
             // Conservative per-bin multiplicity: what certainly fits even if
-            // every match demands the largest eligible function.
+            // every match demands the largest eligible function. (Ablation
+            // path — allocates; the production unit matching below does not.)
             let min_demand: Vec<f64> = (0..inst.bins.len())
                 .map(|b| {
                     inst.functions
@@ -160,25 +209,35 @@ pub fn solve_traced(
                 .zip(&min_demand)
                 .map(|(&r, &d)| if d.is_finite() { (r / d).floor() as usize } else { 0 })
                 .collect();
-            min_cost_max_b_matching(&b_left, item_of.len(), &edges)
+            *matching_out = min_cost_max_b_matching(&b_left, item_of.len(), edges);
         } else {
-            min_cost_max_matching(inst.bins.len(), item_of.len(), &edges)
-        };
-        if m.is_empty() {
+            min_cost_max_matching_into(
+                matching,
+                inst.bins.len(),
+                item_of.len(),
+                edges,
+                matching_out,
+            );
+        }
+        if matching_out.is_empty() {
             break;
         }
         // Commit cheapest-first with a capacity check: exact for the unit
         // matching (the graph only had fitting edges), necessary for the
         // batch variant whose multiplicity bound used the *smallest* demand.
-        let mut pairs: Vec<(usize, usize)> = m.pairs.clone();
-        pairs.sort_by(|&(_, r1), &(_, r2)| item_of[r1].1.cmp(&item_of[r2].1));
-        let mut placed_per_func = vec![0usize; inst.chain_len()];
+        // Keying on (k, original position) makes the unstable sort reproduce
+        // the historical stable sort by k exactly.
+        pairs.clear();
+        pairs.extend(matching_out.pairs.iter().enumerate().map(|(pos, &(b, r))| (b, r, pos)));
+        pairs.sort_unstable_by_key(|&(_, r, pos)| (item_of[r].1, pos));
+        placed_per_func.clear();
+        placed_per_func.resize(inst.chain_len(), 0);
         let mut committed = 0usize;
-        for &(b, right) in &pairs {
+        for &(b, right, _) in pairs.iter() {
             let (i, k) = item_of[right];
             if residual[b] >= inst.functions[i].demand {
                 residual[b] -= inst.functions[i].demand;
-                aug.add(i, b, 1);
+                sol.add(i, b);
                 total_cost += reliability::paper_cost(
                     inst.functions[i].reliability,
                     inst.functions[i].existing_backups + k,
@@ -192,7 +251,7 @@ pub fn solve_traced(
         rec.emit_with(|| {
             let left_bins = {
                 let mut seen = vec![false; inst.bins.len()];
-                for &(b, _, _) in &edges {
+                for &(b, _, _) in edges.iter() {
                     seen[b] = true;
                 }
                 seen.iter().filter(|&&s| s).count()
@@ -202,10 +261,10 @@ pub fn solve_traced(
                 .with("left_bins", left_bins)
                 .with("right_items", item_of.len())
                 .with("edges", edges.len())
-                .with("matched", m.pairs.len())
+                .with("matched", matching_out.pairs.len())
                 .with("committed", committed)
-                .with("reliability", aug.reliability(inst))
-                .with("reliability_gain", aug.reliability(inst) - rel_before)
+                .with("reliability", sol.reliability(inst))
+                .with("reliability_gain", sol.reliability(inst) - rel_before)
         });
         if committed == 0 {
             break;
@@ -220,19 +279,10 @@ pub fn solve_traced(
     if cfg.stop == StopRule::Expectation {
         // The final matching round may overshoot the expectation; trim the
         // surplus like the other algorithms do.
-        let trimmed = aug.trim_to_expectation(inst);
+        let trimmed = sol.trim_to_expectation(inst);
         rec.count("heuristic.trimmed_secondaries", trimmed as u64);
     }
-    debug_assert!(aug.is_capacity_feasible(inst));
-    debug_assert!(aug.respects_locality(inst));
-    let metrics = Metrics::compute(&aug, inst);
-    Outcome {
-        augmentation: aug,
-        metrics,
-        runtime: started.elapsed(),
-        solver: SolverInfo::Heuristic { matching_rounds: rounds },
-        telemetry: rec.summary(),
-    }
+    rounds
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! (Section 4.2).
 
 use mecnet::graph::NodeId;
+use mecnet::neighborhood::NeighborhoodIndex;
 use mecnet::network::MecNetwork;
 use mecnet::request::SfcRequest;
 use mecnet::vnf::{VnfCatalog, VnfTypeId};
@@ -110,32 +111,67 @@ impl AugmentationInstance {
         residual: &[f64],
         l: u32,
     ) -> Self {
+        Self::new_with_index(
+            network,
+            catalog,
+            request,
+            placement,
+            residual,
+            &network.neighborhood_index(l),
+        )
+    }
+
+    /// [`AugmentationInstance::new`] against an already-resolved
+    /// [`NeighborhoodIndex`] (whose radius supplies `l`). The streaming
+    /// pipelines resolve the index once and use this per request, so
+    /// construction does no BFS and no whole-network scratch allocation.
+    pub fn new_with_index(
+        network: &MecNetwork,
+        catalog: &VnfCatalog,
+        request: &SfcRequest,
+        placement: &[NodeId],
+        residual: &[f64],
+        nbhd: &NeighborhoodIndex,
+    ) -> Self {
         assert_eq!(placement.len(), request.len(), "placement must cover the chain");
         assert_eq!(residual.len(), network.num_nodes(), "residual must cover all nodes");
-        // Bins: every cloudlet with positive residual capacity.
-        let mut bins = Vec::new();
-        let mut bin_of_node = vec![usize::MAX; network.num_nodes()];
-        for v in network.graph().nodes() {
-            if network.is_cloudlet(v) && residual[v.index()] > 0.0 {
-                bin_of_node[v.index()] = bins.len();
-                bins.push(Bin { node: v, residual: residual[v.index()] });
-            }
-        }
+        // Bins: every cloudlet with positive residual capacity, ascending.
+        let bins: Vec<Bin> = network
+            .cloudlet_ids()
+            .iter()
+            .filter(|&&v| residual[v.index()] > 0.0)
+            .map(|&v| Bin { node: v, residual: residual[v.index()] })
+            .collect();
+        Self::finish(catalog, request, placement, bins, nbhd)
+    }
+
+    /// Shared tail of the instance builders: bins are fixed (ascending by
+    /// node), eligibility comes from the index slices.
+    fn finish(
+        catalog: &VnfCatalog,
+        request: &SfcRequest,
+        placement: &[NodeId],
+        bins: Vec<Bin>,
+        nbhd: &NeighborhoodIndex,
+    ) -> Self {
         let functions = request
             .sfc
             .iter()
             .zip(placement)
             .map(|(&vnf, &primary)| {
                 let demand = catalog.demand(vnf);
-                let candidates = network.graph().l_neighborhood_closed(primary, l);
-                let mut eligible: Vec<usize> = candidates
-                    .into_iter()
-                    .filter_map(|u| {
-                        let b = bin_of_node[u.index()];
-                        (b != usize::MAX && bins[b].residual >= demand).then_some(b)
+                // Index slices are ascending by node, and `bins` is ascending
+                // by node, so `eligible` comes out sorted without a sort.
+                let eligible: Vec<usize> = nbhd
+                    .cloudlets_within(primary)
+                    .iter()
+                    .filter_map(|&u| {
+                        bins.binary_search_by_key(&u, |b| b.node)
+                            .ok()
+                            .filter(|&b| bins[b].residual >= demand)
                     })
                     .collect();
-                eligible.sort_unstable();
+                debug_assert!(eligible.windows(2).all(|w| w[0] < w[1]));
                 let max_secondaries: usize =
                     eligible.iter().map(|&b| (bins[b].residual / demand).floor() as usize).sum();
                 FunctionSlot {
@@ -149,7 +185,7 @@ impl AugmentationInstance {
                 }
             })
             .collect();
-        AugmentationInstance { functions, bins, l, expectation: request.expectation }
+        AugmentationInstance { functions, bins, l: nbhd.l(), expectation: request.expectation }
     }
 
     /// Like [`AugmentationInstance::new`], but the bin set is restricted to
@@ -172,16 +208,42 @@ impl AugmentationInstance {
         residual: &[f64],
         l: u32,
     ) -> Self {
+        Self::new_localized_with_index(
+            network,
+            catalog,
+            request,
+            placement,
+            residual,
+            &network.neighborhood_index(l),
+        )
+    }
+
+    /// [`AugmentationInstance::new_localized`] against an already-resolved
+    /// [`NeighborhoodIndex`]. The relevant bin set is the union of the
+    /// primaries' index slices — no whole-network `relevant` bitmap or masked
+    /// residual copy is materialized (the chain touches a handful of
+    /// cloudlets; the network has hundreds of nodes).
+    pub fn new_localized_with_index(
+        network: &MecNetwork,
+        catalog: &VnfCatalog,
+        request: &SfcRequest,
+        placement: &[NodeId],
+        residual: &[f64],
+        nbhd: &NeighborhoodIndex,
+    ) -> Self {
+        assert_eq!(placement.len(), request.len(), "placement must cover the chain");
         assert_eq!(residual.len(), network.num_nodes(), "residual must cover all nodes");
-        let mut relevant = vec![false; network.num_nodes()];
-        for &primary in placement {
-            for u in network.graph().l_neighborhood_closed(primary, l) {
-                relevant[u.index()] = true;
-            }
-        }
-        let masked: Vec<f64> =
-            residual.iter().enumerate().map(|(v, &c)| if relevant[v] { c } else { 0.0 }).collect();
-        AugmentationInstance::new(network, catalog, request, placement, &masked, l)
+        // Union of the primaries' candidate cloudlets, ascending, deduped.
+        let mut relevant: Vec<NodeId> =
+            placement.iter().flat_map(|&p| nbhd.cloudlets_within(p)).copied().collect();
+        relevant.sort_unstable();
+        relevant.dedup();
+        let bins: Vec<Bin> = relevant
+            .into_iter()
+            .filter(|&v| residual[v.index()] > 0.0)
+            .map(|v| Bin { node: v, residual: residual[v.index()] })
+            .collect();
+        Self::finish(catalog, request, placement, bins, nbhd)
     }
 
     /// Build from a generated [`Scenario`] with locality radius `l`.

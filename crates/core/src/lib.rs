@@ -51,9 +51,11 @@ pub mod parallel;
 pub mod randomized;
 pub mod reliability;
 pub mod report;
+pub mod scratch;
 pub mod solution;
 pub mod stream;
 pub mod theory;
 
 pub use instance::AugmentationInstance;
+pub use scratch::SolveScratch;
 pub use solution::{Augmentation, Metrics, Outcome};

@@ -29,8 +29,9 @@ use mecnet::request::SfcRequest;
 use mecnet::vnf::VnfCatalog;
 use obs::Recorder;
 
+use crate::scratch::SolveScratch;
 use crate::stream::{
-    commit_request, process_stream_seeded_traced, speculate, PipelineState, Speculation,
+    commit_request, process_stream_seeded_traced, speculate_batch, PipelineState, Speculation,
     StreamConfig, StreamOutcome,
 };
 
@@ -63,7 +64,8 @@ struct Snapshot {
 /// Process a request stream with `cfg.workers` speculative workers.
 ///
 /// Byte-identical to [`crate::stream::process_stream_seeded`] with the same
-/// `(cfg.stream, cfg.seed)` — see the module docs for why.
+/// `(cfg.stream, cfg.seed)` — see the module docs for why. Delegates to
+/// [`process_stream_batched`] with automatic batch sizing.
 pub fn process_stream_parallel(
     network: &MecNetwork,
     catalog: &VnfCatalog,
@@ -84,6 +86,41 @@ pub fn process_stream_parallel_traced(
     cfg: &ParallelConfig,
     rec: &mut Recorder,
 ) -> StreamOutcome {
+    process_stream_batched_traced(network, catalog, requests, cfg, 0, rec)
+}
+
+/// [`process_stream_parallel`] with an explicit dispatch batch size: workers
+/// receive contiguous runs of `batch` requests per job instead of one, which
+/// amortizes snapshotting and channel traffic when per-request solves are
+/// cheap. `batch == 0` sizes batches automatically (the in-flight window
+/// split evenly across workers, at least one). Any batch size produces
+/// byte-identical output — batching only changes scheduling, never results.
+pub fn process_stream_batched(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    requests: &[SfcRequest],
+    cfg: &ParallelConfig,
+    batch: usize,
+) -> StreamOutcome {
+    process_stream_batched_traced(network, catalog, requests, cfg, batch, &mut Recorder::noop())
+}
+
+/// [`process_stream_batched`] with telemetry — the actual engine.
+///
+/// Within a batch, a worker locally *simulates* each request's commit
+/// (admission debits, two-phase secondary debits, deployed updates) before
+/// speculating the next, so consecutive requests in one batch see each
+/// other's effects exactly as the sequential pipeline would. Commit-side
+/// validation is per request and unchanged, so determinism never rests on
+/// the simulation being right.
+pub fn process_stream_batched_traced(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    requests: &[SfcRequest],
+    cfg: &ParallelConfig,
+    batch: usize,
+    rec: &mut Recorder,
+) -> StreamOutcome {
     assert!(cfg.workers >= 1, "need at least one worker");
     if cfg.workers == 1 || requests.len() <= 1 {
         return process_stream_seeded_traced(
@@ -97,30 +134,36 @@ pub fn process_stream_parallel_traced(
     }
     let traced = rec.enabled();
     let max_inflight = if cfg.max_inflight == 0 { 2 * cfg.workers } else { cfg.max_inflight };
+    let nbhd = network.neighborhood_index(cfg.stream.l);
     let mut state = PipelineState::new(network, &cfg.stream);
+    let mut commit_scratch = SolveScratch::new();
     let mut records = Vec::with_capacity(requests.len());
-    let (job_tx, job_rx) = channel::unbounded::<(usize, Arc<Snapshot>)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, Speculation)>();
+    let (job_tx, job_rx) = channel::unbounded::<(usize, usize, Arc<Snapshot>)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, Vec<Speculation>)>();
     std::thread::scope(|scope| {
         for _ in 0..cfg.workers {
             let job_rx = job_rx.clone();
             let res_tx = res_tx.clone();
             let stream_cfg = &cfg.stream;
             let seed = cfg.seed;
+            let nbhd = Arc::clone(&nbhd);
             scope.spawn(move || {
-                for (k, snapshot) in job_rx.iter() {
-                    let spec = speculate(
+                let mut scratch = SolveScratch::new();
+                for (start, len, snapshot) in job_rx.iter() {
+                    let specs = speculate_batch(
                         network,
                         catalog,
                         stream_cfg,
                         seed,
-                        k,
-                        &requests[k],
+                        start,
+                        &requests[start..start + len],
                         &snapshot.residual,
                         snapshot.deployed.as_ref(),
                         traced,
+                        &nbhd,
+                        &mut scratch,
                     );
-                    if res_tx.send((k, spec)).is_err() {
+                    if res_tx.send((start, specs)).is_err() {
                         break; // coordinator gone
                     }
                 }
@@ -138,19 +181,26 @@ pub fn process_stream_parallel_traced(
             // Keep the window full, always snapshotting the freshest
             // committed state available at dispatch time.
             while next_dispatch < requests.len() && next_dispatch - k < max_inflight {
+                let room = max_inflight - (next_dispatch - k);
+                let auto = (room / cfg.workers).max(1);
+                let len = (if batch == 0 { auto } else { batch })
+                    .min(room)
+                    .min(requests.len() - next_dispatch);
                 let snapshot = Arc::new(Snapshot {
                     residual: state.residual.clone(),
                     deployed: state.deployed.clone(),
                 });
-                job_tx.send((next_dispatch, snapshot)).expect("workers alive");
-                next_dispatch += 1;
+                job_tx.send((next_dispatch, len, snapshot)).expect("workers alive");
+                next_dispatch += len;
             }
             let spec = loop {
                 if let Some(spec) = pending.remove(&k) {
                     break spec;
                 }
-                let (done_k, spec) = res_rx.recv().expect("workers alive while jobs pending");
-                pending.insert(done_k, spec);
+                let (start, specs) = res_rx.recv().expect("workers alive while jobs pending");
+                for (off, spec) in specs.into_iter().enumerate() {
+                    pending.insert(start + off, spec);
+                }
             };
             records.push(commit_request(
                 network,
@@ -162,6 +212,8 @@ pub fn process_stream_parallel_traced(
                 &mut state,
                 Some(spec),
                 rec,
+                &nbhd,
+                &mut commit_scratch,
             ));
         }
         drop(job_tx); // disconnect: workers drain and exit

@@ -17,6 +17,7 @@ use rand::Rng;
 
 use crate::ilp::build_model;
 use crate::instance::AugmentationInstance;
+use crate::scratch::SolveScratch;
 use crate::solution::{Augmentation, Metrics, Outcome, SolverInfo};
 
 /// Configuration of the randomized algorithm.
@@ -58,6 +59,21 @@ pub fn solve_traced<R: Rng + ?Sized>(
     cfg: &RandomizedConfig,
     rng: &mut R,
     rec: &mut Recorder,
+) -> Result<Outcome, SolverError> {
+    solve_scratch(inst, cfg, rng, rec, &mut SolveScratch::new())
+}
+
+/// [`solve_traced`] on caller-owned scratch. The randomized algorithm is
+/// LP-dominated, so the scratch only covers the rounding draws: each draw is
+/// built in `scratch.sol` and an owned [`Augmentation`] is materialized only
+/// for reliability-improving draws. RNG consumption and results are identical
+/// to the historical implementation.
+pub fn solve_scratch<R: Rng + ?Sized>(
+    inst: &AugmentationInstance,
+    cfg: &RandomizedConfig,
+    rng: &mut R,
+    rec: &mut Recorder,
+    scratch: &mut SolveScratch,
 ) -> Result<Outcome, SolverError> {
     assert!(cfg.rounds >= 1, "at least one rounding draw is required");
     let started = Instant::now();
@@ -104,7 +120,8 @@ pub fn solve_traced<R: Rng + ?Sized>(
     let mut best: Option<Augmentation> = None;
     let mut best_rel = f64::NEG_INFINITY;
     for round in 0..cfg.rounds {
-        let mut aug = Augmentation::empty(inst.chain_len());
+        let sol = &mut scratch.sol;
+        sol.begin(inst.chain_len());
         for (idx, dist) in fractions.iter().enumerate() {
             if dist.is_empty() {
                 continue;
@@ -113,15 +130,16 @@ pub fn solve_traced<R: Rng + ?Sized>(
             let mut u = rng.gen::<f64>();
             for &(b, p) in dist {
                 if u < p {
-                    aug.add(ilp.items[idx].func, b, 1);
+                    sol.add(ilp.items[idx].func, b);
                     break;
                 }
                 u -= p;
             }
         }
-        let rel = aug.reliability(inst);
+        let rel = sol.reliability(inst);
         rec.count("randomized.draws", 1);
         rec.emit_with(|| {
+            let aug = sol.materialize();
             obs::Event::new("randomized.draw")
                 .with("round", round)
                 .with("secondaries", aug.total_secondaries())
@@ -131,7 +149,7 @@ pub fn solve_traced<R: Rng + ?Sized>(
         });
         if rel > best_rel {
             best_rel = rel;
-            best = Some(aug);
+            best = Some(sol.materialize());
         }
     }
     let mut aug = best.expect("rounds >= 1");

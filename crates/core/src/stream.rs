@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use mecnet::admission::{random_placement_capacity_aware, PrimaryPlacement};
 use mecnet::graph::NodeId;
+use mecnet::neighborhood::NeighborhoodIndex;
 use mecnet::network::MecNetwork;
 use mecnet::request::SfcRequest;
 use mecnet::vnf::VnfCatalog;
@@ -29,6 +30,7 @@ use crate::heuristic::HeuristicConfig;
 use crate::ilp::IlpConfig;
 use crate::instance::AugmentationInstance;
 use crate::randomized::RandomizedConfig;
+use crate::scratch::SolveScratch;
 use crate::solution::Outcome;
 use crate::{greedy, heuristic, ilp, randomized};
 
@@ -70,13 +72,27 @@ impl Algorithm {
         rng: &mut R,
         rec: &mut Recorder,
     ) -> Outcome {
+        self.solve_scratch(inst, rng, rec, &mut SolveScratch::new())
+    }
+
+    /// [`Algorithm::solve_traced`] on caller-owned scratch buffers — what the
+    /// streaming drivers use so the per-request steady state allocates
+    /// nothing. The ILP ignores the scratch (its branch-and-bound state is
+    /// inherently per-solve).
+    pub fn solve_scratch<R: Rng + ?Sized>(
+        &self,
+        inst: &AugmentationInstance,
+        rng: &mut R,
+        rec: &mut Recorder,
+        scratch: &mut SolveScratch,
+    ) -> Outcome {
         match self {
             Algorithm::Ilp(c) => ilp::solve_traced(inst, c, rec).expect("ILP solve"),
             Algorithm::Randomized(c) => {
-                randomized::solve_traced(inst, c, rng, rec).expect("LP solve")
+                randomized::solve_scratch(inst, c, rng, rec, scratch).expect("LP solve")
             }
-            Algorithm::Heuristic(c) => heuristic::solve_traced(inst, c, rec),
-            Algorithm::Greedy(c) => greedy::solve_traced(inst, c, rec),
+            Algorithm::Heuristic(c) => heuristic::solve_scratch(inst, c, rec, scratch),
+            Algorithm::Greedy(c) => greedy::solve_scratch(inst, c, rec, scratch),
         }
     }
 }
@@ -190,6 +206,8 @@ pub fn process_stream_traced<R: Rng + ?Sized>(
     );
     let mut residual = network.residual_capacities(cfg.initial_capacity_fraction);
     let mut records = Vec::with_capacity(requests.len());
+    let nbhd = network.neighborhood_index(cfg.l);
+    let mut scratch = SolveScratch::new();
     // Deployed instances per (VNF type, node) — primaries and secondaries of
     // all previously admitted requests; consulted when sharing is on.
     let mut deployed: std::collections::HashMap<(usize, usize), usize> =
@@ -215,30 +233,32 @@ pub fn process_stream_traced<R: Rng + ?Sized>(
             });
             continue;
         };
-        let mut inst = AugmentationInstance::new(
+        let mut inst = AugmentationInstance::new_with_index(
             network,
             catalog,
             req,
             &placement.locations,
             &residual,
-            cfg.l,
+            &nbhd,
         );
         if cfg.share_backups {
             for (i, f) in inst.functions.iter_mut().enumerate() {
                 let type_idx = req.sfc[i].index();
-                let shared: usize = network
-                    .graph()
-                    .l_neighborhood_closed(f.primary, cfg.l)
-                    .into_iter()
+                // Deployed instances only live on cloudlets, so scanning the
+                // index's cloudlet slice equals scanning the whole BFS ball.
+                let shared: usize = nbhd
+                    .cloudlets_within(f.primary)
+                    .iter()
                     .filter_map(|u| deployed.get(&(type_idx, u.index())))
                     .sum();
                 f.existing_backups = shared;
             }
         }
         let solve_started = Instant::now();
-        let outcome: Outcome = cfg.algorithm.solve_traced(&inst, rng, rec);
+        let outcome: Outcome = cfg.algorithm.solve_scratch(&inst, rng, rec, &mut scratch);
         let solve_elapsed = solve_started.elapsed();
         rec.record_time("stream.solve", solve_elapsed);
+        rec.time_sample("stream.solve", solve_elapsed);
         // Commit the secondaries' consumption (clamped at zero: the
         // randomized algorithm may overcommit).
         for (bin_idx, &load) in outcome.augmentation.bin_loads(&inst).iter().enumerate() {
@@ -354,27 +374,28 @@ pub(crate) struct Speculation {
 fn build_instance(
     network: &MecNetwork,
     catalog: &VnfCatalog,
-    cfg: &StreamConfig,
     req: &SfcRequest,
     placement: &PrimaryPlacement,
     residual: &[f64],
+    nbhd: &NeighborhoodIndex,
     deployed: Option<&HashMap<(usize, usize), usize>>,
 ) -> AugmentationInstance {
-    let mut inst = AugmentationInstance::new_localized(
+    let mut inst = AugmentationInstance::new_localized_with_index(
         network,
         catalog,
         req,
         &placement.locations,
         residual,
-        cfg.l,
+        nbhd,
     );
     if let Some(deployed) = deployed {
         for (i, f) in inst.functions.iter_mut().enumerate() {
             let type_idx = req.sfc[i].index();
-            f.existing_backups = network
-                .graph()
-                .l_neighborhood_closed(f.primary, cfg.l)
-                .into_iter()
+            // Deployed instances only live on cloudlets, so the index's
+            // cloudlet slice sees everything the full BFS ball would.
+            f.existing_backups = nbhd
+                .cloudlets_within(f.primary)
+                .iter()
                 .filter_map(|u| deployed.get(&(type_idx, u.index())))
                 .sum();
         }
@@ -382,26 +403,30 @@ fn build_instance(
     inst
 }
 
-/// Speculatively process request `k` against a state snapshot: admit, build
-/// the instance, solve. Pure in (snapshot, seed, k) — no shared state is
+/// Speculatively process request `k` against caller-owned local state:
+/// admit (applying the primaries' debits to `residual` in place), build the
+/// instance, solve. Pure in (local state, seed, k) — no shared state is
 /// touched, so workers can run this concurrently and out of order.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn speculate(
+fn speculate_local(
     network: &MecNetwork,
     catalog: &VnfCatalog,
     cfg: &StreamConfig,
     seed: u64,
     k: usize,
     req: &SfcRequest,
-    residual_snapshot: &[f64],
-    deployed_snapshot: Option<&HashMap<(usize, usize), usize>>,
+    residual: &mut [f64],
+    deployed: Option<&HashMap<(usize, usize), usize>>,
     traced: bool,
+    nbhd: &NeighborhoodIndex,
+    scratch: &mut SolveScratch,
 ) -> Speculation {
-    let demands: Vec<f64> = req.sfc.iter().map(|&f| catalog.demand(f)).collect();
-    let mut residual = residual_snapshot.to_vec();
+    let demands = &mut scratch.commit.demands;
+    demands.clear();
+    demands.extend(req.sfc.iter().map(|&f| catalog.demand(f)));
     let mut admit_rng = request_rng(seed, k, ADMIT_SALT);
     let Some(placement) =
-        random_placement_capacity_aware(network, req, &demands, &mut residual, &mut admit_rng)
+        random_placement_capacity_aware(network, req, demands, residual, &mut admit_rng)
     else {
         return Speculation {
             placement: None,
@@ -411,17 +436,120 @@ pub(crate) fn speculate(
             solve_elapsed: Duration::ZERO,
         };
     };
-    let inst = build_instance(network, catalog, cfg, req, &placement, &residual, deployed_snapshot);
+    let inst = build_instance(network, catalog, req, &placement, residual, nbhd, deployed);
     let mut solve_rng = request_rng(seed, k, SOLVE_SALT);
     let mut solver_rec = if traced { Recorder::memory() } else { Recorder::noop() };
     let solve_started = Instant::now();
-    let outcome = cfg.algorithm.solve_traced(&inst, &mut solve_rng, &mut solver_rec);
+    let outcome = cfg.algorithm.solve_scratch(&inst, &mut solve_rng, &mut solver_rec, scratch);
     Speculation {
         placement: Some(placement),
         instance: Some(inst),
         outcome: Some(outcome),
         solver_rec: traced.then_some(solver_rec),
         solve_elapsed: solve_started.elapsed(),
+    }
+}
+
+/// Speculatively process a contiguous batch of requests starting at sequence
+/// position `start` against one state snapshot. Within the batch each request
+/// sees its predecessors' *simulated* commits — the same admission debits,
+/// two-phase secondary debits and deployed-ledger updates the coordinator
+/// will apply, computed on a worker-local copy — so intra-batch speculations
+/// stay valid whenever the snapshot itself does. Correctness never depends on
+/// that: commit-time validation is unchanged, so a stale simulation only
+/// costs an inline re-solve.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn speculate_batch(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    cfg: &StreamConfig,
+    seed: u64,
+    start: usize,
+    reqs: &[SfcRequest],
+    residual_snapshot: &[f64],
+    deployed_snapshot: Option<&HashMap<(usize, usize), usize>>,
+    traced: bool,
+    nbhd: &NeighborhoodIndex,
+    scratch: &mut SolveScratch,
+) -> Vec<Speculation> {
+    let mut residual = residual_snapshot.to_vec();
+    let mut deployed = deployed_snapshot.cloned();
+    let mut specs = Vec::with_capacity(reqs.len());
+    for (off, req) in reqs.iter().enumerate() {
+        let spec = speculate_local(
+            network,
+            catalog,
+            cfg,
+            seed,
+            start + off,
+            req,
+            &mut residual,
+            deployed.as_ref(),
+            traced,
+            nbhd,
+            scratch,
+        );
+        if let (Some(placement), Some(inst), Some(outcome)) =
+            (&spec.placement, &spec.instance, &spec.outcome)
+        {
+            apply_secondary_debits(network, &mut residual, inst, outcome);
+            if let Some(deployed) = deployed.as_mut() {
+                apply_deployed_updates(deployed, req, placement, inst, outcome);
+            }
+        }
+        specs.push(spec);
+    }
+    specs
+}
+
+/// Debit an admitted request's secondary loads against `residual` through the
+/// network's two-phase reserve/commit ledger, falling back to the legacy
+/// clamp-at-zero on overcommit (only the randomized rounding can overcommit).
+/// Shared verbatim by the authoritative commit and the worker-local batch
+/// simulation, so both walk the identical floating-point path.
+fn apply_secondary_debits(
+    network: &MecNetwork,
+    residual: &mut [f64],
+    inst: &AugmentationInstance,
+    outcome: &Outcome,
+) {
+    let loads = outcome.augmentation.bin_loads(inst);
+    let debits: Vec<(NodeId, f64)> = loads
+        .iter()
+        .enumerate()
+        .filter(|&(_, &load)| load > 0.0)
+        .map(|(bin_idx, &load)| (inst.bins[bin_idx].node, load))
+        .collect();
+    match network.try_reserve(residual, &debits) {
+        Ok(mut reservation) => {
+            network.commit(&mut reservation).expect("fresh reservation commits");
+        }
+        Err(_) => {
+            for &(node, load) in &debits {
+                let v = node.index();
+                residual[v] = (residual[v] - load).max(0.0);
+            }
+        }
+    }
+}
+
+/// Fold an admitted request's primaries and secondaries into the deployed
+/// ledger (sharing mode only). Shared by commit and batch simulation.
+fn apply_deployed_updates(
+    deployed: &mut HashMap<(usize, usize), usize>,
+    req: &SfcRequest,
+    placement: &PrimaryPlacement,
+    inst: &AugmentationInstance,
+    outcome: &Outcome,
+) {
+    for (f, &loc) in req.sfc.iter().zip(&placement.locations) {
+        *deployed.entry((f.index(), loc.index())).or_insert(0) += 1;
+    }
+    for func in 0..inst.chain_len() {
+        let type_idx = req.sfc[func].index();
+        for &(bin_idx, count) in outcome.augmentation.placements_of(func) {
+            *deployed.entry((type_idx, inst.bins[bin_idx].node.index())).or_insert(0) += count;
+        }
     }
 }
 
@@ -448,16 +576,16 @@ pub(crate) fn commit_request(
     state: &mut PipelineState,
     spec: Option<Speculation>,
     rec: &mut Recorder,
+    nbhd: &NeighborhoodIndex,
+    scratch: &mut SolveScratch,
 ) -> RequestRecord {
-    let demands: Vec<f64> = req.sfc.iter().map(|&f| catalog.demand(f)).collect();
+    let demands = &mut scratch.commit.demands;
+    demands.clear();
+    demands.extend(req.sfc.iter().map(|&f| catalog.demand(f)));
     let mut admit_rng = request_rng(seed, k, ADMIT_SALT);
-    let Some(placement) = random_placement_capacity_aware(
-        network,
-        req,
-        &demands,
-        &mut state.residual,
-        &mut admit_rng,
-    ) else {
+    let Some(placement) =
+        random_placement_capacity_aware(network, req, demands, &mut state.residual, &mut admit_rng)
+    else {
         rec.count("stream.rejected", 1);
         rec.emit_with(|| {
             stream_request_event(req.id, &state.residual)
@@ -476,10 +604,10 @@ pub(crate) fn commit_request(
     let inst = build_instance(
         network,
         catalog,
-        cfg,
         req,
         &placement,
         &state.residual,
+        nbhd,
         state.deployed.as_ref(),
     );
     let speculated = spec.is_some();
@@ -497,47 +625,23 @@ pub(crate) fn commit_request(
         let mut solve_rng = request_rng(seed, k, SOLVE_SALT);
         let mut solver_rec = if rec.enabled() { Recorder::memory() } else { Recorder::noop() };
         let solve_started = Instant::now();
-        let outcome = cfg.algorithm.solve_traced(&inst, &mut solve_rng, &mut solver_rec);
+        let outcome = cfg.algorithm.solve_scratch(&inst, &mut solve_rng, &mut solver_rec, scratch);
         (outcome, rec.enabled().then_some(solver_rec), solve_started.elapsed())
     };
     if let Some(solver_rec) = solver_rec {
         rec.absorb(solver_rec);
     }
     rec.record_time("stream.solve", solve_elapsed);
+    rec.time_sample("stream.solve", solve_elapsed);
     // Commit the secondaries' consumption through the two-phase ledger —
     // all-or-nothing against the authoritative residual. The feasible
     // algorithms never exceed the bin residuals the instance advertised; the
     // randomized rounding may, and then the debit falls back to the legacy
     // clamp-at-zero (the overcommit shows up as unmet expectations later in
     // the stream, not as negative capacity).
-    let loads = outcome.augmentation.bin_loads(&inst);
-    let debits: Vec<(NodeId, f64)> = loads
-        .iter()
-        .enumerate()
-        .filter(|&(_, &load)| load > 0.0)
-        .map(|(bin_idx, &load)| (inst.bins[bin_idx].node, load))
-        .collect();
-    match network.try_reserve(&mut state.residual, &debits) {
-        Ok(mut reservation) => {
-            network.commit(&mut reservation).expect("fresh reservation commits");
-        }
-        Err(_) => {
-            for &(node, load) in &debits {
-                let v = node.index();
-                state.residual[v] = (state.residual[v] - load).max(0.0);
-            }
-        }
-    }
+    apply_secondary_debits(network, &mut state.residual, &inst, &outcome);
     if let Some(deployed) = state.deployed.as_mut() {
-        for (f, &loc) in req.sfc.iter().zip(&placement.locations) {
-            *deployed.entry((f.index(), loc.index())).or_insert(0) += 1;
-        }
-        for func in 0..inst.chain_len() {
-            let type_idx = req.sfc[func].index();
-            for &(bin_idx, count) in outcome.augmentation.placements_of(func) {
-                *deployed.entry((type_idx, inst.bins[bin_idx].node.index())).or_insert(0) += count;
-            }
-        }
+        apply_deployed_updates(deployed, req, &placement, &inst, &outcome);
     }
     rec.count("stream.admitted", 1);
     // Unlike the legacy event this one carries no wall-clock field
@@ -590,10 +694,26 @@ pub fn process_stream_seeded_traced(
     rec: &mut Recorder,
 ) -> StreamOutcome {
     let mut state = PipelineState::new(network, cfg);
+    let nbhd = network.neighborhood_index(cfg.l);
+    let mut scratch = SolveScratch::new();
     let records = requests
         .iter()
         .enumerate()
-        .map(|(k, req)| commit_request(network, catalog, cfg, seed, k, req, &mut state, None, rec))
+        .map(|(k, req)| {
+            commit_request(
+                network,
+                catalog,
+                cfg,
+                seed,
+                k,
+                req,
+                &mut state,
+                None,
+                rec,
+                &nbhd,
+                &mut scratch,
+            )
+        })
         .collect();
     StreamOutcome { records, final_residual: state.residual }
 }

@@ -28,5 +28,5 @@ pub mod hungarian;
 pub mod mcmf;
 
 pub use b_matching::min_cost_max_b_matching;
-pub use bipartite::{min_cost_max_matching, Matching};
+pub use bipartite::{min_cost_max_matching, min_cost_max_matching_into, Matching, MatchingScratch};
 pub use mcmf::{FlowResult, McmfGraph};

@@ -50,7 +50,7 @@ pub fn random_placement<R: Rng + ?Sized>(
     request: &SfcRequest,
     rng: &mut R,
 ) -> Option<PrimaryPlacement> {
-    let cloudlets = net.cloudlets();
+    let cloudlets = net.cloudlet_ids();
     if cloudlets.is_empty() {
         return None;
     }
@@ -74,21 +74,25 @@ pub fn random_placement_capacity_aware<R: Rng + ?Sized>(
 ) -> Option<PrimaryPlacement> {
     assert_eq!(demands.len(), request.len(), "one demand per chain position");
     assert_eq!(residual.len(), net.num_nodes());
-    let cloudlets = net.cloudlets();
-    let mut locations = Vec::with_capacity(request.len());
-    let mut debited: Vec<(usize, f64)> = Vec::with_capacity(request.len());
+    let cloudlets = net.cloudlet_ids();
+    let mut locations: Vec<NodeId> = Vec::with_capacity(request.len());
     for (&_f, &demand) in request.sfc.iter().zip(demands) {
-        let feasible: Vec<NodeId> =
-            cloudlets.iter().copied().filter(|&c| residual[c.index()] >= demand).collect();
-        let Some(&choice) = feasible.get(rng.gen_range(0..feasible.len().max(1))) else {
+        // Two scans instead of materializing the feasible list: count the
+        // fitting cloudlets, draw the same uniform index the list-based
+        // implementation would (an empty feasible set still consumes one
+        // `gen_range(0..1)` draw — the RNG stream must not shift), then pick
+        // the drawn cloudlet in a second scan.
+        let fits = |c: &&NodeId| residual[c.index()] >= demand;
+        let feasible = cloudlets.iter().filter(fits).count();
+        let draw = rng.gen_range(0..feasible.max(1));
+        let Some(&choice) = cloudlets.iter().filter(fits).nth(draw) else {
             // Roll back and reject.
-            for &(idx, amount) in &debited {
-                residual[idx] += amount;
+            for (&done, &amount) in locations.iter().zip(demands) {
+                residual[done.index()] += amount;
             }
             return None;
         };
         residual[choice.index()] -= demand;
-        debited.push((choice.index(), demand));
         locations.push(choice);
     }
     Some(PrimaryPlacement { locations })

@@ -27,6 +27,7 @@
 pub mod admission;
 pub mod dot;
 pub mod graph;
+pub mod neighborhood;
 pub mod network;
 pub mod request;
 pub mod stats;
@@ -36,6 +37,7 @@ pub mod vnf;
 pub mod workload;
 
 pub use graph::{Graph, NodeId};
+pub use neighborhood::NeighborhoodIndex;
 pub use network::{MecNetwork, Reservation, ReservationState, ReserveError};
 pub use request::SfcRequest;
 pub use vnf::{VnfCatalog, VnfType, VnfTypeId};

@@ -1,0 +1,168 @@
+//! CSR-packed `≤ l`-hop closed-neighborhood index over cloudlets.
+//!
+//! The streaming pipeline asks the same locality question for every request:
+//! "which *cloudlets* are within `l` hops of node `v`?" — the paper's
+//! `N_l^+(v)` restricted to capacity-bearing nodes. Answering it with
+//! [`Graph::l_neighborhood_closed`] costs a full BFS plus two allocations per
+//! query, which dominates the ~µs-scale heuristic solve on the hot path.
+//!
+//! [`NeighborhoodIndex`] inverts the computation: one truncated BFS per
+//! *cloudlet* (sources are the few capacity-bearing nodes, not the many query
+//! nodes) fills a CSR table mapping every node `v` to the slice of cloudlets
+//! within `l` hops. Lookups are then O(1) and allocation-free, returning
+//! `&[NodeId]` slices sorted ascending — element-for-element identical to
+//! `l_neighborhood_closed(v, l)` filtered to cloudlets (the property test in
+//! `tests/proptest_neighborhood.rs` pins this equivalence).
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Precomputed per-node "cloudlets within `l` hops" table in CSR layout.
+///
+/// `cloudlets[offsets[v] .. offsets[v + 1]]` lists, ascending by node id, the
+/// cloudlets within `l` hops of node `v` (including `v` itself when it is a
+/// cloudlet — the *closed* neighborhood).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborhoodIndex {
+    l: u32,
+    /// `num_nodes + 1` prefix offsets into `cloudlets`.
+    offsets: Vec<u32>,
+    /// Concatenated per-node cloudlet lists.
+    cloudlets: Vec<NodeId>,
+}
+
+impl NeighborhoodIndex {
+    /// Build the index for radius `l`. `cloudlets` must list the
+    /// capacity-bearing nodes ascending by id (as
+    /// [`crate::MecNetwork::cloudlet_ids`] does); hop distances beyond `l`
+    /// are never expanded, so the build is `O(Σ_c |B_l(c)|)` — independent
+    /// of how many requests later query it.
+    pub fn build(graph: &Graph, cloudlets: &[NodeId], l: u32) -> Self {
+        let n = graph.num_nodes();
+        debug_assert!(cloudlets.windows(2).all(|w| w[0] < w[1]), "cloudlets must be ascending");
+        // Pass 1: truncated BFS per cloudlet, counting how many cloudlets
+        // reach each node. `mark` doubles as the per-source visited set via
+        // an epoch scheme (epoch = source position), avoiding a clear per
+        // source.
+        let mut counts = vec![0u32; n];
+        let mut mark = vec![u32::MAX; n];
+        let mut depth = vec![0u32; n];
+        let mut queue = VecDeque::new();
+        let mut reach: Vec<(u32, u32)> = Vec::new(); // (node, cloudlet position)
+        for (epoch, &c) in cloudlets.iter().enumerate() {
+            let epoch = epoch as u32;
+            queue.clear();
+            mark[c.index()] = epoch;
+            depth[c.index()] = 0;
+            queue.push_back(c.index());
+            while let Some(u) = queue.pop_front() {
+                counts[u] += 1;
+                reach.push((u as u32, epoch));
+                let du = depth[u];
+                if du == l {
+                    continue;
+                }
+                for w in graph.neighbors(NodeId(u)) {
+                    let w = w.index();
+                    if mark[w] != epoch {
+                        mark[w] = epoch;
+                        depth[w] = du + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        // Pass 2: prefix-sum offsets, then a stable counting-sort fill.
+        // `reach` is ordered by cloudlet position (sources were visited
+        // ascending), so each node's slice comes out ascending by cloudlet
+        // id without any per-slice sort.
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + counts[v];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut packed = vec![NodeId(0); reach.len()];
+        for &(v, pos) in &reach {
+            let slot = cursor[v as usize];
+            packed[slot as usize] = cloudlets[pos as usize];
+            cursor[v as usize] = slot + 1;
+        }
+        NeighborhoodIndex { l, offsets, cloudlets: packed }
+    }
+
+    /// The radius this index was built for.
+    pub fn l(&self) -> u32 {
+        self.l
+    }
+
+    /// Number of nodes covered by the table.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Cloudlets within `l` hops of `v`, ascending by node id, including `v`
+    /// itself when it is a cloudlet. Equivalent to
+    /// `graph.l_neighborhood_closed(v, l)` filtered to cloudlets, without
+    /// the per-query BFS or allocation.
+    pub fn cloudlets_within(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.cloudlets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    fn cloudlet_list(capacity: &[f64]) -> Vec<NodeId> {
+        (0..capacity.len()).filter(|&v| capacity[v] > 0.0).map(NodeId).collect()
+    }
+
+    #[test]
+    fn matches_bfs_on_a_path() {
+        // Path 0-1-2-3; cloudlets at 0 and 2 (mirrors the network.rs test).
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        let cap = [5000.0, 0.0, 6000.0, 0.0];
+        let idx = NeighborhoodIndex::build(&g, &cloudlet_list(&cap), 1);
+        assert_eq!(idx.cloudlets_within(NodeId(0)), &[NodeId(0)]);
+        assert_eq!(idx.cloudlets_within(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(idx.cloudlets_within(NodeId(3)), &[NodeId(2)]);
+        let idx2 = NeighborhoodIndex::build(&g, &cloudlet_list(&cap), 2);
+        assert_eq!(idx2.cloudlets_within(NodeId(0)), &[NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn radius_zero_is_self_only() {
+        let g = topology::grid(3, 3);
+        let cloudlets: Vec<NodeId> = vec![NodeId(1), NodeId(4)];
+        let idx = NeighborhoodIndex::build(&g, &cloudlets, 0);
+        for v in g.nodes() {
+            let expected: &[NodeId] =
+                if cloudlets.contains(&v) { std::slice::from_ref(&v) } else { &[] };
+            assert_eq!(idx.cloudlets_within(v), expected);
+        }
+    }
+
+    #[test]
+    fn disconnected_nodes_see_nothing() {
+        let g = Graph::new(3); // no edges
+        let idx = NeighborhoodIndex::build(&g, &[NodeId(2)], 4);
+        assert_eq!(idx.cloudlets_within(NodeId(0)), &[] as &[NodeId]);
+        assert_eq!(idx.cloudlets_within(NodeId(2)), &[NodeId(2)]);
+    }
+
+    #[test]
+    fn slices_are_ascending() {
+        let g = topology::grid(4, 4);
+        let cloudlets: Vec<NodeId> = [0usize, 3, 5, 10, 15].iter().map(|&v| NodeId(v)).collect();
+        let idx = NeighborhoodIndex::build(&g, &cloudlets, 3);
+        for v in g.nodes() {
+            let s = idx.cloudlets_within(v);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "slice for {v} not ascending: {s:?}");
+        }
+    }
+}

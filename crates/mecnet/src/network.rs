@@ -2,9 +2,11 @@
 //! cloudlets with computing capacity.
 
 use crate::graph::{Graph, NodeId};
+use crate::neighborhood::NeighborhoodIndex;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// Lifecycle of a [`Reservation`]: capacity is debited at `try_reserve`
 /// time, made permanent by `commit`, or returned by `abort`. Any transition
@@ -81,6 +83,14 @@ pub struct MecNetwork {
     graph: Graph,
     /// Capacity in MHz per node; `0.0` for plain access points.
     capacity: Vec<f64>,
+    /// Cloudlet node ids, ascending — precomputed because the admission and
+    /// augmentation hot paths enumerate cloudlets per request.
+    cloudlet_ids: Vec<NodeId>,
+    /// Lazily-built [`NeighborhoodIndex`] per radius `l`. Shared across
+    /// clones: the graph and capacities are immutable after construction
+    /// (residuals live in caller-owned vectors), so a cached index can never
+    /// go stale.
+    nbhd_cache: Arc<Mutex<Vec<Arc<NeighborhoodIndex>>>>,
 }
 
 impl MecNetwork {
@@ -89,7 +99,8 @@ impl MecNetwork {
     pub fn new(graph: Graph, capacity: Vec<f64>) -> Self {
         assert_eq!(capacity.len(), graph.num_nodes(), "capacity vector must cover all nodes");
         assert!(capacity.iter().all(|&c| c >= 0.0 && c.is_finite()), "capacities must be >= 0");
-        MecNetwork { graph, capacity }
+        let cloudlet_ids = (0..capacity.len()).filter(|&v| capacity[v] > 0.0).map(NodeId).collect();
+        MecNetwork { graph, capacity, cloudlet_ids, nbhd_cache: Arc::new(Mutex::new(Vec::new())) }
     }
 
     /// Place `count` cloudlets on distinct random nodes with capacities drawn
@@ -130,11 +141,29 @@ impl MecNetwork {
 
     /// All cloudlet nodes.
     pub fn cloudlets(&self) -> Vec<NodeId> {
-        self.graph.nodes().filter(|&v| self.is_cloudlet(v)).collect()
+        self.cloudlet_ids.clone()
+    }
+
+    /// All cloudlet nodes, ascending, without allocating.
+    pub fn cloudlet_ids(&self) -> &[NodeId] {
+        &self.cloudlet_ids
     }
 
     pub fn num_cloudlets(&self) -> usize {
-        self.capacity.iter().filter(|&&c| c > 0.0).count()
+        self.cloudlet_ids.len()
+    }
+
+    /// The cached [`NeighborhoodIndex`] for radius `l`, building it on first
+    /// use. The returned `Arc` lets streaming callers resolve the index once
+    /// and query it lock-free for every request.
+    pub fn neighborhood_index(&self, l: u32) -> Arc<NeighborhoodIndex> {
+        let mut cache = self.nbhd_cache.lock().expect("neighborhood cache poisoned");
+        if let Some(idx) = cache.iter().find(|idx| idx.l() == l) {
+            return Arc::clone(idx);
+        }
+        let idx = Arc::new(NeighborhoodIndex::build(&self.graph, &self.cloudlet_ids, l));
+        cache.push(Arc::clone(&idx));
+        idx
     }
 
     /// Total capacity across all cloudlets.
@@ -309,6 +338,23 @@ mod tests {
     #[should_panic(expected = "capacity vector")]
     fn mismatched_capacity_length_panics() {
         MecNetwork::new(topology::ring(3), vec![1.0]);
+    }
+
+    #[test]
+    fn neighborhood_index_matches_bfs_queries_and_is_cached() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = topology::grid(5, 5);
+        let net = MecNetwork::with_random_cloudlets(g, 7, (4000.0, 8000.0), &mut rng);
+        for l in 0..4 {
+            let idx = net.neighborhood_index(l);
+            for v in net.graph().nodes() {
+                assert_eq!(idx.cloudlets_within(v), net.cloudlets_within(v, l).as_slice());
+            }
+            let again = net.neighborhood_index(l);
+            assert!(Arc::ptr_eq(&idx, &again), "second lookup must hit the cache");
+            let via_clone = net.clone().neighborhood_index(l);
+            assert!(Arc::ptr_eq(&idx, &via_clone), "clones share the cache");
+        }
     }
 
     #[test]

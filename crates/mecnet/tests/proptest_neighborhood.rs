@@ -1,0 +1,71 @@
+//! Property tests pinning [`mecnet::neighborhood::NeighborhoodIndex`] to the
+//! BFS reference: on random topologies and cloudlet subsets, every node's
+//! CSR slice must equal `Graph::l_neighborhood_closed(v, l)` filtered to
+//! cloudlets — same elements in the same (ascending) order — for every
+//! radius the streaming pipeline uses.
+
+use mecnet::graph::NodeId;
+use mecnet::neighborhood::NeighborhoodIndex;
+use mecnet::topology::erdos_renyi;
+use mecnet::workload::{generate_network, WorkloadConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Index slices == BFS closed neighborhood filtered to cloudlets, in the
+    /// same order, on arbitrary (possibly disconnected) random graphs with
+    /// an arbitrary cloudlet subset, for l in 0..4.
+    #[test]
+    fn index_matches_bfs_reference(
+        seed in 0u64..10_000,
+        n in 2usize..30,
+        p in 0.05f64..0.7,
+        cloudlet_bits in 0u32..(1 << 16),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, p, &mut rng);
+        // Carve an arbitrary cloudlet subset out of the low bits (ascending,
+        // as MecNetwork::cloudlet_ids guarantees).
+        let cloudlets: Vec<NodeId> =
+            (0..n).filter(|&v| cloudlet_bits & (1 << (v % 16)) != 0).map(NodeId).collect();
+        let is_cloudlet = |u: NodeId| cloudlets.binary_search(&u).is_ok();
+        for l in 0u32..4 {
+            let idx = NeighborhoodIndex::build(&g, &cloudlets, l);
+            prop_assert_eq!(idx.l(), l);
+            prop_assert_eq!(idx.num_nodes(), n);
+            for v in g.nodes() {
+                let expected: Vec<NodeId> = g
+                    .l_neighborhood_closed(v, l)
+                    .into_iter()
+                    .filter(|&u| is_cloudlet(u))
+                    .collect();
+                prop_assert_eq!(
+                    idx.cloudlets_within(v),
+                    expected.as_slice(),
+                    "mismatch at v={} l={}", v, l
+                );
+            }
+        }
+    }
+
+    /// Same equivalence on the generated workload networks (the topology the
+    /// experiments actually run on), through the network's own cached-index
+    /// entry point.
+    #[test]
+    fn cached_index_matches_network_bfs(seed in 0u64..10_000, l in 0u32..4) {
+        let cfg = WorkloadConfig { nodes: 40, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = generate_network(&cfg, &mut rng);
+        let idx = net.neighborhood_index(l);
+        for v in net.graph().nodes() {
+            let expected = net.cloudlets_within(v, l);
+            prop_assert_eq!(idx.cloudlets_within(v), expected.as_slice());
+        }
+        // The cache returns the same index (not a rebuild) on re-query.
+        let again = net.neighborhood_index(l);
+        prop_assert!(std::sync::Arc::ptr_eq(&idx, &again));
+    }
+}

@@ -28,6 +28,11 @@ pub struct Recorder {
     events_emitted: u64,
     counters: BTreeMap<&'static str, u64>,
     timings: BTreeMap<&'static str, Duration>,
+    /// Individual duration samples (seconds) behind each timing aggregate,
+    /// for percentile reporting. Deliberately NOT part of [`Telemetry`]:
+    /// wall-clock samples must never reach the byte-identity-checked JSONL
+    /// stream or `Outcome` equality.
+    samples: BTreeMap<&'static str, Vec<f64>>,
 }
 
 impl Default for Recorder {
@@ -38,7 +43,13 @@ impl Default for Recorder {
 
 impl Recorder {
     fn with_sink(sink: Sink) -> Recorder {
-        Recorder { sink, events_emitted: 0, counters: BTreeMap::new(), timings: BTreeMap::new() }
+        Recorder {
+            sink,
+            events_emitted: 0,
+            counters: BTreeMap::new(),
+            timings: BTreeMap::new(),
+            samples: BTreeMap::new(),
+        }
     }
 
     pub fn noop() -> Recorder {
@@ -104,6 +115,23 @@ impl Recorder {
         }
     }
 
+    /// Record one duration sample under `name` (no-op when disabled).
+    /// Callers typically pair this with [`Recorder::record_time`]: the
+    /// aggregate feeds [`Telemetry`], the samples feed percentile summaries
+    /// via [`Recorder::time_samples`].
+    #[inline]
+    pub fn time_sample(&mut self, name: &'static str, elapsed: Duration) {
+        if self.enabled() {
+            self.samples.entry(name).or_default().push(elapsed.as_secs_f64());
+        }
+    }
+
+    /// The duration samples (seconds) recorded under `name`, in recording
+    /// order (empty if none).
+    pub fn time_samples(&self, name: &str) -> &[f64] {
+        self.samples.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
     /// Events captured by a memory sink (empty for other sinks).
     pub fn events(&self) -> &[Event] {
         match &self.sink {
@@ -147,6 +175,9 @@ impl Recorder {
         }
         for (name, elapsed) in other.timings {
             *self.timings.entry(name).or_insert(Duration::ZERO) += elapsed;
+        }
+        for (name, mut samples) in other.samples {
+            self.samples.entry(name).or_default().append(&mut samples);
         }
     }
 
@@ -223,6 +254,25 @@ mod tests {
         assert_eq!(t.counter("nodes"), 7);
         assert!((t.timing_s("lp") - 0.015).abs() < 1e-9);
         assert_eq!(t.counter("missing"), 0);
+    }
+
+    #[test]
+    fn time_samples_record_and_merge() {
+        let mut rec = Recorder::memory();
+        rec.time_sample("solve", Duration::from_millis(2));
+        rec.time_sample("solve", Duration::from_millis(4));
+        assert_eq!(rec.time_samples("solve").len(), 2);
+        assert!((rec.time_samples("solve")[1] - 0.004).abs() < 1e-9);
+        let mut worker = Recorder::memory();
+        worker.time_sample("solve", Duration::from_millis(8));
+        rec.absorb(worker);
+        assert_eq!(rec.time_samples("solve").len(), 3);
+        assert_eq!(rec.time_samples("missing"), &[] as &[f64]);
+        // Samples stay out of the portable summary by design.
+        assert!(rec.summary().timings_s.iter().all(|(k, _)| k != "solve"));
+        let mut off = Recorder::noop();
+        off.time_sample("solve", Duration::from_millis(1));
+        assert!(off.time_samples("solve").is_empty());
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Batched-dispatch equivalence: the batched speculative pipeline must be
+//! indistinguishable from the seeded sequential pipeline for every batch
+//! size and worker count — same per-request records, same final residual
+//! capacities, and a byte-identical telemetry JSONL stream. Within a batch,
+//! workers simulate their predecessors' commits locally; this test pins that
+//! the simulation (and its conflict fallback) never changes results.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use mec_sfc_reliability::mecnet::topology;
+use mec_sfc_reliability::mecnet::vnf::{VnfCatalog, VnfType};
+use mec_sfc_reliability::mecnet::{MecNetwork, SfcRequest};
+use mec_sfc_reliability::obs::Recorder;
+use mec_sfc_reliability::relaug::parallel::{
+    process_stream_batched, process_stream_batched_traced, ParallelConfig,
+};
+use mec_sfc_reliability::relaug::stream::{
+    process_stream_seeded, process_stream_seeded_traced, Algorithm, StreamConfig, StreamOutcome,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `Write` sink whose bytes can be read back after the recorder is dropped.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn setup(net_seed: u64, cloudlets: usize) -> (MecNetwork, VnfCatalog) {
+    let g = topology::grid(5, 5);
+    let mut rng = StdRng::seed_from_u64(net_seed);
+    let net = MecNetwork::with_random_cloudlets(g, cloudlets, (2000.0, 4000.0), &mut rng);
+    let mut cat = VnfCatalog::new();
+    cat.add(VnfType { name: "fw".into(), demand_mhz: 300.0, reliability: 0.85 });
+    cat.add(VnfType { name: "nat".into(), demand_mhz: 400.0, reliability: 0.9 });
+    cat.add(VnfType { name: "ids".into(), demand_mhz: 250.0, reliability: 0.8 });
+    (net, cat)
+}
+
+fn make_requests(n: usize, cat: &VnfCatalog, nodes: usize, seed: u64) -> Vec<SfcRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|i| SfcRequest::random(i, cat, (2, 4), 0.99, nodes, &mut rng)).collect()
+}
+
+/// Run a pipeline variant with a JSONL recorder; return the outcome and the
+/// exact bytes it streamed.
+fn run_jsonl<F>(run: F) -> (StreamOutcome, Vec<u8>)
+where
+    F: FnOnce(&mut Recorder) -> StreamOutcome,
+{
+    let buf = SharedBuf::default();
+    let mut rec = Recorder::jsonl_writer(Box::new(buf.clone()));
+    let out = run(&mut rec);
+    rec.flush().unwrap();
+    drop(rec);
+    let bytes = buf.0.lock().unwrap().clone();
+    (out, bytes)
+}
+
+const BATCHES: [usize; 3] = [1, 3, 7];
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn batched_is_byte_identical_to_sequential(
+        (net_seed, req_seed, pipeline_seed) in (0u64..10_000, 0u64..10_000, 0u64..10_000),
+        n_requests in 8usize..=30,
+        capacity_fraction in prop_oneof![Just(0.3), Just(0.6), Just(1.0)],
+        algorithm in prop_oneof![
+            Just(Algorithm::Heuristic(Default::default())),
+            Just(Algorithm::Greedy(Default::default())),
+            Just(Algorithm::Randomized(Default::default())),
+        ],
+    ) {
+        let (net, cat) = setup(net_seed, 6);
+        let reqs = make_requests(n_requests, &cat, net.num_nodes(), req_seed);
+        let stream = StreamConfig {
+            algorithm,
+            initial_capacity_fraction: capacity_fraction,
+            ..Default::default()
+        };
+        let (seq, seq_bytes) = run_jsonl(|rec| {
+            process_stream_seeded_traced(&net, &cat, &reqs, &stream, pipeline_seed, rec)
+        });
+        for workers in WORKERS {
+            for batch in BATCHES {
+                let cfg = ParallelConfig {
+                    stream: stream.clone(),
+                    workers,
+                    seed: pipeline_seed,
+                    max_inflight: 0,
+                };
+                let (par, par_bytes) = run_jsonl(|rec| {
+                    process_stream_batched_traced(&net, &cat, &reqs, &cfg, batch, rec)
+                });
+                prop_assert_eq!(&par.records, &seq.records,
+                    "records diverged at workers={} batch={}", workers, batch);
+                prop_assert_eq!(&par.final_residual, &seq.final_residual,
+                    "residuals diverged at workers={} batch={}", workers, batch);
+                prop_assert_eq!(&par_bytes, &seq_bytes,
+                    "JSONL diverged at workers={} batch={}", workers, batch);
+            }
+        }
+    }
+}
+
+/// Oversized batches (larger than the dispatch window or the whole stream)
+/// must clamp, not crash or diverge — and batch=0 (auto) must match any
+/// explicit size.
+#[test]
+fn batch_sizes_clamp_and_agree() {
+    let (net, cat) = setup(11, 6);
+    let reqs = make_requests(20, &cat, net.num_nodes(), 12);
+    let stream = StreamConfig { initial_capacity_fraction: 0.4, ..Default::default() };
+    let seq = process_stream_seeded(&net, &cat, &reqs, &stream, 7);
+    for batch in [0usize, 1, 7, 19, 64, 1000] {
+        let cfg = ParallelConfig { stream: stream.clone(), workers: 4, seed: 7, max_inflight: 0 };
+        let par = process_stream_batched(&net, &cat, &reqs, &cfg, batch);
+        assert_eq!(par, seq, "batch={batch}");
+    }
+}
+
+/// Batching composes with a constrained in-flight window: dispatch never
+/// exceeds the window regardless of batch size, and results stay sequential.
+#[test]
+fn batching_respects_inflight_window() {
+    let (net, cat) = setup(5, 6);
+    let reqs = make_requests(24, &cat, net.num_nodes(), 6);
+    let stream = StreamConfig { initial_capacity_fraction: 0.4, ..Default::default() };
+    let seq = process_stream_seeded(&net, &cat, &reqs, &stream, 1);
+    for max_inflight in [1usize, 3, 64] {
+        for batch in BATCHES {
+            let cfg = ParallelConfig { stream: stream.clone(), workers: 4, seed: 1, max_inflight };
+            let par = process_stream_batched(&net, &cat, &reqs, &cfg, batch);
+            assert_eq!(par, seq, "max_inflight={max_inflight} batch={batch}");
+        }
+    }
+}
