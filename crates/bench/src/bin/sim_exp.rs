@@ -15,7 +15,9 @@
 //! full SLO report.
 //!
 //! `--workers W` (default 1) runs the per-policy simulations on up to `W`
-//! threads. Policy runs are fully independent (each gets its own policy
+//! threads; `--workers auto` resolves to the machine's effective parallelism
+//! (sequential on a single-core box, so `auto` never picks the slower
+//! engine). Policy runs are fully independent (each gets its own policy
 //! instance and telemetry recorder, merged back in policy order), so the
 //! tables, the JSON dump and the trace are byte-identical to `--workers 1`.
 

@@ -8,11 +8,13 @@
 //! [--batch B]` (trials = independent network/stream pairs).
 //!
 //! `--workers W` (default 1) runs each stream through the speculative
-//! parallel admission pipeline with `W` worker threads; `--batch B` sets the
+//! parallel admission pipeline with `W` worker threads; `--workers auto`
+//! resolves to the machine's effective parallelism. At `--workers 1` —
+//! including `auto` on a single-core box, so `auto` never picks the slower
+//! engine — the binary takes a sequential fast path: the seeded stream
+//! driver directly, no channels or snapshots. `--batch B` sets the
 //! requests-per-speculation-batch (default 0 = auto: the dispatch window
-//! split evenly across workers). At `--workers 1` the binary takes a
-//! sequential fast path — the seeded stream driver directly, no channels or
-//! snapshots. Results and telemetry are byte-identical across all engine
+//! split evenly across workers). Results and telemetry are byte-identical across all engine
 //! configurations by construction — the flags only change wall-clock time.
 //! The header line `engine: …` records which path ran (stdout only; it never
 //! appears in the JSONL trace).

@@ -82,6 +82,15 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get().saturating_sub(1).max(1)).unwrap_or(1)
 }
 
+/// Resolution of `--workers auto`: the machine's effective parallelism with
+/// one core left free for the driver. On a single-core (or unknown) machine
+/// this is `1`, which the stream/sim binaries map to their sequential
+/// engines — `auto` therefore never selects the parallel engine where it
+/// would be the slower choice.
+pub fn auto_workers() -> usize {
+    default_threads()
+}
+
 /// Per-algorithm aggregate over a point's trials.
 #[derive(Debug, Clone, Serialize)]
 pub struct AlgoStats {
@@ -391,7 +400,8 @@ pub struct HarnessArgs {
     pub seed: u64,
     pub threads: usize,
     /// Worker threads for the parallel admission pipeline (`stream_exp`) or
-    /// the per-policy fan-out (`sim_exp`). `1` = sequential.
+    /// the per-policy fan-out (`sim_exp`). `1` = sequential. The flag also
+    /// accepts `auto`, which resolves via [`auto_workers`] at parse time.
     pub workers: usize,
     /// Requests per speculation batch in the parallel pipeline
     /// (`stream_exp` only). `0` = auto: the dispatch window split evenly
@@ -448,7 +458,12 @@ impl HarnessArgs {
                     out.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?
                 }
                 "--workers" => {
-                    out.workers = value("--workers")?.parse().map_err(|e| format!("{e}"))?
+                    let v = value("--workers")?;
+                    out.workers = if v == "auto" {
+                        auto_workers()
+                    } else {
+                        v.parse().map_err(|e| format!("{e}"))?
+                    };
                 }
                 "--batch" => out.batch = value("--batch")?.parse().map_err(|e| format!("{e}"))?,
                 "--json" => out.json = Some(value("--json")?),
@@ -597,6 +612,13 @@ mod tests {
                 .unwrap();
         assert_eq!(batched.workers, 4);
         assert_eq!(batched.batch, 3);
+        let auto = HarnessArgs::parse(["--workers", "auto"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(auto.workers, auto_workers());
+        assert!(auto.workers >= 1);
+        assert!(HarnessArgs::parse(["--workers".to_string(), "0".to_string()].into_iter()).is_err());
+        assert!(
+            HarnessArgs::parse(["--workers".to_string(), "many".to_string()].into_iter()).is_err()
+        );
         let sim_args = HarnessArgs::parse(
             ["--policy", "reactive", "--duration", "750.5", "--audit-interval", "4"]
                 .iter()

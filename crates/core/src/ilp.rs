@@ -332,6 +332,7 @@ fn decompose(inst: &AugmentationInstance) -> Vec<(Vec<usize>, Vec<usize>)> {
 fn solve_component(
     inst: &AugmentationInstance,
     cfg: &IlpConfig,
+    ws: &mut milp::LpWorkspace,
 ) -> Result<(Augmentation, BnbStats), SolverError> {
     let agg = build_aggregated(inst, cfg.gain_floor, None);
     let mut bnb = cfg.bnb.clone();
@@ -345,7 +346,7 @@ fn solve_component(
         priority[v.index()] = inst.functions[i].demand;
     }
     bnb.branch_priority = Some(priority);
-    let sol = milp::solve_milp_with(&agg.model, &bnb)?;
+    let sol = milp::solve_milp_with_ws(&agg.model, &bnb, ws)?;
     debug_assert!(sol.is_optimal(), "placement ILPs are always feasible (x = 0)");
     Ok((agg.extract(inst, &sol.x), sol.stats))
 }
@@ -364,6 +365,29 @@ pub fn solve_traced(
     inst: &AugmentationInstance,
     cfg: &IlpConfig,
     rec: &mut Recorder,
+) -> Result<Outcome, SolverError> {
+    let mut ws = milp::LpWorkspace::new();
+    solve_with_ws(inst, cfg, rec, &mut ws)
+}
+
+/// [`solve_traced`] reusing the caller's scratch so the stream's exact path
+/// allocates nothing per request: the LP workspace (factorization + eta-file
+/// buffers) is shared across the instance's independent components and across
+/// consecutive requests on the same stream/worker.
+pub fn solve_scratch(
+    inst: &AugmentationInstance,
+    cfg: &IlpConfig,
+    rec: &mut Recorder,
+    scratch: &mut crate::scratch::SolveScratch,
+) -> Result<Outcome, SolverError> {
+    solve_with_ws(inst, cfg, rec, &mut scratch.lp)
+}
+
+fn solve_with_ws(
+    inst: &AugmentationInstance,
+    cfg: &IlpConfig,
+    rec: &mut Recorder,
+    ws: &mut milp::LpWorkspace,
 ) -> Result<Outcome, SolverError> {
     let started = Instant::now();
     if inst.expectation_met_by_primaries() {
@@ -410,7 +434,7 @@ pub fn solve_traced(
             expectation: inst.expectation,
         };
         let comp_started = Instant::now();
-        let (sub_aug, s) = solve_component(&sub, cfg)?;
+        let (sub_aug, s) = solve_component(&sub, cfg, ws)?;
         let comp_elapsed = comp_started.elapsed();
         stats.nodes += s.nodes;
         stats.lp_iterations += s.lp_iterations;

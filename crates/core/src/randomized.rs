@@ -33,11 +33,24 @@ pub struct RandomizedConfig {
     /// *until the expectation is reached* (also reduces realized capacity
     /// violations, since trimming frees the most-loaded bins first).
     pub stop_at_expectation: bool,
+    /// Warm-start each request's LP relaxation from the basis the previous
+    /// request on this scratch left behind ([`milp::solve_lp_warm`]; falls
+    /// back to a cold solve when the warm start is unusable). Consecutive
+    /// requests on a stream differ mostly in bounds/rhs, so this typically
+    /// cuts pivots sharply — but it makes the reported `lp_iterations` depend
+    /// on request *history*, so it defaults to `false` to preserve the
+    /// byte-identity of pinned telemetry traces.
+    pub reuse_lp_basis: bool,
 }
 
 impl Default for RandomizedConfig {
     fn default() -> Self {
-        RandomizedConfig { gain_floor: 1e-12, rounds: 1, stop_at_expectation: true }
+        RandomizedConfig {
+            gain_floor: 1e-12,
+            rounds: 1,
+            stop_at_expectation: true,
+            reuse_lp_basis: false,
+        }
     }
 }
 
@@ -95,7 +108,13 @@ pub fn solve_scratch<R: Rng + ?Sized>(
 
     let ilp = build_model(inst, cfg.gain_floor, None);
     let lp_started = Instant::now();
-    let lp = milp::solve_lp(&ilp.model.relax())?;
+    let relaxed = ilp.model.relax();
+    if !cfg.reuse_lp_basis {
+        // Drop any basis carried over from a previous request so the solve —
+        // and its reported iteration count — stays history-independent.
+        scratch.lp.clear();
+    }
+    let lp = milp::solve_lp_warm(&relaxed, None, &mut scratch.lp)?;
     let lp_elapsed = lp_started.elapsed();
     debug_assert!(lp.is_optimal(), "the relaxation is always feasible (x = 0)");
     rec.record_time("randomized.lp_solve", lp_elapsed);

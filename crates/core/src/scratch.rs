@@ -211,6 +211,11 @@ pub struct SolveScratch {
     /// Output slot for [`matching::min_cost_max_matching_into`].
     pub matching_out: Matching,
     pub commit: CommitScratch,
+    /// Revised-simplex workspace (factorization + eta-file buffers) reused by
+    /// the exact ILP path so branch-and-bound node re-solves allocate nothing.
+    /// [`milp::solve_milp_with_ws`] clears any carried basis at entry, so only
+    /// capacity — never state — survives across solves.
+    pub lp: milp::LpWorkspace,
 }
 
 impl Default for SolveScratch {
@@ -227,6 +232,7 @@ impl SolveScratch {
             matching: MatchingScratch::new(),
             matching_out: Matching { pairs: Vec::new(), cost: 0.0 },
             commit: CommitScratch::default(),
+            lp: milp::LpWorkspace::new(),
         }
     }
 }

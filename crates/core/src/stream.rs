@@ -77,8 +77,9 @@ impl Algorithm {
 
     /// [`Algorithm::solve_traced`] on caller-owned scratch buffers — what the
     /// streaming drivers use so the per-request steady state allocates
-    /// nothing. The ILP ignores the scratch (its branch-and-bound state is
-    /// inherently per-solve).
+    /// nothing. The ILP reuses the scratch's LP workspace (factorization and
+    /// eta-file buffers) across requests; its branch-and-bound *state* is
+    /// still per-solve.
     pub fn solve_scratch<R: Rng + ?Sized>(
         &self,
         inst: &AugmentationInstance,
@@ -87,7 +88,7 @@ impl Algorithm {
         scratch: &mut SolveScratch,
     ) -> Outcome {
         match self {
-            Algorithm::Ilp(c) => ilp::solve_traced(inst, c, rec).expect("ILP solve"),
+            Algorithm::Ilp(c) => ilp::solve_scratch(inst, c, rec, scratch).expect("ILP solve"),
             Algorithm::Randomized(c) => {
                 randomized::solve_scratch(inst, c, rng, rec, scratch).expect("LP solve")
             }

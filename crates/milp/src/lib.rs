@@ -12,11 +12,14 @@
 //!
 //! * [`Model`] — a builder for LPs/MILPs with variable bounds, integrality
 //!   markers and `≤` / `≥` / `=` constraints.
-//! * [`simplex`] — a dense two-phase primal simplex over the standard form
-//!   produced by [`standard_form`], with Bland's anti-cycling rule.
+//! * [`simplex`] — a sparse revised simplex (CSC matrix, LU + eta-file basis
+//!   updates, bounded variables) over the computational form produced by
+//!   [`standard_form`], with Bland's anti-cycling rule and a dual-simplex
+//!   warm-start entry point ([`simplex::solve_lp_warm`]).
 //! * [`branch_bound`] — best-first branch and bound for the integer variables,
-//!   returning provably optimal solutions (within tolerance) together with node
-//!   counts so callers can report solver effort.
+//!   warm-starting each child node's LP from its parent's basis, returning
+//!   provably optimal solutions (within tolerance) together with node counts
+//!   so callers can report solver effort.
 //!
 //! # Quick example
 //!
@@ -42,10 +45,10 @@ pub mod simplex;
 pub mod solution;
 pub mod standard_form;
 
-pub use branch_bound::{solve_milp, solve_milp_with, BnbConfig, BnbStats};
+pub use branch_bound::{solve_milp, solve_milp_with, solve_milp_with_ws, BnbConfig, BnbStats};
 pub use error::SolverError;
 pub use problem::{ConstraintId, Model, Relation, Sense, VarId};
-pub use simplex::solve_lp;
+pub use simplex::{solve_lp, solve_lp_warm, BasisSnapshot, LpWorkspace};
 pub use solution::{LpSolution, LpStatus, MilpSolution};
 
 /// Absolute feasibility tolerance used throughout the crate.

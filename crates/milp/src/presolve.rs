@@ -41,6 +41,35 @@ pub fn presolve(model: &Model) -> Presolved {
     loop {
         let before = (m.constraints.len(), stats.bounds_tightened, stats.vars_fixed);
 
+        // Pass 0: round fractional integer bounds inward *before* the row
+        // passes, so singleton elimination sees the tightest bounds and
+        // integer variables fixed by rounding (e.g. a binary with bounds
+        // [0.3, 0.9] is infeasible; [0.3, 1] means the var is 1) are
+        // substituted out of the LP branch and bound actually solves.
+        for var in &mut m.vars {
+            if !var.integer {
+                continue;
+            }
+            if var.lower.is_finite() {
+                let rounded = (var.lower - 1e-9).ceil();
+                if rounded > var.lower {
+                    var.lower = rounded;
+                    stats.bounds_tightened += 1;
+                }
+            }
+            if var.upper.is_finite() {
+                let rounded = (var.upper + 1e-9).floor();
+                if rounded < var.upper {
+                    var.upper = rounded;
+                    stats.bounds_tightened += 1;
+                }
+            }
+            if var.lower > var.upper + 1e-9 {
+                stats.proven_infeasible = true;
+                return Presolved { model: m, stats };
+            }
+        }
+
         // Pass 1: singleton and empty rows -> bounds / drops.
         let mut keep = Vec::with_capacity(m.constraints.len());
         for con in std::mem::take(&mut m.constraints) {
@@ -274,6 +303,31 @@ mod tests {
         let p = presolve(&m);
         assert_eq!(p.model.num_constraints(), 0);
         assert_eq!(p.model.var_bounds(x), (3.0, 3.0));
+    }
+
+    #[test]
+    fn integer_bounds_round_before_row_elimination() {
+        // The fractional bounds on an integer variable round inward first,
+        // fixing it at 1; the singleton row then sees the fixed value and
+        // the redundancy pass can drop the two-term row it participates in.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_integer_var(0.4, 1.7, 1.0); // rounds to [1, 1]
+        let y = m.add_var(0.0, 1.0, 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 3.0);
+        let p = presolve(&m);
+        assert!(!p.stats.proven_infeasible);
+        assert_eq!(p.model.var_bounds(x), (1.0, 1.0));
+        // With x fixed at 1 the row's max activity is 2 <= 3: redundant.
+        assert_eq!(p.model.num_constraints(), 0);
+    }
+
+    #[test]
+    fn integer_bound_rounding_proves_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        // No integer in [0.3, 0.9].
+        let _x = m.add_integer_var(0.3, 0.9, 1.0);
+        let p = presolve(&m);
+        assert!(p.stats.proven_infeasible);
     }
 
     #[test]

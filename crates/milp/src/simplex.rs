@@ -1,20 +1,300 @@
-//! Dense two-phase primal simplex on the full tableau.
+//! Sparse revised simplex over the bounded-variable form of
+//! [`SparseForm`](crate::standard_form::SparseForm).
 //!
-//! The implementation is deliberately textbook: at the instance sizes produced
-//! by the SFC reliability-augmentation problem (a few hundred rows/columns)
-//! a dense tableau is both fast enough and easy to make *correct*, which is
-//! what matters for an exact reference solver. Anti-cycling is handled by
-//! switching from Dantzig's rule to Bland's rule after a streak of degenerate
-//! pivots.
+//! The solver keeps the basis as an LU factorization (dense, row-pivoted —
+//! the instances here have at most a few hundred rows) plus a product-form
+//! eta file that absorbs pivots between periodic refactorizations. Variable
+//! bounds live in the variable file: a nonbasic column sits at its lower or
+//! upper bound (or at zero when free), so binary bounds never become rows
+//! and branch-and-bound bound changes leave the matrix untouched.
+//!
+//! Three entry points:
+//!
+//! * [`solve_lp`] / [`solve_lp_with_bounds`] — cold two-phase primal solve
+//!   (composite phase 1 minimizing the sum of bound infeasibilities, then
+//!   Dantzig pricing with Bland's rule after a degenerate streak).
+//! * [`solve_lp_warm`] — restart from the basis cached in an
+//!   [`LpWorkspace`]. After a bound change the parent basis stays *dual*
+//!   feasible, so a handful of dual-simplex pivots reach the child optimum;
+//!   any numerical trouble falls back to the cold path. This is what makes
+//!   warm-started branch-and-bound node re-solves cheap.
+//!
+//! All solver state (basis, statuses, LU, eta file, pricing buffers) lives
+//! in the caller-owned [`LpWorkspace`], extending the zero-alloc scratch
+//! discipline to the LP path.
+
+use std::mem;
 
 use crate::error::SolverError;
-use crate::problem::Model;
+use crate::problem::{Model, Relation};
 use crate::solution::{LpSolution, LpStatus};
-use crate::standard_form::StandardForm;
+use crate::standard_form::SparseForm;
 use crate::{COST_TOL, FEAS_TOL};
 
 /// Degenerate-pivot streak after which Bland's rule is engaged.
 const BLAND_TRIGGER: usize = 64;
+/// Pivots between basis refactorizations (eta-file length cap).
+const REFACTOR_EVERY: usize = 64;
+/// Smallest pivot magnitude accepted by the ratio tests.
+const PIVOT_TOL: f64 = 1e-8;
+/// Dual-feasibility tolerance for accepting a warm-start basis.
+const DUAL_FEAS_TOL: f64 = 1e-7;
+
+/// Status of a column relative to the current basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VStat {
+    Basic,
+    /// Nonbasic at its lower bound.
+    Lower,
+    /// Nonbasic at its upper bound.
+    Upper,
+    /// Nonbasic free column, pinned at zero.
+    Free,
+}
+
+/// An immutable copy of a basis (columns + statuses) that can be restored
+/// into an [`LpWorkspace`] later — branch and bound shares one snapshot per
+/// parent node between both children via `Rc`.
+#[derive(Debug, Clone)]
+pub struct BasisSnapshot {
+    key: (usize, usize),
+    basis: Vec<usize>,
+    vstat: Vec<VStat>,
+}
+
+/// Reusable revised-simplex state: the cached basis of the last optimal
+/// solve plus every buffer the solver needs (LU factors, eta file, pricing
+/// vectors). Reusing one workspace across solves avoids per-solve
+/// allocation; reusing the *basis* (via [`solve_lp_warm`]) additionally
+/// avoids most pivots when consecutive problems differ only in bounds.
+#[derive(Debug, Clone, Default)]
+pub struct LpWorkspace {
+    /// `(nrows, ncols)` of the form the cached basis belongs to; `None`
+    /// when the workspace holds no usable basis.
+    key: Option<(usize, usize)>,
+    basis: Vec<usize>,
+    vstat: Vec<VStat>,
+    /// Dense LU factors of the basis at the last refactorization, row-major
+    /// `m x m`: unit-lower L below the diagonal, U on and above.
+    lu: Vec<f64>,
+    /// Row permutation of the LU: `perm[i]` is the original row stored at
+    /// elimination position `i`.
+    perm: Vec<usize>,
+    // Product-form eta file: one entry per pivot since the last
+    // refactorization (pivot row, pivot value, off-pivot nonzeros in CSR).
+    eta_row: Vec<usize>,
+    eta_piv: Vec<f64>,
+    eta_ptr: Vec<usize>,
+    eta_ind: Vec<usize>,
+    eta_val: Vec<f64>,
+    // Iteration buffers, lent to the solver for the duration of a solve.
+    xb: Vec<f64>,
+    alpha: Vec<f64>,
+    rho: Vec<f64>,
+    y: Vec<f64>,
+    work: Vec<f64>,
+}
+
+impl LpWorkspace {
+    pub fn new() -> LpWorkspace {
+        LpWorkspace::default()
+    }
+
+    /// Whether the workspace holds a basis usable for a warm start.
+    pub fn has_basis(&self) -> bool {
+        self.key.is_some()
+    }
+
+    /// Forget the cached basis (buffer capacity is kept). After `clear`,
+    /// [`solve_lp_warm`] behaves exactly like a cold solve — callers that
+    /// must stay history-independent clear before the first solve.
+    pub fn clear(&mut self) {
+        self.key = None;
+    }
+
+    /// Copy out the current basis, if one is cached.
+    pub fn snapshot(&self) -> Option<BasisSnapshot> {
+        self.key.map(|key| BasisSnapshot {
+            key,
+            basis: self.basis.clone(),
+            vstat: self.vstat.clone(),
+        })
+    }
+
+    /// Load a snapshot back in, making it the warm-start candidate for the
+    /// next [`solve_lp_warm`] on a same-shaped problem.
+    pub fn restore(&mut self, snap: &BasisSnapshot) {
+        self.key = Some(snap.key);
+        self.basis.clone_from(&snap.basis);
+        self.vstat.clone_from(&snap.vstat);
+    }
+
+    fn eta_len(&self) -> usize {
+        self.eta_row.len()
+    }
+
+    /// Refactorize: dense LU with partial pivoting of the current basis
+    /// columns; clears the eta file. `Err(k)` reports the elimination step
+    /// at which the basis turned out (numerically) singular — `perm[k..]`
+    /// are the rows not yet pivoted on at that point.
+    fn lu_factor(&mut self, f: &SparseForm) -> Result<(), usize> {
+        let m = self.basis.len();
+        self.lu.clear();
+        self.lu.resize(m * m, 0.0);
+        self.perm.clear();
+        self.perm.extend(0..m);
+        self.eta_row.clear();
+        self.eta_piv.clear();
+        self.eta_ptr.clear();
+        self.eta_ptr.push(0);
+        self.eta_ind.clear();
+        self.eta_val.clear();
+        for (k, &j) in self.basis.iter().enumerate() {
+            let (rows, vals) = f.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                self.lu[i * m + k] = v;
+            }
+        }
+        for k in 0..m {
+            let mut p = k;
+            let mut best = self.lu[k * m + k].abs();
+            for i in (k + 1)..m {
+                let a = self.lu[i * m + k].abs();
+                if a > best {
+                    best = a;
+                    p = i;
+                }
+            }
+            if best < 1e-11 {
+                return Err(k);
+            }
+            if p != k {
+                for j in 0..m {
+                    self.lu.swap(p * m + j, k * m + j);
+                }
+                self.perm.swap(p, k);
+            }
+            let piv = self.lu[k * m + k];
+            for i in (k + 1)..m {
+                let factor = self.lu[i * m + k] / piv;
+                self.lu[i * m + k] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..m {
+                        self.lu[i * m + j] -= factor * self.lu[k * m + j];
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Factorize the current basis, swapping out linearly dependent columns
+    /// for slack columns of not-yet-eliminated rows when the LU breaks
+    /// down. Returns `None` if the basis could not be repaired, otherwise
+    /// `Some(repaired)` — whether any column was replaced. Repair keeps the
+    /// basis nonsingular but may lose primal feasibility (the ejected
+    /// variable snaps to a bound), so callers must recheck.
+    fn factor_with_repair(&mut self, f: &SparseForm) -> Option<bool> {
+        let mut repaired = false;
+        for _ in 0..=f.nrows {
+            match self.lu_factor(f) {
+                Ok(()) => return Some(repaired),
+                Err(k) => {
+                    // `basis[k]` is (numerically) dependent on the columns
+                    // already eliminated. Swap in the slack of a row not
+                    // yet pivoted on: its unit column is independent of
+                    // every already-factored column by construction.
+                    let slack = (k..f.nrows)
+                        .map(|i| f.nstruct + self.perm[i])
+                        .find(|&s| self.vstat[s] != VStat::Basic)?;
+                    let old = self.basis[k];
+                    self.vstat[old] = initial_status(f.lower[old], f.upper[old]);
+                    self.vstat[slack] = VStat::Basic;
+                    self.basis[k] = slack;
+                    repaired = true;
+                }
+            }
+        }
+        None
+    }
+
+    /// Record the pivot `(row r, column alpha)` in the eta file; `alpha`
+    /// is the FTRANed entering column with respect to the *old* basis.
+    fn push_eta(&mut self, r: usize, alpha: &[f64]) {
+        self.eta_row.push(r);
+        self.eta_piv.push(alpha[r]);
+        for (i, &v) in alpha.iter().enumerate() {
+            if i != r && v.abs() > 1e-12 {
+                self.eta_ind.push(i);
+                self.eta_val.push(v);
+            }
+        }
+        self.eta_ptr.push(self.eta_ind.len());
+    }
+
+    /// `x <- B^{-1} x`: LU solve, then the eta file oldest-first.
+    #[allow(clippy::needless_range_loop)] // triangular solves couple work[k] to lu[i*m+k]
+    fn ftran(&self, x: &mut [f64], work: &mut [f64]) {
+        let m = x.len();
+        for i in 0..m {
+            work[i] = x[self.perm[i]];
+        }
+        for i in 0..m {
+            let mut s = work[i];
+            for k in 0..i {
+                s -= self.lu[i * m + k] * work[k];
+            }
+            work[i] = s;
+        }
+        for i in (0..m).rev() {
+            let mut s = work[i];
+            for k in (i + 1)..m {
+                s -= self.lu[i * m + k] * work[k];
+            }
+            work[i] = s / self.lu[i * m + i];
+        }
+        x.copy_from_slice(&work[..m]);
+        for e in 0..self.eta_len() {
+            let r = self.eta_row[e];
+            let t = x[r] / self.eta_piv[e];
+            for idx in self.eta_ptr[e]..self.eta_ptr[e + 1] {
+                x[self.eta_ind[idx]] -= self.eta_val[idx] * t;
+            }
+            x[r] = t;
+        }
+    }
+
+    /// `y <- B^{-T} y`: the eta file newest-first, then the LU transpose.
+    #[allow(clippy::needless_range_loop)] // triangular solves couple work[k] to lu[k*m+i]
+    fn btran(&self, y: &mut [f64], work: &mut [f64]) {
+        let m = y.len();
+        for e in (0..self.eta_len()).rev() {
+            let r = self.eta_row[e];
+            let mut s = y[r];
+            for idx in self.eta_ptr[e]..self.eta_ptr[e + 1] {
+                s -= self.eta_val[idx] * y[self.eta_ind[idx]];
+            }
+            y[r] = s / self.eta_piv[e];
+        }
+        for i in 0..m {
+            let mut s = y[i];
+            for k in 0..i {
+                s -= self.lu[k * m + i] * work[k];
+            }
+            work[i] = s / self.lu[i * m + i];
+        }
+        for i in (0..m).rev() {
+            let mut s = work[i];
+            for k in (i + 1)..m {
+                s -= self.lu[k * m + i] * work[k];
+            }
+            work[i] = s;
+        }
+        for i in 0..m {
+            y[self.perm[i]] = work[i];
+        }
+    }
+}
 
 /// Solve the continuous relaxation of `model` (integrality is ignored).
 pub fn solve_lp(model: &Model) -> Result<LpSolution, SolverError> {
@@ -28,338 +308,697 @@ pub fn solve_lp_with_bounds(
     model: &Model,
     overrides: Option<&[Option<(f64, f64)>]>,
 ) -> Result<LpSolution, SolverError> {
-    let Some(sf) = StandardForm::build(model, overrides) else {
+    solve_core(model, overrides, &mut LpWorkspace::new(), false)
+}
+
+/// Solve, warm-starting from the basis cached in `ws` when its shape matches
+/// and it is still dual feasible; otherwise a cold solve. On an optimal
+/// finish the workspace caches the new basis for the next call. Does not
+/// call `model.validate()` (mirrors [`solve_lp_with_bounds`]).
+pub fn solve_lp_warm(
+    model: &Model,
+    overrides: Option<&[Option<(f64, f64)>]>,
+    ws: &mut LpWorkspace,
+) -> Result<LpSolution, SolverError> {
+    solve_core(model, overrides, ws, true)
+}
+
+fn solve_core(
+    model: &Model,
+    overrides: Option<&[Option<(f64, f64)>]>,
+    ws: &mut LpWorkspace,
+    warm: bool,
+) -> Result<LpSolution, SolverError> {
+    let Some(f) = SparseForm::build(model, overrides) else {
+        ws.key = None;
         return Ok(LpSolution::infeasible(0));
     };
-    if sf.a.is_empty() {
-        // No rows at all: every column is free to sit at zero; pick the bound
-        // minimizing the objective. Columns are non-negative and unconstrained
-        // above, so any negative cost means unbounded.
-        if sf.c.iter().any(|&cj| cj < -COST_TOL) {
-            return Ok(LpSolution::unbounded(0));
-        }
-        let x = sf.recover(&vec![0.0; sf.c.len()]);
-        let objective = sf.recover_objective(0.0);
-        return Ok(LpSolution {
-            status: LpStatus::Optimal,
-            objective,
-            x,
-            iterations: 0,
-            duals: vec![None; model.num_constraints()],
-        });
+    if f.nrows == 0 {
+        ws.key = None;
+        return Ok(no_rows_solve(&f));
     }
-    let mut tab = Tableau::new(&sf);
-    let status = tab.solve()?;
-    match status {
-        TabStatus::Optimal => {
-            let x_std = tab.extract_solution();
-            let obj_std: f64 = sf.c.iter().zip(&x_std).map(|(c, x)| c * x).sum();
-            Ok(LpSolution {
-                status: LpStatus::Optimal,
-                objective: sf.recover_objective(obj_std),
-                x: sf.recover(&x_std),
-                iterations: tab.iterations,
-                duals: recover_duals(&sf, &tab),
-            })
-        }
-        TabStatus::Infeasible => Ok(LpSolution::infeasible(tab.iterations)),
-        TabStatus::Unbounded => Ok(LpSolution::unbounded(tab.iterations)),
+    let dims = (f.nrows, f.ncols);
+    let try_warm = warm && ws.key == Some(dims);
+    let mut s = Rsx::new(&f, ws);
+    let mut status = if try_warm { s.warm_solve() } else { None };
+    if status.is_none() {
+        s.reset_cold();
+        status = Some(s.primal()?);
+    }
+    Ok(s.into_solution(status.unwrap(), dims))
+}
+
+/// No constraints at all: every variable sits at its objective-best bound;
+/// a variable pushed toward a missing bound makes the problem unbounded.
+fn no_rows_solve(f: &SparseForm) -> LpSolution {
+    let mut x = vec![0.0; f.nstruct];
+    for (j, xj) in x.iter_mut().enumerate() {
+        let c = f.cost[j];
+        let v = if c > COST_TOL {
+            if !f.lower[j].is_finite() {
+                return LpSolution::unbounded(0);
+            }
+            f.lower[j]
+        } else if c < -COST_TOL {
+            if !f.upper[j].is_finite() {
+                return LpSolution::unbounded(0);
+            }
+            f.upper[j]
+        } else if f.lower[j].is_finite() {
+            f.lower[j]
+        } else if f.upper[j].is_finite() {
+            f.upper[j]
+        } else {
+            0.0
+        };
+        *xj = v;
+    }
+    let obj_min: f64 = f.cost[..f.nstruct].iter().zip(&x).map(|(c, v)| c * v).sum();
+    LpSolution {
+        status: LpStatus::Optimal,
+        objective: if f.maximize { -obj_min } else { obj_min },
+        x,
+        iterations: 0,
+        duals: Vec::new(),
     }
 }
 
-/// Shadow prices of the model constraints from the final reduced costs.
-///
-/// For a slack column `s` of row `i` with coefficient `σ` (±1) and zero cost,
-/// the reduced cost is `d_s = -σ·y_i`, so `y_i = -σ·d_s` in the standard
-/// (minimization) orientation. Mapping back flips the sign for rows the rhs
-/// normalization negated and again for maximization models.
-fn recover_duals(sf: &StandardForm, tab: &Tableau) -> Vec<Option<f64>> {
-    let Some(reduced) = &tab.final_reduced else {
-        return vec![None; sf.num_model_rows];
-    };
-    (0..sf.num_model_rows)
-        .map(|i| {
-            sf.row_slack[i].map(|(col, sigma)| {
-                let mut y = -sigma * reduced[col];
-                if sf.row_flipped[i] {
-                    y = -y;
-                }
-                if sf.maximize {
-                    y = -y;
-                }
-                y
-            })
-        })
-        .collect()
+enum PhaseEnd {
+    /// No improving column: optimal for this phase's objective.
+    Done,
+    /// Improving direction with no blocking bound (phase 2: unbounded).
+    NoBlock,
+    /// A basis repair during refactorization knocked the phase-2 iterate
+    /// out of the feasible box; the caller must re-enter phase 1.
+    LostFeasibility,
 }
 
-enum TabStatus {
+enum DualEnd {
     Optimal,
-    Infeasible,
-    Unbounded,
+    PrimalInfeasible,
+    /// Pivot cap hit or numerics broke down: fall back to a cold solve.
+    Trouble,
 }
 
-/// Full-tableau simplex state. Columns: structural+slack columns of the
-/// standard form, then one artificial per row that lacked a basis hint.
-struct Tableau {
-    /// `rows x cols` coefficient matrix (mutated by pivots).
-    a: Vec<Vec<f64>>,
-    /// Current right-hand side (basic variable values).
-    b: Vec<f64>,
-    /// Phase-2 costs (standard-form costs, zero on artificials).
-    cost: Vec<f64>,
-    /// Basic column per row.
-    basis: Vec<usize>,
-    /// Number of non-artificial columns.
-    real_cols: usize,
-    /// Total columns including artificials.
-    cols: usize,
+/// One revised-simplex solve in flight. Borrows the form and workspace;
+/// iteration buffers are taken out of the workspace on entry and returned
+/// by [`Rsx::into_solution`].
+struct Rsx<'a> {
+    f: &'a SparseForm,
+    ws: &'a mut LpWorkspace,
+    xb: Vec<f64>,
+    alpha: Vec<f64>,
+    rho: Vec<f64>,
+    y: Vec<f64>,
+    work: Vec<f64>,
     iterations: usize,
     max_iterations: usize,
-    /// Reduced costs at phase-2 optimality (for dual extraction).
-    final_reduced: Option<Vec<f64>>,
 }
 
-impl Tableau {
-    fn new(sf: &StandardForm) -> Tableau {
-        let m = sf.a.len();
-        let real_cols = sf.c.len();
-        let n_art = sf.basis_hint.iter().filter(|h| h.is_none()).count();
-        let cols = real_cols + n_art;
-        let mut a = Vec::with_capacity(m);
-        let mut basis = Vec::with_capacity(m);
-        let mut next_art = real_cols;
-        for (i, row) in sf.a.iter().enumerate() {
-            let mut r = row.clone();
-            r.resize(cols, 0.0);
-            match sf.basis_hint[i] {
-                Some(col) => basis.push(col),
-                None => {
-                    r[next_art] = 1.0;
-                    basis.push(next_art);
-                    next_art += 1;
-                }
-            }
-            a.push(r);
-        }
-        let mut cost = sf.c.clone();
-        cost.resize(cols, 0.0);
-        let max_iterations = 20_000 + 200 * (m + cols);
-        Tableau {
-            a,
-            b: sf.b.clone(),
-            cost,
-            basis,
-            real_cols,
-            cols,
-            iterations: 0,
-            max_iterations,
-            final_reduced: None,
+impl<'a> Rsx<'a> {
+    fn new(f: &'a SparseForm, ws: &'a mut LpWorkspace) -> Rsx<'a> {
+        let m = f.nrows;
+        let grab = |v: &mut Vec<f64>| {
+            let mut b = mem::take(v);
+            b.clear();
+            b.resize(m, 0.0);
+            b
+        };
+        let xb = grab(&mut ws.xb);
+        let alpha = grab(&mut ws.alpha);
+        let rho = grab(&mut ws.rho);
+        let y = grab(&mut ws.y);
+        let work = grab(&mut ws.work);
+        let max_iterations = 20_000 + 200 * (m + f.ncols);
+        Rsx { f, ws, xb, alpha, rho, y, work, iterations: 0, max_iterations }
+    }
+
+    #[inline]
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.ws.vstat[j] {
+            VStat::Lower => self.f.lower[j],
+            VStat::Upper => self.f.upper[j],
+            VStat::Free => 0.0,
+            VStat::Basic => unreachable!("nonbasic_value on basic column"),
         }
     }
 
-    fn solve(&mut self) -> Result<TabStatus, SolverError> {
-        // ---- Phase 1: minimize the sum of artificial variables. ----
-        if self.basis.iter().any(|&bcol| bcol >= self.real_cols) {
-            let mut phase1_cost = vec![0.0; self.cols];
-            for c in &mut phase1_cost[self.real_cols..] {
-                *c = 1.0;
-            }
-            let mut reduced = self.price_out(&phase1_cost);
-            match self.run_phase(&mut reduced, true)? {
-                TabStatus::Unbounded => unreachable!("phase 1 objective is bounded below by 0"),
-                TabStatus::Infeasible => return Ok(TabStatus::Infeasible),
-                TabStatus::Optimal => {}
-            }
-            let artificial_sum: f64 = self
-                .basis
-                .iter()
-                .zip(&self.b)
-                .filter(|(&bcol, _)| bcol >= self.real_cols)
-                .map(|(_, &v)| v)
-                .sum();
-            if artificial_sum > FEAS_TOL.max(1e-7) {
-                return Ok(TabStatus::Infeasible);
-            }
-            self.evict_artificials();
-        }
-
-        // ---- Phase 2: minimize the real objective. ----
-        let cost = self.cost.clone();
-        let mut reduced = self.price_out(&cost);
-        let status = self.run_phase(&mut reduced, false)?;
-        if matches!(status, TabStatus::Optimal) {
-            self.final_reduced = Some(reduced);
-        }
-        Ok(status)
+    #[inline]
+    fn col_dot(&self, j: usize, v: &[f64]) -> f64 {
+        let (rows, vals) = self.f.col(j);
+        rows.iter().zip(vals).map(|(&i, &a)| a * v[i]).sum()
     }
 
-    /// Reduced costs of `cost` with respect to the current basis.
-    fn price_out(&self, cost: &[f64]) -> Vec<f64> {
-        let mut reduced = cost.to_vec();
-        for (i, &bcol) in self.basis.iter().enumerate() {
-            let cb = cost[bcol];
-            if cb != 0.0 {
-                let row = &self.a[i];
-                for j in 0..self.cols {
-                    reduced[j] -= cb * row[j];
+    /// All-slack basis, nonbasics at their natural bound.
+    fn reset_cold(&mut self) {
+        let f = self.f;
+        self.ws.key = None;
+        self.ws.basis.clear();
+        self.ws.basis.extend(f.nstruct..f.ncols);
+        self.ws.vstat.clear();
+        for j in 0..f.nstruct {
+            self.ws.vstat.push(initial_status(f.lower[j], f.upper[j]));
+        }
+        for _ in 0..f.nrows {
+            self.ws.vstat.push(VStat::Basic);
+        }
+        let ok = self.ws.lu_factor(f).is_ok();
+        debug_assert!(ok, "all-slack basis is the identity");
+        self.compute_xb();
+    }
+
+    /// Recompute `x_B = B^{-1}(rhs - A_N x_N)` from the current
+    /// factorization (called right after each refactorization).
+    fn compute_xb(&mut self) {
+        self.alpha.copy_from_slice(&self.f.rhs);
+        for j in 0..self.f.ncols {
+            if self.ws.vstat[j] == VStat::Basic {
+                continue;
+            }
+            let v = self.nonbasic_value(j);
+            if v != 0.0 {
+                let (rows, vals) = self.f.col(j);
+                for (&i, &a) in rows.iter().zip(vals) {
+                    self.alpha[i] -= a * v;
                 }
             }
         }
-        // Basic columns have exactly zero reduced cost by construction; snap
-        // them to kill accumulated round-off.
-        for &bcol in &self.basis {
-            reduced[bcol] = 0.0;
-        }
-        reduced
+        self.ws.ftran(&mut self.alpha, &mut self.work);
+        self.xb.copy_from_slice(&self.alpha);
     }
 
-    /// Run pivots until optimal/unbounded. In phase 1 (`block_artificials ==
-    /// false` there), artificial columns may leave but not re-enter in phase 2.
-    fn run_phase(&mut self, reduced: &mut [f64], phase1: bool) -> Result<TabStatus, SolverError> {
-        let enter_limit = if phase1 { self.cols } else { self.real_cols };
+    /// Refactorize (with basis repair) and recompute `x_B`. `None` means an
+    /// unrecoverably singular basis; `Some(repaired)` reports whether
+    /// repair replaced columns — which can silently drop primal
+    /// feasibility, so callers that need it must recheck.
+    fn refactor(&mut self) -> Option<bool> {
+        let repaired = self.ws.factor_with_repair(self.f)?;
+        self.compute_xb();
+        Some(repaired)
+    }
+
+    /// FTRAN column `q` into `alpha`.
+    fn load_alpha(&mut self, q: usize) {
+        self.alpha.fill(0.0);
+        let (rows, vals) = self.f.col(q);
+        for (&i, &a) in rows.iter().zip(vals) {
+            self.alpha[i] = a;
+        }
+        self.ws.ftran(&mut self.alpha, &mut self.work);
+    }
+
+    /// `y = B^{-T} c_B` for the requested phase's basic costs. Phase 1 uses
+    /// the composite infeasibility costs: -1 below the lower bound, +1 above
+    /// the upper, 0 when feasible.
+    fn btran_costs(&mut self, phase1: bool) {
+        for (i, &b) in self.ws.basis.iter().enumerate() {
+            self.y[i] = if phase1 {
+                let v = self.xb[i];
+                if v < self.f.lower[b] - FEAS_TOL {
+                    -1.0
+                } else if v > self.f.upper[b] + FEAS_TOL {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                self.f.cost[b]
+            };
+        }
+        self.ws.btran(&mut self.y, &mut self.work);
+    }
+
+    /// Total bound violation of the basic variables.
+    fn infeasibility(&self) -> f64 {
+        let mut total = 0.0;
+        for (i, &b) in self.ws.basis.iter().enumerate() {
+            let v = self.xb[i];
+            total += (self.f.lower[b] - v).max(0.0) + (v - self.f.upper[b]).max(0.0);
+        }
+        total
+    }
+
+    /// Cold two-phase primal solve from the current (reset) basis. A basis
+    /// repair during phase 2 can knock the iterate back out of the feasible
+    /// box; `LostFeasibility` loops back into phase 1 (the shared iteration
+    /// cap bounds the whole loop).
+    fn primal(&mut self) -> Result<LpStatus, SolverError> {
+        loop {
+            if self.infeasibility() > FEAS_TOL {
+                match self.phase_loop(true)? {
+                    PhaseEnd::Done => {}
+                    PhaseEnd::LostFeasibility => continue,
+                    PhaseEnd::NoBlock => {
+                        // The phase-1 objective is bounded below by zero; an
+                        // unblocked direction can only be numerical breakdown.
+                        return Err(SolverError::IterationLimit { iterations: self.iterations });
+                    }
+                }
+                if self.infeasibility() > FEAS_TOL.max(1e-7) {
+                    return Ok(LpStatus::Infeasible);
+                }
+            }
+            match self.phase_loop(false)? {
+                PhaseEnd::Done => return Ok(LpStatus::Optimal),
+                PhaseEnd::NoBlock => return Ok(LpStatus::Unbounded),
+                PhaseEnd::LostFeasibility => continue,
+            }
+        }
+    }
+
+    /// Primal pivots until no improving column (Done) or an unblocked
+    /// improving direction (NoBlock). Dantzig pricing, switching to Bland's
+    /// rule after a streak of degenerate steps; the ratio test handles
+    /// bound flips (entering column hits its opposite bound first) and, in
+    /// phase 1, blocks infeasible basics at the violated bound they are
+    /// moving toward.
+    fn phase_loop(&mut self, phase1: bool) -> Result<PhaseEnd, SolverError> {
+        let m = self.f.nrows;
         let mut degenerate_streak = 0usize;
         loop {
             self.iterations += 1;
             if self.iterations > self.max_iterations {
                 return Err(SolverError::IterationLimit { iterations: self.max_iterations });
             }
+            self.btran_costs(phase1);
             let bland = degenerate_streak >= BLAND_TRIGGER;
-            // Entering column.
-            let mut enter: Option<usize> = None;
-            if bland {
-                for (j, &r) in reduced.iter().enumerate().take(enter_limit) {
-                    if r < -COST_TOL {
-                        enter = Some(j);
-                        break;
-                    }
+            // Entering column: direction +1 leaves a lower bound, -1 an
+            // upper bound.
+            let mut enter: Option<(usize, f64)> = None;
+            let mut best_mag = COST_TOL;
+            for j in 0..self.f.ncols {
+                if self.ws.vstat[j] == VStat::Basic || self.f.upper[j] - self.f.lower[j] <= 1e-12 {
+                    continue;
                 }
-            } else {
-                let mut best = -COST_TOL;
-                for (j, &r) in reduced.iter().enumerate().take(enter_limit) {
-                    if r < best {
-                        best = r;
-                        enter = Some(j);
+                let base = if phase1 { 0.0 } else { self.f.cost[j] };
+                let d = base - self.col_dot(j, &self.y);
+                let dir = match self.ws.vstat[j] {
+                    VStat::Lower if d < -COST_TOL => 1.0,
+                    VStat::Upper if d > COST_TOL => -1.0,
+                    VStat::Free if d < -COST_TOL => 1.0,
+                    VStat::Free if d > COST_TOL => -1.0,
+                    _ => continue,
+                };
+                if bland {
+                    enter = Some((j, dir));
+                    break;
+                }
+                if d.abs() > best_mag {
+                    best_mag = d.abs();
+                    enter = Some((j, dir));
+                }
+            }
+            let Some((q, dir)) = enter else {
+                return Ok(PhaseEnd::Done);
+            };
+            self.load_alpha(q);
+            // Ratio test. The entering column's own span seeds the budget
+            // (a bound flip needs no pivot at all).
+            let span = self.f.upper[q] - self.f.lower[q];
+            let mut t_best = if span.is_finite() { span } else { f64::INFINITY };
+            let mut leave: Option<(usize, bool)> = None; // (row, leaves at upper)
+            let mut best_piv = 0.0f64;
+            for i in 0..m {
+                let a = dir * self.alpha[i]; // decrease rate of xb[i].. sign flipped below
+                if a.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                let bcol = self.ws.basis[i];
+                let (lo, hi) = (self.f.lower[bcol], self.f.upper[bcol]);
+                let v = self.xb[i];
+                // `a > 0` means xb[i] decreases as the entering moves.
+                let (t, at_upper) = if phase1 && v < lo - FEAS_TOL {
+                    // Infeasible below: blocks only when moving up, at lo.
+                    if a < 0.0 {
+                        ((lo - v) / -a, false)
+                    } else {
+                        continue;
+                    }
+                } else if phase1 && v > hi + FEAS_TOL {
+                    // Infeasible above: blocks only when moving down, at hi.
+                    if a > 0.0 {
+                        ((v - hi) / a, true)
+                    } else {
+                        continue;
+                    }
+                } else if a > 0.0 {
+                    if lo.is_finite() {
+                        ((v - lo).max(0.0) / a, false)
+                    } else {
+                        continue;
+                    }
+                } else if hi.is_finite() {
+                    ((hi - v).max(0.0) / -a, true)
+                } else {
+                    continue;
+                };
+                // Ties go to the largest |pivot| for numerical stability —
+                // except under Bland's rule, where the lowest basis column
+                // must win to preserve the termination guarantee. A tie
+                // with the entering column's own span keeps the bound flip
+                // (it costs no pivot).
+                let better = match leave {
+                    None => t < t_best - 1e-12,
+                    Some((l, _)) => {
+                        t < t_best - 1e-12
+                            || (t < t_best + 1e-12
+                                && if bland { bcol < self.ws.basis[l] } else { a.abs() > best_piv })
+                    }
+                };
+                if better {
+                    t_best = t;
+                    best_piv = a.abs();
+                    leave = Some((i, at_upper));
+                }
+            }
+            match leave {
+                None if t_best.is_finite() => {
+                    // Bound flip: the entering column crosses to its other
+                    // bound; basis and factorization are untouched.
+                    if t_best > 0.0 {
+                        for i in 0..m {
+                            self.xb[i] -= dir * t_best * self.alpha[i];
+                        }
+                    }
+                    self.ws.vstat[q] = match self.ws.vstat[q] {
+                        VStat::Lower => VStat::Upper,
+                        VStat::Upper => VStat::Lower,
+                        s => s,
+                    };
+                }
+                None => {
+                    // An unblocked direction computed against a stale
+                    // (eta-updated) factorization can be an artifact of
+                    // accumulated drift in `xb`/`y`. Re-verify against a
+                    // fresh factorization before believing it.
+                    if self.ws.eta_len() > 0 {
+                        match self.refactor() {
+                            None => {
+                                return Err(SolverError::IterationLimit {
+                                    iterations: self.iterations,
+                                });
+                            }
+                            Some(true) if !phase1 && self.infeasibility() > FEAS_TOL => {
+                                return Ok(PhaseEnd::LostFeasibility);
+                            }
+                            _ => {}
+                        }
+                        continue;
+                    }
+                    return Ok(PhaseEnd::NoBlock);
+                }
+                Some((r, at_upper)) => {
+                    let t = t_best;
+                    let piv_mag = self.alpha[r].abs();
+                    for i in 0..m {
+                        self.xb[i] -= dir * t * self.alpha[i];
+                    }
+                    let entering_val = self.nonbasic_value(q) + dir * t;
+                    let leaving = self.ws.basis[r];
+                    self.ws.vstat[leaving] = if at_upper { VStat::Upper } else { VStat::Lower };
+                    self.ws.vstat[q] = VStat::Basic;
+                    self.ws.push_eta(r, &self.alpha);
+                    self.ws.basis[r] = q;
+                    self.xb[r] = entering_val;
+                    // A tiny pivot poisons every later eta application, so
+                    // it forces an early refactorization; otherwise stay on
+                    // the fixed cadence.
+                    if piv_mag < 1e-7 || self.ws.eta_len() >= REFACTOR_EVERY {
+                        match self.refactor() {
+                            None => {
+                                return Err(SolverError::IterationLimit {
+                                    iterations: self.iterations,
+                                });
+                            }
+                            Some(true) if !phase1 && self.infeasibility() > FEAS_TOL => {
+                                return Ok(PhaseEnd::LostFeasibility);
+                            }
+                            _ => {}
+                        }
                     }
                 }
             }
-            let Some(q) = enter else {
-                return Ok(TabStatus::Optimal);
-            };
-            // Ratio test.
-            let mut leave: Option<usize> = None;
-            let mut best_ratio = f64::INFINITY;
-            for i in 0..self.a.len() {
-                let aiq = self.a[i][q];
-                if aiq > FEAS_TOL {
-                    let ratio = self.b[i] / aiq;
-                    let better = ratio < best_ratio - 1e-12
-                        || (ratio < best_ratio + 1e-12
-                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]));
-                    if better {
-                        best_ratio = ratio;
-                        leave = Some(i);
-                    }
-                }
-            }
-            let Some(p) = leave else {
-                return Ok(TabStatus::Unbounded);
-            };
-            if best_ratio <= 1e-12 {
+            if t_best <= 1e-12 {
                 degenerate_streak += 1;
             } else {
                 degenerate_streak = 0;
             }
-            self.pivot(p, q, reduced);
         }
     }
 
-    /// Pivot on `(row p, col q)`, updating the tableau and the reduced costs.
-    fn pivot(&mut self, p: usize, q: usize, reduced: &mut [f64]) {
-        let piv = self.a[p][q];
-        debug_assert!(piv.abs() > 1e-12, "pivot element too small: {piv}");
-        let inv = 1.0 / piv;
-        for j in 0..self.cols {
-            self.a[p][j] *= inv;
+    /// Warm-start pipeline: load the cached basis, verify it is still dual
+    /// feasible, run the dual simplex, then a (normally zero-pivot) primal
+    /// polish pass. `None` means "fall back to a cold solve".
+    fn warm_solve(&mut self) -> Option<LpStatus> {
+        if !self.load_warm() || !self.dual_feasible() {
+            return None;
         }
-        self.b[p] *= inv;
-        self.a[p][q] = 1.0; // exact
-        let (pivot_row, pivot_b) = (self.a[p].clone(), self.b[p]);
-        for i in 0..self.a.len() {
-            if i == p {
+        match self.dual() {
+            DualEnd::PrimalInfeasible => Some(LpStatus::Infeasible),
+            DualEnd::Trouble => None,
+            DualEnd::Optimal => match self.phase_loop(false) {
+                Ok(PhaseEnd::Done) => Some(LpStatus::Optimal),
+                _ => None,
+            },
+        }
+    }
+
+    /// Re-adopt the basis stored in the workspace for the current form:
+    /// structural sanity checks, nonbasic statuses snapped to bounds that
+    /// still exist, refactorize, recompute `x_B`.
+    fn load_warm(&mut self) -> bool {
+        let f = self.f;
+        if self.ws.basis.len() != f.nrows || self.ws.vstat.len() != f.ncols {
+            return false;
+        }
+        for &b in &self.ws.basis {
+            if b >= f.ncols || self.ws.vstat[b] != VStat::Basic {
+                return false;
+            }
+        }
+        if self.ws.vstat.iter().filter(|&&s| s == VStat::Basic).count() != f.nrows {
+            return false;
+        }
+        for j in 0..f.ncols {
+            if self.ws.vstat[j] == VStat::Basic {
                 continue;
             }
-            let factor = self.a[i][q];
-            if factor != 0.0 {
-                let row = &mut self.a[i];
-                for j in 0..self.cols {
-                    row[j] -= factor * pivot_row[j];
+            self.ws.vstat[j] = match (f.lower[j].is_finite(), f.upper[j].is_finite()) {
+                (true, true) => {
+                    if self.ws.vstat[j] == VStat::Upper {
+                        VStat::Upper
+                    } else {
+                        VStat::Lower
+                    }
                 }
-                row[q] = 0.0; // exact
-                self.b[i] -= factor * pivot_b;
-                if self.b[i] < 0.0 && self.b[i] > -FEAS_TOL {
-                    self.b[i] = 0.0;
-                }
-            }
+                (true, false) => VStat::Lower,
+                (false, true) => VStat::Upper,
+                (false, false) => VStat::Free,
+            };
         }
-        let rfactor = reduced[q];
-        if rfactor != 0.0 {
-            for j in 0..self.cols {
-                reduced[j] -= rfactor * pivot_row[j];
-            }
-            reduced[q] = 0.0;
+        if self.ws.lu_factor(f).is_err() {
+            return false;
         }
-        self.basis[p] = q;
+        self.compute_xb();
+        true
     }
 
-    /// After phase 1: pivot basic artificials out on any non-artificial column
-    /// with a nonzero entry; rows that admit none are redundant and are
-    /// dropped.
-    fn evict_artificials(&mut self) {
-        let mut i = 0;
-        while i < self.a.len() {
-            if self.basis[i] >= self.real_cols {
-                let mut pivot_col = None;
-                for j in 0..self.real_cols {
-                    if self.a[i][j].abs() > 1e-9 {
-                        pivot_col = Some(j);
-                        break;
-                    }
-                }
-                match pivot_col {
-                    Some(q) => {
-                        // Degenerate pivot: the artificial is at value ~0.
-                        let mut dummy = vec![0.0; self.cols];
-                        self.pivot(i, q, &mut dummy);
-                    }
-                    None => {
-                        // Redundant row.
-                        self.a.swap_remove(i);
-                        self.b.swap_remove(i);
-                        self.basis.swap_remove(i);
-                        continue;
-                    }
+    /// Are the phase-2 reduced costs consistent with every nonbasic status?
+    fn dual_feasible(&mut self) -> bool {
+        self.btran_costs(false);
+        for j in 0..self.f.ncols {
+            if self.ws.vstat[j] == VStat::Basic || self.f.upper[j] - self.f.lower[j] <= 1e-12 {
+                continue;
+            }
+            let d = self.f.cost[j] - self.col_dot(j, &self.y);
+            let bad = match self.ws.vstat[j] {
+                VStat::Lower => d < -DUAL_FEAS_TOL,
+                VStat::Upper => d > DUAL_FEAS_TOL,
+                VStat::Free => d.abs() > DUAL_FEAS_TOL,
+                VStat::Basic => false,
+            };
+            if bad {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Bounded-variable dual simplex: repair primal feasibility while
+    /// keeping dual feasibility. Leaving row = largest bound violation;
+    /// entering column = dual ratio test over the BTRANed pivot row.
+    fn dual(&mut self) -> DualEnd {
+        let m = self.f.nrows;
+        let pivot_cap = 500 + 10 * m;
+        let mut pivots = 0usize;
+        loop {
+            self.iterations += 1;
+            pivots += 1;
+            if pivots > pivot_cap || self.iterations > self.max_iterations {
+                return DualEnd::Trouble;
+            }
+            let mut leave: Option<(usize, bool)> = None; // (row, below lower)
+            let mut best_viol = FEAS_TOL;
+            for i in 0..m {
+                let bcol = self.ws.basis[i];
+                let v = self.xb[i];
+                let below = self.f.lower[bcol] - v;
+                let above = v - self.f.upper[bcol];
+                let (viol, is_below) = if below > above { (below, true) } else { (above, false) };
+                let better = viol > best_viol + 1e-12
+                    || (viol > best_viol - 1e-12
+                        && leave.is_some_and(|(l, _)| bcol < self.ws.basis[l]));
+                if better {
+                    best_viol = viol;
+                    leave = Some((i, is_below));
                 }
             }
-            i += 1;
-        }
-        // Zero out artificial columns so they can never participate again.
-        let real_cols = self.real_cols;
-        for row in &mut self.a {
-            for v in &mut row[real_cols..] {
-                *v = 0.0;
+            let Some((r, below)) = leave else {
+                return DualEnd::Optimal;
+            };
+            // rho = B^{-T} e_r gives the pivot row of B^{-1}A.
+            self.rho.fill(0.0);
+            self.rho[r] = 1.0;
+            self.ws.btran(&mut self.rho, &mut self.work);
+            self.btran_costs(false);
+            let mut enter: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for j in 0..self.f.ncols {
+                if self.ws.vstat[j] == VStat::Basic || self.f.upper[j] - self.f.lower[j] <= 1e-12 {
+                    continue;
+                }
+                let arj = self.col_dot(j, &self.rho);
+                if arj.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                // The leaving variable moves toward its violated bound; the
+                // entering column must move off its own bound in a direction
+                // consistent with that.
+                let ok = match (below, self.ws.vstat[j]) {
+                    (true, VStat::Lower) => arj < 0.0,
+                    (true, VStat::Upper) => arj > 0.0,
+                    (false, VStat::Lower) => arj > 0.0,
+                    (false, VStat::Upper) => arj < 0.0,
+                    (_, VStat::Free) => true,
+                    (_, VStat::Basic) => unreachable!(),
+                };
+                if !ok {
+                    continue;
+                }
+                let d = self.f.cost[j] - self.col_dot(j, &self.y);
+                let num = match self.ws.vstat[j] {
+                    VStat::Lower => d.max(0.0),
+                    VStat::Upper => (-d).max(0.0),
+                    VStat::Free => d.abs(),
+                    VStat::Basic => unreachable!(),
+                };
+                let ratio = num / arj.abs();
+                if ratio < best_ratio - 1e-12 {
+                    best_ratio = ratio;
+                    enter = Some(j);
+                }
+            }
+            let Some(q) = enter else {
+                // No column can absorb the violation: primal infeasible.
+                return DualEnd::PrimalInfeasible;
+            };
+            self.load_alpha(q);
+            let arq = self.alpha[r];
+            if arq.abs() <= PIVOT_TOL {
+                return DualEnd::Trouble;
+            }
+            let bcol = self.ws.basis[r];
+            let bound = if below { self.f.lower[bcol] } else { self.f.upper[bcol] };
+            let step = (self.xb[r] - bound) / arq;
+            for i in 0..m {
+                self.xb[i] -= step * self.alpha[i];
+            }
+            let entering_val = self.nonbasic_value(q) + step;
+            self.ws.vstat[bcol] = if below { VStat::Lower } else { VStat::Upper };
+            self.ws.vstat[q] = VStat::Basic;
+            self.ws.push_eta(r, &self.alpha);
+            self.ws.basis[r] = q;
+            self.xb[r] = entering_val;
+            if arq.abs() < 1e-7 || self.ws.eta_len() >= REFACTOR_EVERY {
+                match self.refactor() {
+                    // A repair invalidates the dual-feasibility certificate
+                    // the warm start rests on; so does failure. Both fall
+                    // back to a cold solve.
+                    Some(false) => {}
+                    _ => return DualEnd::Trouble,
+                }
             }
         }
     }
 
-    fn extract_solution(&self) -> Vec<f64> {
-        let mut x = vec![0.0; self.real_cols];
-        for (i, &bcol) in self.basis.iter().enumerate() {
-            if bcol < self.real_cols {
-                x[bcol] = self.b[i].max(0.0);
+    /// Build the [`LpSolution`], cache the basis on optimality, and return
+    /// the iteration buffers to the workspace.
+    fn into_solution(mut self, status: LpStatus, dims: (usize, usize)) -> LpSolution {
+        let out = match status {
+            LpStatus::Optimal => {
+                // Fresh factorization for the most accurate x_B and duals —
+                // strict, no repair: repairing the optimal basis would
+                // change the reported solution. On (rare) failure the
+                // eta-updated iterate is reported as-is.
+                if self.ws.lu_factor(self.f).is_ok() {
+                    self.compute_xb();
+                }
+                let f = self.f;
+                let n = f.nstruct;
+                let mut x = vec![0.0; n];
+                for (j, xj) in x.iter_mut().enumerate() {
+                    if self.ws.vstat[j] != VStat::Basic {
+                        *xj = self.nonbasic_value(j);
+                    }
+                }
+                for (i, &b) in self.ws.basis.iter().enumerate() {
+                    if b < n {
+                        x[b] = self.xb[i].clamp(f.lower[b], f.upper[b]);
+                    }
+                }
+                let obj_min: f64 = f.cost[..n].iter().zip(&x).map(|(c, v)| c * v).sum();
+                self.btran_costs(false);
+                let duals = f
+                    .relations
+                    .iter()
+                    .enumerate()
+                    .map(|(i, rel)| {
+                        (*rel != Relation::Eq)
+                            .then(|| if f.maximize { -self.y[i] } else { self.y[i] })
+                    })
+                    .collect();
+                self.ws.key = Some(dims);
+                LpSolution {
+                    status: LpStatus::Optimal,
+                    objective: if f.maximize { -obj_min } else { obj_min },
+                    x,
+                    iterations: self.iterations,
+                    duals,
+                }
             }
-        }
-        x
+            LpStatus::Infeasible => {
+                self.ws.key = None;
+                LpSolution::infeasible(self.iterations)
+            }
+            LpStatus::Unbounded => {
+                self.ws.key = None;
+                LpSolution::unbounded(self.iterations)
+            }
+        };
+        self.ws.xb = mem::take(&mut self.xb);
+        self.ws.alpha = mem::take(&mut self.alpha);
+        self.ws.rho = mem::take(&mut self.rho);
+        self.ws.y = mem::take(&mut self.y);
+        self.ws.work = mem::take(&mut self.work);
+        out
+    }
+}
+
+fn initial_status(lo: f64, hi: f64) -> VStat {
+    match (lo.is_finite(), hi.is_finite()) {
+        (true, _) => VStat::Lower,
+        (false, true) => VStat::Upper,
+        (false, false) => VStat::Free,
     }
 }
 
@@ -465,7 +1104,7 @@ mod tests {
 
     #[test]
     fn free_variable_lp() {
-        // min |...|-style: min x s.t. x >= -5 (free var via split)
+        // min x s.t. x >= -5 (free variable, handled without splitting)
         let mut m = Model::new(Sense::Minimize);
         let x = m.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
         m.add_constraint(vec![(x, 1.0)], Relation::Ge, -5.0);
@@ -517,5 +1156,90 @@ mod tests {
         let y = m.add_var(0.0, f64::INFINITY, 1.0);
         m.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 6.0);
         assert_opt(&m, 14.0, Some(&[2.0, 4.0]));
+    }
+
+    // ---- warm-start / dual simplex ----
+
+    fn knapsackish() -> Model {
+        // max 5a + 4b + 3c s.t. 2a + 3b + c <= 5, 4a + b + 2c <= 11,
+        // 3a + 4b + 2c <= 8, all vars in [0, 10].
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var(0.0, 10.0, 5.0);
+        let b = m.add_var(0.0, 10.0, 4.0);
+        let c = m.add_var(0.0, 10.0, 3.0);
+        m.add_constraint(vec![(a, 2.0), (b, 3.0), (c, 1.0)], Relation::Le, 5.0);
+        m.add_constraint(vec![(a, 4.0), (b, 1.0), (c, 2.0)], Relation::Le, 11.0);
+        m.add_constraint(vec![(a, 3.0), (b, 4.0), (c, 2.0)], Relation::Le, 8.0);
+        m
+    }
+
+    #[test]
+    fn warm_restart_matches_cold_after_bound_change() {
+        let m = knapsackish();
+        let mut ws = LpWorkspace::new();
+        let root = solve_lp_warm(&m, None, &mut ws).unwrap();
+        assert_eq!(root.status, LpStatus::Optimal);
+        assert!(ws.has_basis());
+        // Tighten one variable's bounds (a branch-and-bound child) and
+        // re-solve warm; must match a cold solve.
+        let ovr = vec![Some((0.0, 1.0)), None, None];
+        let warm = solve_lp_warm(&m, Some(&ovr), &mut ws).unwrap();
+        let cold = solve_lp_with_bounds(&m, Some(&ovr)).unwrap();
+        assert_eq!(warm.status, cold.status);
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+        for (a, b) in warm.x.iter().zip(&cold.x) {
+            assert!((a - b).abs() < 1e-7);
+        }
+        // Warm re-solve should be cheaper than the cold two-phase run.
+        assert!(warm.iterations <= cold.iterations);
+    }
+
+    #[test]
+    fn warm_restart_detects_infeasible_child() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, 1.0, 1.0);
+        let y = m.add_var(0.0, 1.0, 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 1.5);
+        let mut ws = LpWorkspace::new();
+        let root = solve_lp_warm(&m, None, &mut ws).unwrap();
+        assert_eq!(root.status, LpStatus::Optimal);
+        // Forcing both vars to 0 makes the >= row unsatisfiable.
+        let ovr = vec![Some((0.0, 0.0)), Some((0.0, 0.0))];
+        let warm = solve_lp_warm(&m, Some(&ovr), &mut ws).unwrap();
+        assert_eq!(warm.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let m = knapsackish();
+        let mut ws = LpWorkspace::new();
+        solve_lp_warm(&m, None, &mut ws).unwrap();
+        let snap = ws.snapshot().expect("optimal solve caches a basis");
+        ws.clear();
+        assert!(!ws.has_basis());
+        assert!(ws.snapshot().is_none());
+        ws.restore(&snap);
+        assert!(ws.has_basis());
+        let warm = solve_lp_warm(&m, None, &mut ws).unwrap();
+        let cold = solve_lp(&m).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workspace_reuse_across_different_models_is_safe() {
+        let mut ws = LpWorkspace::new();
+        let m1 = knapsackish();
+        let a = solve_lp_warm(&m1, None, &mut ws).unwrap();
+        // Different shape: the stale basis must be ignored, not crash.
+        let mut m2 = Model::new(Sense::Minimize);
+        let x = m2.add_var(0.0, f64::INFINITY, 1.0);
+        m2.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+        let b = solve_lp_warm(&m2, None, &mut ws).unwrap();
+        assert_eq!(a.status, LpStatus::Optimal);
+        assert_eq!(b.status, LpStatus::Optimal);
+        assert!((b.objective - 2.0).abs() < 1e-9);
+        // And back again.
+        let c = solve_lp_warm(&m1, None, &mut ws).unwrap();
+        assert!((c.objective - a.objective).abs() < 1e-9);
     }
 }

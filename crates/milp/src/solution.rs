@@ -20,8 +20,9 @@ pub struct LpSolution {
     pub iterations: usize,
     /// Dual value (shadow price) per model constraint, in the original
     /// sense: the rate of change of the optimal objective per unit increase
-    /// of that constraint's rhs. `None` for equality rows (the tableau keeps
-    /// no slack column to price them) and whenever the solve is not optimal.
+    /// of that constraint's rhs. `None` for equality rows (their slack is
+    /// fixed at zero, so no sign convention prices them) and whenever the
+    /// solve is not optimal.
     pub duals: Vec<Option<f64>>,
 }
 

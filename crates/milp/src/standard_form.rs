@@ -1,83 +1,77 @@
-//! Conversion of a [`Model`] into simplex standard form
-//! `min c'x  s.t.  Ax = b, x >= 0, b >= 0`.
+//! Conversion of a [`Model`] into the bounded-variable computational form
+//! used by the revised simplex:
 //!
-//! The conversion handles:
+//! `min c'x  s.t.  Ax + s = rhs,  lower <= (x, s) <= upper`.
 //!
-//! * maximization (objective negated, flagged so solutions are reported in the
-//!   original sense),
-//! * fixed variables (`lower == upper`): substituted out entirely,
-//! * finite lower bounds: shifted to zero,
-//! * `-inf < x <= u`: mirrored (`x = u - x'`),
-//! * free variables: split into a difference of two non-negatives,
-//! * finite upper bounds: an explicit `x' <= u - l` row,
-//! * `<=` rows: slack column (usable as the initial basis when `rhs >= 0`),
-//! * `>=` / `=` rows: left for the phase-1 artificials of the simplex.
+//! Unlike a textbook standard form there is no variable shifting, mirroring,
+//! splitting, or explicit upper-bound rows: every structural variable keeps
+//! its (possibly overridden) bounds in the variable file, and every row gets
+//! exactly one logical (slack) column with coefficient `+1` whose bounds
+//! encode the relation:
 //!
-//! Branch and bound passes per-variable bound overrides so nodes never have to
-//! clone and mutate the model itself.
+//! * `a'x <= b`  →  `s ∈ [0, +inf)`
+//! * `a'x >= b`  →  `s ∈ (-inf, 0]`
+//! * `a'x  = b`  →  `s ∈ [0, 0]`
+//!
+//! The logical columns form the identity, so the all-slack basis is always a
+//! valid (if primal-infeasible) starting basis and branch-and-bound bound
+//! changes never alter the matrix — only the `lower`/`upper` files. The
+//! matrix is stored in CSC (compressed sparse column) layout, slack columns
+//! included, so pricing and FTRAN touch only structural nonzeros.
+//!
+//! Branch and bound passes per-variable bound overrides so nodes never have
+//! to clone and mutate the model itself.
 
 use crate::problem::{Model, Relation, Sense};
 
-/// How an original model variable is expressed in standard-form columns.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum VarMapping {
-    /// The variable was fixed by its bounds; it has no column.
-    Fixed(f64),
-    /// `x = offset + column` (offset is the finite lower bound).
-    Shifted { col: usize, offset: f64 },
-    /// `x = offset - column` (mirrored around a finite upper bound).
-    Mirrored { col: usize, offset: f64 },
-    /// Free variable split as `x = pos - neg`.
-    Split { pos: usize, neg: usize },
-}
-
-/// A program in standard form plus the bookkeeping needed to translate
-/// solutions back to the original variable space.
+/// A program in bounded-variable form: CSC matrix (structural columns first,
+/// then one slack column per row), minimization costs, and bound files.
 #[derive(Debug, Clone)]
-pub struct StandardForm {
-    /// Dense row-major constraint matrix, `rows x cols`.
-    pub a: Vec<Vec<f64>>,
-    /// Right-hand sides, all non-negative.
-    pub b: Vec<f64>,
-    /// Minimization objective over the standard-form columns.
-    pub c: Vec<f64>,
-    /// Objective constant accumulated from shifts and fixed variables
-    /// (already in minimization sense).
-    pub c0: f64,
-    /// Column that can serve as the initial basis for each row (`Some` for
-    /// slack columns of `<=` rows), `None` where an artificial is needed.
-    pub basis_hint: Vec<Option<usize>>,
-    /// Per original variable, how to recover its value.
-    pub var_map: Vec<VarMapping>,
-    /// Whether the original model maximized (solutions must negate the
-    /// standard-form objective back).
+pub struct SparseForm {
+    /// Number of rows (= model constraints; no synthetic rows).
+    pub nrows: usize,
+    /// Number of structural columns (= model variables).
+    pub nstruct: usize,
+    /// Total columns: `nstruct + nrows` (slacks at the end).
+    pub ncols: usize,
+    /// CSC column pointers, length `ncols + 1`.
+    pub col_ptr: Vec<usize>,
+    /// CSC row indices, ascending within each column.
+    pub row_ind: Vec<usize>,
+    /// CSC values, parallel to `row_ind`.
+    pub val: Vec<f64>,
+    /// Minimization-sense objective, length `ncols` (zero on slacks).
+    pub cost: Vec<f64>,
+    /// Lower bounds, length `ncols` (`-inf` allowed).
+    pub lower: Vec<f64>,
+    /// Upper bounds, length `ncols` (`+inf` allowed).
+    pub upper: Vec<f64>,
+    /// Right-hand sides, length `nrows` (kept as given; never flipped).
+    pub rhs: Vec<f64>,
+    /// Per-row relation (used to suppress duals on equality rows).
+    pub relations: Vec<Relation>,
+    /// Whether the original model maximized (objective and duals are
+    /// reported back in the original sense).
     pub maximize: bool,
-    /// Number of structural columns (before slacks).
-    pub structural_cols: usize,
-    /// Per row: the slack/surplus column and its coefficient (`+1` for `<=`,
-    /// `-1` for `>=` after rhs normalization); `None` for equality rows.
-    pub row_slack: Vec<Option<(usize, f64)>>,
-    /// Per row: whether rhs normalization multiplied the row by -1.
-    pub row_flipped: Vec<bool>,
-    /// How many leading rows correspond to model constraints (the remainder
-    /// are synthetic upper-bound rows).
-    pub num_model_rows: usize,
 }
 
-impl StandardForm {
-    /// Build the standard form of `model`, optionally overriding variable
-    /// bounds (used by branch and bound; `overrides[i] = Some((lo, hi))`).
+impl SparseForm {
+    /// Build the computational form of `model`, optionally overriding
+    /// variable bounds (used by branch and bound; `overrides[i] =
+    /// Some((lo, hi))` intersects with the model bounds).
     ///
-    /// Returns `None` if some variable's effective bounds are inverted, which
-    /// branch and bound treats as an infeasible node.
-    pub fn build(model: &Model, overrides: Option<&[Option<(f64, f64)>]>) -> Option<StandardForm> {
+    /// Returns `None` if some variable's effective bounds are inverted,
+    /// which branch and bound treats as an infeasible node.
+    pub fn build(model: &Model, overrides: Option<&[Option<(f64, f64)>]>) -> Option<SparseForm> {
         let n = model.num_vars();
-        let mut var_map = Vec::with_capacity(n);
-        let mut cols: usize = 0;
-        // Effective bounds.
-        let mut bounds = Vec::with_capacity(n);
+        let m = model.num_constraints();
+        let ncols = n + m;
+
+        let mut lower = Vec::with_capacity(ncols);
+        let mut upper = Vec::with_capacity(ncols);
         for i in 0..n {
-            let (mut lo, mut hi) = model.vars[i].bounds();
+            let mut lo = model.vars[i].lower;
+            let mut hi = model.vars[i].upper;
             if let Some(ovr) = overrides {
                 if let Some((l, h)) = ovr[i] {
                     lo = lo.max(l);
@@ -87,193 +81,117 @@ impl StandardForm {
             if lo > hi + 1e-12 {
                 return None;
             }
-            bounds.push((lo, hi.max(lo)));
+            lower.push(lo);
+            upper.push(hi.max(lo));
         }
-
-        // Assign columns.
-        let mut upper_rows: Vec<(usize, f64)> = Vec::new(); // (col, ub) rows to add
-        for (i, &(lo, hi)) in bounds.iter().enumerate() {
-            let _ = i;
-            if (hi - lo).abs() <= 1e-12 && lo.is_finite() {
-                var_map.push(VarMapping::Fixed(lo));
-            } else if lo.is_finite() {
-                let col = cols;
-                cols += 1;
-                if hi.is_finite() {
-                    upper_rows.push((col, hi - lo));
-                }
-                var_map.push(VarMapping::Shifted { col, offset: lo });
-            } else if hi.is_finite() {
-                let col = cols;
-                cols += 1;
-                var_map.push(VarMapping::Mirrored { col, offset: hi });
-            } else {
-                let pos = cols;
-                let neg = cols + 1;
-                cols += 2;
-                var_map.push(VarMapping::Split { pos, neg });
-            }
-        }
-        let structural_cols = cols;
 
         let maximize = model.sense == Sense::Maximize;
         let sign = if maximize { -1.0 } else { 1.0 };
-
-        // Objective over columns.
-        let mut c = vec![0.0; structural_cols];
-        let mut c0 = 0.0;
-        for (i, vm) in var_map.iter().enumerate() {
-            let coeff = sign * model.vars[i].objective;
-            match *vm {
-                VarMapping::Fixed(v) => c0 += coeff * v,
-                VarMapping::Shifted { col, offset } => {
-                    c[col] += coeff;
-                    c0 += coeff * offset;
-                }
-                VarMapping::Mirrored { col, offset } => {
-                    c[col] -= coeff;
-                    c0 += coeff * offset;
-                }
-                VarMapping::Split { pos, neg } => {
-                    c[pos] += coeff;
-                    c[neg] -= coeff;
-                }
-            }
+        let mut cost = Vec::with_capacity(ncols);
+        for i in 0..n {
+            cost.push(sign * model.vars[i].objective);
         }
+        cost.resize(ncols, 0.0);
 
-        // Rows: model constraints plus upper-bound rows. We first build them as
-        // (coeffs over structural cols, relation, rhs).
-        struct RawRow {
-            coeffs: Vec<f64>,
-            relation: Relation,
-            rhs: f64,
-            flipped: bool,
-        }
-        let mut raw: Vec<RawRow> = Vec::with_capacity(model.constraints.len() + upper_rows.len());
+        // Merge duplicate terms per (row, col) with a dense accumulator so
+        // the CSC build sees each coefficient once.
+        let mut acc = vec![0.0f64; n];
+        let mut merged: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut relations = Vec::with_capacity(m);
+        let mut rhs = Vec::with_capacity(m);
         for con in &model.constraints {
-            let mut coeffs = vec![0.0; structural_cols];
-            let mut rhs = con.rhs;
+            let mut touched: Vec<usize> = Vec::with_capacity(con.terms.len());
             for &(v, a) in &con.terms {
-                match var_map[v.index()] {
-                    VarMapping::Fixed(val) => rhs -= a * val,
-                    VarMapping::Shifted { col, offset } => {
-                        coeffs[col] += a;
-                        rhs -= a * offset;
-                    }
-                    VarMapping::Mirrored { col, offset } => {
-                        coeffs[col] -= a;
-                        rhs -= a * offset;
-                    }
-                    VarMapping::Split { pos, neg } => {
-                        coeffs[pos] += a;
-                        coeffs[neg] -= a;
-                    }
+                let j = v.index();
+                if acc[j] == 0.0 {
+                    touched.push(j);
                 }
+                acc[j] += a;
             }
-            raw.push(RawRow { coeffs, relation: con.relation, rhs, flipped: false });
-        }
-        let num_model_rows = raw.len();
-        for (col, ub) in upper_rows {
-            let mut coeffs = vec![0.0; structural_cols];
-            coeffs[col] = 1.0;
-            raw.push(RawRow { coeffs, relation: Relation::Le, rhs: ub, flipped: false });
+            touched.sort_unstable();
+            let mut row: Vec<(usize, f64)> = Vec::with_capacity(touched.len());
+            for &j in &touched {
+                if acc[j] != 0.0 {
+                    row.push((j, acc[j]));
+                }
+                acc[j] = 0.0;
+            }
+            merged.push(row);
+            relations.push(con.relation);
+            rhs.push(con.rhs);
         }
 
-        // Normalize rows to `= rhs` with rhs >= 0, appending slack columns.
-        let m = raw.len();
-        let mut a = Vec::with_capacity(m);
-        let mut b = Vec::with_capacity(m);
-        let mut basis_hint = vec![None; m];
-        // First pass: flip rows so rhs >= 0 (flipping relation too).
-        for row in &mut raw {
-            if row.rhs < 0.0 {
-                row.rhs = -row.rhs;
-                row.flipped = true;
-                for x in &mut row.coeffs {
-                    *x = -*x;
-                }
-                row.relation = match row.relation {
-                    Relation::Le => Relation::Ge,
-                    Relation::Ge => Relation::Le,
-                    Relation::Eq => Relation::Eq,
-                };
+        // CSC: count nonzeros per column (+1 for each slack unit column),
+        // prefix-sum, then fill in row order so row indices ascend within
+        // every column.
+        let mut col_ptr = vec![0usize; ncols + 1];
+        for row in &merged {
+            for &(j, _) in row {
+                col_ptr[j + 1] += 1;
             }
         }
-        // Count slacks needed.
-        let n_slacks = raw.iter().filter(|r| r.relation != Relation::Eq).count();
-        let total_cols = structural_cols + n_slacks;
-        let mut next_slack = structural_cols;
-        let mut row_slack = Vec::with_capacity(m);
-        let mut row_flipped = Vec::with_capacity(m);
-        for (i, row) in raw.into_iter().enumerate() {
-            let mut coeffs = row.coeffs;
-            coeffs.resize(total_cols, 0.0);
-            match row.relation {
+        for r in 0..m {
+            col_ptr[n + r + 1] += 1; // slack column of row r
+        }
+        for j in 0..ncols {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        let nnz = col_ptr[ncols];
+        let mut row_ind = vec![0usize; nnz];
+        let mut val = vec![0.0f64; nnz];
+        let mut fill = col_ptr.clone();
+        for (r, row) in merged.iter().enumerate() {
+            for &(j, a) in row {
+                row_ind[fill[j]] = r;
+                val[fill[j]] = a;
+                fill[j] += 1;
+            }
+        }
+        for r in 0..m {
+            row_ind[fill[n + r]] = r;
+            val[fill[n + r]] = 1.0;
+            fill[n + r] += 1;
+        }
+
+        // Slack bounds encode the relation.
+        for rel in &relations {
+            match rel {
                 Relation::Le => {
-                    coeffs[next_slack] = 1.0;
-                    basis_hint[i] = Some(next_slack);
-                    row_slack.push(Some((next_slack, 1.0)));
-                    next_slack += 1;
+                    lower.push(0.0);
+                    upper.push(f64::INFINITY);
                 }
                 Relation::Ge => {
-                    coeffs[next_slack] = -1.0;
-                    row_slack.push(Some((next_slack, -1.0)));
-                    next_slack += 1;
+                    lower.push(f64::NEG_INFINITY);
+                    upper.push(0.0);
                 }
                 Relation::Eq => {
-                    row_slack.push(None);
+                    lower.push(0.0);
+                    upper.push(0.0);
                 }
             }
-            row_flipped.push(row.flipped);
-            a.push(coeffs);
-            b.push(row.rhs);
         }
-        let mut c_full = c;
-        c_full.resize(total_cols, 0.0);
 
-        Some(StandardForm {
-            a,
-            b,
-            c: c_full,
-            c0,
-            basis_hint,
-            var_map,
+        Some(SparseForm {
+            nrows: m,
+            nstruct: n,
+            ncols,
+            col_ptr,
+            row_ind,
+            val,
+            cost,
+            lower,
+            upper,
+            rhs,
+            relations,
             maximize,
-            structural_cols,
-            row_slack,
-            row_flipped,
-            num_model_rows,
         })
     }
 
-    /// Translate a standard-form point back to original variable values.
-    pub fn recover(&self, x_std: &[f64]) -> Vec<f64> {
-        self.var_map
-            .iter()
-            .map(|vm| match *vm {
-                VarMapping::Fixed(v) => v,
-                VarMapping::Shifted { col, offset } => offset + x_std[col],
-                VarMapping::Mirrored { col, offset } => offset - x_std[col],
-                VarMapping::Split { pos, neg } => x_std[pos] - x_std[neg],
-            })
-            .collect()
-    }
-
-    /// Translate a standard-form (minimization) objective value back to the
-    /// original sense, including the constant term.
-    pub fn recover_objective(&self, obj_std: f64) -> f64 {
-        let total = obj_std + self.c0;
-        if self.maximize {
-            -total
-        } else {
-            total
-        }
-    }
-}
-
-impl crate::problem::Variable {
-    fn bounds(&self) -> (f64, f64) {
-        (self.lower, self.upper)
+    /// The nonzeros of column `j` as parallel `(row indices, values)` slices.
+    #[inline]
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let (s, e) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        (&self.row_ind[s..e], &self.val[s..e])
     }
 }
 
@@ -283,59 +201,61 @@ mod tests {
     use crate::problem::{Model, Relation, Sense};
 
     #[test]
-    fn fixed_vars_are_substituted() {
+    fn slack_bounds_encode_relations() {
         let mut m = Model::new(Sense::Minimize);
-        let x = m.add_var(2.0, 2.0, 3.0);
-        let y = m.add_var(0.0, f64::INFINITY, 1.0);
-        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 5.0);
-        let sf = StandardForm::build(&m, None).unwrap();
-        assert_eq!(sf.var_map[x.index()], VarMapping::Fixed(2.0));
-        assert_eq!(sf.structural_cols, 1);
-        // rhs became 5 - 2 = 3
-        assert!((sf.b[0] - 3.0).abs() < 1e-12);
-        assert!((sf.c0 - 6.0).abs() < 1e-12);
+        let x = m.add_var(0.0, 1.0, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Relation::Le, 5.0);
+        m.add_constraint(vec![(x, 1.0)], Relation::Ge, -1.0);
+        m.add_constraint(vec![(x, 1.0)], Relation::Eq, 0.5);
+        let f = SparseForm::build(&m, None).unwrap();
+        assert_eq!((f.nrows, f.nstruct, f.ncols), (3, 1, 4));
+        // Le slack [0, inf), Ge slack (-inf, 0], Eq slack [0, 0].
+        assert_eq!((f.lower[1], f.upper[1]), (0.0, f64::INFINITY));
+        assert_eq!((f.lower[2], f.upper[2]), (f64::NEG_INFINITY, 0.0));
+        assert_eq!((f.lower[3], f.upper[3]), (0.0, 0.0));
+        // Rhs is never flipped.
+        assert_eq!(f.rhs, vec![5.0, -1.0, 0.5]);
     }
 
     #[test]
-    fn lower_bound_shift_and_upper_row() {
+    fn csc_columns_are_sorted_and_slacks_are_unit() {
         let mut m = Model::new(Sense::Minimize);
-        let x = m.add_var(1.0, 4.0, 1.0);
-        let _ = x;
-        let sf = StandardForm::build(&m, None).unwrap();
-        // One structural col, one upper-bound row with slack.
-        assert_eq!(sf.structural_cols, 1);
-        assert_eq!(sf.a.len(), 1);
-        assert!((sf.b[0] - 3.0).abs() < 1e-12);
-        assert_eq!(sf.basis_hint[0], Some(1));
-        // Recover: x' = 2 -> x = 3.
-        assert!((sf.recover(&[2.0, 0.0])[0] - 3.0).abs() < 1e-12);
+        let x = m.add_var(0.0, f64::INFINITY, 1.0);
+        let y = m.add_var(0.0, f64::INFINITY, 2.0);
+        m.add_constraint(vec![(y, 3.0), (x, 1.0)], Relation::Le, 4.0);
+        m.add_constraint(vec![(x, 2.0)], Relation::Ge, 1.0);
+        let f = SparseForm::build(&m, None).unwrap();
+        let (rows, vals) = f.col(0);
+        assert_eq!(rows, &[0, 1]);
+        assert_eq!(vals, &[1.0, 2.0]);
+        let (rows, vals) = f.col(1);
+        assert_eq!(rows, &[0]);
+        assert_eq!(vals, &[3.0]);
+        for r in 0..f.nrows {
+            let (rows, vals) = f.col(f.nstruct + r);
+            assert_eq!(rows, &[r]);
+            assert_eq!(vals, &[1.0]);
+        }
     }
 
     #[test]
-    fn free_variable_split() {
+    fn duplicate_terms_are_merged() {
         let mut m = Model::new(Sense::Minimize);
-        let x = m.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
-        m.add_constraint(vec![(x, 1.0)], Relation::Eq, -7.0);
-        let sf = StandardForm::build(&m, None).unwrap();
-        assert_eq!(sf.structural_cols, 2);
-        // rhs was negative: row flipped, so coefficients are (-1, +1), rhs 7.
-        assert!((sf.b[0] - 7.0).abs() < 1e-12);
-        let x_rec = sf.recover(&[0.0, 7.0]);
-        assert!((x_rec[0] + 7.0).abs() < 1e-12);
+        let x = m.add_var(0.0, 1.0, 1.0);
+        m.add_constraint(vec![(x, 1.0), (x, 2.5)], Relation::Le, 4.0);
+        let f = SparseForm::build(&m, None).unwrap();
+        let (rows, vals) = f.col(0);
+        assert_eq!(rows, &[0]);
+        assert!((vals[0] - 3.5).abs() < 1e-12);
     }
 
     #[test]
-    fn mirrored_upper_only_variable() {
+    fn maximize_negates_costs() {
         let mut m = Model::new(Sense::Maximize);
-        let x = m.add_var(f64::NEG_INFINITY, 3.0, 2.0);
-        let _ = x;
-        let sf = StandardForm::build(&m, None).unwrap();
-        assert_eq!(sf.structural_cols, 1);
-        // x = 3 - x'; maximize 2x -> minimize -2x = -6 + 2x'.
-        assert!((sf.c[0] - 2.0).abs() < 1e-12);
-        assert!((sf.c0 + 6.0).abs() < 1e-12);
-        assert!((sf.recover(&[1.0])[0] - 2.0).abs() < 1e-12);
-        assert!((sf.recover_objective(2.0) - 4.0).abs() < 1e-12);
+        let _x = m.add_var(0.0, 1.0, 3.0);
+        let f = SparseForm::build(&m, None).unwrap();
+        assert!(f.maximize);
+        assert!((f.cost[0] + 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -343,8 +263,8 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let x = m.add_binary_var(1.0);
         let ovr = vec![Some((1.0, 1.0))];
-        let sf = StandardForm::build(&m, Some(&ovr)).unwrap();
-        assert_eq!(sf.var_map[x.index()], VarMapping::Fixed(1.0));
+        let f = SparseForm::build(&m, Some(&ovr)).unwrap();
+        assert_eq!((f.lower[x.index()], f.upper[x.index()]), (1.0, 1.0));
     }
 
     #[test]
@@ -353,6 +273,17 @@ mod tests {
         let _x = m.add_binary_var(1.0);
         let ovr = vec![Some((2.0, 2.0))];
         // Effective bounds [2,1] -> infeasible node.
-        assert!(StandardForm::build(&m, Some(&ovr)).is_none());
+        assert!(SparseForm::build(&m, Some(&ovr)).is_none());
+    }
+
+    #[test]
+    fn near_equal_inverted_bounds_are_clamped() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 1.0, 1.0);
+        // Inverted by less than the 1e-12 slop: clamped to a fixed variable
+        // rather than rejected.
+        let ovr = vec![Some((0.5 + 5e-13, 0.5))];
+        let f = SparseForm::build(&m, Some(&ovr)).unwrap();
+        assert!(f.lower[x.index()] <= f.upper[x.index()]);
     }
 }

@@ -1,0 +1,158 @@
+//! Property test for the dual-simplex warm start: after a single bound
+//! change (exactly what branch and bound does when it fixes a binary
+//! variable), re-solving from the parent basis must reach the *same*
+//! optimal objective as a cold two-phase solve — to 1e-9 — and must agree
+//! on infeasibility.
+//!
+//! Instances are random BMCGAP placements (bounded multi-choice generalized
+//! assignment, the shape of the paper's augmentation ILP): binary variables
+//! `x_{i,b}` assigning item `i` to bin `b`, at most one bin per item, and
+//! knapsack capacity per bin.
+
+use milp::{solve_lp_warm, LpStatus, LpWorkspace, Model, Relation, Sense, VarId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Bmcgap {
+    /// `profit[i][b]`, `0.0` = item `i` not eligible on bin `b`.
+    profit: Vec<Vec<f64>>,
+    demand: Vec<f64>,
+    capacity: Vec<f64>,
+}
+
+impl Bmcgap {
+    /// Relaxed placement LP: maximize profit, one-bin-per-item rows, bin
+    /// capacity rows. Variables come back in `vars[i][b]` order (eligible
+    /// pairs only).
+    fn to_lp(&self) -> (Model, Vec<(usize, usize, VarId)>) {
+        let (n, m) = (self.profit.len(), self.capacity.len());
+        let mut model = Model::new(Sense::Maximize);
+        let mut vars = Vec::new();
+        for i in 0..n {
+            for b in 0..m {
+                if self.profit[i][b] > 0.0 {
+                    vars.push((i, b, model.add_var(0.0, 1.0, self.profit[i][b])));
+                }
+            }
+        }
+        for i in 0..n {
+            let row: Vec<_> =
+                vars.iter().filter(|(vi, _, _)| *vi == i).map(|&(_, _, v)| (v, 1.0)).collect();
+            if !row.is_empty() {
+                model.add_constraint(row, Relation::Le, 1.0);
+            }
+        }
+        for b in 0..m {
+            let row: Vec<_> = vars
+                .iter()
+                .filter(|(_, vb, _)| *vb == b)
+                .map(|&(vi, _, v)| (v, self.demand[vi]))
+                .collect();
+            if !row.is_empty() {
+                model.add_constraint(row, Relation::Le, self.capacity[b]);
+            }
+        }
+        (model, vars)
+    }
+}
+
+fn arb_bmcgap() -> impl Strategy<Value = Bmcgap> {
+    (2usize..=6, 2usize..=4).prop_flat_map(|(n, m)| {
+        // ~75% of (item, bin) pairs eligible; profit 0 encodes ineligible.
+        let profit = proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![Just(0.0), 0.5f64..10.0, 0.5f64..10.0, 0.5f64..10.0],
+                m,
+            ),
+            n,
+        );
+        let demand = proptest::collection::vec(0.5f64..4.0, n);
+        let capacity = proptest::collection::vec(1.0f64..8.0, m);
+        (profit, demand, capacity).prop_map(|(profit, demand, capacity)| Bmcgap {
+            profit,
+            demand,
+            capacity,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For every variable of the root LP, branch both ways (fix to 0 and to
+    /// 1) and compare the warm-started child solve against a cold solve of
+    /// the identical child.
+    #[test]
+    fn warm_child_objectives_match_cold(prog in arb_bmcgap()) {
+        let (model, vars) = prog.to_lp();
+        if vars.is_empty() {
+            return Ok(());
+        }
+        let nvars = model.num_vars();
+
+        // Root solve leaves a basis in `ws` (exactly like the B&B root).
+        let mut ws = LpWorkspace::new();
+        let root = solve_lp_warm(&model, None, &mut ws).unwrap();
+        prop_assert_eq!(root.status, LpStatus::Optimal);
+        let snap = ws.snapshot().expect("optimal root must leave a basis");
+
+        for j in 0..nvars {
+            for fixed in [0.0, 1.0] {
+                let mut ovr: Vec<Option<(f64, f64)>> = vec![None; nvars];
+                ovr[j] = Some((fixed, fixed));
+
+                ws.restore(&snap);
+                let warm = solve_lp_warm(&model, Some(&ovr), &mut ws).unwrap();
+
+                let mut cold_ws = LpWorkspace::new();
+                let cold = solve_lp_warm(&model, Some(&ovr), &mut cold_ws).unwrap();
+
+                prop_assert_eq!(warm.status, cold.status,
+                    "branch x{}={}: warm {:?} vs cold {:?}", j, fixed, warm.status, cold.status);
+                if warm.status == LpStatus::Optimal {
+                    prop_assert!((warm.objective - cold.objective).abs() < 1e-9,
+                        "branch x{}={}: warm {} vs cold {}",
+                        j, fixed, warm.objective, cold.objective);
+                    prop_assert!(model.is_feasible(&warm.x, 1e-6));
+                }
+            }
+        }
+    }
+
+    /// Two consecutive bound changes (a depth-2 B&B path) re-using the basis
+    /// the previous child left behind — the incremental warm chain must stay
+    /// exact, not just the single-step one.
+    #[test]
+    fn warm_chain_stays_exact(prog in arb_bmcgap()) {
+        let (model, vars) = prog.to_lp();
+        if vars.len() < 2 {
+            return Ok(());
+        }
+        let nvars = model.num_vars();
+        let mut ws = LpWorkspace::new();
+        let root = solve_lp_warm(&model, None, &mut ws).unwrap();
+        prop_assert_eq!(root.status, LpStatus::Optimal);
+
+        let mut depth1: Vec<Option<(f64, f64)>> = vec![None; nvars];
+        depth1[0] = Some((1.0, 1.0));
+        let mut depth2 = depth1.clone();
+        depth2[1] = Some((0.0, 0.0));
+
+        let d1 = solve_lp_warm(&model, Some(&depth1), &mut ws).unwrap();
+        let d2 = solve_lp_warm(&model, Some(&depth2), &mut ws).unwrap();
+
+        let mut cold_ws = LpWorkspace::new();
+        let cold1 = solve_lp_warm(&model, Some(&depth1), &mut cold_ws).unwrap();
+        let mut cold_ws2 = LpWorkspace::new();
+        let cold2 = solve_lp_warm(&model, Some(&depth2), &mut cold_ws2).unwrap();
+
+        prop_assert_eq!(d1.status, cold1.status);
+        if d1.status == LpStatus::Optimal {
+            prop_assert!((d1.objective - cold1.objective).abs() < 1e-9);
+        }
+        prop_assert_eq!(d2.status, cold2.status);
+        if d2.status == LpStatus::Optimal {
+            prop_assert!((d2.objective - cold2.objective).abs() < 1e-9);
+        }
+    }
+}
