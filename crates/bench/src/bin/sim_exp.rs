@@ -5,7 +5,15 @@
 //!
 //! Usage: `cargo run -p bench-harness --release --bin sim_exp --
 //! [--policy none|reactive|audit] [--duration T] [--seed S]
-//! [--audit-interval T] [--trace PATH] [--json PATH] [--workers W]`
+//! [--audit-interval T] [--trace PATH] [--json PATH] [--workers W]
+//! [--metrics-interval N|Xs] [--flight DIR]`
+//!
+//! `--metrics-interval` switches each run to windowed telemetry: per-event
+//! `sim.*` emission is suppressed in favour of one `sim.window` summary per
+//! `N` arrivals or `X` *simulated* seconds (still deterministic). `--flight
+//! DIR` keeps a ring of recent raw events per run, dumped to
+//! `DIR/flight-sim-<policy>.jsonl` on the first SLO violation observed at a
+//! departure.
 //!
 //! Without `--policy`, all three policies run on the *same* seed (and thus
 //! the same arrival stream — the workload RNG is fanned out separately from
@@ -67,6 +75,8 @@ fn main() {
         sfc_len_range: (3, 5),
         expectation: wl.expectation,
         seed: args.seed,
+        metrics_interval: args.metrics_interval,
+        flight_dir: args.flight.as_ref().map(std::path::PathBuf::from),
         ..Default::default()
     };
     println!(

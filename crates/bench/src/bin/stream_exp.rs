@@ -5,7 +5,19 @@
 //!
 //! Usage: `cargo run -p bench-harness --release --bin stream_exp --
 //! [--trials N] [--seed S] [--requests R] [--trace PATH] [--workers W]
-//! [--batch B]` (trials = independent network/stream pairs).
+//! [--batch B] [--metrics-interval N|Xs] [--flight DIR]` (trials =
+//! independent network/stream pairs).
+//!
+//! `--metrics-interval` switches the observed (first) stream of each
+//! algorithm to windowed telemetry: per-request events are suppressed and
+//! one `stream.window` summary is emitted per `N` requests (or `X` wall
+//! seconds), so a million-request trace stays bounded. `--flight DIR` arms
+//! flight recorders: every engine thread keeps a ring of recent raw events,
+//! dumped to `DIR/flight-*.jsonl` on panic or commit hard-error
+//! (`RELAUG_INJECT_COMMIT_HARD_ERROR=K` injects one at request `K` for
+//! smoke-testing the dump path). A per-worker contention table — solve time
+//! vs job-wait vs commit-wait, plus stale-speculation counts — is printed at
+//! the end of every run.
 //!
 //! `--workers W` (default 1) runs each stream through the speculative
 //! parallel admission pipeline with `W` worker threads; `--workers auto`
@@ -32,13 +44,81 @@ use expkit::stats::Accumulator;
 use expkit::Table;
 use mecnet::request::SfcRequest;
 use mecnet::workload::{generate_catalog, generate_network, WorkloadConfig};
-use obs::Recorder;
+use obs::{MetricsSnapshot, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use relaug::parallel::{process_stream_batched, process_stream_batched_traced, ParallelConfig};
+use relaug::parallel::{process_stream_batched, process_stream_metered, ParallelConfig};
 use relaug::stream::{
-    process_stream_seeded, process_stream_seeded_traced, Algorithm, StreamConfig,
+    process_stream_seeded, process_stream_seeded_observed, Algorithm, FlightSpec, MetricsMode,
+    StreamConfig, StreamObservation,
 };
+
+/// The observability config for the first stream of each algorithm:
+/// `--metrics-interval` switches the pipeline to windowed aggregation,
+/// `--flight` attaches flight rings, and the injection env var arms the
+/// commit hard-error.
+fn observed_config(
+    mut cfg: StreamConfig,
+    args: &HarnessArgs,
+    inject_at: Option<usize>,
+) -> StreamConfig {
+    if let Some(interval) = args.metrics_interval {
+        cfg.metrics = MetricsMode::Windowed(interval);
+    }
+    if let Some(dir) = &args.flight {
+        cfg.flight = Some(FlightSpec::new(std::path::PathBuf::from(dir)));
+    }
+    cfg.inject_commit_hard_error_at = inject_at;
+    cfg
+}
+
+/// Sum of a snapshot histogram's recorded nanoseconds, as seconds.
+fn hist_s(snap: &MetricsSnapshot, name: &str) -> f64 {
+    snap.hist(name).map(|h| h.sum() as f64 / 1e9).unwrap_or(0.0)
+}
+
+/// Per-worker contention attribution of one observed stream: where each
+/// thread's time went (solving vs waiting) and which workers' speculations
+/// went stale.
+fn contention_table(observations: &[(&str, StreamObservation)]) -> Table {
+    let mut table = Table::new(vec![
+        "algorithm",
+        "role",
+        "solves",
+        "solve time",
+        "job wait",
+        "commit wait",
+        "coord wait",
+        "conflicts",
+    ]);
+    let fmt = expkit::table::fmt_duration_s;
+    for (name, ob) in observations {
+        let p = &ob.pipeline;
+        table.add_row(vec![
+            name.to_string(),
+            "coordinator".into(),
+            format!("{} inline", p.counter("solves")),
+            fmt(hist_s(p, "solve_ns")),
+            "-".into(),
+            "-".into(),
+            fmt(hist_s(p, "coordinator_recv_wait_ns")),
+            "-".into(),
+        ]);
+        for (w, shard) in ob.per_worker.iter().enumerate() {
+            table.add_row(vec![
+                name.to_string(),
+                format!("worker {w}"),
+                format!("{}", shard.counter("solves")),
+                fmt(hist_s(shard, "solve_ns")),
+                fmt(hist_s(shard, "job_wait_ns")),
+                fmt(hist_s(shard, "commit_wait_ns")),
+                "-".into(),
+                format!("{}", shard.counter("speculation.conflicts")),
+            ]);
+        }
+    }
+    table
+}
 
 fn main() {
     let args = match HarnessArgs::parse(std::env::args().skip(1)) {
@@ -74,6 +154,18 @@ fn main() {
         }),
         None => Recorder::memory(),
     };
+
+    // Fault injection for the flight-recorder smoke: panic (after dumping
+    // the flight ring) at this request index of the first observed stream.
+    let inject_at: Option<usize> = std::env::var("RELAUG_INJECT_COMMIT_HARD_ERROR").ok().map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("stream_exp: RELAUG_INJECT_COMMIT_HARD_ERROR must be a request index");
+            std::process::exit(2);
+        })
+    });
+
+    // Per-shard metrics of each algorithm's first (observed) stream.
+    let mut observations: Vec<(&str, StreamObservation)> = Vec::new();
 
     let algorithms: Vec<(&str, Algorithm)> = vec![
         ("ILP", Algorithm::Ilp(Default::default())),
@@ -121,25 +213,37 @@ fn main() {
             // driver (no channels, no snapshots). Otherwise: the batched
             // speculative pipeline — byte-identical output, per-request
             // derived RNGs make it independent of worker count and batch
-            // size.
+            // size. The first stream of each algorithm runs with the full
+            // observability config (windowing, flight ring, fault injection)
+            // and yields the sharded-metrics observation for the contention
+            // table.
             let out = if args.workers == 1 {
                 if t == 0 {
-                    process_stream_seeded_traced(
+                    let cfg = observed_config(cfg, &args, inject_at);
+                    let (out, ob) = process_stream_seeded_observed(
                         &network, &catalog, &requests, &cfg, seed, &mut rec,
-                    )
+                    );
+                    observations.push((name, ob));
+                    out
                 } else {
                     process_stream_seeded(&network, &catalog, &requests, &cfg, seed)
                 }
+            } else if t == 0 {
+                let pcfg = ParallelConfig {
+                    stream: observed_config(cfg, &args, inject_at),
+                    workers: args.workers,
+                    seed,
+                    max_inflight: 0,
+                };
+                let (out, ob) = process_stream_metered(
+                    &network, &catalog, &requests, &pcfg, args.batch, &mut rec,
+                );
+                observations.push((name, ob));
+                out
             } else {
                 let pcfg =
                     ParallelConfig { stream: cfg, workers: args.workers, seed, max_inflight: 0 };
-                if t == 0 {
-                    process_stream_batched_traced(
-                        &network, &catalog, &requests, &pcfg, args.batch, &mut rec,
-                    )
-                } else {
-                    process_stream_batched(&network, &catalog, &requests, &pcfg, args.batch)
-                }
+                process_stream_batched(&network, &catalog, &requests, &pcfg, args.batch)
             };
             admitted.push(out.admitted() as f64);
             if let Some(m) = out.mean_reliability() {
@@ -190,6 +294,12 @@ fn main() {
     println!("{}", table.to_markdown());
     println!("\n### telemetry (first stream per algorithm)\n");
     println!("{}", effort.to_markdown());
+    println!("\n### contention attribution (first stream per algorithm)\n");
+    println!("{}", contention_table(&observations).to_markdown());
+    if args.metrics_interval.is_some() {
+        let windows: u64 = observations.iter().map(|(_, ob)| ob.windows).sum();
+        println!("\nwindowed telemetry: {windows} stream.window summaries across observed streams");
+    }
     rec.flush().expect("flush trace");
     if let Some(path) = &args.trace {
         println!("\nwrote {} telemetry events to {path}", rec.events_emitted());

@@ -393,7 +393,7 @@ pub fn render_figure(points: &[PointResult]) -> String {
 /// Tiny CLI-flag parser shared by the figure binaries:
 /// `--trials N --seed S --threads T --workers W --batch B --json PATH
 /// --greedy --no-ilp --trace PATH --requests N --policy NAME --duration T
-/// --audit-interval T`.
+/// --audit-interval T --metrics-interval N|Xs --flight DIR`.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
     pub trials: usize,
@@ -420,6 +420,13 @@ pub struct HarnessArgs {
     pub duration: Option<f64>,
     /// Audit period of the periodic-audit policy (`sim_exp` only).
     pub audit_interval: Option<f64>,
+    /// Windowed telemetry: cut a `*.window` summary every `N` requests
+    /// (bare integer) or `X` seconds (`Xs`); suppresses per-request events.
+    pub metrics_interval: Option<obs::MetricsInterval>,
+    /// Flight-recorder directory: each engine keeps a ring of recent raw
+    /// events and dumps it there on panic, commit hard-error or SLO
+    /// violation.
+    pub flight: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -438,6 +445,8 @@ impl Default for HarnessArgs {
             policy: None,
             duration: None,
             audit_interval: None,
+            metrics_interval: None,
+            flight: None,
         }
     }
 }
@@ -481,6 +490,11 @@ impl HarnessArgs {
                     out.audit_interval =
                         Some(value("--audit-interval")?.parse().map_err(|e| format!("{e}"))?)
                 }
+                "--metrics-interval" => {
+                    out.metrics_interval =
+                        Some(obs::MetricsInterval::parse(&value("--metrics-interval")?)?)
+                }
+                "--flight" => out.flight = Some(value("--flight")?),
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -628,6 +642,20 @@ mod tests {
         assert_eq!(sim_args.policy.as_deref(), Some("reactive"));
         assert_eq!(sim_args.duration, Some(750.5));
         assert_eq!(sim_args.audit_interval, Some(4.0));
+        let obs_args = HarnessArgs::parse(
+            ["--metrics-interval", "10000", "--flight", "out/flight"].iter().map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(obs_args.metrics_interval, Some(obs::MetricsInterval::Requests(10000)));
+        assert_eq!(obs_args.flight.as_deref(), Some("out/flight"));
+        let secs =
+            HarnessArgs::parse(["--metrics-interval".to_string(), "2.5s".to_string()].into_iter())
+                .unwrap();
+        assert_eq!(secs.metrics_interval, Some(obs::MetricsInterval::Seconds(2.5)));
+        assert!(HarnessArgs::parse(
+            ["--metrics-interval".to_string(), "0".to_string()].into_iter()
+        )
+        .is_err());
         assert!(
             HarnessArgs::parse(["--duration".to_string(), "-1".to_string()].into_iter()).is_err()
         );

@@ -21,18 +21,20 @@
 //! completion time ([`obs::Recorder::absorb`]).
 
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam::channel;
 use mecnet::network::MecNetwork;
 use mecnet::request::SfcRequest;
 use mecnet::vnf::VnfCatalog;
-use obs::Recorder;
+use obs::{FlightRecorder, Recorder};
 
 use crate::scratch::SolveScratch;
 use crate::stream::{
-    commit_request, process_stream_seeded_traced, speculate_batch, PipelineState, Speculation,
-    StreamConfig, StreamOutcome,
+    commit_request, pipeline_metrics, process_stream_seeded_observed, speculate_batch,
+    PipelineState, Speculation, StreamConfig, StreamObservation, StreamOutcome, TraceLevel,
 };
 
 /// Knobs for the parallel engine.
@@ -121,9 +123,48 @@ pub fn process_stream_batched_traced(
     batch: usize,
     rec: &mut Recorder,
 ) -> StreamOutcome {
+    process_stream_metered(network, catalog, requests, cfg, batch, rec).0
+}
+
+/// Guard that dumps a worker's flight ring if its thread unwinds — the
+/// "postmortem on panic" half of the flight recorder. Dropping normally
+/// writes nothing.
+struct WorkerFlight {
+    ring: FlightRecorder,
+    path: PathBuf,
+}
+
+impl Drop for WorkerFlight {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let _ = self.ring.dump_to_path("worker_panic", &self.path);
+        }
+    }
+}
+
+/// [`process_stream_batched_traced`] returning the per-shard metrics
+/// observation — coordinator commit-path latencies and waits in
+/// `observation.pipeline`, each worker's solve/wait/conflict attribution in
+/// `observation.per_worker` — alongside the outcome. This is the actual
+/// engine.
+///
+/// Within a batch, a worker locally *simulates* each request's commit
+/// (admission debits, two-phase secondary debits, deployed updates) before
+/// speculating the next, so consecutive requests in one batch see each
+/// other's effects exactly as the sequential pipeline would. Commit-side
+/// validation is per request and unchanged, so determinism never rests on
+/// the simulation being right.
+pub fn process_stream_metered(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    requests: &[SfcRequest],
+    cfg: &ParallelConfig,
+    batch: usize,
+    rec: &mut Recorder,
+) -> (StreamOutcome, StreamObservation) {
     assert!(cfg.workers >= 1, "need at least one worker");
     if cfg.workers == 1 || requests.len() <= 1 {
-        return process_stream_seeded_traced(
+        return process_stream_seeded_observed(
             network,
             catalog,
             requests,
@@ -132,25 +173,42 @@ pub fn process_stream_batched_traced(
             rec,
         );
     }
-    let traced = rec.enabled();
     let max_inflight = if cfg.max_inflight == 0 { 2 * cfg.workers } else { cfg.max_inflight };
     let nbhd = network.neighborhood_index(cfg.stream.l);
-    let mut state = PipelineState::new(network, &cfg.stream);
+    let mut state = PipelineState::new(network, &cfg.stream, cfg.workers + 1);
+    let metrics = Arc::clone(&state.obs.metrics);
+    let trace = if !rec.enabled() {
+        TraceLevel::Off
+    } else if state.obs.full {
+        TraceLevel::Full
+    } else {
+        TraceLevel::Counters
+    };
     let mut commit_scratch = SolveScratch::new();
     let mut records = Vec::with_capacity(requests.len());
     let (job_tx, job_rx) = channel::unbounded::<(usize, usize, Arc<Snapshot>)>();
     let (res_tx, res_rx) = channel::unbounded::<(usize, Vec<Speculation>)>();
     std::thread::scope(|scope| {
-        for _ in 0..cfg.workers {
+        for w in 0..cfg.workers {
             let job_rx = job_rx.clone();
             let res_tx = res_tx.clone();
             let stream_cfg = &cfg.stream;
             let seed = cfg.seed;
             let nbhd = Arc::clone(&nbhd);
+            let metrics = Arc::clone(&metrics);
             scope.spawn(move || {
+                use pipeline_metrics::{C_SOLVES, H_JOB_WAIT_NS, H_SOLVE_NS};
+                let shard_idx = w + 1;
+                let mut flight = stream_cfg.flight.as_ref().map(|spec| WorkerFlight {
+                    ring: FlightRecorder::new(spec.capacity),
+                    path: spec.dir.join(format!("flight-worker{w}.jsonl")),
+                });
                 let mut scratch = SolveScratch::new();
-                for (start, len, snapshot) in job_rx.iter() {
-                    let specs = speculate_batch(
+                loop {
+                    let wait_started = Instant::now();
+                    let Ok((start, len, snapshot)) = job_rx.recv() else { break };
+                    metrics.shard(shard_idx).record_duration(H_JOB_WAIT_NS, wait_started.elapsed());
+                    let mut specs = speculate_batch(
                         network,
                         catalog,
                         stream_cfg,
@@ -159,10 +217,33 @@ pub fn process_stream_batched_traced(
                         &requests[start..start + len],
                         &snapshot.residual,
                         snapshot.deployed.as_ref(),
-                        traced,
+                        trace,
                         &nbhd,
                         &mut scratch,
                     );
+                    let done = Instant::now();
+                    for (off, spec) in specs.iter_mut().enumerate() {
+                        spec.worker = shard_idx;
+                        spec.completed_at = Some(done);
+                        if spec.outcome.is_some() {
+                            metrics.shard(shard_idx).incr(C_SOLVES);
+                            metrics
+                                .shard(shard_idx)
+                                .record_duration(H_SOLVE_NS, spec.solve_elapsed);
+                        }
+                        if let Some(fl) = flight.as_mut() {
+                            fl.ring.push(
+                                obs::Event::new("flight.speculate")
+                                    .with("k", start + off)
+                                    .with("worker", w)
+                                    .with("placed", spec.placement.is_some())
+                                    .with(
+                                        "solve_us",
+                                        spec.solve_elapsed.as_micros().min(u64::MAX as u128) as u64,
+                                    ),
+                            );
+                        }
+                    }
                     if res_tx.send((start, specs)).is_err() {
                         break; // coordinator gone
                     }
@@ -197,7 +278,13 @@ pub fn process_stream_batched_traced(
                 if let Some(spec) = pending.remove(&k) {
                     break spec;
                 }
+                // Blocked on workers with a commit pending: the coordinator's
+                // wait share, as opposed to its commit/validation work.
+                let wait_started = Instant::now();
                 let (start, specs) = res_rx.recv().expect("workers alive while jobs pending");
+                metrics
+                    .shard(0)
+                    .record_duration(pipeline_metrics::H_COORD_WAIT_NS, wait_started.elapsed());
                 for (off, spec) in specs.into_iter().enumerate() {
                     pending.insert(start + off, spec);
                 }
@@ -218,7 +305,9 @@ pub fn process_stream_batched_traced(
         }
         drop(job_tx); // disconnect: workers drain and exit
     });
-    StreamOutcome { records, final_residual: state.residual }
+    state.obs.finish(rec);
+    let observation = state.obs.observation();
+    (StreamOutcome { records, final_residual: state.residual }, observation)
 }
 
 #[cfg(test)]
@@ -290,6 +379,43 @@ mod tests {
         );
         assert_eq!(par_rec.counter("stream.admitted"), seq_rec.counter("stream.admitted"));
         assert_eq!(par_rec.counter("stream.rejected"), seq_rec.counter("stream.rejected"));
+    }
+
+    #[test]
+    fn metered_counters_match_sequential_shard_zero() {
+        // The commit-path counters live on the coordinator shard and count
+        // sequenced decisions, so they must be exactly reproducible across
+        // worker counts; only timings and per-worker attribution may differ.
+        let (net, cat) = setup();
+        let reqs = make_requests(30, &cat, net.num_nodes(), 16);
+        let stream = StreamConfig::default();
+        let (seq, seq_ob) = crate::stream::process_stream_seeded_observed(
+            &net,
+            &cat,
+            &reqs,
+            &stream,
+            21,
+            &mut Recorder::noop(),
+        );
+        let cfg = ParallelConfig { stream, workers: 3, seed: 21, ..Default::default() };
+        let (par, par_ob) =
+            process_stream_metered(&net, &cat, &reqs, &cfg, 1, &mut Recorder::noop());
+        assert_eq!(par, seq);
+        for name in ["requests", "admitted", "rejected.no_primary_placement"] {
+            assert_eq!(
+                par_ob.pipeline.counter(name),
+                seq_ob.pipeline.counter(name),
+                "coordinator counter {name} must not depend on worker count"
+            );
+        }
+        // Every solve the sequential pipeline ran shows up in the parallel
+        // run as either an accepted speculation or an inline re-solve.
+        assert_eq!(
+            par_ob.pipeline.counter("speculation.hits") + par_ob.pipeline.counter("solves"),
+            seq_ob.pipeline.counter("solves"),
+            "speculation hits plus inline re-solves must cover every solve"
+        );
+        assert_eq!(par_ob.per_worker.len(), 3);
     }
 
     #[test]

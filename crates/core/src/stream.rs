@@ -14,6 +14,8 @@
 //! late requests would have used for backups.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mecnet::admission::{random_placement_capacity_aware, PrimaryPlacement};
@@ -22,7 +24,7 @@ use mecnet::neighborhood::NeighborhoodIndex;
 use mecnet::network::MecNetwork;
 use mecnet::request::SfcRequest;
 use mecnet::vnf::VnfCatalog;
-use obs::Recorder;
+use obs::{FlightRecorder, MetricsInterval, MetricsSnapshot, Recorder, ShardedMetrics};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -112,6 +114,16 @@ pub struct StreamConfig {
     /// its marginal backups start further down the diminishing-returns
     /// ladder. `false` reproduces the paper's no-sharing model.
     pub share_backups: bool,
+    /// Telemetry granularity: per-request events (the byte-identity-checked
+    /// default) or bounded windowed summaries.
+    pub metrics: MetricsMode,
+    /// Attach per-thread flight-recorder rings, dumped to this directory on
+    /// panic or commit hard-error.
+    pub flight: Option<FlightSpec>,
+    /// Testing hook: trigger a commit hard-error (flight dump + panic) when
+    /// request position `k` reaches the commit step. Drives the
+    /// flight-recorder smoke test; leave `None` in real runs.
+    pub inject_commit_hard_error_at: Option<usize>,
 }
 
 impl Default for StreamConfig {
@@ -121,7 +133,41 @@ impl Default for StreamConfig {
             algorithm: Algorithm::default(),
             initial_capacity_fraction: 1.0,
             share_backups: false,
+            metrics: MetricsMode::Full,
+            flight: None,
+            inject_commit_hard_error_at: None,
         }
+    }
+}
+
+/// Telemetry granularity for the streaming pipeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum MetricsMode {
+    /// One `stream.request` event per request plus traced solver events —
+    /// unbounded output, byte-identical across worker counts (the mode the
+    /// equivalence tests check).
+    #[default]
+    Full,
+    /// No per-request events: one `stream.window` summary per interval (plus
+    /// the final partial window), so a 10^6-request run emits O(windows)
+    /// JSONL. Solver *counters* still accumulate (B&B pivots per window);
+    /// solver events are dropped.
+    Windowed(MetricsInterval),
+}
+
+/// Flight-recorder wiring for the stream pipeline: each thread keeps a ring
+/// of its last `capacity` raw events and dumps it to `dir` on failure
+/// (`flight-commit.jsonl` for the coordinator, `flight-worker<i>.jsonl` for
+/// workers).
+#[derive(Debug, Clone)]
+pub struct FlightSpec {
+    pub dir: PathBuf,
+    pub capacity: usize,
+}
+
+impl FlightSpec {
+    pub fn new(dir: PathBuf) -> FlightSpec {
+        FlightSpec { dir, capacity: 256 }
     }
 }
 
@@ -333,16 +379,295 @@ pub(crate) fn request_rng(seed: u64, k: usize, salt: u64) -> StdRng {
     StdRng::seed_from_u64(splitmix64(splitmix64(seed ^ salt).wrapping_add(k as u64)))
 }
 
-/// Authoritative mutable state the commit step owns: the network residual and
-/// (when sharing is on) the deployed-instance ledger.
+/// Index registry for the pipeline's sharded metrics ([`ShardedMetrics`]):
+/// recording is an array index plus a relaxed atomic op, so these run on the
+/// hot path in every mode. Shard 0 belongs to the coordinator (the only
+/// writer of the authoritative per-request counts); shard `w + 1` belongs to
+/// worker `w`.
+pub mod pipeline_metrics {
+    pub const COUNTERS: &[&str] = &[
+        "requests",
+        "admitted",
+        "rejected.no_primary_placement",
+        "speculation.hits",
+        "speculation.conflicts",
+        "commit.overcommit_clamped",
+        "solves",
+    ];
+    pub const C_REQUESTS: usize = 0;
+    pub const C_ADMITTED: usize = 1;
+    pub const C_REJECTED: usize = 2;
+    pub const C_SPEC_HITS: usize = 3;
+    pub const C_CONFLICTS: usize = 4;
+    pub const C_OVERCOMMIT: usize = 5;
+    /// Shard 0: inline (conflict-induced) re-solves; worker shards:
+    /// speculative solves.
+    pub const C_SOLVES: usize = 6;
+
+    pub const HISTS: &[&str] = &[
+        "solve_ns",
+        "reserve_ns",
+        "commit_ns",
+        "abort_ns",
+        "commit_wait_ns",
+        "coordinator_recv_wait_ns",
+        "job_wait_ns",
+    ];
+    /// Shard 0: authoritative per-request solve time (speculated or inline);
+    /// worker shards: that worker's speculative solve time.
+    pub const H_SOLVE_NS: usize = 0;
+    /// Two-phase `try_reserve` latency at commit (shard 0).
+    pub const H_RESERVE_NS: usize = 1;
+    /// Two-phase `commit` latency (shard 0).
+    pub const H_COMMIT_NS: usize = 2;
+    /// Two-phase `abort` latency. Registered for schema completeness: the
+    /// admission commit path never aborts (a failed reserve has nothing to
+    /// abort), so this histogram stays empty.
+    pub const H_ABORT_NS: usize = 3;
+    /// Per worker: lag between a speculation finishing and its commit turn
+    /// arriving — the time results sat waiting on the sequencer.
+    pub const H_COMMIT_WAIT_NS: usize = 4;
+    /// Shard 0: coordinator blocked on the result channel with commits
+    /// pending — the "waiting on workers" share of coordinator time.
+    pub const H_COORD_WAIT_NS: usize = 5;
+    /// Per worker: blocked on the job channel — the idle share of worker
+    /// time.
+    pub const H_JOB_WAIT_NS: usize = 6;
+}
+
+/// Coordinator-side flight ring plus its dump destination.
+pub(crate) struct FlightState {
+    pub ring: FlightRecorder,
+    pub path: PathBuf,
+}
+
+/// Windowed-aggregation cursor: per-window bases to diff snapshots against.
+struct WindowTracker {
+    interval: MetricsInterval,
+    index: u64,
+    window_started: Instant,
+    /// Shard-0 `requests` counter at window start, cached as a plain integer
+    /// so the per-request boundary check is one atomic load + compare (no
+    /// name-keyed snapshot lookup on the hot path).
+    base_requests: u64,
+    /// Coordinator shard at window start (authoritative counts, solve/commit
+    /// latencies).
+    base0: MetricsSnapshot,
+    /// All shards merged at window start (conflicts, worker activity).
+    base_all: MetricsSnapshot,
+    /// Main-recorder counters at window start (solver aggregates: B&B nodes,
+    /// pivots) — diffed to report per-window solver effort.
+    solver_base: Vec<(String, u64)>,
+}
+
+/// Observability state threaded through the commit path: the sharded metrics
+/// (always on — recording is a couple of relaxed atomics), the metrics mode,
+/// and the optional window tracker and coordinator flight ring.
+pub(crate) struct StreamObs {
+    pub metrics: Arc<ShardedMetrics>,
+    /// Per-request events and legacy per-request recorder aggregates
+    /// (`MetricsMode::Full` — the byte-identity path).
+    pub full: bool,
+    window: Option<WindowTracker>,
+    pub flight: Option<FlightState>,
+    pub inject_at: Option<usize>,
+}
+
+impl StreamObs {
+    fn new(cfg: &StreamConfig, shards: usize) -> StreamObs {
+        let metrics = Arc::new(ShardedMetrics::new(
+            pipeline_metrics::COUNTERS,
+            pipeline_metrics::HISTS,
+            shards,
+        ));
+        let window = match cfg.metrics {
+            MetricsMode::Full => None,
+            MetricsMode::Windowed(interval) => Some(WindowTracker {
+                interval,
+                index: 0,
+                window_started: Instant::now(),
+                base_requests: 0,
+                base0: metrics.shard_snapshot(0),
+                base_all: metrics.snapshot(),
+                solver_base: Vec::new(),
+            }),
+        };
+        StreamObs {
+            metrics,
+            full: matches!(cfg.metrics, MetricsMode::Full),
+            window,
+            flight: cfg.flight.as_ref().map(|spec| FlightState {
+                ring: FlightRecorder::new(spec.capacity),
+                path: spec.dir.join("flight-commit.jsonl"),
+            }),
+            inject_at: cfg.inject_commit_hard_error_at,
+        }
+    }
+
+    /// Route a per-request event: to the sink in full mode, and always into
+    /// the flight ring if one is attached. The builder only runs when
+    /// someone will observe the event.
+    fn note_event<F: Fn() -> obs::Event>(&mut self, rec: &mut Recorder, build: F) {
+        if self.full {
+            rec.emit_with(&build);
+        }
+        if let Some(fl) = self.flight.as_mut() {
+            fl.ring.push(build());
+        }
+    }
+
+    /// Window boundary check, run after every committed request.
+    fn after_request(&mut self, rec: &mut Recorder) {
+        let Some(w) = &self.window else { return };
+        let due = match w.interval {
+            MetricsInterval::Requests(n) => {
+                self.metrics.shard(0).counter(pipeline_metrics::C_REQUESTS) - w.base_requests >= n
+            }
+            // Wall-clock windows: cadence is nondeterministic by nature, but
+            // window *contents* are still exact counter deltas.
+            MetricsInterval::Seconds(s) => w.window_started.elapsed().as_secs_f64() >= s,
+        };
+        if due {
+            self.emit_window(rec, false);
+        }
+    }
+
+    /// Cut the current window and emit its `stream.window` summary.
+    fn emit_window(&mut self, rec: &mut Recorder, final_window: bool) {
+        let Some(w) = self.window.as_mut() else { return };
+        let snap0 = self.metrics.shard_snapshot(0);
+        let snap_all = self.metrics.snapshot();
+        let d0 = snap0.diff(&w.base0);
+        let d_all = snap_all.diff(&w.base_all);
+        let requests = d0.counter("requests");
+        if !(requests > 0 || (final_window && w.index == 0)) {
+            // Empty window: emit nothing, just roll the clock forward.
+            w.window_started = Instant::now();
+            return;
+        }
+        let solver_now = rec.summary().counters;
+        let solver_delta: Vec<(String, serde::Value)> = solver_now
+            .iter()
+            .map(|(name, v)| {
+                let prev =
+                    w.solver_base.iter().find(|(n, _)| n == name).map(|(_, p)| *p).unwrap_or(0);
+                (name.clone(), serde::Value::U64(v.saturating_sub(prev)))
+            })
+            .collect();
+        let elapsed_s = w.window_started.elapsed().as_secs_f64();
+        let q_us = |snap: &MetricsSnapshot, hist: &str, q: f64| {
+            snap.hist(hist).and_then(|h| h.quantile(q)).unwrap_or(0) / 1_000
+        };
+        let solve = d0.hist("solve_ns");
+        let index = w.index;
+        rec.emit_with(|| {
+            obs::Event::new("stream.window")
+                .with("window", index)
+                .with("final", final_window)
+                .with("requests", requests)
+                .with("admitted", d0.counter("admitted"))
+                .with("rejected", d0.counter("rejected.no_primary_placement"))
+                .with("speculation_hits", d0.counter("speculation.hits"))
+                .with("conflicts", d_all.counter("speculation.conflicts"))
+                .with("inline_resolves", d0.counter("solves"))
+                .with("overcommit_clamped", d0.counter("commit.overcommit_clamped"))
+                .with("elapsed_s", elapsed_s)
+                .with(
+                    "throughput_rps",
+                    if elapsed_s > 0.0 { requests as f64 / elapsed_s } else { 0.0 },
+                )
+                .with("solve_total_s", solve.map(|h| h.sum() as f64 / 1e9).unwrap_or(0.0))
+                .with("solve_p50_us", q_us(&d0, "solve_ns", 0.50))
+                .with("solve_p90_us", q_us(&d0, "solve_ns", 0.90))
+                .with("solve_p99_us", q_us(&d0, "solve_ns", 0.99))
+                .with("reserve_p99_us", q_us(&d0, "reserve_ns", 0.99))
+                .with("commit_p99_us", q_us(&d0, "commit_ns", 0.99))
+                .with("commit_wait_p99_us", q_us(&d_all, "commit_wait_ns", 0.99))
+                .with("solver", serde::Value::Obj(solver_delta))
+        });
+        w.base_requests = snap0.counter("requests");
+        w.base0 = snap0;
+        w.base_all = snap_all;
+        w.solver_base = solver_now;
+        w.window_started = Instant::now();
+        w.index += 1;
+    }
+
+    /// End-of-stream hook: emit the final partial window, then (in windowed
+    /// mode) bulk-load the legacy recorder aggregates from shard 0 so the
+    /// `stream.admitted`/`stream.rejected` counters and the `stream.solve`
+    /// timing keep working for summary tables that predate windowing.
+    pub(crate) fn finish(&mut self, rec: &mut Recorder) {
+        self.emit_window(rec, true);
+        if !self.full {
+            let snap0 = self.metrics.shard_snapshot(0);
+            let admitted = snap0.counter("admitted");
+            let rejected = snap0.counter("rejected.no_primary_placement");
+            let conflicts = self.metrics.snapshot().counter("speculation.conflicts");
+            if admitted > 0 {
+                rec.count("stream.admitted", admitted);
+            }
+            if rejected > 0 {
+                rec.count("stream.rejected", rejected);
+            }
+            if conflicts > 0 {
+                rec.count("stream.conflicts", conflicts);
+            }
+            if let Some(h) = snap0.hist("solve_ns") {
+                rec.record_time("stream.solve", Duration::from_nanos(h.sum()));
+            }
+        }
+    }
+
+    /// Snapshot the sharded metrics for the caller.
+    pub(crate) fn observation(&self) -> StreamObservation {
+        StreamObservation {
+            pipeline: self.metrics.shard_snapshot(0),
+            per_worker: (1..self.metrics.shards())
+                .map(|i| self.metrics.shard_snapshot(i))
+                .collect(),
+            windows: self.window.as_ref().map(|w| w.index).unwrap_or(0),
+        }
+    }
+
+    /// Dump the coordinator flight ring (if any) and panic — the commit
+    /// hard-error path.
+    fn commit_hard_error(&mut self, k: usize, reason: &str) -> ! {
+        if let Some(fl) = &self.flight {
+            let _ = fl.ring.dump_to_path(reason, &fl.path);
+        }
+        panic!("commit hard error at request {k}: {reason}");
+    }
+}
+
+/// Per-thread metrics snapshots of a processed stream: the coordinator shard
+/// (authoritative per-request counts, commit-path latencies, coordinator
+/// wait) plus one shard per worker (speculative solves, job wait, commit
+/// wait, conflicts attributed to the worker that speculated them). Kept
+/// per-shard rather than merged so solve time is not double-counted between
+/// a worker's speculation and the coordinator's authoritative record.
+#[derive(Debug, Clone)]
+pub struct StreamObservation {
+    pub pipeline: MetricsSnapshot,
+    pub per_worker: Vec<MetricsSnapshot>,
+    /// `stream.window` events emitted (0 in full mode).
+    pub windows: u64,
+}
+
+/// Authoritative mutable state the commit step owns: the network residual,
+/// (when sharing is on) the deployed-instance ledger, and the observability
+/// state.
 pub(crate) struct PipelineState {
     pub residual: Vec<f64>,
     /// `Some` iff `share_backups`; `(VNF type, node) -> instances`.
     pub deployed: Option<HashMap<(usize, usize), usize>>,
+    pub obs: StreamObs,
 }
 
 impl PipelineState {
-    pub(crate) fn new(network: &MecNetwork, cfg: &StreamConfig) -> Self {
+    /// `shards` counts metric owners: 1 for the sequential driver,
+    /// `workers + 1` for the parallel engine (shard 0 = coordinator).
+    pub(crate) fn new(network: &MecNetwork, cfg: &StreamConfig, shards: usize) -> Self {
         assert!(
             (0.0..=1.0).contains(&cfg.initial_capacity_fraction),
             "capacity fraction must be in [0, 1]"
@@ -350,8 +675,23 @@ impl PipelineState {
         PipelineState {
             residual: network.residual_capacities(cfg.initial_capacity_fraction),
             deployed: cfg.share_backups.then(HashMap::new),
+            obs: StreamObs::new(cfg, shards),
         }
     }
+}
+
+/// How much solver telemetry a speculation captures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum TraceLevel {
+    /// No recorder work at all (untraced runs).
+    Off,
+    /// Solver counters only (windowed mode): aggregates like B&B node and
+    /// pivot counts merge into the main recorder at commit, events are
+    /// never materialized.
+    Counters,
+    /// Full solver event capture in a private memory recorder, replayed
+    /// into the main recorder at commit in sequence order.
+    Full,
 }
 
 /// A worker's speculative result for one request, computed against a
@@ -362,10 +702,16 @@ pub(crate) struct Speculation {
     pub placement: Option<PrimaryPlacement>,
     pub instance: Option<AugmentationInstance>,
     pub outcome: Option<Outcome>,
-    /// Solver events captured in a private memory recorder (traced runs
-    /// only), replayed into the main recorder at commit in sequence order.
+    /// Solver telemetry captured in a private recorder (traced runs only),
+    /// absorbed into the main recorder at commit in sequence order.
     pub solver_rec: Option<Recorder>,
     pub solve_elapsed: Duration,
+    /// Metrics shard of the thread that produced this speculation (0 when
+    /// produced inline by the coordinator/sequential driver).
+    pub worker: usize,
+    /// When the producing worker finished the speculation — the commit step
+    /// turns this into commit-wait (sequencer lag) attribution.
+    pub completed_at: Option<Instant>,
 }
 
 /// Build the augmentation instance for an admitted request: localized to the
@@ -418,7 +764,7 @@ fn speculate_local(
     req: &SfcRequest,
     residual: &mut [f64],
     deployed: Option<&HashMap<(usize, usize), usize>>,
-    traced: bool,
+    trace: TraceLevel,
     nbhd: &NeighborhoodIndex,
     scratch: &mut SolveScratch,
 ) -> Speculation {
@@ -435,19 +781,27 @@ fn speculate_local(
             outcome: None,
             solver_rec: None,
             solve_elapsed: Duration::ZERO,
+            worker: 0,
+            completed_at: None,
         };
     };
     let inst = build_instance(network, catalog, req, &placement, residual, nbhd, deployed);
     let mut solve_rng = request_rng(seed, k, SOLVE_SALT);
-    let mut solver_rec = if traced { Recorder::memory() } else { Recorder::noop() };
+    let mut solver_rec = match trace {
+        TraceLevel::Off => Recorder::noop(),
+        TraceLevel::Counters => Recorder::counters_only(),
+        TraceLevel::Full => Recorder::memory(),
+    };
     let solve_started = Instant::now();
     let outcome = cfg.algorithm.solve_scratch(&inst, &mut solve_rng, &mut solver_rec, scratch);
     Speculation {
         placement: Some(placement),
         instance: Some(inst),
         outcome: Some(outcome),
-        solver_rec: traced.then_some(solver_rec),
+        solver_rec: (trace != TraceLevel::Off).then_some(solver_rec),
         solve_elapsed: solve_started.elapsed(),
+        worker: 0,
+        completed_at: None,
     }
 }
 
@@ -469,7 +823,7 @@ pub(crate) fn speculate_batch(
     reqs: &[SfcRequest],
     residual_snapshot: &[f64],
     deployed_snapshot: Option<&HashMap<(usize, usize), usize>>,
-    traced: bool,
+    trace: TraceLevel,
     nbhd: &NeighborhoodIndex,
     scratch: &mut SolveScratch,
 ) -> Vec<Speculation> {
@@ -486,14 +840,14 @@ pub(crate) fn speculate_batch(
             req,
             &mut residual,
             deployed.as_ref(),
-            traced,
+            trace,
             nbhd,
             scratch,
         );
         if let (Some(placement), Some(inst), Some(outcome)) =
             (&spec.placement, &spec.instance, &spec.outcome)
         {
-            apply_secondary_debits(network, &mut residual, inst, outcome);
+            apply_secondary_debits(network, &mut residual, inst, outcome, None);
             if let Some(deployed) = deployed.as_mut() {
                 apply_deployed_updates(deployed, req, placement, inst, outcome);
             }
@@ -507,13 +861,18 @@ pub(crate) fn speculate_batch(
 /// network's two-phase reserve/commit ledger, falling back to the legacy
 /// clamp-at-zero on overcommit (only the randomized rounding can overcommit).
 /// Shared verbatim by the authoritative commit and the worker-local batch
-/// simulation, so both walk the identical floating-point path.
+/// simulation, so both walk the identical floating-point path. When `timing`
+/// is supplied (the authoritative commit), the `try_reserve`/`commit`
+/// latencies land in its `reserve_ns`/`commit_ns` histograms. Returns whether
+/// the overcommit fallback fired.
 fn apply_secondary_debits(
     network: &MecNetwork,
     residual: &mut [f64],
     inst: &AugmentationInstance,
     outcome: &Outcome,
-) {
+    timing: Option<&obs::MetricsShard>,
+) -> bool {
+    use pipeline_metrics::{H_COMMIT_NS, H_RESERVE_NS};
     let loads = outcome.augmentation.bin_loads(inst);
     let debits: Vec<(NodeId, f64)> = loads
         .iter()
@@ -521,15 +880,26 @@ fn apply_secondary_debits(
         .filter(|&(_, &load)| load > 0.0)
         .map(|(bin_idx, &load)| (inst.bins[bin_idx].node, load))
         .collect();
-    match network.try_reserve(residual, &debits) {
+    let reserve_started = Instant::now();
+    let reserved = network.try_reserve(residual, &debits);
+    if let Some(shard) = timing {
+        shard.record_duration(H_RESERVE_NS, reserve_started.elapsed());
+    }
+    match reserved {
         Ok(mut reservation) => {
+            let commit_started = Instant::now();
             network.commit(&mut reservation).expect("fresh reservation commits");
+            if let Some(shard) = timing {
+                shard.record_duration(H_COMMIT_NS, commit_started.elapsed());
+            }
+            false
         }
         Err(_) => {
             for &(node, load) in &debits {
                 let v = node.index();
                 residual[v] = (residual[v] - load).max(0.0);
             }
+            true
         }
     }
 }
@@ -580,6 +950,20 @@ pub(crate) fn commit_request(
     nbhd: &NeighborhoodIndex,
     scratch: &mut SolveScratch,
 ) -> RequestRecord {
+    use pipeline_metrics::*;
+    // Fault injection for the flight-recorder path: fail the commit step
+    // before touching any state, whatever the request's fate would have been.
+    if state.obs.inject_at == Some(k) {
+        state.obs.commit_hard_error(k, "commit_hard_error_injected");
+    }
+    state.obs.metrics.shard(0).incr(C_REQUESTS);
+    // Commit-wait attribution: how long the speculation sat finished,
+    // waiting for its sequence turn (charged to the worker that produced it).
+    if let Some(s) = &spec {
+        if let Some(done) = s.completed_at {
+            state.obs.metrics.shard(s.worker).record_duration(H_COMMIT_WAIT_NS, done.elapsed());
+        }
+    }
     let demands = &mut scratch.commit.demands;
     demands.clear();
     demands.extend(req.sfc.iter().map(|&f| catalog.demand(f)));
@@ -587,12 +971,18 @@ pub(crate) fn commit_request(
     let Some(placement) =
         random_placement_capacity_aware(network, req, demands, &mut state.residual, &mut admit_rng)
     else {
-        rec.count("stream.rejected", 1);
-        rec.emit_with(|| {
-            stream_request_event(req.id, &state.residual)
+        state.obs.metrics.shard(0).incr(C_REJECTED);
+        if state.obs.full {
+            rec.count("stream.rejected", 1);
+        }
+        let residual = &state.residual;
+        let id = req.id;
+        state.obs.note_event(rec, || {
+            stream_request_event(id, residual)
                 .with("admitted", false)
                 .with("reason", "no_primary_placement")
         });
+        state.obs.after_request(rec);
         return RequestRecord {
             id: req.id,
             admitted: false,
@@ -617,14 +1007,27 @@ pub(crate) fn commit_request(
         None => false,
     };
     let (outcome, solver_rec, solve_elapsed) = if valid {
+        state.obs.metrics.shard(0).incr(C_SPEC_HITS);
         let s = spec.unwrap();
         (s.outcome.unwrap(), s.solver_rec, s.solve_elapsed)
     } else {
         if speculated {
-            rec.count("stream.conflicts", 1);
+            // Conflict-induced re-solve, attributed to the worker whose
+            // speculation went stale.
+            state.obs.metrics.shard(spec.as_ref().unwrap().worker).incr(C_CONFLICTS);
+            if state.obs.full {
+                rec.count("stream.conflicts", 1);
+            }
         }
+        state.obs.metrics.shard(0).incr(C_SOLVES);
         let mut solve_rng = request_rng(seed, k, SOLVE_SALT);
-        let mut solver_rec = if rec.enabled() { Recorder::memory() } else { Recorder::noop() };
+        let mut solver_rec = if !rec.enabled() {
+            Recorder::noop()
+        } else if state.obs.full {
+            Recorder::memory()
+        } else {
+            Recorder::counters_only()
+        };
         let solve_started = Instant::now();
         let outcome = cfg.algorithm.solve_scratch(&inst, &mut solve_rng, &mut solver_rec, scratch);
         (outcome, rec.enabled().then_some(solver_rec), solve_started.elapsed())
@@ -632,31 +1035,52 @@ pub(crate) fn commit_request(
     if let Some(solver_rec) = solver_rec {
         rec.absorb(solver_rec);
     }
-    rec.record_time("stream.solve", solve_elapsed);
-    rec.time_sample("stream.solve", solve_elapsed);
+    state.obs.metrics.shard(0).record_duration(H_SOLVE_NS, solve_elapsed);
+    if state.obs.full {
+        rec.record_time("stream.solve", solve_elapsed);
+        rec.time_sample("stream.solve", solve_elapsed);
+    }
     // Commit the secondaries' consumption through the two-phase ledger —
     // all-or-nothing against the authoritative residual. The feasible
     // algorithms never exceed the bin residuals the instance advertised; the
     // randomized rounding may, and then the debit falls back to the legacy
     // clamp-at-zero (the overcommit shows up as unmet expectations later in
     // the stream, not as negative capacity).
-    apply_secondary_debits(network, &mut state.residual, &inst, &outcome);
+    let clamped = apply_secondary_debits(
+        network,
+        &mut state.residual,
+        &inst,
+        &outcome,
+        Some(state.obs.metrics.shard(0)),
+    );
+    if clamped {
+        state.obs.metrics.shard(0).incr(C_OVERCOMMIT);
+    }
     if let Some(deployed) = state.deployed.as_mut() {
         apply_deployed_updates(deployed, req, &placement, &inst, &outcome);
     }
-    rec.count("stream.admitted", 1);
+    state.obs.metrics.shard(0).incr(C_ADMITTED);
+    if state.obs.full {
+        rec.count("stream.admitted", 1);
+    }
     // Unlike the legacy event this one carries no wall-clock field
     // (`solve_s`): the JSONL stream must be byte-identical across worker
     // counts, and wall time is the one thing speculation cannot replay.
     // Solve time still lands in the `stream.solve` timing aggregate.
-    rec.emit_with(|| {
-        stream_request_event(req.id, &state.residual)
-            .with("admitted", true)
-            .with("base_reliability", outcome.metrics.base_reliability)
-            .with("achieved_reliability", outcome.metrics.reliability)
-            .with("met_expectation", outcome.metrics.met_expectation)
-            .with("secondaries", outcome.metrics.total_secondaries)
-    });
+    {
+        let residual = &state.residual;
+        let id = req.id;
+        let metrics = &outcome.metrics;
+        state.obs.note_event(rec, || {
+            stream_request_event(id, residual)
+                .with("admitted", true)
+                .with("base_reliability", metrics.base_reliability)
+                .with("achieved_reliability", metrics.reliability)
+                .with("met_expectation", metrics.met_expectation)
+                .with("secondaries", metrics.total_secondaries)
+        });
+    }
+    state.obs.after_request(rec);
     RequestRecord {
         id: req.id,
         admitted: true,
@@ -694,7 +1118,20 @@ pub fn process_stream_seeded_traced(
     seed: u64,
     rec: &mut Recorder,
 ) -> StreamOutcome {
-    let mut state = PipelineState::new(network, cfg);
+    process_stream_seeded_observed(network, catalog, requests, cfg, seed, rec).0
+}
+
+/// [`process_stream_seeded_traced`] returning the per-shard metrics
+/// observation alongside the outcome.
+pub fn process_stream_seeded_observed(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    requests: &[SfcRequest],
+    cfg: &StreamConfig,
+    seed: u64,
+    rec: &mut Recorder,
+) -> (StreamOutcome, StreamObservation) {
+    let mut state = PipelineState::new(network, cfg, 1);
     let nbhd = network.neighborhood_index(cfg.l);
     let mut scratch = SolveScratch::new();
     let records = requests
@@ -716,7 +1153,9 @@ pub fn process_stream_seeded_traced(
             )
         })
         .collect();
-    StreamOutcome { records, final_residual: state.residual }
+    state.obs.finish(rec);
+    let observation = state.obs.observation();
+    (StreamOutcome { records, final_residual: state.residual }, observation)
 }
 
 /// Common prefix of a `stream.request` event: the request id plus a snapshot
@@ -891,6 +1330,64 @@ mod tests {
             }
             assert!(e.field("residual_total").unwrap().as_f64().unwrap() >= 0.0);
         }
+    }
+
+    #[test]
+    fn windowed_mode_emits_bounded_summaries() {
+        let (net, cat) = setup();
+        let reqs = make_requests(120, &cat, net.num_nodes(), 14);
+        let cfg = StreamConfig {
+            metrics: MetricsMode::Windowed(MetricsInterval::Requests(25)),
+            ..Default::default()
+        };
+        let mut rec = Recorder::memory();
+        let (out, ob) = process_stream_seeded_observed(&net, &cat, &reqs, &cfg, 17, &mut rec);
+        assert!(
+            rec.events().iter().all(|e| e.kind == "stream.window"),
+            "windowed mode must suppress per-request events"
+        );
+        let windows = rec.events();
+        // 4 full windows of 25 plus the final partial window of 20.
+        assert_eq!(windows.len(), 5);
+        assert_eq!(ob.windows, 5);
+        let sum = |field: &str| -> u64 {
+            windows.iter().map(|e| e.field(field).unwrap().as_u64().unwrap()).sum()
+        };
+        assert_eq!(sum("requests"), reqs.len() as u64);
+        assert_eq!(sum("admitted"), out.admitted() as u64);
+        assert_eq!(sum("rejected"), out.rejected() as u64);
+        for (i, e) in windows.iter().enumerate() {
+            assert_eq!(e.field("window").unwrap().as_u64(), Some(i as u64));
+            assert_eq!(e.field("final").unwrap().as_bool(), Some(i == windows.len() - 1));
+        }
+        assert_eq!(ob.pipeline.counter("requests"), reqs.len() as u64);
+        assert_eq!(ob.pipeline.counter("admitted"), out.admitted() as u64);
+    }
+
+    #[test]
+    fn injected_commit_hard_error_dumps_flight_ring() {
+        let (net, cat) = setup();
+        let reqs = make_requests(10, &cat, net.num_nodes(), 15);
+        let dir = std::env::temp_dir().join(format!("relaug-flight-commit-{}", std::process::id()));
+        let cfg = StreamConfig {
+            flight: Some(FlightSpec::new(dir.clone())),
+            inject_commit_hard_error_at: Some(7),
+            ..Default::default()
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process_stream_seeded(&net, &cat, &reqs, &cfg, 19)
+        }));
+        assert!(result.is_err(), "injected commit hard error must panic");
+        let dump =
+            std::fs::read_to_string(dir.join("flight-commit.jsonl")).expect("flight dump written");
+        let mut lines = dump.lines();
+        let header = lines.next().expect("dump has a header line");
+        assert!(header.contains("flight.dump"), "header line: {header}");
+        assert!(header.contains("commit_hard_error_injected"), "header line: {header}");
+        // One buffered stream.request event per request committed before the
+        // injected failure at k = 7.
+        assert_eq!(lines.count(), 7);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

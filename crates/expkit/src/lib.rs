@@ -9,7 +9,7 @@ pub mod stats;
 pub mod table;
 pub mod timer;
 
-pub use histogram::{percentile, Histogram};
+pub use histogram::{percentile, Histogram, Log2Histogram, LOG2_BUCKETS};
 pub use seed::fan_out;
 pub use stats::{Accumulator, Summary};
 pub use table::Table;

@@ -44,13 +44,19 @@ impl Summary {
 
 /// Streaming mean/variance accumulator (Welford), for loops that do not want
 /// to keep all samples.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct Accumulator {
     n: usize,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for Accumulator {
+    fn default() -> Self {
+        Accumulator::new()
+    }
 }
 
 impl Accumulator {
@@ -81,6 +87,26 @@ impl Accumulator {
         let var = if self.n > 1 { self.m2 / (self.n as f64 - 1.0) } else { 0.0 };
         Summary { n: self.n, mean: self.mean, std: var.sqrt(), min: self.min, max: self.max }
     }
+
+    /// Fold another accumulator into this one (Chan et al. parallel
+    /// variance combination), so per-worker accumulators merge to the same
+    /// moments as a single-threaded pass.
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.mean += delta * other.n as f64 / n as f64;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +136,35 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_sample_panics() {
         Summary::of(&[]);
+    }
+
+    #[test]
+    fn accumulator_merge_matches_single_pass() {
+        let left = [3.2, -1.0, 4.7];
+        let right = [0.0, 2.2, 9.5, -4.0];
+        let mut a = Accumulator::new();
+        let mut b = Accumulator::new();
+        for &x in &left {
+            a.push(x);
+        }
+        for &x in &right {
+            b.push(x);
+        }
+        a.merge(&b);
+        let merged = a.summary();
+        let all: Vec<f64> = left.iter().chain(&right).copied().collect();
+        let whole = Summary::of(&all);
+        assert_eq!(merged.n, whole.n);
+        assert!((merged.mean - whole.mean).abs() < 1e-12);
+        assert!((merged.std - whole.std).abs() < 1e-12);
+        assert_eq!(merged.min, whole.min);
+        assert_eq!(merged.max, whole.max);
+        // Merging an empty accumulator is the identity in both directions.
+        let mut empty = Accumulator::new();
+        empty.merge(&a);
+        assert_eq!(empty.summary().n, merged.n);
+        a.merge(&Accumulator::new());
+        assert_eq!(a.summary().n, merged.n);
     }
 
     #[test]

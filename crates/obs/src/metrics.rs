@@ -46,30 +46,49 @@ impl Gauge {
     }
 }
 
-/// Distribution metric over a fixed range, backed by `expkit::Histogram`,
-/// with a streaming summary alongside so mean/min/max survive binning.
-#[derive(Debug, Clone)]
+/// Distribution metric backed by the shared mergeable [`expkit::Log2Histogram`]
+/// (the same bucket layout the per-worker shards use, so distributions from
+/// different sources merge exactly), with a streaming summary alongside so
+/// exact mean/min/max survive binning.
+#[derive(Debug, Clone, Default)]
 pub struct Distribution {
-    hist: expkit::Histogram,
+    hist: expkit::Log2Histogram,
     acc: expkit::Accumulator,
 }
 
 impl Distribution {
-    pub fn new(lo: f64, hi: f64, bins: usize) -> Distribution {
-        Distribution { hist: expkit::Histogram::new(lo, hi, bins), acc: expkit::Accumulator::new() }
+    pub fn new() -> Distribution {
+        Distribution::default()
     }
 
-    pub fn push(&mut self, x: f64) {
-        self.hist.push(x);
-        self.acc.push(x);
+    pub fn record(&mut self, v: u64) {
+        self.hist.record(v);
+        self.acc.push(v as f64);
+    }
+
+    /// Record a duration as nanoseconds.
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
     }
 
     pub fn count(&self) -> u64 {
         self.hist.count()
     }
 
-    pub fn histogram(&self) -> &expkit::Histogram {
+    pub fn histogram(&self) -> &expkit::Log2Histogram {
         &self.hist
+    }
+
+    /// Quantile estimate from the log2 buckets (within one bucket of exact).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.hist.quantile(q)
+    }
+
+    /// Fold another distribution into this one. Bucket counts merge exactly;
+    /// the streaming summary merges its moments.
+    pub fn merge(&mut self, other: &Distribution) {
+        self.hist.merge(&other.hist);
+        self.acc.merge(&other.acc);
     }
 
     pub fn summary(&self) -> Option<expkit::Summary> {
@@ -109,15 +128,40 @@ mod tests {
     }
 
     #[test]
-    fn distribution_tracks_summary_and_bins() {
-        let mut d = Distribution::new(0.0, 10.0, 5);
-        for x in [1.0, 3.0, 9.0] {
-            d.push(x);
+    fn distribution_tracks_summary_and_buckets() {
+        let mut d = Distribution::new();
+        for v in [1u64, 3, 9] {
+            d.record(v);
         }
         assert_eq!(d.count(), 3);
         let s = d.summary().unwrap();
         assert_eq!(s.n, 3);
         assert!((s.mean - 13.0 / 3.0).abs() < 1e-12);
-        assert_eq!(d.histogram().bin_counts().iter().sum::<u64>(), 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(d.histogram().count(), 3);
+        assert!(d.quantile(1.0).unwrap() >= 9);
+        assert!(Distribution::new().summary().is_none());
+    }
+
+    #[test]
+    fn distribution_merge_matches_combined_stream() {
+        let mut a = Distribution::new();
+        let mut b = Distribution::new();
+        let mut whole = Distribution::new();
+        for v in 0..50u64 {
+            a.record(v * 7);
+            whole.record(v * 7);
+        }
+        for v in 0..30u64 {
+            b.record(v * 1000);
+            whole.record(v * 1000);
+        }
+        a.merge(&b);
+        assert_eq!(a.histogram(), whole.histogram());
+        let (ma, mw) = (a.summary().unwrap(), whole.summary().unwrap());
+        assert_eq!(ma.n, mw.n);
+        assert!((ma.mean - mw.mean).abs() < 1e-9);
+        assert!((ma.std - mw.std).abs() < 1e-9);
     }
 }

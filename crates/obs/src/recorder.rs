@@ -3,6 +3,7 @@
 //! check and [`Recorder::emit_with`] never constructs the event when disabled.
 
 use crate::event::Event;
+use crate::flight::FlightRecorder;
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -14,6 +15,12 @@ pub enum Sink {
     /// Discard everything. `enabled()` is false, so callers skip event
     /// construction entirely.
     Noop,
+    /// Keep counters/timings/samples but discard events. `enabled()` is
+    /// true — instrumented code still bumps counters (solver node counts,
+    /// pivot totals) — yet no per-event memory or I/O is paid. This is the
+    /// sink behind windowed metrics mode, where aggregates matter but a
+    /// per-request event stream would be unbounded.
+    Counters,
     /// Keep events in memory for inspection (tests, `Outcome::telemetry`).
     Memory(Vec<Event>),
     /// Stream one JSON object per line to a writer.
@@ -33,6 +40,10 @@ pub struct Recorder {
     /// wall-clock samples must never reach the byte-identity-checked JSONL
     /// stream or `Outcome` equality.
     samples: BTreeMap<&'static str, Vec<f64>>,
+    /// Optional crash ring: every emitted event is also teed here (even when
+    /// the sink discards it), so a failure can dump recent history without
+    /// full tracing being on.
+    flight: Option<FlightRecorder>,
 }
 
 impl Default for Recorder {
@@ -49,11 +60,18 @@ impl Recorder {
             counters: BTreeMap::new(),
             timings: BTreeMap::new(),
             samples: BTreeMap::new(),
+            flight: None,
         }
     }
 
     pub fn noop() -> Recorder {
         Recorder::with_sink(Sink::Noop)
+    }
+
+    /// Aggregates-only recorder: counters, timings, and samples accumulate,
+    /// but emitted events are discarded (see [`Sink::Counters`]).
+    pub fn counters_only() -> Recorder {
+        Recorder::with_sink(Sink::Counters)
     }
 
     pub fn memory() -> Recorder {
@@ -72,15 +90,41 @@ impl Recorder {
     }
 
     /// Whether emitted events are observed. Hot loops gate all telemetry
-    /// work on this.
+    /// work on this. True when any sink other than no-op is active, or when
+    /// a flight ring is attached (events must still be built to feed it).
     #[inline]
     pub fn enabled(&self) -> bool {
-        !matches!(self.sink, Sink::Noop)
+        !matches!(self.sink, Sink::Noop) || self.flight.is_some()
+    }
+
+    /// Attach a flight ring of `capacity` recent events (see
+    /// [`FlightRecorder`]). Replaces any previous ring.
+    pub fn attach_flight(&mut self, capacity: usize) {
+        self.flight = Some(FlightRecorder::new(capacity));
+    }
+
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    pub fn flight_mut(&mut self) -> Option<&mut FlightRecorder> {
+        self.flight.as_mut()
+    }
+
+    /// Dump the attached flight ring to `path` (no-op without a ring).
+    pub fn dump_flight(&self, reason: &str, path: &Path) -> std::io::Result<()> {
+        match &self.flight {
+            Some(fl) => fl.dump_to_path(reason, path),
+            None => Ok(()),
+        }
     }
 
     pub fn emit(&mut self, event: Event) {
+        if let Some(fl) = &mut self.flight {
+            fl.push(event.clone());
+        }
         match &mut self.sink {
-            Sink::Noop => return,
+            Sink::Noop | Sink::Counters => return,
             Sink::Memory(buf) => buf.push(event),
             Sink::Jsonl(w) => {
                 let _ = writeln!(w, "{}", event.to_json());
@@ -323,6 +367,37 @@ mod tests {
             let v: serde_json::Value = serde_json::from_str(line).unwrap();
             assert!(v.get("event").is_some());
         }
+    }
+
+    #[test]
+    fn counters_only_accumulates_but_discards_events() {
+        let mut rec = Recorder::counters_only();
+        assert!(rec.enabled(), "instrumentation must still run");
+        rec.emit(Event::new("solver.node").with("i", 1u64));
+        rec.count("solver.pivots", 9);
+        rec.record_time("lp", Duration::from_millis(2));
+        assert_eq!(rec.events_emitted(), 0, "events are dropped");
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.summary().counter("solver.pivots"), 9);
+        assert!((rec.summary().timing_s("lp") - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flight_ring_tees_events_even_on_noop_sink() {
+        let mut rec = Recorder::noop();
+        assert!(!rec.enabled());
+        rec.attach_flight(2);
+        assert!(rec.enabled(), "flight ring needs events to be built");
+        for k in 0..3u64 {
+            rec.emit(Event::new("stream.request").with("id", k));
+        }
+        assert_eq!(rec.events_emitted(), 0, "noop sink still drops events");
+        let fl = rec.flight().unwrap();
+        assert_eq!(fl.len(), 2);
+        assert_eq!(fl.dropped(), 1);
+        let mut out = Vec::new();
+        fl.dump("test", &mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap().lines().count(), 3);
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Lock-free per-worker metrics shards.
+//!
+//! The streaming pipeline's hot path must not funnel every counter bump
+//! through the shared `&mut Recorder` (which serializes on the coordinator)
+//! — instead each worker thread owns a [`MetricsShard`]: a fixed array of
+//! relaxed atomic counters plus fixed-bucket log2 histograms, preallocated at
+//! pipeline start so the steady state allocates nothing. Shards are merged
+//! only at snapshot time ([`ShardedMetrics::snapshot`]), and per-shard
+//! snapshots ([`ShardedMetrics::shard_snapshot`]) attribute work and waiting
+//! to individual workers.
+//!
+//! Metric identity is an index into a `&'static` name table fixed at
+//! construction, so recording is a bounds-checked array index plus a relaxed
+//! `fetch_add` — no map lookups, no locks, no allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use expkit::{Log2Histogram, LOG2_BUCKETS};
+use serde::{Deserialize, Serialize};
+
+/// Concurrently-recordable [`Log2Histogram`]: one relaxed atomic per bucket
+/// plus an atomic value sum. Bucket layout is identical to the scalar type,
+/// so [`AtomicLog2Histogram::snapshot`] produces a mergeable histogram.
+#[derive(Debug)]
+pub struct AtomicLog2Histogram {
+    counts: [AtomicU64; LOG2_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for AtomicLog2Histogram {
+    fn default() -> Self {
+        AtomicLog2Histogram::new()
+    }
+}
+
+impl AtomicLog2Histogram {
+    pub fn new() -> AtomicLog2Histogram {
+        AtomicLog2Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[Log2Histogram::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration as nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Materialize the current bucket counts as a scalar histogram. Relaxed
+    /// loads: exact once the recording threads have quiesced (joined), a
+    /// consistent-enough approximation while they run.
+    pub fn snapshot(&self) -> Log2Histogram {
+        let counts: [u64; LOG2_BUCKETS] =
+            std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed));
+        Log2Histogram::from_parts(counts, self.sum.load(Ordering::Relaxed))
+    }
+}
+
+/// One thread's private slice of the metrics: atomic counters and histograms
+/// addressed by the indices of the name tables the owning
+/// [`ShardedMetrics`] was built with.
+#[derive(Debug)]
+pub struct MetricsShard {
+    counters: Box<[AtomicU64]>,
+    hists: Box<[AtomicLog2Histogram]>,
+}
+
+impl MetricsShard {
+    fn new(counters: usize, hists: usize) -> MetricsShard {
+        MetricsShard {
+            counters: (0..counters).map(|_| AtomicU64::new(0)).collect(),
+            hists: (0..hists).map(|_| AtomicLog2Histogram::new()).collect(),
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, counter: usize, delta: u64) {
+        self.counters[counter].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn incr(&self, counter: usize) {
+        self.add(counter, 1);
+    }
+
+    pub fn counter(&self, counter: usize) -> u64 {
+        self.counters[counter].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn record(&self, hist: usize, value: u64) {
+        self.hists[hist].record(value);
+    }
+
+    #[inline]
+    pub fn record_duration(&self, hist: usize, d: Duration) {
+        self.hists[hist].record_duration(d);
+    }
+}
+
+/// A set of named metrics sharded across `n` owners (typically worker
+/// threads plus a coordinator). Construction allocates everything up front;
+/// recording into any shard is lock-free and allocation-free.
+#[derive(Debug)]
+pub struct ShardedMetrics {
+    counter_names: &'static [&'static str],
+    hist_names: &'static [&'static str],
+    shards: Box<[MetricsShard]>,
+}
+
+impl ShardedMetrics {
+    pub fn new(
+        counter_names: &'static [&'static str],
+        hist_names: &'static [&'static str],
+        shards: usize,
+    ) -> ShardedMetrics {
+        assert!(shards >= 1, "need at least one shard");
+        ShardedMetrics {
+            counter_names,
+            hist_names,
+            shards: (0..shards)
+                .map(|_| MetricsShard::new(counter_names.len(), hist_names.len()))
+                .collect(),
+        }
+    }
+
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn shard(&self, i: usize) -> &MetricsShard {
+        &self.shards[i]
+    }
+
+    pub fn counter_names(&self) -> &'static [&'static str] {
+        self.counter_names
+    }
+
+    pub fn hist_names(&self) -> &'static [&'static str] {
+        self.hist_names
+    }
+
+    /// Snapshot of one shard.
+    pub fn shard_snapshot(&self, i: usize) -> MetricsSnapshot {
+        self.snapshot_of(&self.shards[i..=i])
+    }
+
+    /// Merged snapshot across every shard.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.snapshot_of(&self.shards)
+    }
+
+    fn snapshot_of(&self, shards: &[MetricsShard]) -> MetricsSnapshot {
+        let counters = self
+            .counter_names
+            .iter()
+            .enumerate()
+            .map(|(c, &name)| (name, shards.iter().map(|s| s.counter(c)).sum()))
+            .collect();
+        let hists = self
+            .hist_names
+            .iter()
+            .enumerate()
+            .map(|(h, &name)| {
+                let mut merged = Log2Histogram::new();
+                for s in shards {
+                    merged.merge(&s.hists[h].snapshot());
+                }
+                (name, merged)
+            })
+            .collect();
+        MetricsSnapshot { counters, hists }
+    }
+}
+
+/// Point-in-time scalar view of a [`ShardedMetrics`] (one shard or the
+/// merge): plain counters plus mergeable histograms. Cheap to diff across
+/// window boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(&'static str, u64)>,
+    pub hists: Vec<(&'static str, Log2Histogram)>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| *n == name).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    pub fn hist(&self, name: &str) -> Option<&Log2Histogram> {
+        self.hists.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
+    }
+
+    /// Per-metric difference against an `earlier` snapshot of the same
+    /// metrics (window deltas over monotone counters/histograms).
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|&(n, v)| (n, v.saturating_sub(earlier.counter(n))))
+                .collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(n, h)| (*n, earlier.hist(n).map(|e| h.diff(e)).unwrap_or_else(|| h.clone())))
+                .collect(),
+        }
+    }
+
+    /// Serializable summary (counter values plus per-histogram quantile
+    /// rows) for JSON artifacts.
+    pub fn report(&self) -> MetricsReport {
+        MetricsReport {
+            counters: self.counters.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+            histograms: self
+                .hists
+                .iter()
+                .map(|(n, h)| HistogramReport {
+                    name: n.to_string(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    mean: h.mean(),
+                    p50: h.quantile(0.50).unwrap_or(0),
+                    p90: h.quantile(0.90).unwrap_or(0),
+                    p99: h.quantile(0.99).unwrap_or(0),
+                    max_bound: h.max_bound().unwrap_or(0),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// JSON-friendly form of a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    pub counters: Vec<(String, u64)>,
+    pub histograms: Vec<HistogramReport>,
+}
+
+/// One histogram's scalar summary inside a [`MetricsReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramReport {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub max_bound: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTERS: &[&str] = &["requests", "admitted"];
+    const HISTS: &[&str] = &["solve_ns"];
+
+    #[test]
+    fn shards_merge_to_totals() {
+        let m = ShardedMetrics::new(COUNTERS, HISTS, 3);
+        m.shard(0).add(0, 5);
+        m.shard(1).add(0, 7);
+        m.shard(2).incr(1);
+        m.shard(1).record(0, 100);
+        m.shard(2).record(0, 900);
+        let merged = m.snapshot();
+        assert_eq!(merged.counter("requests"), 12);
+        assert_eq!(merged.counter("admitted"), 1);
+        assert_eq!(merged.hist("solve_ns").unwrap().count(), 2);
+        assert_eq!(merged.hist("solve_ns").unwrap().sum(), 1000);
+        let s1 = m.shard_snapshot(1);
+        assert_eq!(s1.counter("requests"), 7);
+        assert_eq!(s1.hist("solve_ns").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact_after_join() {
+        let m = ShardedMetrics::new(COUNTERS, HISTS, 4);
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let m = &m;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        m.shard(w).incr(0);
+                        m.shard(w).record(0, i);
+                    }
+                });
+            }
+        });
+        let merged = m.snapshot();
+        assert_eq!(merged.counter("requests"), 4000);
+        assert_eq!(merged.hist("solve_ns").unwrap().count(), 4000);
+        assert_eq!(merged.hist("solve_ns").unwrap().sum(), 4 * (999 * 1000 / 2));
+    }
+
+    #[test]
+    fn snapshot_diff_is_window_delta() {
+        let m = ShardedMetrics::new(COUNTERS, HISTS, 1);
+        m.shard(0).add(0, 3);
+        m.shard(0).record(0, 10);
+        let base = m.snapshot();
+        m.shard(0).add(0, 4);
+        m.shard(0).record(0, 1000);
+        let delta = m.snapshot().diff(&base);
+        assert_eq!(delta.counter("requests"), 4);
+        assert_eq!(delta.hist("solve_ns").unwrap().count(), 1);
+        assert_eq!(delta.hist("solve_ns").unwrap().sum(), 1000);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let m = ShardedMetrics::new(COUNTERS, HISTS, 1);
+        m.shard(0).incr(0);
+        m.shard(0).record_duration(0, Duration::from_micros(3));
+        let report = m.snapshot().report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: MetricsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.histograms[0].count, 1);
+        assert!(back.histograms[0].p99 >= 3000);
+    }
+}

@@ -1,0 +1,76 @@
+//! Metrics-window interval specification shared by the streaming pipeline
+//! and the discrete-event simulator.
+//!
+//! A window boundary is either every `N` requests (deterministic — the
+//! resulting `stream.window` stream is a pure function of the workload) or
+//! every `X` seconds. For the stream pipeline, seconds means wall-clock time
+//! (nondeterministic event cadence, documented); for the simulator it means
+//! simulated time, which keeps the trace byte-identical across runs.
+
+use std::fmt;
+
+/// How often to cut a metrics window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricsInterval {
+    /// Cut a window every `n` requests (or arrivals, for the simulator).
+    Requests(u64),
+    /// Cut a window every `s` seconds (wall-clock for streams, sim-time for
+    /// the simulator).
+    Seconds(f64),
+}
+
+impl MetricsInterval {
+    /// Parse a CLI spelling: a bare integer means requests (`"10000"`), a
+    /// number with an `s` suffix means seconds (`"2.5s"`).
+    pub fn parse(s: &str) -> Result<MetricsInterval, String> {
+        let s = s.trim();
+        if let Some(num) = s.strip_suffix('s') {
+            let secs: f64 = num.parse().map_err(|_| format!("invalid seconds interval {s:?}"))?;
+            // NaN fails the finiteness check, so `<=` is safe here.
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err(format!("seconds interval must be positive and finite, got {s:?}"));
+            }
+            Ok(MetricsInterval::Seconds(secs))
+        } else {
+            let n: u64 = s.parse().map_err(|_| format!("invalid request-count interval {s:?}"))?;
+            if n == 0 {
+                return Err("request-count interval must be at least 1".to_string());
+            }
+            Ok(MetricsInterval::Requests(n))
+        }
+    }
+}
+
+impl fmt::Display for MetricsInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsInterval::Requests(n) => write!(f, "{n}"),
+            MetricsInterval::Seconds(s) => write!(f, "{s}s"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_counts_and_seconds() {
+        assert_eq!(MetricsInterval::parse("10000"), Ok(MetricsInterval::Requests(10000)));
+        assert_eq!(MetricsInterval::parse("2.5s"), Ok(MetricsInterval::Seconds(2.5)));
+        assert_eq!(MetricsInterval::parse(" 7 "), Ok(MetricsInterval::Requests(7)));
+        assert!(MetricsInterval::parse("0").is_err());
+        assert!(MetricsInterval::parse("-1s").is_err());
+        assert!(MetricsInterval::parse("0s").is_err());
+        assert!(MetricsInterval::parse("nope").is_err());
+        assert!(MetricsInterval::parse("infs").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for spec in ["123", "1.5s"] {
+            let parsed = MetricsInterval::parse(spec).unwrap();
+            assert_eq!(MetricsInterval::parse(&parsed.to_string()), Ok(parsed));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the sharded metrics plane.
+//!
+//! The per-worker shards exist so the hot path never contends on a lock;
+//! correctness rests on merge-at-snapshot being indistinguishable from
+//! having recorded the same stream single-threaded. These tests drive both
+//! planes with random op streams and require exact agreement, plus the
+//! documented quantile guarantee: the log2-bucket estimate stays within one
+//! bucket of the exact nearest-rank order statistic.
+
+use obs::{Log2Histogram, ShardedMetrics};
+use proptest::prelude::*;
+
+const COUNTERS: &[&str] = &["reqs", "admitted", "conflicts"];
+const HISTS: &[&str] = &["solve_ns", "wait_ns"];
+const WORKERS: usize = 4;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Count { worker: usize, counter: usize, delta: u64 },
+    Record { worker: usize, hist: usize, value: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..WORKERS, 0..COUNTERS.len(), 0u64..1_000)
+            .prop_map(|(worker, counter, delta)| Op::Count { worker, counter, delta }),
+        // Values up to 2^40 cover every realistic duration-in-ns bucket
+        // while staying far from the saturating-sum edge cases.
+        (0..WORKERS, 0..HISTS.len(), 0u64..(1 << 40))
+            .prop_map(|(worker, hist, value)| Op::Record { worker, hist, value }),
+    ]
+}
+
+fn apply(metrics: &ShardedMetrics, shard: impl Fn(usize) -> usize, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Count { worker, counter, delta } => {
+                metrics.shard(shard(worker)).add(counter, delta)
+            }
+            Op::Record { worker, hist, value } => metrics.shard(shard(worker)).record(hist, value),
+        }
+    }
+}
+
+fn assert_snapshots_equal(sharded: &ShardedMetrics, single: &ShardedMetrics) {
+    let merged = sharded.snapshot();
+    let solo = single.snapshot();
+    for name in COUNTERS {
+        assert_eq!(merged.counter(name), solo.counter(name), "counter {name} diverged");
+    }
+    for name in HISTS {
+        let (m, s) = (merged.hist(name).unwrap(), solo.hist(name).unwrap());
+        assert_eq!(m.bucket_counts(), s.bucket_counts(), "hist {name} buckets diverged");
+        assert_eq!(m.count(), s.count(), "hist {name} count diverged");
+        assert_eq!(m.sum(), s.sum(), "hist {name} sum diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Routing a stream across per-worker shards and merging at snapshot
+    /// time equals recording the whole stream into one shard.
+    #[test]
+    fn sharded_merge_matches_single_threaded(ops in proptest::collection::vec(arb_op(), 0..200)) {
+        let sharded = ShardedMetrics::new(COUNTERS, HISTS, WORKERS);
+        let single = ShardedMetrics::new(COUNTERS, HISTS, 1);
+        apply(&sharded, |w| w, &ops);
+        apply(&single, |_| 0, &ops);
+        assert_snapshots_equal(&sharded, &single);
+    }
+
+    /// The histogram quantile estimate (inclusive upper bound of the bucket
+    /// holding the nearest-rank order statistic) lands in the same log2
+    /// bucket as the exact quantile of the raw sample.
+    #[test]
+    fn quantile_within_one_bucket_of_exact(
+        values in proptest::collection::vec(0u64..(1 << 40), 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let mut hist = Log2Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let estimate = hist.quantile(q).unwrap();
+        prop_assert!(estimate >= exact, "estimate {estimate} below exact {exact}");
+        prop_assert_eq!(
+            Log2Histogram::bucket_of(estimate),
+            Log2Histogram::bucket_of(exact),
+            "estimate {} not in the exact value {}'s bucket (q={})", estimate, exact, q
+        );
+    }
+}
+
+/// Shards really are safe to hammer concurrently: four threads record
+/// deterministic streams — each into its own shard, all bumping one shared
+/// shard-0 counter — and the merged snapshot equals the same stream applied
+/// sequentially to a single shard.
+#[test]
+fn concurrent_recording_merges_exactly() {
+    let streams: Vec<Vec<(usize, u64)>> = (0..WORKERS)
+        .map(|w| {
+            let mut s = 0x9E37_79B9_7F4A_7C15u64 ^ (w as u64 + 1);
+            (0..10_000)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    ((s >> 32) as usize % HISTS.len(), s % (1 << 40))
+                })
+                .collect()
+        })
+        .collect();
+
+    let expected = ShardedMetrics::new(COUNTERS, HISTS, 1);
+    for stream in &streams {
+        for &(h, v) in stream {
+            expected.shard(0).record(h, v);
+            expected.shard(0).add(v as usize % COUNTERS.len(), v % 17);
+            expected.shard(0).incr(0);
+        }
+    }
+
+    let sharded = ShardedMetrics::new(COUNTERS, HISTS, WORKERS);
+    std::thread::scope(|scope| {
+        for (w, stream) in streams.iter().enumerate() {
+            let sharded = &sharded;
+            scope.spawn(move || {
+                for &(h, v) in stream {
+                    sharded.shard(w).record(h, v);
+                    sharded.shard(w).add(v as usize % COUNTERS.len(), v % 17);
+                    // Cross-shard contention: every worker also bumps the
+                    // coordinator shard's first counter.
+                    sharded.shard(0).incr(0);
+                }
+            });
+        }
+    });
+    assert_snapshots_equal(&sharded, &expected);
+}

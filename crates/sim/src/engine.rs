@@ -13,6 +13,7 @@
 //! - stream 2: master for per-instance failure/repair clocks (instance `k`
 //!   gets its own `fan_out(stream2, k)`-seeded generator).
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use mecnet::admission::random_placement_capacity_aware;
@@ -20,7 +21,7 @@ use mecnet::graph::NodeId;
 use mecnet::network::MecNetwork;
 use mecnet::request::SfcRequest;
 use mecnet::vnf::VnfCatalog;
-use obs::Recorder;
+use obs::{FlightRecorder, MetricsInterval, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use relaug::instance::AugmentationInstance;
@@ -59,6 +60,16 @@ pub struct SimConfig {
     pub expectation: f64,
     /// Master seed; everything derives from it.
     pub seed: u64,
+    /// Windowed telemetry: `None` (default) emits every `sim.*` event (the
+    /// byte-identity-checked trace); `Some` suppresses per-event emission and
+    /// emits one `sim.window` summary per interval plus the final partial
+    /// window. `Seconds` means *simulated* seconds and `Requests` counts
+    /// arrivals, so windowed traces stay deterministic.
+    pub metrics_interval: Option<MetricsInterval>,
+    /// Keep a flight ring of recent raw events, dumped to
+    /// `<dir>/flight-sim-<policy>.jsonl` on the first SLO violation observed
+    /// at a departure.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for SimConfig {
@@ -75,8 +86,48 @@ impl Default for SimConfig {
             sfc_len_range: (2, 4),
             expectation: 0.99,
             seed: 0xC0FFEE,
+            metrics_interval: None,
+            flight_dir: None,
         }
     }
+}
+
+/// Deterministic per-window event counts; a `sim.window` summary carries the
+/// delta of these against the previous window's base.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct SimWindowCounts {
+    arrivals: u64,
+    admitted: u64,
+    rejected: u64,
+    departures: u64,
+    failures: u64,
+    repairs: u64,
+    reaugmentations: u64,
+    audits: u64,
+}
+
+impl SimWindowCounts {
+    fn diff(&self, base: &SimWindowCounts) -> SimWindowCounts {
+        SimWindowCounts {
+            arrivals: self.arrivals - base.arrivals,
+            admitted: self.admitted - base.admitted,
+            rejected: self.rejected - base.rejected,
+            departures: self.departures - base.departures,
+            failures: self.failures - base.failures,
+            repairs: self.repairs - base.repairs,
+            reaugmentations: self.reaugmentations - base.reaugmentations,
+            audits: self.audits - base.audits,
+        }
+    }
+}
+
+/// Open-window bookkeeping for windowed telemetry.
+#[derive(Debug)]
+struct SimWindow {
+    interval: MetricsInterval,
+    index: u64,
+    started_t: f64,
+    base: SimWindowCounts,
 }
 
 /// One deployed VNF instance (primary or secondary) with its own clocks.
@@ -193,6 +244,13 @@ struct Engine<'a> {
     workload_rng: StdRng,
     place_rng: StdRng,
     clock_master: u64,
+    /// `true` (default mode): emit every `sim.*` event through `rec`.
+    full_events: bool,
+    window: Option<SimWindow>,
+    wcounts: SimWindowCounts,
+    flight: Option<FlightRecorder>,
+    flight_path: Option<PathBuf>,
+    flight_dumped: bool,
 }
 
 impl<'a> Engine<'a> {
@@ -229,7 +287,117 @@ impl<'a> Engine<'a> {
             workload_rng: StdRng::seed_from_u64(expkit::fan_out(cfg.seed, 0)),
             place_rng: StdRng::seed_from_u64(expkit::fan_out(cfg.seed, 1)),
             clock_master: expkit::fan_out(cfg.seed, 2),
+            full_events: cfg.metrics_interval.is_none(),
+            window: cfg.metrics_interval.map(|interval| SimWindow {
+                interval,
+                index: 0,
+                started_t: 0.0,
+                base: SimWindowCounts::default(),
+            }),
+            wcounts: SimWindowCounts::default(),
+            flight: cfg.flight_dir.as_ref().map(|_| FlightRecorder::new(256)),
+            flight_path: cfg
+                .flight_dir
+                .as_ref()
+                .map(|dir| dir.join(format!("flight-sim-{}.jsonl", policy.name()))),
+            flight_dumped: false,
         }
+    }
+
+    /// Tee one raw `sim.*` event: emitted through `rec` in full-trace mode,
+    /// and always pushed into the flight ring when one is configured. The
+    /// builder only runs when a consumer exists.
+    fn note<F: Fn() -> obs::Event>(&mut self, rec: &mut Recorder, build: F) {
+        if self.full_events {
+            rec.emit_with(&build);
+        }
+        if let Some(fl) = self.flight.as_mut() {
+            fl.push(build());
+        }
+    }
+
+    /// Run the augmentation solver. Full mode traces solver events straight
+    /// into `rec` (the byte-identity path); windowed mode captures solver
+    /// counters only and merges the aggregates, so the trace stays bounded.
+    fn solve(&mut self, inst: &AugmentationInstance, rec: &mut Recorder) -> relaug::Outcome {
+        if self.full_events {
+            self.cfg.algorithm.solve_traced(inst, &mut self.place_rng, rec)
+        } else {
+            let mut solver_rec = Recorder::counters_only();
+            let out = self.cfg.algorithm.solve_traced(inst, &mut self.place_rng, &mut solver_rec);
+            rec.absorb(solver_rec);
+            out
+        }
+    }
+
+    /// Dump the flight ring (once per run) to the configured path.
+    fn flight_dump(&mut self, reason: &str) {
+        if self.flight_dumped {
+            return;
+        }
+        if let (Some(fl), Some(path)) = (&self.flight, &self.flight_path) {
+            let _ = fl.dump_to_path(reason, path);
+            self.flight_dumped = true;
+        }
+    }
+
+    /// Close any windows that end at or before `t`. Time windows close before
+    /// the event that crosses the boundary is processed; request windows close
+    /// right after the arrival that fills them (`after_arrival`). Boundaries
+    /// depend only on simulated time and arrival counts, so windowed traces
+    /// are as deterministic as full ones.
+    fn cut_windows(&mut self, t: f64, after_arrival: bool, rec: &mut Recorder) {
+        loop {
+            let Some(win) = &self.window else { return };
+            match win.interval {
+                MetricsInterval::Seconds(s) => {
+                    let end = win.started_t + s;
+                    if t >= end {
+                        self.emit_window(end, false, rec);
+                        continue;
+                    }
+                }
+                MetricsInterval::Requests(n) => {
+                    if after_arrival && self.wcounts.arrivals - win.base.arrivals >= n {
+                        self.emit_window(t, false, rec);
+                        continue;
+                    }
+                }
+            }
+            return;
+        }
+    }
+
+    /// Emit one `sim.window` summary covering `[started_t, t_end)` and roll
+    /// the window forward. A final partial window is skipped when empty,
+    /// unless it would be the run's only window.
+    fn emit_window(&mut self, t_end: f64, final_window: bool, rec: &mut Recorder) {
+        let Some(win) = &mut self.window else { return };
+        let d = self.wcounts.diff(&win.base);
+        let skip = final_window && d == SimWindowCounts::default() && win.index > 0;
+        if !skip {
+            let (index, t_start) = (win.index, win.started_t);
+            let active = self.requests.iter().filter(|r| r.admitted && !r.departed).count() as u64;
+            rec.emit_with(|| {
+                obs::Event::new("sim.window")
+                    .with("window", index)
+                    .with("final", final_window)
+                    .with("t_start", t_start)
+                    .with("t_end", t_end)
+                    .with("arrivals", d.arrivals)
+                    .with("admitted", d.admitted)
+                    .with("rejected", d.rejected)
+                    .with("departures", d.departures)
+                    .with("failures", d.failures)
+                    .with("repairs", d.repairs)
+                    .with("reaugmentations", d.reaugmentations)
+                    .with("audits", d.audits)
+                    .with("active", active)
+            });
+            win.index += 1;
+        }
+        win.started_t = t_end;
+        win.base = self.wcounts;
     }
 
     fn run(mut self, rec: &mut Recorder) -> SloReport {
@@ -242,6 +410,8 @@ impl<'a> Engine<'a> {
             if ev.time > self.cfg.duration {
                 break;
             }
+            self.cut_windows(ev.time, false, rec);
+            let was_arrival = matches!(ev.kind, EventKind::Arrival);
             match ev.kind {
                 EventKind::Arrival => self.on_arrival(ev.time, rec),
                 EventKind::Departure { request } => self.on_departure(ev.time, request, rec),
@@ -252,6 +422,9 @@ impl<'a> Engine<'a> {
                     self.on_repair(ev.time, instance, epoch, rec)
                 }
                 EventKind::AuditTick => self.on_audit(ev.time, rec),
+            }
+            if was_arrival {
+                self.cut_windows(ev.time, true, rec);
             }
             debug_assert!(self.residual.iter().all(|&r| r >= -1e-6), "capacity went negative");
         }
@@ -358,9 +531,11 @@ impl<'a> Engine<'a> {
             &mut self.residual,
             &mut self.place_rng,
         );
+        self.wcounts.arrivals += 1;
         let Some(placement) = placement else {
+            self.wcounts.rejected += 1;
             rec.count("sim.rejected", 1);
-            rec.emit_with(|| {
+            self.note(rec, || {
                 obs::Event::new("sim.arrival")
                     .with("t", t)
                     .with("id", id)
@@ -402,7 +577,7 @@ impl<'a> Engine<'a> {
             self.cfg.l,
         );
         let solve_started = Instant::now();
-        let outcome = self.cfg.algorithm.solve_traced(&inst, &mut self.place_rng, rec);
+        let outcome = self.solve(&inst, rec);
         rec.record_time("sim.solve", solve_started.elapsed());
 
         self.requests.push(ActiveRequest {
@@ -450,8 +625,9 @@ impl<'a> Engine<'a> {
         }
         self.counts.secondaries_placed += outcome.metrics.total_secondaries;
         self.queue.push(t + holding, EventKind::Departure { request: id });
+        self.wcounts.admitted += 1;
         rec.count("sim.admitted", 1);
-        rec.emit_with(|| {
+        self.note(rec, || {
             obs::Event::new("sim.arrival")
                 .with("t", t)
                 .with("id", id)
@@ -474,16 +650,22 @@ impl<'a> Engine<'a> {
             self.release_instance(id);
         }
         self.counts.departures += 1;
+        self.wcounts.departures += 1;
         let r = &self.requests[request];
-        let (avail, outages) = (r.availability(t), r.outages);
+        let (avail, outages, expectation) = (r.availability(t), r.outages, r.req.expectation);
         rec.count("sim.departures", 1);
-        rec.emit_with(|| {
+        self.note(rec, || {
             obs::Event::new("sim.departure")
                 .with("t", t)
                 .with("id", request)
                 .with("availability", avail)
                 .with("outages", outages)
         });
+        // A departure that missed its reliability expectation is an SLO
+        // violation: dump the recent raw events for the postmortem.
+        if avail < expectation {
+            self.flight_dump("slo_violation");
+        }
     }
 
     fn on_failure(&mut self, t: f64, instance: usize, epoch: u64, rec: &mut Recorder) {
@@ -517,8 +699,9 @@ impl<'a> Engine<'a> {
             r.outage_start = t;
             r.outages += 1;
         }
+        self.wcounts.failures += 1;
         rec.count("sim.failures", 1);
-        rec.emit_with(|| {
+        self.note(rec, || {
             obs::Event::new("sim.failure")
                 .with("t", t)
                 .with("instance", instance)
@@ -557,8 +740,9 @@ impl<'a> Engine<'a> {
             r.last_change = t;
             r.up = true;
         }
+        self.wcounts.repairs += 1;
         rec.count("sim.repairs", 1);
-        rec.emit_with(|| {
+        self.note(rec, || {
             obs::Event::new("sim.repair")
                 .with("t", t)
                 .with("instance", instance)
@@ -582,8 +766,9 @@ impl<'a> Engine<'a> {
                 repaired += 1;
             }
         }
+        self.wcounts.audits += 1;
         rec.count("sim.audits", 1);
-        rec.emit_with(|| {
+        self.note(rec, || {
             obs::Event::new("sim.audit")
                 .with("t", t)
                 .with("active", checked)
@@ -615,7 +800,7 @@ impl<'a> Engine<'a> {
             slot.existing_backups = n.saturating_sub(1);
         }
         let solve_started = Instant::now();
-        let outcome = self.cfg.algorithm.solve_traced(&inst, &mut self.place_rng, rec);
+        let outcome = self.solve(&inst, rec);
         rec.record_time("sim.repair_solve", solve_started.elapsed());
         let placed = outcome.metrics.total_secondaries;
         let demands: Vec<f64> = req.sfc.iter().map(|&f| self.catalog.demand(f)).collect();
@@ -650,8 +835,9 @@ impl<'a> Engine<'a> {
         self.counts.reaugmentations += 1;
         self.requests[request].secondaries += placed;
         self.requests[request].reaugmentations += 1;
+        self.wcounts.reaugmentations += 1;
         rec.count("sim.reaugmentations", 1);
-        rec.emit_with(|| {
+        self.note(rec, || {
             obs::Event::new("sim.reaugment")
                 .with("t", t)
                 .with("request", request)
@@ -662,6 +848,10 @@ impl<'a> Engine<'a> {
 
     fn finalize(mut self, rec: &mut Recorder) -> SloReport {
         let end = self.cfg.duration;
+        // Close the trailing partial window before the summary report.
+        if self.window.is_some() {
+            self.emit_window(end, true, rec);
+        }
         // Close the accounting of everything still in service at the horizon.
         for r in &mut self.requests {
             if r.admitted && !r.departed {
@@ -853,6 +1043,77 @@ mod tests {
         assert!(rep.permanent_failures > 0);
         assert_eq!(rep.permanent_failures, rep.failures);
         assert_eq!(rep.instance_repairs, 0, "nothing ever comes back");
+    }
+
+    #[test]
+    fn windowed_mode_bounds_events_and_preserves_totals() {
+        let (net, cat) = setup(1);
+        let full_report = run(&net, &cat, &quick_cfg(), &NoRepair);
+
+        let mut cfg = quick_cfg();
+        cfg.metrics_interval = Some(MetricsInterval::Seconds(30.0));
+        let mut rec = Recorder::memory();
+        let report = run_traced(&net, &cat, &cfg, &NoRepair, &mut rec);
+
+        // Windowing must not perturb the simulation itself.
+        assert_eq!(report.arrivals, full_report.arrivals);
+        assert_eq!(report.admitted, full_report.admitted);
+        assert_eq!(report.failures, full_report.failures);
+
+        // Per-event emission (sim.* AND solver events) is suppressed; the
+        // trace holds only windows + the final report.
+        let kinds: Vec<&str> = rec.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.iter().all(|k| *k == "sim.window" || *k == "sim.report"), "{kinds:?}");
+        assert!(kinds.contains(&"sim.report"));
+        let windows: Vec<_> = rec.events().iter().filter(|e| e.kind == "sim.window").collect();
+        // duration 120 / interval 30 → at most 4 interior + 1 final partial.
+        assert!(
+            (1..=5).contains(&windows.len()),
+            "expected bounded windows, saw {}",
+            windows.len()
+        );
+        // Window deltas add back up to the run totals.
+        let summed: u64 = windows
+            .iter()
+            .map(|e| match e.field("arrivals") {
+                Some(serde::Value::U64(n)) => *n,
+                other => panic!("bad arrivals field: {other:?}"),
+            })
+            .sum();
+        assert_eq!(summed as usize, report.arrivals);
+    }
+
+    #[test]
+    fn request_windows_cut_every_n_arrivals() {
+        let (net, cat) = setup(3);
+        let mut cfg = quick_cfg();
+        cfg.metrics_interval = Some(MetricsInterval::Requests(5));
+        let mut rec = Recorder::memory();
+        let report = run_traced(&net, &cat, &cfg, &NoRepair, &mut rec);
+        let windows = rec.events().iter().filter(|e| e.kind == "sim.window").count();
+        assert!(windows >= report.arrivals / 5, "saw {windows} windows");
+        assert!(windows <= report.arrivals / 5 + 1, "saw {windows} windows");
+        assert!(!rec.events().iter().any(|e| e.kind == "sim.arrival"));
+    }
+
+    #[test]
+    fn slo_violation_dumps_flight_ring() {
+        let (net, cat) = setup(2);
+        let dir = std::env::temp_dir().join(format!("relaug-flight-{}", std::process::id()));
+        let mut cfg = quick_cfg();
+        cfg.expectation = 0.999999; // unattainable once instances are lost
+        cfg.permanent_failure_prob = 1.0; // every failure is an outage that never heals
+        cfg.duration = 200.0;
+        cfg.flight_dir = Some(dir.clone());
+        let report = run(&net, &cat, &cfg, &NoRepair);
+        assert!(report.slo_attainment < 1.0, "violations expected");
+        let path = dir.join("flight-sim-none.jsonl");
+        let text = std::fs::read_to_string(&path).expect("flight dump written");
+        let first = text.lines().next().expect("non-empty dump");
+        assert!(first.contains("\"event\":\"flight.dump\""));
+        assert!(first.contains("\"reason\":\"slo_violation\""));
+        assert!(text.lines().count() >= 2, "dump carries buffered events");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
