@@ -14,6 +14,10 @@
 //!    enough to measure child re-solves rather than a pre-pruned stump.
 //! 2. **Stream throughput** — an ILP-mode request stream (production
 //!    default config) timed cold vs warm.
+//! 3. **Scenario stream** — the same cold-vs-warm ILP stream on the
+//!    `ba-1k` zoo preset (1,000 cloudlets; the neighborhood index keeps
+//!    per-request instances small enough for exact solves), lazily
+//!    synthesized and fed through the sink driver.
 //!
 //! Results go to `BENCH_ilp.json` at the workspace root (the CI artifact;
 //! CI gates `warm.total_pivots <= cold.total_pivots`). `QUICK=1` shrinks
@@ -26,9 +30,11 @@ use std::time::Instant;
 use mecnet::request::SfcRequest;
 use mecnet::workload::{generate_catalog, generate_network, WorkloadConfig};
 use milp::{BnbConfig, Model, Relation, Sense};
+use obs::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use relaug::stream::{process_stream_seeded, Algorithm, StreamConfig};
+use relaug::stream::{process_stream_seeded, process_stream_seeded_sink, Algorithm, StreamConfig};
+use scen::{BuiltScenario, RequestStream, ScenarioSpec};
 use serde::Value;
 
 const SEED: u64 = 42;
@@ -129,11 +135,42 @@ fn run_stream(requests: usize, warm: bool) -> (f64, usize, f64) {
     (requests as f64 / wall, admitted, out.records[0].achieved_reliability)
 }
 
+/// Cold-vs-warm ILP stream on a zoo scenario: requests come lazily from the
+/// spec-derived generator and records are folded into running statistics as
+/// they are produced. Returns (req/s, admitted, first-request reliability).
+fn run_scenario_stream(built: &BuiltScenario, requests: u64, warm: bool) -> (f64, usize, f64) {
+    let mut ilp_cfg = relaug::ilp::IlpConfig::default();
+    ilp_cfg.bnb.warm_lp_nodes = warm;
+    let cfg = StreamConfig { algorithm: Algorithm::Ilp(ilp_cfg), ..Default::default() };
+    let mut admitted = 0usize;
+    let mut first_rel = f64::NAN;
+    let started = Instant::now();
+    process_stream_seeded_sink(
+        &built.network,
+        &built.catalog,
+        RequestStream::new(built, requests),
+        &cfg,
+        built.spec.seed,
+        &mut Recorder::noop(),
+        &mut |r| {
+            if r.id == 0 {
+                first_rel = r.achieved_reliability;
+            }
+            admitted += r.admitted as usize;
+        },
+    );
+    let wall = started.elapsed().as_secs_f64();
+    (requests as f64 / wall, admitted, first_rel)
+}
+
+const SCENARIO: &str = "ba-1k";
+
 fn main() {
     let quick = std::env::var_os("QUICK").is_some();
     let models_n = if quick { 4 } else { 16 };
     let (items, bins) = if quick { (10, 4) } else { (14, 5) };
     let stream_requests = if quick { 15 } else { 60 };
+    let scenario_requests: u64 = if quick { 1_000 } else { 10_000 };
 
     let mut rng = StdRng::seed_from_u64(SEED);
     let models: Vec<Model> = (0..models_n).map(|_| bmcgap_model(&mut rng, items, bins)).collect();
@@ -187,6 +224,24 @@ fn main() {
          ({cold_admitted} admitted), {warm_rps:.1} req/s warm ({warm_admitted} admitted)"
     );
 
+    let built = ScenarioSpec::preset(SCENARIO).expect("known preset").build();
+    let (sc_cold_rps, sc_cold_admitted, sc_cold_rel0) =
+        run_scenario_stream(&built, scenario_requests, false);
+    let (sc_warm_rps, sc_warm_admitted, sc_warm_rel0) =
+        run_scenario_stream(&built, scenario_requests, true);
+    assert!(
+        (sc_cold_rel0 - sc_warm_rel0).abs() < 1e-9,
+        "warm/cold first-request reliability diverged on {SCENARIO}: \
+         {sc_cold_rel0} vs {sc_warm_rel0}",
+    );
+    println!(
+        "lp_warmstart: ILP scenario stream {SCENARIO} ({} nodes / {} cloudlets), \
+         {scenario_requests} requests — {sc_cold_rps:.1} req/s cold ({sc_cold_admitted} \
+         admitted), {sc_warm_rps:.1} req/s warm ({sc_warm_admitted} admitted)",
+        built.network.num_nodes(),
+        built.cloudlets(),
+    );
+
     let report = Value::Obj(vec![
         ("benchmark".into(), Value::Str("lp_warmstart".into())),
         ("quick".into(), Value::Bool(quick)),
@@ -206,6 +261,20 @@ fn main() {
                 ("cold_rps".into(), Value::F64(cold_rps)),
                 ("warm_rps".into(), Value::F64(warm_rps)),
                 ("speedup".into(), Value::F64(warm_rps / cold_rps)),
+            ]),
+        ),
+        (
+            "scenario_stream".into(),
+            Value::Obj(vec![
+                ("name".into(), Value::Str(SCENARIO.into())),
+                ("nodes".into(), Value::U64(built.network.num_nodes() as u64)),
+                ("cloudlets".into(), Value::U64(built.cloudlets() as u64)),
+                ("requests".into(), Value::U64(scenario_requests)),
+                ("cold_admitted".into(), Value::U64(sc_cold_admitted as u64)),
+                ("warm_admitted".into(), Value::U64(sc_warm_admitted as u64)),
+                ("cold_rps".into(), Value::F64(sc_cold_rps)),
+                ("warm_rps".into(), Value::F64(sc_warm_rps)),
+                ("speedup".into(), Value::F64(sc_warm_rps / sc_cold_rps)),
             ]),
         ),
     ]);

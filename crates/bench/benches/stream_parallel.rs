@@ -7,16 +7,32 @@
 //! the JSON records `cores` so a reader can judge which speedups were
 //! physically attainable — and every parallel run is checked byte-identical
 //! to the sequential baseline before its timing is trusted.
+//!
+//! Two fixtures:
+//!
+//! 1. **Toy** — the historical 120-request `WorkloadConfig::default()`
+//!    stream, criterion-sampled plus hand-timed (`results` in the JSON; the
+//!    CI overhead gate reads these rows).
+//! 2. **Scenario** — the `sagin-1k` zoo preset (≥1,000 cloudlets) with a
+//!    lazily synthesized million-request stream fed straight into the
+//!    engines' sink entry points, hand-timed once per worker count
+//!    (`scenario` in the JSON). Nothing is materialized: identity against
+//!    the sequential baseline is checked with the order-sensitive FNV record
+//!    hash and the final residual vector. `QUICK=1` shrinks the stream for
+//!    CI.
 
 use std::time::{Duration, Instant};
 
+use bench_harness::{fold_record_hash, RECORD_HASH_SEED};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use mecnet::request::SfcRequest;
 use mecnet::workload::{generate_catalog, generate_network, WorkloadConfig};
+use obs::Recorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use relaug::parallel::{process_stream_parallel, ParallelConfig};
+use relaug::parallel::{process_stream_metered_sink, process_stream_parallel, ParallelConfig};
 use relaug::stream::{Algorithm, StreamConfig, StreamOutcome};
+use scen::{BuiltScenario, RequestStream, ScenarioSpec};
 use serde::Value;
 
 const SEED: u64 = 42;
@@ -25,6 +41,11 @@ const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// Hand-timed repetitions per worker count for the JSON record (criterion's
 /// printed numbers come from its own sampling loop).
 const RECORD_REPS: usize = 5;
+
+const SCENARIO: &str = "sagin-1k";
+const SCENARIO_REQUESTS: u64 = 1_000_000;
+const SCENARIO_REQUESTS_QUICK: u64 = 150_000;
+const SCENARIO_WORKERS: [usize; 3] = [1, 2, 4];
 
 struct Fixture {
     network: mecnet::MecNetwork,
@@ -78,6 +99,86 @@ impl WorkerResult {
     }
 }
 
+/// One hand-timed scenario-scale run: the lazy stream goes straight into
+/// the sink engine (workers = 1 resolves to the sequential driver inside),
+/// records folded into the hash as they are produced.
+struct ScenarioRun {
+    hash: u64,
+    final_residual: Vec<f64>,
+    admitted: u64,
+    elapsed_s: f64,
+}
+
+fn run_scenario(built: &BuiltScenario, requests: u64, workers: usize) -> ScenarioRun {
+    let pcfg = ParallelConfig {
+        stream: StreamConfig {
+            algorithm: Algorithm::Heuristic(Default::default()),
+            ..Default::default()
+        },
+        workers,
+        seed: built.spec.seed,
+        max_inflight: 0,
+    };
+    let mut hash = RECORD_HASH_SEED;
+    let mut admitted = 0u64;
+    let started = Instant::now();
+    let (final_residual, _) = process_stream_metered_sink(
+        &built.network,
+        &built.catalog,
+        RequestStream::new(built, requests),
+        &pcfg,
+        0,
+        &mut Recorder::noop(),
+        &mut |r| {
+            hash = fold_record_hash(hash, &r);
+            admitted += r.admitted as u64;
+        },
+    );
+    ScenarioRun { hash, final_residual, admitted, elapsed_s: started.elapsed().as_secs_f64() }
+}
+
+fn scenario_section(quick: bool) -> Value {
+    let built = ScenarioSpec::preset(SCENARIO).expect("known preset").build();
+    let requests = if quick { SCENARIO_REQUESTS_QUICK } else { SCENARIO_REQUESTS };
+    let mut rows: Vec<Value> = Vec::new();
+    let mut baseline: Option<ScenarioRun> = None;
+    for &workers in &SCENARIO_WORKERS {
+        let r = run_scenario(&built, requests, workers);
+        let base = baseline.get_or_insert_with(|| ScenarioRun {
+            hash: r.hash,
+            final_residual: r.final_residual.clone(),
+            admitted: r.admitted,
+            elapsed_s: r.elapsed_s,
+        });
+        let identical = r.hash == base.hash && r.final_residual == base.final_residual;
+        println!(
+            "stream_parallel: scenario {SCENARIO} workers={workers} — {requests} requests in \
+             {:.2}s ({:.0} req/s, {} admitted, hash {:016x}, identical={identical})",
+            r.elapsed_s,
+            requests as f64 / r.elapsed_s,
+            r.admitted,
+            r.hash,
+        );
+        rows.push(Value::Obj(vec![
+            ("workers".into(), Value::U64(workers as u64)),
+            ("mean_s".into(), Value::F64(r.elapsed_s)),
+            ("throughput_rps".into(), Value::F64(requests as f64 / r.elapsed_s)),
+            ("speedup_vs_sequential".into(), Value::F64(base.elapsed_s / r.elapsed_s)),
+            ("identical_to_sequential".into(), Value::Bool(identical)),
+            ("record_hash".into(), Value::Str(format!("{:016x}", r.hash))),
+        ]));
+    }
+    Value::Obj(vec![
+        ("name".into(), Value::Str(SCENARIO.into())),
+        ("nodes".into(), Value::U64(built.network.num_nodes() as u64)),
+        ("cloudlets".into(), Value::U64(built.cloudlets() as u64)),
+        ("requests".into(), Value::U64(requests)),
+        ("algorithm".into(), Value::Str("heuristic".into())),
+        ("quick".into(), Value::Bool(quick)),
+        ("results".into(), Value::Arr(rows)),
+    ])
+}
+
 fn bench_stream_parallel(c: &mut Criterion) {
     let fx = fixture();
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -119,13 +220,16 @@ fn bench_stream_parallel(c: &mut Criterion) {
         r.speedup_vs_sequential = seq_mean / r.mean_s;
     }
 
-    let json = render_json(cores, &results);
+    let quick = std::env::var_os("QUICK").is_some();
+    let scenario = scenario_section(quick);
+
+    let json = render_json(cores, &results, scenario);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json");
     std::fs::write(path, &json).expect("write BENCH_stream.json");
     println!("wrote {path}");
 }
 
-fn render_json(cores: usize, results: &[WorkerResult]) -> String {
+fn render_json(cores: usize, results: &[WorkerResult], scenario: Value) -> String {
     let report = Value::Obj(vec![
         ("benchmark".into(), Value::Str("stream_parallel".into())),
         ("cores".into(), Value::U64(cores as u64)),
@@ -134,6 +238,7 @@ fn render_json(cores: usize, results: &[WorkerResult]) -> String {
         ("algorithm".into(), Value::Str("heuristic".into())),
         ("record_reps".into(), Value::U64(RECORD_REPS as u64)),
         ("results".into(), Value::Arr(results.iter().map(WorkerResult::to_value).collect())),
+        ("scenario".into(), scenario),
     ]);
     let mut json = serde_json::to_string_pretty(&report).expect("report serializes");
     json.push('\n');

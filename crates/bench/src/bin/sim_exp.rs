@@ -28,14 +28,64 @@
 //! engine). Policy runs are fully independent (each gets its own policy
 //! instance and telemetry recorder, merged back in policy order), so the
 //! tables, the JSON dump and the trace are byte-identical to `--workers 1`.
+//!
+//! `--scenario NAME|PATH` replaces the toy substrate and Poisson workload
+//! with a scenario-zoo build: the topology/catalog come from the spec and
+//! the arrival process from the lazy [`scen::RequestStream`] (diurnal +
+//! flash-crowd Poisson, popularity-skewed endpoints, spec-distributed TTLs
+//! as holding times). Every policy replays the *same* deterministic stream,
+//! pulled one arrival at a time — memory stays O(active requests), never
+//! O(stream). `--requests N` caps the stream; the simulated `--duration`
+//! bounds the run either way.
 
 use bench_harness::HarnessArgs;
 use expkit::Table;
+use mecnet::request::SfcRequest;
+use mecnet::vnf::VnfCatalog;
 use mecnet::workload::{generate_catalog, generate_network, WorkloadConfig};
 use obs::Recorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sim::{from_name, SimConfig, SloReport};
+use scen::{BuiltScenario, RequestStream, ScenarioSpec, TimedRequest, TimedRequestStream};
+use sim::{from_name, RequestSource, SimConfig, SloReport};
+
+/// Adapter from the scenario generator's timed stream to the simulator's
+/// [`RequestSource`]: arrival gaps come from consecutive stream timestamps
+/// and the spec-distributed TTL becomes the holding time, so the engine's
+/// workload RNG is never drawn — the stream alone (a pure function of the
+/// spec seed) determines the workload, for any policy and worker count.
+struct ScenarioSource {
+    stream: TimedRequestStream,
+    pending: Option<TimedRequest>,
+}
+
+impl ScenarioSource {
+    fn new(built: &BuiltScenario, limit: u64) -> ScenarioSource {
+        ScenarioSource { stream: RequestStream::new(built, limit).timed(), pending: None }
+    }
+}
+
+impl RequestSource for ScenarioSource {
+    fn first_gap(&mut self, _rng: &mut StdRng) -> f64 {
+        self.pending = self.stream.next();
+        self.pending.as_ref().map_or(f64::INFINITY, |t| t.arrival)
+    }
+
+    fn arrival(
+        &mut self,
+        id: usize,
+        _catalog: &VnfCatalog,
+        _num_nodes: usize,
+        _rng: &mut StdRng,
+    ) -> (SfcRequest, f64, f64) {
+        let cur = self.pending.take().expect("arrival fired without a pending request");
+        self.pending = self.stream.next();
+        let gap = self.pending.as_ref().map_or(f64::INFINITY, |n| n.arrival - cur.arrival);
+        let mut req = cur.request;
+        req.id = id;
+        (req, cur.ttl, gap)
+    }
+}
 
 fn main() {
     let args = match HarnessArgs::parse(std::env::args().skip(1)) {
@@ -62,11 +112,30 @@ fn main() {
         }
     };
 
-    // One shared substrate for every policy run.
+    // One shared substrate for every policy run: the scenario build when
+    // `--scenario` is given, the toy workload-generator fixture otherwise.
+    let scenario: Option<BuiltScenario> = args.scenario.as_deref().map(|s| {
+        let spec = ScenarioSpec::load(s).unwrap_or_else(|e| {
+            eprintln!("sim_exp: {e}");
+            std::process::exit(2);
+        });
+        spec.build()
+    });
+    let stream_limit = args.requests.map(|r| r as u64).unwrap_or(u64::MAX);
     let wl = WorkloadConfig::default();
-    let mut substrate_rng = StdRng::seed_from_u64(expkit::fan_out(args.seed, 0xBEEF));
-    let network = generate_network(&wl, &mut substrate_rng);
-    let catalog = generate_catalog(&wl, &mut substrate_rng);
+    let generated = if scenario.is_none() {
+        let mut substrate_rng = StdRng::seed_from_u64(expkit::fan_out(args.seed, 0xBEEF));
+        let network = generate_network(&wl, &mut substrate_rng);
+        let catalog = generate_catalog(&wl, &mut substrate_rng);
+        Some((network, catalog))
+    } else {
+        None
+    };
+    let (network, catalog) = match (&scenario, &generated) {
+        (Some(built), _) => (&built.network, &built.catalog),
+        (None, Some((network, catalog))) => (network, catalog),
+        (None, None) => unreachable!(),
+    };
     let cfg = SimConfig {
         duration: args.duration.unwrap_or(400.0),
         arrival_rate: 0.1,
@@ -79,10 +148,22 @@ fn main() {
         flight_dir: args.flight.as_ref().map(std::path::PathBuf::from),
         ..Default::default()
     };
-    println!(
-        "## Failure/recovery simulation — duration {}, arrival rate {}, MTTR {}\n",
-        cfg.duration, cfg.arrival_rate, cfg.mttr
-    );
+    match &scenario {
+        Some(built) => println!(
+            "## Failure/recovery simulation — scenario `{}`: {} nodes / {} cloudlets, \
+             duration {}, arrival rate {}, MTTR {}\n",
+            built.spec.name,
+            built.network.num_nodes(),
+            built.cloudlets(),
+            cfg.duration,
+            built.spec.stream.arrival_rate,
+            cfg.mttr
+        ),
+        None => println!(
+            "## Failure/recovery simulation — duration {}, arrival rate {}, MTTR {}\n",
+            cfg.duration, cfg.arrival_rate, cfg.mttr
+        ),
+    }
 
     let mut rec = match &args.trace {
         Some(path) => Recorder::jsonl_file(std::path::Path::new(path)).unwrap_or_else(|e| {
@@ -110,8 +191,22 @@ fn main() {
                     let policy = from_name(name, audit_interval).expect("validated above");
                     let mut local =
                         if trace_enabled { Recorder::memory() } else { Recorder::noop() };
-                    let report =
-                        sim::run_traced(&network, &catalog, &cfg, policy.as_ref(), &mut local);
+                    let report = match &scenario {
+                        Some(built) => {
+                            let mut source = ScenarioSource::new(built, stream_limit);
+                            sim::run_with_source_traced(
+                                network,
+                                catalog,
+                                &cfg,
+                                policy.as_ref(),
+                                &mut source,
+                                &mut local,
+                            )
+                        }
+                        None => {
+                            sim::run_traced(network, catalog, &cfg, policy.as_ref(), &mut local)
+                        }
+                    };
                     *slots[idx].lock().unwrap() = Some((report, local));
                 });
             }
@@ -127,7 +222,20 @@ fn main() {
     } else {
         policies
             .iter()
-            .map(|policy| sim::run_traced(&network, &catalog, &cfg, policy.as_ref(), &mut rec))
+            .map(|policy| match &scenario {
+                Some(built) => {
+                    let mut source = ScenarioSource::new(built, stream_limit);
+                    sim::run_with_source_traced(
+                        network,
+                        catalog,
+                        &cfg,
+                        policy.as_ref(),
+                        &mut source,
+                        &mut rec,
+                    )
+                }
+                None => sim::run_traced(network, catalog, &cfg, policy.as_ref(), &mut rec),
+            })
             .collect()
     };
 
@@ -188,6 +296,7 @@ fn main() {
         });
         println!("\nwrote {} SLO report(s) to {path}", reports.len());
     }
+    println!("\npeak RSS: {}", expkit::peak_rss_human());
     rec.flush().expect("flush trace");
     if let Some(path) = &args.trace {
         println!("\nwrote {} telemetry events to {path}", rec.events_emitted());

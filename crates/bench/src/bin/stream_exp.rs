@@ -1,12 +1,24 @@
 //! Multi-request stream experiment (extension beyond the paper's
 //! single-request evaluation): push a stream of requests through one shared
 //! network per algorithm and report admission rate, mean reliability,
-//! expectation-met rate, and the early-vs-late reliability erosion.
+//! expectation-met rate, throughput, and the early-vs-late reliability
+//! erosion.
 //!
 //! Usage: `cargo run -p bench-harness --release --bin stream_exp --
 //! [--trials N] [--seed S] [--requests R] [--trace PATH] [--workers W]
-//! [--batch B] [--metrics-interval N|Xs] [--flight DIR]` (trials =
-//! independent network/stream pairs).
+//! [--batch B] [--metrics-interval N|Xs] [--flight DIR]
+//! [--scenario NAME|PATH]` (trials = independent network/stream pairs).
+//!
+//! Without `--scenario` the harness runs the toy fixture: one
+//! `WorkloadConfig::default()` network per trial and uniformly random
+//! requests. `--scenario` switches to the scenario-zoo path: the spec (a
+//! preset name such as `sagin-1k`, or a JSON file) is built once and a lazy
+//! [`scen::RequestStream`] synthesizes the request stream — Poisson
+//! arrivals, diurnal load, flash crowds, popularity-skewed endpoints —
+//! deterministically from the spec seed. In both modes requests are
+//! generated lazily and folded into bounded [`StreamStats`] as records are
+//! committed, so resident memory stays O(dispatch window) regardless of
+//! `--requests`; the run footer reports the process peak RSS as evidence.
 //!
 //! `--metrics-interval` switches the observed (first) stream of each
 //! algorithm to windowed telemetry: per-request events are suppressed and
@@ -29,7 +41,9 @@
 //! split evenly across workers). Results and telemetry are byte-identical across all engine
 //! configurations by construction — the flags only change wall-clock time.
 //! The header line `engine: …` records which path ran (stdout only; it never
-//! appears in the JSONL trace).
+//! appears in the JSONL trace). The `record hash` column (scenario mode) is
+//! an order-sensitive FNV-1a fold over every emitted record, so two runs can
+//! be compared for byte-identity without storing the records.
 //!
 //! `--trace PATH` writes the full telemetry of each algorithm's first stream
 //! as JSONL: exactly one `stream.request` event per request processed (with
@@ -39,19 +53,24 @@
 //! recorder's in-memory samples — is printed at the end of every run,
 //! traced or not.
 
-use bench_harness::HarnessArgs;
+use std::time::Instant;
+
+use bench_harness::{fold_record_hash, HarnessArgs, StreamStats, RECORD_HASH_SEED};
 use expkit::stats::Accumulator;
 use expkit::Table;
+use mecnet::network::MecNetwork;
 use mecnet::request::SfcRequest;
+use mecnet::vnf::VnfCatalog;
 use mecnet::workload::{generate_catalog, generate_network, WorkloadConfig};
 use obs::{MetricsSnapshot, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use relaug::parallel::{process_stream_batched, process_stream_metered, ParallelConfig};
+use relaug::parallel::{process_stream_metered_sink, ParallelConfig};
 use relaug::stream::{
-    process_stream_seeded, process_stream_seeded_observed, Algorithm, FlightSpec, MetricsMode,
-    StreamConfig, StreamObservation,
+    process_stream_seeded_sink, Algorithm, FlightSpec, MetricsMode, RequestRecord, StreamConfig,
+    StreamObservation,
 };
+use scen::{RequestStream, ScenarioSpec};
 
 /// The observability config for the first stream of each algorithm:
 /// `--metrics-interval` switches the pipeline to windowed aggregation,
@@ -120,6 +139,57 @@ fn contention_table(observations: &[(&str, StreamObservation)]) -> Table {
     table
 }
 
+/// Drive one lazy request stream through the configured engine, folding every
+/// committed record into `stats` and the order-sensitive record hash as it is
+/// produced — nothing is retained per request. Returns the final residual and
+/// the sharded-metrics observation.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    requests: impl IntoIterator<Item = SfcRequest>,
+    cfg: StreamConfig,
+    seed: u64,
+    workers: usize,
+    batch: usize,
+    rec: &mut Recorder,
+    stats: &mut StreamStats,
+    hash: &mut u64,
+) -> (Vec<f64>, StreamObservation) {
+    let mut on_record = |r: RequestRecord| {
+        *hash = fold_record_hash(*hash, &r);
+        stats.record(&r);
+    };
+    if workers == 1 {
+        process_stream_seeded_sink(network, catalog, requests, &cfg, seed, rec, &mut on_record)
+    } else {
+        let pcfg = ParallelConfig { stream: cfg, workers, seed, max_inflight: 0 };
+        process_stream_metered_sink(network, catalog, requests, &pcfg, batch, rec, &mut on_record)
+    }
+}
+
+/// The four paper algorithms, filtered for scenario scale: the per-request
+/// ILP (and its randomized-rounding variant) is only worth running on
+/// bounded streams, so above `ILP_REQUEST_CAP` requests the heavy pair is
+/// dropped — loudly, never silently.
+const ILP_REQUEST_CAP: usize = 50_000;
+
+fn algorithm_set(scenario: bool, requests: usize) -> Vec<(&'static str, Algorithm)> {
+    let mut set: Vec<(&str, Algorithm)> = Vec::new();
+    if !scenario || requests <= ILP_REQUEST_CAP {
+        set.push(("ILP", Algorithm::Ilp(Default::default())));
+        set.push(("Randomized", Algorithm::Randomized(Default::default())));
+    } else {
+        println!(
+            "note: ILP and Randomized skipped at {requests} requests \
+             (> {ILP_REQUEST_CAP}); pass --requests {ILP_REQUEST_CAP} or less to include them\n"
+        );
+    }
+    set.push(("Heuristic", Algorithm::Heuristic(Default::default())));
+    set.push(("Greedy", Algorithm::Greedy(Default::default())));
+    set
+}
+
 fn main() {
     let args = match HarnessArgs::parse(std::env::args().skip(1)) {
         Ok(a) => a,
@@ -128,11 +198,40 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let trials = args.trials.min(200);
-    let requests_per_stream = args.requests.unwrap_or(100);
-    println!(
-        "## Stream experiment — {requests_per_stream} requests per stream, {trials} streams\n"
-    );
+    // Scenario mode: build the zoo topology once, stream lazily from the
+    // spec-derived generator. The stream is a pure function of the spec, so
+    // one stream per algorithm is the whole experiment — `--trials` is a
+    // toy-fixture knob.
+    let scenario = args.scenario.as_deref().map(|s| {
+        let spec = ScenarioSpec::load(s).unwrap_or_else(|e| {
+            eprintln!("stream_exp: {e}");
+            std::process::exit(2);
+        });
+        spec.build()
+    });
+    let trials = if scenario.is_some() { 1 } else { args.trials.min(200) };
+    let requests_per_stream =
+        args.requests.unwrap_or(if scenario.is_some() { 100_000 } else { 100 });
+    match &scenario {
+        Some(built) => {
+            println!(
+                "## Stream experiment — scenario `{}`: {} nodes / {} cloudlets, \
+                 {requests_per_stream} requests per stream\n",
+                built.spec.name,
+                built.network.num_nodes(),
+                built.cloudlets(),
+            );
+            if args.trials > 1 {
+                println!(
+                    "note: --trials ignored with --scenario (the stream is a pure \
+                     function of the spec seed)\n"
+                );
+            }
+        }
+        None => println!(
+            "## Stream experiment — {requests_per_stream} requests per stream, {trials} streams\n"
+        ),
+    }
     // Record which engine path the run used. Stdout only — the JSONL trace
     // stays byte-identical across engine configurations.
     if args.workers == 1 {
@@ -167,20 +266,14 @@ fn main() {
     // Per-shard metrics of each algorithm's first (observed) stream.
     let mut observations: Vec<(&str, StreamObservation)> = Vec::new();
 
-    let algorithms: Vec<(&str, Algorithm)> = vec![
-        ("ILP", Algorithm::Ilp(Default::default())),
-        ("Randomized", Algorithm::Randomized(Default::default())),
-        ("Heuristic", Algorithm::Heuristic(Default::default())),
-        ("Greedy", Algorithm::Greedy(Default::default())),
-    ];
-    let mut table = Table::new(vec![
-        "algorithm",
-        "admitted",
-        "mean rel.",
-        "SLO met",
-        "early rel.",
-        "late rel.",
-    ]);
+    let algorithms = algorithm_set(scenario.is_some(), requests_per_stream);
+    let mut columns =
+        vec!["algorithm", "admitted", "mean rel.", "SLO met", "early rel.", "late rel.", "req/s"];
+    if scenario.is_some() {
+        columns.push("elapsed");
+        columns.push("record hash");
+    }
+    let mut table = Table::new(columns);
     let mut effort = Table::new(vec![
         "algorithm",
         "events",
@@ -197,77 +290,99 @@ fn main() {
         let mut slo = Accumulator::new();
         let mut early = Accumulator::new();
         let mut late = Accumulator::new();
+        let mut rate = Accumulator::new();
+        let mut elapsed_s = 0.0;
+        let mut hash = RECORD_HASH_SEED;
         let effort_base = rec.summary();
         let samples_base = rec.time_samples("stream.solve").len();
         for t in 0..trials {
-            let seed = expkit::fan_out(args.seed, t as u64);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let wl = WorkloadConfig::default();
-            let network = generate_network(&wl, &mut rng);
-            let catalog = generate_catalog(&wl, &mut rng);
-            let requests: Vec<SfcRequest> = (0..requests_per_stream)
-                .map(|i| SfcRequest::random(i, &catalog, (3, 6), 0.99, wl.nodes, &mut rng))
-                .collect();
             let cfg = StreamConfig { algorithm: algorithm.clone(), ..Default::default() };
-            // `--workers 1`: sequential fast path through the seeded stream
-            // driver (no channels, no snapshots). Otherwise: the batched
-            // speculative pipeline — byte-identical output, per-request
-            // derived RNGs make it independent of worker count and batch
-            // size. The first stream of each algorithm runs with the full
+            let mut stats = StreamStats::new();
+            // The first stream of each algorithm runs with the full
             // observability config (windowing, flight ring, fault injection)
             // and yields the sharded-metrics observation for the contention
-            // table.
-            let out = if args.workers == 1 {
-                if t == 0 {
-                    let cfg = observed_config(cfg, &args, inject_at);
-                    let (out, ob) = process_stream_seeded_observed(
-                        &network, &catalog, &requests, &cfg, seed, &mut rec,
-                    );
-                    observations.push((name, ob));
-                    out
-                } else {
-                    process_stream_seeded(&network, &catalog, &requests, &cfg, seed)
+            // table; later trials use the no-op recorder. Requests are fed
+            // lazily in both modes — the engine pulls them as its dispatch
+            // window frees up, so the stream is never materialized.
+            let start = Instant::now();
+            let (_, ob) = match &scenario {
+                Some(built) => {
+                    let stream = RequestStream::new(built, requests_per_stream as u64);
+                    drive(
+                        &built.network,
+                        &built.catalog,
+                        stream,
+                        observed_config(cfg, &args, inject_at),
+                        built.spec.seed,
+                        args.workers,
+                        args.batch,
+                        &mut rec,
+                        &mut stats,
+                        &mut hash,
+                    )
                 }
-            } else if t == 0 {
-                let pcfg = ParallelConfig {
-                    stream: observed_config(cfg, &args, inject_at),
-                    workers: args.workers,
-                    seed,
-                    max_inflight: 0,
-                };
-                let (out, ob) = process_stream_metered(
-                    &network, &catalog, &requests, &pcfg, args.batch, &mut rec,
-                );
-                observations.push((name, ob));
-                out
-            } else {
-                let pcfg =
-                    ParallelConfig { stream: cfg, workers: args.workers, seed, max_inflight: 0 };
-                process_stream_batched(&network, &catalog, &requests, &pcfg, args.batch)
+                None => {
+                    let seed = expkit::fan_out(args.seed, t as u64);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let wl = WorkloadConfig::default();
+                    let network = generate_network(&wl, &mut rng);
+                    let catalog = generate_catalog(&wl, &mut rng);
+                    let catalog_ref = &catalog;
+                    let nodes = wl.nodes;
+                    let requests = (0..requests_per_stream).map(move |i| {
+                        SfcRequest::random(i, catalog_ref, (3, 6), 0.99, nodes, &mut rng)
+                    });
+                    let cfg = if t == 0 { observed_config(cfg, &args, inject_at) } else { cfg };
+                    let mut noop = Recorder::noop();
+                    let rec = if t == 0 { &mut rec } else { &mut noop };
+                    drive(
+                        &network,
+                        &catalog,
+                        requests,
+                        cfg,
+                        seed,
+                        args.workers,
+                        args.batch,
+                        rec,
+                        &mut stats,
+                        &mut hash,
+                    )
+                }
             };
-            admitted.push(out.admitted() as f64);
-            if let Some(m) = out.mean_reliability() {
+            let dt = start.elapsed().as_secs_f64();
+            elapsed_s += dt;
+            if dt > 0.0 {
+                rate.push(stats.total as f64 / dt);
+            }
+            if t == 0 {
+                observations.push((name, ob));
+            }
+            admitted.push(stats.admitted as f64);
+            if let Some(m) = stats.mean_reliability() {
                 rel.push(m);
             }
-            if let Some(e) = out.expectation_rate() {
+            if let Some(e) = stats.expectation_rate() {
                 slo.push(e);
             }
-            let adm: Vec<f64> =
-                out.records.iter().filter(|r| r.admitted).map(|r| r.achieved_reliability).collect();
-            if adm.len() >= 4 {
-                let third = adm.len() / 3;
-                early.push(adm[..third].iter().sum::<f64>() / third as f64);
-                late.push(adm[adm.len() - third..].iter().sum::<f64>() / third as f64);
+            if let Some((e, l)) = stats.early_late_thirds() {
+                early.push(e);
+                late.push(l);
             }
         }
-        table.add_row(vec![
+        let mut row = vec![
             name.to_string(),
             format!("{:.1}/{}", admitted.summary().mean, requests_per_stream),
             format!("{:.4}", rel.summary().mean),
             format!("{:.0}%", 100.0 * slo.summary().mean),
             format!("{:.4}", early.summary().mean),
             format!("{:.4}", late.summary().mean),
-        ]);
+            format!("{:.0}", rate.summary().mean),
+        ];
+        if scenario.is_some() {
+            row.push(expkit::table::fmt_duration_s(elapsed_s));
+            row.push(format!("{hash:016x}"));
+        }
+        table.add_row(row);
         // Delta of the cumulative telemetry = this algorithm's traced stream.
         let now = rec.summary();
         let solve_samples = &rec.time_samples("stream.solve")[samples_base..];
@@ -300,6 +415,7 @@ fn main() {
         let windows: u64 = observations.iter().map(|(_, ob)| ob.windows).sum();
         println!("\nwindowed telemetry: {windows} stream.window summaries across observed streams");
     }
+    println!("\npeak RSS: {}", expkit::peak_rss_human());
     rec.flush().expect("flush trace");
     if let Some(path) = &args.trace {
         println!("\nwrote {} telemetry events to {path}", rec.events_emitted());

@@ -393,7 +393,8 @@ pub fn render_figure(points: &[PointResult]) -> String {
 /// Tiny CLI-flag parser shared by the figure binaries:
 /// `--trials N --seed S --threads T --workers W --batch B --json PATH
 /// --greedy --no-ilp --trace PATH --requests N --policy NAME --duration T
-/// --audit-interval T --metrics-interval N|Xs --flight DIR`.
+/// --audit-interval T --metrics-interval N|Xs --flight DIR
+/// --scenario NAME|PATH`.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
     pub trials: usize,
@@ -427,6 +428,10 @@ pub struct HarnessArgs {
     /// events and dumps it there on panic, commit hard-error or SLO
     /// violation.
     pub flight: Option<String>,
+    /// Scenario preset name or spec-file path (stream/sim binaries): builds
+    /// the network, catalog and lazy request stream from `scen` instead of
+    /// the toy workload fixture.
+    pub scenario: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -447,6 +452,7 @@ impl Default for HarnessArgs {
             audit_interval: None,
             metrics_interval: None,
             flight: None,
+            scenario: None,
         }
     }
 }
@@ -495,6 +501,7 @@ impl HarnessArgs {
                         Some(obs::MetricsInterval::parse(&value("--metrics-interval")?)?)
                 }
                 "--flight" => out.flight = Some(value("--flight")?),
+                "--scenario" => out.scenario = Some(value("--scenario")?),
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -525,6 +532,119 @@ impl HarnessArgs {
         cfg
     }
 }
+
+/// Bounded-memory aggregator for sink-driven stream runs: the lazy engines
+/// hand each [`RequestRecord`] to a callback instead of materializing a
+/// result vector, and this accumulator reproduces the harness table's
+/// statistics — admitted count, mean reliability, SLO rate, early-vs-late
+/// reliability thirds — from O(`cap`) memory. The early/late thirds are
+/// exact whenever `admitted <= 3 * cap` (always true for the toy fixtures);
+/// beyond that they degrade gracefully to the first/last `cap` admitted
+/// samples.
+#[derive(Debug, Clone)]
+pub struct StreamStats {
+    pub total: usize,
+    pub admitted: usize,
+    pub slo_met: usize,
+    sum_reliability: f64,
+    first: Vec<f64>,
+    last: std::collections::VecDeque<f64>,
+    cap: usize,
+}
+
+impl Default for StreamStats {
+    fn default() -> Self {
+        StreamStats::with_cap(4096)
+    }
+}
+
+impl StreamStats {
+    pub fn new() -> StreamStats {
+        StreamStats::default()
+    }
+
+    pub fn with_cap(cap: usize) -> StreamStats {
+        assert!(cap >= 2, "early/late thirds need at least 2 retained samples");
+        StreamStats {
+            total: 0,
+            admitted: 0,
+            slo_met: 0,
+            sum_reliability: 0.0,
+            first: Vec::new(),
+            last: std::collections::VecDeque::with_capacity(cap.min(1 << 16)),
+            cap,
+        }
+    }
+
+    pub fn record(&mut self, r: &relaug::stream::RequestRecord) {
+        self.total += 1;
+        if !r.admitted {
+            return;
+        }
+        self.admitted += 1;
+        self.sum_reliability += r.achieved_reliability;
+        if r.met_expectation {
+            self.slo_met += 1;
+        }
+        if self.first.len() < self.cap {
+            self.first.push(r.achieved_reliability);
+        }
+        if self.last.len() == self.cap {
+            self.last.pop_front();
+        }
+        self.last.push_back(r.achieved_reliability);
+    }
+
+    pub fn rejected(&self) -> usize {
+        self.total - self.admitted
+    }
+
+    /// Mean achieved reliability over admitted requests.
+    pub fn mean_reliability(&self) -> Option<f64> {
+        (self.admitted > 0).then(|| self.sum_reliability / self.admitted as f64)
+    }
+
+    /// Fraction of admitted requests that met their expectation.
+    pub fn expectation_rate(&self) -> Option<f64> {
+        (self.admitted > 0).then(|| self.slo_met as f64 / self.admitted as f64)
+    }
+
+    /// Mean reliability of the first and last thirds of admitted requests
+    /// (the stream-erosion panel); `None` below 4 admissions, mirroring the
+    /// harness's historical cutoff.
+    pub fn early_late_thirds(&self) -> Option<(f64, f64)> {
+        if self.admitted < 4 {
+            return None;
+        }
+        let third = (self.admitted / 3).min(self.cap);
+        let early = self.first[..third].iter().sum::<f64>() / third as f64;
+        let late = self.last.iter().rev().take(third).sum::<f64>() / third as f64;
+        Some((early, late))
+    }
+}
+
+/// Order-sensitive FNV-1a fold over a [`RequestRecord`]'s observable fields.
+/// Sink-driven benches chain this across the stream to assert byte-identity
+/// between engine configurations without materializing any records.
+pub fn fold_record_hash(mut h: u64, r: &relaug::stream::RequestRecord) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(r.id as u64);
+    eat(r.admitted as u64);
+    eat(r.base_reliability.to_bits());
+    eat(r.achieved_reliability.to_bits());
+    eat(r.met_expectation as u64);
+    eat(r.secondaries as u64);
+    h
+}
+
+/// FNV-1a offset basis — the start value for [`fold_record_hash`] chains.
+pub const RECORD_HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Serialize results to pretty JSON.
 pub fn to_json(points: &[PointResult]) -> String {
@@ -665,6 +785,63 @@ mod tests {
         assert!(HarnessArgs::parse(["--bogus".to_string()].into_iter()).is_err());
         assert!(HarnessArgs::parse(["--trials".to_string()].into_iter()).is_err());
         assert!(HarnessArgs::parse(["--trials".to_string(), "0".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn scenario_flag_parses() {
+        let args =
+            HarnessArgs::parse(["--scenario", "sagin-1k"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(args.scenario.as_deref(), Some("sagin-1k"));
+        assert!(HarnessArgs::parse(["--scenario".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn stream_stats_matches_outcome_statistics() {
+        use mecnet::request::SfcRequest;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use relaug::stream::{process_stream_seeded, StreamConfig};
+
+        let wl = WorkloadConfig { nodes: 40, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(3);
+        let network = mecnet::workload::generate_network(&wl, &mut rng);
+        let catalog = mecnet::workload::generate_catalog(&wl, &mut rng);
+        let requests: Vec<SfcRequest> = (0..60)
+            .map(|i| SfcRequest::random(i, &catalog, (3, 5), 0.99, wl.nodes, &mut rng))
+            .collect();
+        let out = process_stream_seeded(&network, &catalog, &requests, &StreamConfig::default(), 7);
+        let mut stats = StreamStats::new();
+        let mut h = RECORD_HASH_SEED;
+        for r in &out.records {
+            stats.record(r);
+            h = fold_record_hash(h, r);
+        }
+        assert_eq!(stats.total, out.records.len());
+        assert_eq!(stats.admitted, out.admitted());
+        assert_eq!(stats.mean_reliability(), out.mean_reliability());
+        assert_eq!(stats.expectation_rate(), out.expectation_rate());
+        // Thirds reproduce the historical eager computation exactly.
+        let adm: Vec<f64> =
+            out.records.iter().filter(|r| r.admitted).map(|r| r.achieved_reliability).collect();
+        if adm.len() >= 4 {
+            let third = adm.len() / 3;
+            let (early, late) = stats.early_late_thirds().unwrap();
+            assert!((early - adm[..third].iter().sum::<f64>() / third as f64).abs() < 1e-12);
+            assert!(
+                (late - adm[adm.len() - third..].iter().sum::<f64>() / third as f64).abs() < 1e-12
+            );
+        }
+        // Hash is order-sensitive and reproducible.
+        let mut h2 = RECORD_HASH_SEED;
+        for r in &out.records {
+            h2 = fold_record_hash(h2, r);
+        }
+        assert_eq!(h, h2);
+        let mut h3 = RECORD_HASH_SEED;
+        for r in out.records.iter().rev() {
+            h3 = fold_record_hash(h3, r);
+        }
+        assert_ne!(h, h3);
     }
 
     #[test]

@@ -176,9 +176,18 @@ pub fn solve_in(
             // graph.
             let hi = cap[i].min(next_k[i] + usable - 1);
             for k in next_k[i]..=hi {
+                let cost = reliability::paper_cost(f.reliability, f.existing_backups + k);
+                // The cost is strictly increasing in `k`; once the marginal
+                // underflows to zero (cost = +inf) this slot and every later
+                // one add no representable reliability, so they can't be
+                // usefully matched. Reachable on substrates with ~hundreds of
+                // eligible bins, where one round enumerates past the
+                // underflow point.
+                if !cost.is_finite() {
+                    break;
+                }
                 let right = item_of.len();
                 item_of.push((i, k));
-                let cost = reliability::paper_cost(f.reliability, f.existing_backups + k);
                 for &b in &f.eligible_bins {
                     if residual[b] >= f.demand {
                         edges.push((b, right, cost));

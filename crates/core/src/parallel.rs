@@ -33,8 +33,8 @@ use obs::{FlightRecorder, Recorder};
 
 use crate::scratch::SolveScratch;
 use crate::stream::{
-    commit_request, pipeline_metrics, process_stream_seeded_observed, speculate_batch,
-    PipelineState, Speculation, StreamConfig, StreamObservation, StreamOutcome, TraceLevel,
+    commit_request, pipeline_metrics, process_stream_seeded_sink, speculate_batch, PipelineState,
+    RequestRecord, Speculation, StreamConfig, StreamObservation, StreamOutcome, TraceLevel,
 };
 
 /// Knobs for the parallel engine.
@@ -162,15 +162,49 @@ pub fn process_stream_metered(
     batch: usize,
     rec: &mut Recorder,
 ) -> (StreamOutcome, StreamObservation) {
+    let mut records = Vec::with_capacity(requests.len());
+    let (final_residual, observation) = process_stream_metered_sink(
+        network,
+        catalog,
+        requests.iter().cloned(),
+        cfg,
+        batch,
+        rec,
+        &mut |r| records.push(r),
+    );
+    (StreamOutcome { records, final_residual }, observation)
+}
+
+/// [`process_stream_metered`] over a *lazy* request source: the coordinator
+/// pulls requests from the iterator only as dispatch-window room opens, ships
+/// each batch to its worker by value, and keeps exactly the
+/// dispatched-but-uncommitted requests (at most `max_inflight`) alive for the
+/// in-order commit — so memory stays O(window) regardless of stream length.
+/// Each committed [`RequestRecord`] goes to `on_record` instead of a result
+/// vector. The slice entry points delegate here with an eager iterator;
+/// output is byte-identical for any worker count, batch size, or source
+/// laziness because dispatch order, batch boundaries and the per-request
+/// derived RNGs never depend on how the requests were produced.
+pub fn process_stream_metered_sink(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    requests: impl IntoIterator<Item = SfcRequest>,
+    cfg: &ParallelConfig,
+    batch: usize,
+    rec: &mut Recorder,
+    on_record: &mut dyn FnMut(RequestRecord),
+) -> (Vec<f64>, StreamObservation) {
     assert!(cfg.workers >= 1, "need at least one worker");
-    if cfg.workers == 1 || requests.len() <= 1 {
-        return process_stream_seeded_observed(
+    let mut requests = requests.into_iter();
+    if cfg.workers == 1 {
+        return process_stream_seeded_sink(
             network,
             catalog,
             requests,
             &cfg.stream,
             cfg.seed,
             rec,
+            on_record,
         );
     }
     let max_inflight = if cfg.max_inflight == 0 { 2 * cfg.workers } else { cfg.max_inflight };
@@ -185,8 +219,7 @@ pub fn process_stream_metered(
         TraceLevel::Counters
     };
     let mut commit_scratch = SolveScratch::new();
-    let mut records = Vec::with_capacity(requests.len());
-    let (job_tx, job_rx) = channel::unbounded::<(usize, usize, Arc<Snapshot>)>();
+    let (job_tx, job_rx) = channel::unbounded::<(usize, Vec<SfcRequest>, Arc<Snapshot>)>();
     let (res_tx, res_rx) = channel::unbounded::<(usize, Vec<Speculation>)>();
     std::thread::scope(|scope| {
         for w in 0..cfg.workers {
@@ -206,7 +239,7 @@ pub fn process_stream_metered(
                 let mut scratch = SolveScratch::new();
                 loop {
                     let wait_started = Instant::now();
-                    let Ok((start, len, snapshot)) = job_rx.recv() else { break };
+                    let Ok((start, batch_reqs, snapshot)) = job_rx.recv() else { break };
                     metrics.shard(shard_idx).record_duration(H_JOB_WAIT_NS, wait_started.elapsed());
                     let mut specs = speculate_batch(
                         network,
@@ -214,7 +247,7 @@ pub fn process_stream_metered(
                         stream_cfg,
                         seed,
                         start,
-                        &requests[start..start + len],
+                        &batch_reqs,
                         &snapshot.residual,
                         snapshot.deployed.as_ref(),
                         trace,
@@ -256,23 +289,46 @@ pub fn process_stream_metered(
         drop(job_rx);
         drop(res_tx);
         let mut next_dispatch = 0usize;
+        let mut exhausted = false;
+        // Dispatched-but-uncommitted requests, retained for the in-order
+        // commit replay; never holds more than `max_inflight` entries.
+        let mut inflight: BTreeMap<usize, SfcRequest> = BTreeMap::new();
         // Completed speculations that arrived ahead of their commit turn.
         let mut pending: BTreeMap<usize, Speculation> = BTreeMap::new();
-        for k in 0..requests.len() {
+        let mut k = 0usize;
+        loop {
             // Keep the window full, always snapshotting the freshest
             // committed state available at dispatch time.
-            while next_dispatch < requests.len() && next_dispatch - k < max_inflight {
+            while !exhausted && next_dispatch - k < max_inflight {
                 let room = max_inflight - (next_dispatch - k);
                 let auto = (room / cfg.workers).max(1);
-                let len = (if batch == 0 { auto } else { batch })
-                    .min(room)
-                    .min(requests.len() - next_dispatch);
+                let want = (if batch == 0 { auto } else { batch }).min(room);
+                let mut batch_reqs = Vec::with_capacity(want);
+                while batch_reqs.len() < want {
+                    match requests.next() {
+                        Some(req) => batch_reqs.push(req),
+                        None => {
+                            exhausted = true;
+                            break;
+                        }
+                    }
+                }
+                if batch_reqs.is_empty() {
+                    break;
+                }
+                for (off, req) in batch_reqs.iter().enumerate() {
+                    inflight.insert(next_dispatch + off, req.clone());
+                }
+                let len = batch_reqs.len();
                 let snapshot = Arc::new(Snapshot {
                     residual: state.residual.clone(),
                     deployed: state.deployed.clone(),
                 });
-                job_tx.send((next_dispatch, len, snapshot)).expect("workers alive");
+                job_tx.send((next_dispatch, batch_reqs, snapshot)).expect("workers alive");
                 next_dispatch += len;
+            }
+            if k == next_dispatch {
+                break; // source drained and every dispatch committed
             }
             let spec = loop {
                 if let Some(spec) = pending.remove(&k) {
@@ -289,25 +345,27 @@ pub fn process_stream_metered(
                     pending.insert(start + off, spec);
                 }
             };
-            records.push(commit_request(
+            let req = inflight.remove(&k).expect("dispatched request retained until commit");
+            on_record(commit_request(
                 network,
                 catalog,
                 &cfg.stream,
                 cfg.seed,
                 k,
-                &requests[k],
+                &req,
                 &mut state,
                 Some(spec),
                 rec,
                 &nbhd,
                 &mut commit_scratch,
             ));
+            k += 1;
         }
         drop(job_tx); // disconnect: workers drain and exit
     });
     state.obs.finish(rec);
     let observation = state.obs.observation();
-    (StreamOutcome { records, final_residual: state.residual }, observation)
+    (state.residual, observation)
 }
 
 #[cfg(test)]

@@ -1131,31 +1131,57 @@ pub fn process_stream_seeded_observed(
     seed: u64,
     rec: &mut Recorder,
 ) -> (StreamOutcome, StreamObservation) {
+    let mut records = Vec::with_capacity(requests.len());
+    let (final_residual, observation) = process_stream_seeded_sink(
+        network,
+        catalog,
+        requests.iter().cloned(),
+        cfg,
+        seed,
+        rec,
+        &mut |r| records.push(r),
+    );
+    (StreamOutcome { records, final_residual }, observation)
+}
+
+/// The sequential seeded driver over a *lazy* request source: requests are
+/// pulled from the iterator one at a time and each [`RequestRecord`] is
+/// handed to `on_record` instead of being collected, so a 10^6-request
+/// stream runs in O(1) memory beyond the network state (the scenario
+/// generator's `RequestStream` synthesizes request `k` on demand from a
+/// splitmix64-derived RNG, so nothing is ever materialized). The slice entry
+/// points above delegate here; results are byte-identical.
+pub fn process_stream_seeded_sink(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    requests: impl IntoIterator<Item = SfcRequest>,
+    cfg: &StreamConfig,
+    seed: u64,
+    rec: &mut Recorder,
+    on_record: &mut dyn FnMut(RequestRecord),
+) -> (Vec<f64>, StreamObservation) {
     let mut state = PipelineState::new(network, cfg, 1);
     let nbhd = network.neighborhood_index(cfg.l);
     let mut scratch = SolveScratch::new();
-    let records = requests
-        .iter()
-        .enumerate()
-        .map(|(k, req)| {
-            commit_request(
-                network,
-                catalog,
-                cfg,
-                seed,
-                k,
-                req,
-                &mut state,
-                None,
-                rec,
-                &nbhd,
-                &mut scratch,
-            )
-        })
-        .collect();
+    for (k, req) in requests.into_iter().enumerate() {
+        let record = commit_request(
+            network,
+            catalog,
+            cfg,
+            seed,
+            k,
+            &req,
+            &mut state,
+            None,
+            rec,
+            &nbhd,
+            &mut scratch,
+        );
+        on_record(record);
+    }
     state.obs.finish(rec);
     let observation = state.obs.observation();
-    (StreamOutcome { records, final_residual: state.residual }, observation)
+    (state.residual, observation)
 }
 
 /// Common prefix of a `stream.request` event: the request id plus a snapshot

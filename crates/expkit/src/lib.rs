@@ -4,12 +4,14 @@
 //! helper.
 
 pub mod histogram;
+pub mod mem;
 pub mod seed;
 pub mod stats;
 pub mod table;
 pub mod timer;
 
 pub use histogram::{percentile, Histogram, Log2Histogram, LOG2_BUCKETS};
+pub use mem::{peak_rss_bytes, peak_rss_human};
 pub use seed::fan_out;
 pub use stats::{Accumulator, Summary};
 pub use table::Table;

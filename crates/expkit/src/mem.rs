@@ -1,0 +1,46 @@
+//! Process-memory introspection for the harness tables: large-scale stream
+//! experiments report peak RSS next to throughput so O(window) memory claims
+//! are visible (and regress loudly) in the bench output.
+
+/// Peak resident set size of the current process in bytes, read from Linux's
+/// `/proc/self/status` `VmHWM` line. Returns `None` on platforms without
+/// procfs — callers should print `n/a` rather than fail.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Human-readable peak RSS ("312.4 MiB"), or "n/a" where unavailable.
+pub fn peak_rss_human() -> String {
+    match peak_rss_bytes() {
+        Some(bytes) => {
+            let mib = bytes as f64 / (1024.0 * 1024.0);
+            if mib >= 1024.0 {
+                format!("{:.2} GiB", mib / 1024.0)
+            } else {
+                format!("{mib:.1} MiB")
+            }
+        }
+        None => "n/a".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_bytes().expect("procfs available on linux");
+            assert!(rss > 1024 * 1024, "peak RSS {rss} implausibly small");
+            assert!(!peak_rss_human().is_empty());
+        }
+    }
+}

@@ -57,6 +57,39 @@ pub fn waxman<R: Rng + ?Sized>(config: &WaxmanConfig, rng: &mut R) -> (Graph, Ve
     (g, positions)
 }
 
+/// Generate a Waxman subgraph over an explicit id set and splice its edges
+/// into `g`, repairing intra-domain connectivity. This is the shared
+/// sampling primitive behind every hierarchical generator in the workspace
+/// ([`crate::transit_stub`] and the `scen` topology zoo) — domains are
+/// internally-connected Waxman graphs differing only in which node ids they
+/// cover and how dense/local their links are.
+pub fn embed_waxman<R: Rng + ?Sized>(
+    g: &mut Graph,
+    ids: &[usize],
+    alpha: f64,
+    beta: f64,
+    rng: &mut R,
+) {
+    if ids.len() <= 1 {
+        return;
+    }
+    let cfg = WaxmanConfig {
+        nodes: ids.len(),
+        alpha: alpha.clamp(0.05, 1.0),
+        beta: beta.clamp(0.05, 1.0),
+        ensure_connected: false,
+    };
+    let (mut sub, pos) = waxman(&cfg, rng);
+    repair_connectivity(&mut sub, &pos);
+    for u in sub.nodes() {
+        for v in sub.neighbors(u) {
+            if v.index() > u.index() {
+                g.add_edge(NodeId(ids[u.index()]), NodeId(ids[v.index()]));
+            }
+        }
+    }
+}
+
 /// Connect a disconnected graph by repeatedly adding the geometrically
 /// shortest edge between the first component and any other component.
 pub fn repair_connectivity(g: &mut Graph, positions: &[(f64, f64)]) {

@@ -10,8 +10,12 @@
 //! flat 100-node default.
 
 use crate::graph::{Graph, NodeId};
-use crate::topology::{repair_connectivity, waxman, WaxmanConfig};
+use crate::topology::embed_waxman;
 use rand::Rng;
+
+/// Intra-domain Waxman `beta` (locality); fixed to keep small domains
+/// connected before repair.
+const INTRA_BETA: f64 = 0.4;
 
 /// Parameters of the transit-stub hierarchy.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -84,7 +88,7 @@ pub fn transit_stub<R: Rng + ?Sized>(
                 id
             })
             .collect();
-        embed_waxman(&mut g, &ids, cfg.intra_alpha, rng);
+        embed_waxman(&mut g, &ids, cfg.intra_alpha, INTRA_BETA, rng);
         transit_ids.push(ids);
     }
     // 2. Inter-domain transit links: a ring over domains (plus the intra
@@ -110,7 +114,7 @@ pub fn transit_stub<R: Rng + ?Sized>(
                         id
                     })
                     .collect();
-                embed_waxman(&mut g, &stub_ids, cfg.intra_alpha, rng);
+                embed_waxman(&mut g, &stub_ids, cfg.intra_alpha, INTRA_BETA, rng);
                 let gateway = stub_ids[rng.gen_range(0..stub_ids.len())];
                 g.add_edge(NodeId(tnode), NodeId(gateway));
             }
@@ -118,29 +122,6 @@ pub fn transit_stub<R: Rng + ?Sized>(
     }
     debug_assert_eq!(next, cfg.total_nodes());
     (g, roles)
-}
-
-/// Generate a Waxman subgraph over an explicit id set and splice its edges
-/// into `g`, repairing intra-domain connectivity.
-fn embed_waxman<R: Rng + ?Sized>(g: &mut Graph, ids: &[usize], alpha: f64, rng: &mut R) {
-    if ids.len() == 1 {
-        return;
-    }
-    let cfg = WaxmanConfig {
-        nodes: ids.len(),
-        alpha: alpha.clamp(0.05, 1.0),
-        beta: 0.4,
-        ensure_connected: false,
-    };
-    let (mut sub, pos) = waxman(&cfg, rng);
-    repair_connectivity(&mut sub, &pos);
-    for u in sub.nodes() {
-        for v in sub.neighbors(u) {
-            if v.index() > u.index() {
-                g.add_edge(NodeId(ids[u.index()]), NodeId(ids[v.index()]));
-            }
-        }
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,72 @@
+//! Scenario generator: a topology zoo and lazy, reproducible request streams.
+//!
+//! The paper's simulations run on ~100-node GT-ITM topologies with a few
+//! thousand requests. This crate scales both axes without changing the
+//! solvers: [`zoo`] grows `MecNetwork`s from 100 to 5,000+ cloudlets
+//! (hierarchical SAGIN-style tiers, Barabási–Albert preferential attachment,
+//! k-ary fat-trees, plus the flat Waxman and transit-stub models re-exported
+//! from `mecnet`), and [`stream`] synthesizes 10^6+ [`SfcRequest`]s lazily —
+//! Poisson arrivals with diurnal modulation and flash crowds, heavy- or
+//! light-tailed TTLs, and popularity-skewed endpoint selection — all behind
+//! a serde-able [`ScenarioSpec`] so a whole experiment is one JSON file or
+//! one named preset.
+//!
+//! # Determinism
+//!
+//! Every random draw derives from `(spec.seed, position, salt)` through the
+//! same splitmix64 finalizer the admission pipeline uses for its per-request
+//! RNG streams: request `k`'s content, its arrival gap, and its TTL each come
+//! from an independently seeded [`StdRng`], so any prefix of the stream is
+//! byte-identical across re-instantiations regardless of how much of it a
+//! consumer materializes. Topology and catalog construction get their own
+//! salted streams, so changing stream parameters never perturbs the network.
+//!
+//! [`SfcRequest`]: mecnet::request::SfcRequest
+//! [`StdRng`]: rand::rngs::StdRng
+
+pub mod spec;
+pub mod stream;
+pub mod zoo;
+
+pub use spec::{BuiltScenario, CatalogSpec, ScenarioSpec, StreamSpec, TopologySpec, TtlSpec};
+pub use stream::{RequestStream, TimedRequest, TimedRequestStream};
+pub use zoo::{barabasi_albert, fat_tree, sagin, FatTreeRole, TierSpec};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Domain-separation salts: one independent stream family per draw kind.
+pub(crate) const TOPO_SALT: u64 = 0x0000_544f_504f; // "TOPO"
+pub(crate) const CATALOG_SALT: u64 = 0x0043_4154; // "CAT"
+pub(crate) const REQ_SALT: u64 = 0x0052_4551; // "REQ"
+pub(crate) const ARRIVAL_SALT: u64 = 0x0041_5252; // "ARR"
+pub(crate) const TTL_SALT: u64 = 0x0054_544c; // "TTL"
+pub(crate) const FLASH_SALT: u64 = 0x0046_4c53; // "FLS"
+
+/// splitmix64 finalizer — same mixer the core pipeline uses for its
+/// per-request admission/solve streams, so neighboring positions get
+/// unrelated RNGs with good avalanche.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mix `(seed, k, salt)` into a u64 seed.
+pub(crate) fn derive_seed(seed: u64, k: u64, salt: u64) -> u64 {
+    splitmix64(splitmix64(seed ^ salt).wrapping_add(k))
+}
+
+/// The RNG for position `k` of the stream family identified by `salt`:
+/// independent per `(seed, k, salt)`, so draw `k` is a pure function of the
+/// spec regardless of how positions `0..k` were consumed.
+pub(crate) fn position_rng(seed: u64, k: u64, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(seed, k, salt))
+}
+
+/// Uniform `[0, 1)` double from a hash of `(seed, k, salt)` without
+/// instantiating an RNG — used for cheap per-epoch decisions (flash crowds).
+pub(crate) fn unit_hash(seed: u64, k: u64, salt: u64) -> f64 {
+    (derive_seed(seed, k, salt) >> 11) as f64 / (1u64 << 53) as f64
+}

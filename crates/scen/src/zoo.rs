@@ -1,0 +1,286 @@
+//! The topology zoo: graph generators beyond `mecnet`'s flat Waxman and
+//! transit-stub models.
+//!
+//! * [`sagin`] — hierarchical space-air-ground style layered networks: a
+//!   small high-capacity/high-delay core tier, optional aggregation tiers,
+//!   and a large low-delay edge tier, each an internally-connected Waxman
+//!   subgraph with per-tier uplinks to the tier above. Per-tier cloudlet
+//!   fractions and capacity classes model "few fat cloudlets up high, many
+//!   thin ones at the edge".
+//! * [`barabasi_albert`] — preferential-attachment MEC graphs whose
+//!   heavy-tailed degree distribution matches measured metro aggregation
+//!   networks better than Waxman's near-Poisson degrees.
+//! * [`fat_tree`] — the standard k-ary data-center fabric (core, aggregation,
+//!   edge switches, hosts); hosts are the cloudlet sites.
+//!
+//! All generators only build [`Graph`]s (plus role/tier annotations);
+//! [`crate::spec::ScenarioSpec::build`] turns them into `MecNetwork`s by
+//! assigning per-tier capacities.
+
+use mecnet::graph::{Graph, NodeId};
+use mecnet::topology::embed_waxman;
+use rand::Rng;
+
+/// One layer of a SAGIN-style hierarchy, top (core) first.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TierSpec {
+    /// Display name ("leo-core", "hap", "ground", ...).
+    pub name: String,
+    /// Node count of this tier.
+    pub nodes: usize,
+    /// Fraction of this tier's nodes that host a cloudlet, in `[0, 1]`.
+    pub cloudlet_fraction: f64,
+    /// Uniform cloudlet capacity range (MHz) — the tier's capacity class.
+    pub capacity_range: (f64, f64),
+    /// Intra-tier Waxman density `alpha`.
+    pub alpha: f64,
+    /// Intra-tier Waxman locality `beta`.
+    pub beta: f64,
+    /// Uplink edges from each node of this tier to uniformly random nodes of
+    /// the tier above. Ignored for the top tier; must be >= 1 below it so the
+    /// hierarchy is connected by construction.
+    pub uplinks: usize,
+    /// Relative endpoint-popularity weight of this tier's nodes when the
+    /// request stream samples sources/destinations.
+    pub popularity_weight: f64,
+}
+
+/// Generate a layered SAGIN-style graph from `tiers` (top tier first).
+/// Returns the graph and each node's tier index. Connectivity holds by
+/// construction: every tier is an internally-connected Waxman subgraph
+/// (via [`embed_waxman`]'s repair pass) and every non-top node keeps at
+/// least one uplink into the tier above.
+pub fn sagin<R: Rng + ?Sized>(tiers: &[TierSpec], rng: &mut R) -> (Graph, Vec<usize>) {
+    assert!(!tiers.is_empty(), "need at least one tier");
+    let total: usize = tiers.iter().map(|t| t.nodes).sum();
+    let mut g = Graph::new(total);
+    let mut tier_of = Vec::with_capacity(total);
+    let mut tier_ids: Vec<Vec<usize>> = Vec::with_capacity(tiers.len());
+    let mut next = 0usize;
+    for (t, tier) in tiers.iter().enumerate() {
+        assert!(tier.nodes >= 1, "tier {} is empty", tier.name);
+        if t > 0 {
+            assert!(tier.uplinks >= 1, "tier {} needs uplinks >= 1", tier.name);
+        }
+        let ids: Vec<usize> = (0..tier.nodes)
+            .map(|_| {
+                let id = next;
+                next += 1;
+                tier_of.push(t);
+                id
+            })
+            .collect();
+        embed_waxman(&mut g, &ids, tier.alpha, tier.beta, rng);
+        if t > 0 {
+            let above = &tier_ids[t - 1];
+            for &v in &ids {
+                for _ in 0..tier.uplinks {
+                    let u = above[rng.gen_range(0..above.len())];
+                    g.add_edge(NodeId(u), NodeId(v));
+                }
+            }
+        }
+        tier_ids.push(ids);
+    }
+    debug_assert!(g.is_connected(), "sagin hierarchy must be connected by construction");
+    (g, tier_of)
+}
+
+/// Generate a Barabási–Albert preferential-attachment graph: start from a
+/// small connected seed clique, then attach each new node to `attach`
+/// distinct existing nodes with probability proportional to their degree
+/// (sampled via the classic repeated-endpoint list).
+pub fn barabasi_albert<R: Rng + ?Sized>(nodes: usize, attach: usize, rng: &mut R) -> Graph {
+    assert!(attach >= 1, "attach must be >= 1");
+    assert!(nodes > attach, "need more nodes than attachment edges");
+    let mut g = Graph::new(nodes);
+    // Seed clique on `attach + 1` nodes so every early target has degree > 0.
+    for u in 0..=attach {
+        for v in (u + 1)..=attach {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+    }
+    // One entry per edge endpoint: sampling uniformly from this list is
+    // degree-proportional sampling.
+    let mut endpoints: Vec<usize> = Vec::with_capacity(4 * nodes * attach);
+    for u in 0..=attach {
+        for _ in 0..attach {
+            endpoints.push(u);
+        }
+    }
+    let mut targets: Vec<usize> = Vec::with_capacity(attach);
+    for v in (attach + 1)..nodes {
+        targets.clear();
+        while targets.len() < attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            g.add_edge(NodeId(t), NodeId(v));
+            endpoints.push(t);
+            endpoints.push(v);
+        }
+    }
+    debug_assert!(g.is_connected());
+    g
+}
+
+/// Role of a node in a [`fat_tree`] fabric, parallel to the node ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FatTreeRole {
+    Core,
+    Aggregation { pod: usize },
+    Edge { pod: usize },
+    Host { pod: usize },
+}
+
+/// Generate the standard k-ary fat-tree (`k` even, >= 2): `(k/2)^2` core
+/// switches, `k` pods of `k/2` aggregation plus `k/2` edge switches, and
+/// `k/2` hosts per edge switch (`k^3/4` hosts total — the cloudlet sites).
+/// Deterministic: the fabric is fully determined by `k`.
+pub fn fat_tree(k: usize) -> (Graph, Vec<FatTreeRole>) {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even and >= 2");
+    let half = k / 2;
+    let cores = half * half;
+    let per_pod = half + half; // agg + edge
+    let hosts_per_pod = half * half;
+    let total = cores + k * per_pod + k * hosts_per_pod;
+    let mut g = Graph::new(total);
+    let mut roles = vec![FatTreeRole::Core; total];
+    let core_id = |c: usize| c;
+    let agg_id = |pod: usize, a: usize| cores + pod * per_pod + a;
+    let edge_id = |pod: usize, e: usize| cores + pod * per_pod + half + e;
+    let host_id =
+        |pod: usize, e: usize, h: usize| cores + k * per_pod + pod * hosts_per_pod + e * half + h;
+    for pod in 0..k {
+        for a in 0..half {
+            roles[agg_id(pod, a)] = FatTreeRole::Aggregation { pod };
+            // Each aggregation switch uplinks to its column of core switches.
+            for c in 0..half {
+                g.add_edge(NodeId(agg_id(pod, a)), NodeId(core_id(a * half + c)));
+            }
+        }
+        for e in 0..half {
+            roles[edge_id(pod, e)] = FatTreeRole::Edge { pod };
+            for a in 0..half {
+                g.add_edge(NodeId(edge_id(pod, e)), NodeId(agg_id(pod, a)));
+            }
+            for h in 0..half {
+                roles[host_id(pod, e, h)] = FatTreeRole::Host { pod };
+                g.add_edge(NodeId(host_id(pod, e, h)), NodeId(edge_id(pod, e)));
+            }
+        }
+    }
+    debug_assert!(g.is_connected());
+    (g, roles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn three_tiers() -> Vec<TierSpec> {
+        vec![
+            TierSpec {
+                name: "core".into(),
+                nodes: 8,
+                cloudlet_fraction: 1.0,
+                capacity_range: (20000.0, 40000.0),
+                alpha: 0.8,
+                beta: 0.6,
+                uplinks: 0,
+                popularity_weight: 0.5,
+            },
+            TierSpec {
+                name: "agg".into(),
+                nodes: 24,
+                cloudlet_fraction: 0.5,
+                capacity_range: (8000.0, 16000.0),
+                alpha: 0.5,
+                beta: 0.3,
+                uplinks: 2,
+                popularity_weight: 1.0,
+            },
+            TierSpec {
+                name: "edge".into(),
+                nodes: 80,
+                cloudlet_fraction: 0.25,
+                capacity_range: (2000.0, 6000.0),
+                alpha: 0.4,
+                beta: 0.15,
+                uplinks: 1,
+                popularity_weight: 4.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn sagin_connected_with_tier_sizes() {
+        let tiers = three_tiers();
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (g, tier_of) = sagin(&tiers, &mut rng);
+            assert_eq!(g.num_nodes(), 8 + 24 + 80);
+            assert!(g.is_connected());
+            for (t, tier) in tiers.iter().enumerate() {
+                assert_eq!(tier_of.iter().filter(|&&x| x == t).count(), tier.nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn sagin_edge_nodes_reach_core_via_uplinks() {
+        let tiers = three_tiers();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, tier_of) = sagin(&tiers, &mut rng);
+        // Each edge node has at least one neighbor in the tier above.
+        for v in g.nodes() {
+            if tier_of[v.index()] == 2 {
+                assert!(
+                    g.neighbors(v).any(|u| tier_of[u.index()] <= 1),
+                    "edge node {} has no uplink",
+                    v.index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn barabasi_albert_degree_tail_is_heavy() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = barabasi_albert(400, 2, &mut rng);
+        assert!(g.is_connected());
+        // Every non-seed node contributes exactly `attach` edges.
+        assert_eq!(g.num_edges(), 3 + (400 - 3) * 2);
+        let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap();
+        let mean = g.average_degree();
+        assert!(
+            max_deg as f64 > 4.0 * mean,
+            "preferential attachment should grow hubs: max {max_deg} vs mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        let (g, roles) = fat_tree(4);
+        // 4 core, 4 pods x (2 agg + 2 edge), 16 hosts.
+        assert_eq!(g.num_nodes(), 4 + 16 + 16);
+        assert!(g.is_connected());
+        assert_eq!(roles.iter().filter(|r| matches!(r, FatTreeRole::Host { .. })).count(), 16);
+        assert_eq!(roles.iter().filter(|r| matches!(r, FatTreeRole::Core)).count(), 4);
+        // Hosts have degree 1, edge switches k, agg switches k.
+        for (i, role) in roles.iter().enumerate() {
+            let d = g.degree(NodeId(i));
+            match role {
+                FatTreeRole::Host { .. } => assert_eq!(d, 1),
+                FatTreeRole::Edge { .. } | FatTreeRole::Aggregation { .. } => assert_eq!(d, 4),
+                FatTreeRole::Core => assert_eq!(d, 4),
+            }
+        }
+        assert_eq!(g.diameter(), Some(6));
+    }
+}

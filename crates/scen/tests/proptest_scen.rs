@@ -1,0 +1,197 @@
+//! Property tests for the scenario generator.
+//!
+//! Two families: (1) **stream determinism** — any prefix of a
+//! [`RequestStream`] is byte-identical across re-instantiations, stream
+//! limits, and consumption patterns (collect-all vs. interleaved pulls);
+//! (2) **topology invariants** — SAGIN hierarchies, Barabási–Albert graphs
+//! and fat-trees stay connected with degree/tier distributions inside the
+//! bounds their specs promise.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scen::{
+    barabasi_albert, fat_tree, sagin, FatTreeRole, RequestStream, ScenarioSpec, TierSpec,
+    TimedRequest, TopologySpec,
+};
+
+fn small_tiers(core: usize, agg: usize, edge: usize) -> Vec<TierSpec> {
+    vec![
+        TierSpec {
+            name: "core".into(),
+            nodes: core,
+            cloudlet_fraction: 1.0,
+            capacity_range: (16000.0, 32000.0),
+            alpha: 0.8,
+            beta: 0.6,
+            uplinks: 0,
+            popularity_weight: 1.0,
+        },
+        TierSpec {
+            name: "agg".into(),
+            nodes: agg,
+            cloudlet_fraction: 0.5,
+            capacity_range: (6000.0, 12000.0),
+            alpha: 0.5,
+            beta: 0.3,
+            uplinks: 2,
+            popularity_weight: 2.0,
+        },
+        TierSpec {
+            name: "edge".into(),
+            nodes: edge,
+            cloudlet_fraction: 0.3,
+            capacity_range: (2000.0, 5000.0),
+            alpha: 0.4,
+            beta: 0.15,
+            uplinks: 1,
+            popularity_weight: 6.0,
+        },
+    ]
+}
+
+fn spec_with_seed(seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::preset("waxman-100").unwrap();
+    spec.seed = seed;
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The first `prefix` requests are identical whether the stream is
+    /// instantiated with a tight limit, a huge limit, or consumed in
+    /// interleaved chunks — per-position RNG derivation means no draw
+    /// depends on consumption history.
+    #[test]
+    fn stream_prefix_independent_of_limit_and_consumption(
+        seed in 0u64..1_000,
+        prefix in 1usize..120,
+    ) {
+        let built = spec_with_seed(seed).build();
+        let tight: Vec<TimedRequest> =
+            RequestStream::new(&built, prefix as u64).timed().collect();
+        let huge: Vec<TimedRequest> =
+            RequestStream::new(&built, u64::MAX).timed().take(prefix).collect();
+        prop_assert_eq!(&tight, &huge);
+        // Interleaved: pull one, then the rest, from a fresh instance.
+        let mut chunked = RequestStream::new(&built, 1_000_000).timed();
+        let mut interleaved = Vec::with_capacity(prefix);
+        interleaved.push(chunked.next().unwrap());
+        interleaved.extend(chunked.take(prefix - 1));
+        prop_assert_eq!(&tight, &interleaved);
+    }
+
+    /// Re-building the same spec yields the same stream; different seeds
+    /// yield different streams (avalanche sanity).
+    #[test]
+    fn stream_is_a_pure_function_of_the_spec(seed in 0u64..1_000) {
+        let a: Vec<TimedRequest> =
+            RequestStream::new(&spec_with_seed(seed).build(), 50).timed().collect();
+        let b: Vec<TimedRequest> =
+            RequestStream::new(&spec_with_seed(seed).build(), 50).timed().collect();
+        prop_assert_eq!(&a, &b);
+        let c: Vec<TimedRequest> =
+            RequestStream::new(&spec_with_seed(seed ^ 0xDEAD).build(), 50).timed().collect();
+        prop_assert_ne!(&a, &c);
+    }
+
+    /// SAGIN hierarchies are connected with exact per-tier node counts, and
+    /// every non-top node keeps at least one uplink into the tier above.
+    #[test]
+    fn sagin_connected_with_tier_distribution(
+        seed in 0u64..10_000,
+        core in 2usize..6,
+        agg in 4usize..16,
+        edge in 8usize..48,
+    ) {
+        let tiers = small_tiers(core, agg, edge);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, tier_of) = sagin(&tiers, &mut rng);
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(g.num_nodes(), core + agg + edge);
+        for (t, tier) in tiers.iter().enumerate() {
+            prop_assert_eq!(tier_of.iter().filter(|&&x| x == t).count(), tier.nodes);
+        }
+        for v in g.nodes() {
+            let t = tier_of[v.index()];
+            if t > 0 {
+                prop_assert!(
+                    g.neighbors(v).any(|u| tier_of[u.index()] == t - 1),
+                    "node {} in tier {} lost its uplink", v.index(), t
+                );
+            }
+        }
+    }
+
+    /// Barabási–Albert: connected, exact edge count, minimum degree `attach`,
+    /// and a hub exceeding the mean degree (heavy tail).
+    #[test]
+    fn barabasi_albert_degree_bounds(
+        seed in 0u64..10_000,
+        nodes in 30usize..200,
+        attach in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = barabasi_albert(nodes, attach, &mut rng);
+        prop_assert!(g.is_connected());
+        let clique = attach * (attach + 1) / 2;
+        prop_assert_eq!(g.num_edges(), clique + (nodes - attach - 1) * attach);
+        for v in g.nodes() {
+            prop_assert!(g.degree(v) >= attach, "degree floor violated at {}", v.index());
+        }
+        let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap();
+        prop_assert!(max_deg as f64 >= g.average_degree());
+    }
+
+    /// Fat-trees have the closed-form node/edge counts and exact per-role
+    /// degrees for any even arity.
+    #[test]
+    fn fat_tree_structure(half in 1usize..5) {
+        let k = 2 * half;
+        let (g, roles) = fat_tree(k);
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(g.num_nodes(), half * half + k * k + k * half * half);
+        let hosts = roles.iter().filter(|r| matches!(r, FatTreeRole::Host { .. })).count();
+        prop_assert_eq!(hosts, k * k * k / 4);
+        for (i, role) in roles.iter().enumerate() {
+            let d = g.degree(mecnet::graph::NodeId(i));
+            match role {
+                FatTreeRole::Host { .. } => prop_assert_eq!(d, 1),
+                _ => prop_assert_eq!(d, k),
+            }
+        }
+    }
+
+    /// Built SAGIN scenarios keep cloudlet counts inside the per-tier
+    /// fractions' bounds and capacity draws inside the tier's class range.
+    #[test]
+    fn built_sagin_respects_capacity_classes(seed in 0u64..500) {
+        let tiers = small_tiers(3, 8, 24);
+        let spec = ScenarioSpec {
+            name: "prop-sagin".into(),
+            seed,
+            topology: TopologySpec::Sagin { tiers: tiers.clone() },
+            catalog: Default::default(),
+            stream: Default::default(),
+        };
+        let built = spec.build();
+        for (t, tier) in tiers.iter().enumerate() {
+            let caps: Vec<f64> = built
+                .network
+                .cloudlet_ids()
+                .iter()
+                .filter(|&&v| built.tier_of[v.index()] == t)
+                .map(|&v| built.network.capacity(v))
+                .collect();
+            let expect = ((tier.nodes as f64 * tier.cloudlet_fraction) as usize).max(1);
+            prop_assert_eq!(caps.len(), expect, "tier {} cloudlet count", t);
+            for c in caps {
+                prop_assert!(
+                    c >= tier.capacity_range.0 && c <= tier.capacity_range.1,
+                    "tier {} capacity {} outside class {:?}", t, c, tier.capacity_range
+                );
+            }
+        }
+    }
+}

@@ -204,6 +204,71 @@ impl ActiveRequest {
     }
 }
 
+/// Where the workload comes from: the engine asks the source for arrival
+/// gaps, request content and holding times, passing its workload RNG so the
+/// default source reproduces the historical draw order exactly. Lazy
+/// scenario streams (e.g. `scen`'s million-request generators) implement
+/// this by pulling from their own per-position RNGs and ignoring `rng`,
+/// which keeps the simulator O(active requests) in memory for arbitrarily
+/// long workloads.
+pub trait RequestSource {
+    /// Gap before the first arrival.
+    fn first_gap(&mut self, rng: &mut StdRng) -> f64;
+
+    /// Content, holding time, and gap to the *next* arrival for request
+    /// `id`, drawn in exactly that order (the fixed workload draw order the
+    /// determinism contract pins).
+    fn arrival(
+        &mut self,
+        id: usize,
+        catalog: &VnfCatalog,
+        num_nodes: usize,
+        rng: &mut StdRng,
+    ) -> (SfcRequest, f64, f64);
+}
+
+/// The engine's historical workload model: Poisson arrivals at a fixed rate,
+/// uniform random request content, exponential holding times — all drawn
+/// from the engine's workload RNG stream, so [`run`] behaves bit-for-bit as
+/// it did before sources existed.
+pub struct PoissonSource {
+    pub arrival_rate: f64,
+    pub mean_holding: f64,
+    pub sfc_len_range: (usize, usize),
+    pub expectation: f64,
+}
+
+impl PoissonSource {
+    pub fn from_config(cfg: &SimConfig) -> PoissonSource {
+        PoissonSource {
+            arrival_rate: cfg.arrival_rate,
+            mean_holding: cfg.mean_holding,
+            sfc_len_range: cfg.sfc_len_range,
+            expectation: cfg.expectation,
+        }
+    }
+}
+
+impl RequestSource for PoissonSource {
+    fn first_gap(&mut self, rng: &mut StdRng) -> f64 {
+        sample_exp(1.0 / self.arrival_rate, rng)
+    }
+
+    fn arrival(
+        &mut self,
+        id: usize,
+        catalog: &VnfCatalog,
+        num_nodes: usize,
+        rng: &mut StdRng,
+    ) -> (SfcRequest, f64, f64) {
+        let req =
+            SfcRequest::random(id, catalog, self.sfc_len_range, self.expectation, num_nodes, rng);
+        let holding = sample_exp(self.mean_holding, rng);
+        let gap = sample_exp(1.0 / self.arrival_rate, rng);
+        (req, holding, gap)
+    }
+}
+
 /// Run one simulation without telemetry.
 pub fn run(
     network: &MecNetwork,
@@ -226,7 +291,34 @@ pub fn run_traced(
     policy: &dyn RepairPolicy,
     rec: &mut Recorder,
 ) -> SloReport {
-    Engine::new(network, catalog, cfg, policy).run(rec)
+    let mut source = PoissonSource::from_config(cfg);
+    run_with_source_traced(network, catalog, cfg, policy, &mut source, rec)
+}
+
+/// [`run`] with an explicit [`RequestSource`] — the entry point for scenario
+/// workloads that arrive lazily instead of from the config's Poisson model.
+/// With a [`PoissonSource`] built from `cfg` this is byte-identical to
+/// [`run`].
+pub fn run_with_source(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    cfg: &SimConfig,
+    policy: &dyn RepairPolicy,
+    source: &mut dyn RequestSource,
+) -> SloReport {
+    run_with_source_traced(network, catalog, cfg, policy, source, &mut Recorder::noop())
+}
+
+/// [`run_traced`] with an explicit [`RequestSource`].
+pub fn run_with_source_traced(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    cfg: &SimConfig,
+    policy: &dyn RepairPolicy,
+    source: &mut dyn RequestSource,
+    rec: &mut Recorder,
+) -> SloReport {
+    Engine::new(network, catalog, cfg, policy, source).run(rec)
 }
 
 struct Engine<'a> {
@@ -234,6 +326,7 @@ struct Engine<'a> {
     catalog: &'a VnfCatalog,
     cfg: &'a SimConfig,
     policy: &'a dyn RepairPolicy,
+    source: &'a mut dyn RequestSource,
     queue: EventQueue,
     residual: Vec<f64>,
     requests: Vec<ActiveRequest>,
@@ -259,6 +352,7 @@ impl<'a> Engine<'a> {
         catalog: &'a VnfCatalog,
         cfg: &'a SimConfig,
         policy: &'a dyn RepairPolicy,
+        source: &'a mut dyn RequestSource,
     ) -> Engine<'a> {
         assert!(cfg.duration > 0.0 && cfg.duration.is_finite(), "duration must be positive");
         assert!(cfg.arrival_rate > 0.0, "arrival rate must be positive");
@@ -277,6 +371,7 @@ impl<'a> Engine<'a> {
             catalog,
             cfg,
             policy,
+            source,
             queue: EventQueue::new(),
             residual: network.residual_capacities(cfg.initial_capacity_fraction),
             requests: Vec::new(),
@@ -401,7 +496,7 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self, rec: &mut Recorder) -> SloReport {
-        let first = sample_exp(1.0 / self.cfg.arrival_rate, &mut self.workload_rng);
+        let first = self.source.first_gap(&mut self.workload_rng);
         self.queue.push(first, EventKind::Arrival);
         if let Some(interval) = self.policy.audit_interval() {
             self.queue.push(interval, EventKind::AuditTick);
@@ -508,17 +603,13 @@ impl<'a> Engine<'a> {
         // holding time, then the next interarrival gap — identical across
         // policies by construction.
         let id = self.requests.len();
-        let req = SfcRequest::random(
-            id,
-            self.catalog,
-            self.cfg.sfc_len_range,
-            self.cfg.expectation,
-            self.network.num_nodes(),
-            &mut self.workload_rng,
-        );
-        let holding = sample_exp(self.cfg.mean_holding, &mut self.workload_rng);
-        let gap = sample_exp(1.0 / self.cfg.arrival_rate, &mut self.workload_rng);
-        self.queue.push(t + gap, EventKind::Arrival);
+        let catalog = self.catalog;
+        let num_nodes = self.network.num_nodes();
+        let (req, holding, gap) =
+            self.source.arrival(id, catalog, num_nodes, &mut self.workload_rng);
+        if gap.is_finite() {
+            self.queue.push(t + gap, EventKind::Arrival);
+        }
 
         let demands: Vec<f64> = req.sfc.iter().map(|&f| self.catalog.demand(f)).collect();
         let reliabilities: Vec<f64> =
@@ -961,10 +1052,13 @@ mod tests {
         let cfg = quick_cfg();
         let policy = NoRepair;
         // Run the engine manually to inspect the final residual.
-        let engine = Engine::new(&net, &cat, &cfg, &policy);
+        let mut probe_source = PoissonSource::from_config(&cfg);
+        let engine = Engine::new(&net, &cat, &cfg, &policy, &mut probe_source);
         let initial = engine.residual.clone();
+        drop(engine);
         let mut rec = Recorder::noop();
-        let mut engine = Engine::new(&net, &cat, &cfg, &policy);
+        let mut source = PoissonSource::from_config(&cfg);
+        let mut engine = Engine::new(&net, &cat, &cfg, &policy, &mut source);
         let first = sample_exp(1.0 / cfg.arrival_rate, &mut engine.workload_rng);
         engine.queue.push(first, EventKind::Arrival);
         while let Some(ev) = engine.queue.pop() {

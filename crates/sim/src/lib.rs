@@ -31,7 +31,10 @@ pub mod policy;
 pub mod process;
 pub mod report;
 
-pub use engine::{run, run_traced, SimConfig};
+pub use engine::{
+    run, run_traced, run_with_source, run_with_source_traced, PoissonSource, RequestSource,
+    SimConfig,
+};
 pub use event::{EventKind, EventQueue, SimEvent};
 pub use policy::{from_name, NoRepair, PeriodicAudit, Reactive, RepairPolicy, RequestView};
 pub use process::{mtbf_for_availability, sample_exp};

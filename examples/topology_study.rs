@@ -7,6 +7,13 @@
 //! reliability distribution, making the topology sensitivity explicit
 //! (something the paper holds fixed).
 //!
+//! A second sweep runs the scenario zoo (`crates/scen`): each preset —
+//! Waxman, layered SAGIN, Barabási–Albert, fat-tree — is built from its
+//! spec and a prefix of its lazy request stream is pushed through the
+//! heuristic admission engine, contrasting how the zoo's *structural*
+//! differences (tiering, hubs, DC symmetry) shape stream-level admission,
+//! not just single-request reliability.
+//!
 //! Run with: `cargo run --release --example topology_study`
 
 use mec_sfc_reliability::expkit::stats::Summary;
@@ -15,8 +22,11 @@ use mec_sfc_reliability::mecnet::request::SfcRequest;
 use mec_sfc_reliability::mecnet::topology::{self, WaxmanConfig};
 use mec_sfc_reliability::mecnet::vnf::VnfCatalog;
 use mec_sfc_reliability::mecnet::{Graph, MecNetwork};
+use mec_sfc_reliability::obs::Recorder;
 use mec_sfc_reliability::relaug::heuristic;
 use mec_sfc_reliability::relaug::instance::AugmentationInstance;
+use mec_sfc_reliability::relaug::stream::{process_stream_seeded_sink, StreamConfig};
+use mec_sfc_reliability::scen::{RequestStream, ScenarioSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -73,5 +83,53 @@ fn main() {
         "\nDenser topologies put more cloudlets inside each 1-hop neighborhood,\n\
          so the same capacity budget yields more usable backup slots — the\n\
          complete graph is the paper's 'no locality constraint' upper bound."
+    );
+
+    // Second sweep: the scenario zoo at stream scale. Each preset's spec
+    // deterministically yields both the substrate and a lazy request stream;
+    // the heuristic admits a 2,000-request prefix and the aggregates are
+    // folded as records are produced (nothing materialized).
+    let stream_requests = 2_000u64;
+    println!(
+        "\n{:<12} {:>7} {:>10} {:>11} {:>9} {:>10} {:>10}",
+        "scenario", "nodes", "cloudlets", "avg degree", "admitted", "mean rel.", "SLO met"
+    );
+    for preset in ["waxman-100", "sagin-1k", "ba-1k", "fattree-16"] {
+        let built = ScenarioSpec::preset(preset).expect("known preset").build();
+        let mut admitted = 0u64;
+        let mut slo_met = 0u64;
+        let mut rel_sum = 0.0f64;
+        process_stream_seeded_sink(
+            &built.network,
+            &built.catalog,
+            RequestStream::new(&built, stream_requests),
+            &StreamConfig::default(),
+            built.spec.seed,
+            &mut Recorder::noop(),
+            &mut |r| {
+                if r.admitted {
+                    admitted += 1;
+                    slo_met += r.met_expectation as u64;
+                    rel_sum += r.achieved_reliability;
+                }
+            },
+        );
+        println!(
+            "{:<12} {:>7} {:>10} {:>11.1} {:>9} {:>10.4} {:>9.0}%",
+            preset,
+            built.network.num_nodes(),
+            built.cloudlets(),
+            built.network.graph().average_degree(),
+            format!("{admitted}/{stream_requests}"),
+            if admitted > 0 { rel_sum / admitted as f64 } else { f64::NAN },
+            if admitted > 0 { 100.0 * slo_met as f64 / admitted as f64 } else { f64::NAN },
+        );
+    }
+    println!(
+        "\nThe zoo makes the structural contrast explicit: SAGIN's tiered\n\
+         uplinks concentrate load on the small high-capacity core, the\n\
+         Barabási–Albert hubs give most requests a well-provisioned\n\
+         neighborhood, and the fat-tree's symmetric redundancy keeps\n\
+         admission uniform across pods."
     );
 }

@@ -18,6 +18,9 @@
 //!   harness.
 //! * [`obs`] — structured telemetry: recorders, solver-trace events and
 //!   JSONL export consumed by the `*_traced` solver entry points.
+//! * [`scen`] — the scenario generator: the topology zoo (SAGIN tiers,
+//!   Barabási–Albert, fat-tree) and lazy million-request streams, both
+//!   driven by a serde-able [`scen::ScenarioSpec`].
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -27,6 +30,7 @@ pub use mecnet;
 pub use milp;
 pub use obs;
 pub use relaug;
+pub use scen;
 
 /// Crate version of the facade (mirrors the workspace version).
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
