@@ -7,7 +7,19 @@
 //! Usage: `cargo run -p bench-harness --release --bin stream_exp --
 //! [--trials N] [--seed S] [--requests R] [--trace PATH] [--workers W]
 //! [--batch B] [--metrics-interval N|Xs] [--flight DIR]
-//! [--scenario NAME|PATH]` (trials = independent network/stream pairs).
+//! [--scenario NAME|PATH] [--commit-order deterministic|relaxed]
+//! [--shards K]` (trials = independent network/stream pairs).
+//!
+//! `--commit-order relaxed` switches to the sharded-capacity engine
+//! (`relaug::relaxed`): cloudlets are partitioned into `K` locality shards
+//! (`--shards`, default one per worker), shard-local requests commit
+//! lock-free on their owning worker, and records arrive in completion
+//! order. Every relaxed run is linearization-verified — the commit log is
+//! replayed sequentially and checked against the final atomic residuals —
+//! and the verdict is printed as `<algo> linearization: OK (...)` (a failed
+//! replay aborts the run with a nonzero exit). The scenario table's hash
+//! column switches to the order-insensitive admitted-set hash, and a
+//! per-shard contention table is appended to the report.
 //!
 //! Without `--scenario` the harness runs the toy fixture: one
 //! `WorkloadConfig::default()` network per trial and uniformly random
@@ -55,7 +67,9 @@
 
 use std::time::Instant;
 
-use bench_harness::{fold_record_hash, HarnessArgs, StreamStats, RECORD_HASH_SEED};
+use bench_harness::{
+    fold_admitted_set_hash, fold_record_hash, HarnessArgs, StreamStats, RECORD_HASH_SEED,
+};
 use expkit::stats::Accumulator;
 use expkit::Table;
 use mecnet::network::MecNetwork;
@@ -65,7 +79,8 @@ use mecnet::workload::{generate_catalog, generate_network, WorkloadConfig};
 use obs::{MetricsSnapshot, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use relaug::parallel::{process_stream_metered_sink, ParallelConfig};
+use relaug::parallel::{process_stream_metered_sink, CommitOrder, ParallelConfig};
+use relaug::relaxed::{process_stream_relaxed_reported, RelaxedReport};
 use relaug::stream::{
     process_stream_seeded_sink, Algorithm, FlightSpec, MetricsMode, RequestRecord, StreamConfig,
     StreamObservation,
@@ -139,10 +154,28 @@ fn contention_table(observations: &[(&str, StreamObservation)]) -> Table {
     table
 }
 
+/// Per-stream fold state the sink writes into as records are produced:
+/// the order-sensitive hash (deterministic engines), the order-insensitive
+/// admitted-set hash (what relaxed runs are compared by), and — relaxed
+/// only — the engine's report with the linearization verdict.
+struct RunArtifacts {
+    hash: u64,
+    set_hash: u64,
+    relaxed: Option<RelaxedReport>,
+}
+
+impl RunArtifacts {
+    fn new() -> RunArtifacts {
+        RunArtifacts { hash: RECORD_HASH_SEED, set_hash: 0, relaxed: None }
+    }
+}
+
 /// Drive one lazy request stream through the configured engine, folding every
-/// committed record into `stats` and the order-sensitive record hash as it is
-/// produced — nothing is retained per request. Returns the final residual and
-/// the sharded-metrics observation.
+/// committed record into `stats` and the record hashes as it is produced —
+/// nothing is retained per request. Returns the final residual and the
+/// sharded-metrics observation. `--commit-order relaxed` routes through the
+/// sharded-capacity engine with the commit log enabled, so every run is
+/// linearization-verified (the verdict lands in `art.relaxed`).
 #[allow(clippy::too_many_arguments)]
 fn drive(
     network: &MecNetwork,
@@ -150,22 +183,87 @@ fn drive(
     requests: impl IntoIterator<Item = SfcRequest>,
     cfg: StreamConfig,
     seed: u64,
-    workers: usize,
-    batch: usize,
+    args: &HarnessArgs,
     rec: &mut Recorder,
     stats: &mut StreamStats,
-    hash: &mut u64,
+    art: &mut RunArtifacts,
 ) -> (Vec<f64>, StreamObservation) {
+    let (hash, set_hash) = (&mut art.hash, &mut art.set_hash);
     let mut on_record = |r: RequestRecord| {
         *hash = fold_record_hash(*hash, &r);
+        *set_hash = fold_admitted_set_hash(*set_hash, &r);
         stats.record(&r);
     };
-    if workers == 1 {
+    if args.commit_order == CommitOrder::Relaxed {
+        let pcfg = ParallelConfig {
+            stream: cfg,
+            workers: args.workers,
+            seed,
+            commit_order: CommitOrder::Relaxed,
+            shards: args.shards,
+            ..Default::default()
+        };
+        let (residual, ob, report) = process_stream_relaxed_reported(
+            network,
+            catalog,
+            requests,
+            &pcfg,
+            true,
+            rec,
+            &mut on_record,
+        );
+        art.relaxed = Some(report);
+        (residual, ob)
+    } else if args.workers == 1 {
         process_stream_seeded_sink(network, catalog, requests, &cfg, seed, rec, &mut on_record)
     } else {
-        let pcfg = ParallelConfig { stream: cfg, workers, seed, max_inflight: 0 };
-        process_stream_metered_sink(network, catalog, requests, &pcfg, batch, rec, &mut on_record)
+        let pcfg =
+            ParallelConfig { stream: cfg, workers: args.workers, seed, ..Default::default() };
+        process_stream_metered_sink(
+            network,
+            catalog,
+            requests,
+            &pcfg,
+            args.batch,
+            rec,
+            &mut on_record,
+        )
     }
+}
+
+/// Per-capacity-shard contention attribution of each algorithm's relaxed
+/// run: where commits landed (local = lock-free path) and what each shard's
+/// conflicts, retries and rejects were.
+fn shard_contention_table(reports: &[(&str, RelaxedReport)]) -> Table {
+    let mut table = Table::new(vec![
+        "algorithm",
+        "shard",
+        "cloudlets",
+        "local commits",
+        "straddle",
+        "conflicts",
+        "retries",
+        "no-placement",
+        "contended",
+        "clamped",
+    ]);
+    for (name, rep) in reports {
+        for row in &rep.contention.shards {
+            table.add_row(vec![
+                name.to_string(),
+                format!("{}", row.shard),
+                format!("{}", row.cloudlets),
+                format!("{}", row.local_commits),
+                format!("{}", row.straddle_commits),
+                format!("{}", row.reserve_conflicts),
+                format!("{}", row.retry_solves),
+                format!("{}", row.rejects_no_placement),
+                format!("{}", row.rejects_contention),
+                format!("{}", row.overcommit_clamped),
+            ]);
+        }
+    }
+    table
 }
 
 /// The four paper algorithms, filtered for scenario scale: the per-request
@@ -233,8 +331,18 @@ fn main() {
         ),
     }
     // Record which engine path the run used. Stdout only — the JSONL trace
-    // stays byte-identical across engine configurations.
-    if args.workers == 1 {
+    // stays byte-identical across engine configurations (deterministic
+    // orders; relaxed has no byte-identity to preserve).
+    if args.commit_order == CommitOrder::Relaxed {
+        let shards = if args.shards == 0 { "auto".to_string() } else { format!("{}", args.shards) };
+        println!("engine: relaxed(shards={shards}), workers={}\n", args.workers);
+        if args.metrics_interval.is_some() || args.flight.is_some() {
+            println!(
+                "note: --metrics-interval and --flight are ignored with \
+                 --commit-order relaxed (no sequential order to window or replay)\n"
+            );
+        }
+    } else if args.workers == 1 {
         println!("engine: sequential\n");
     } else if args.batch == 0 {
         println!("engine: batched(batch=auto), workers={}\n", args.workers);
@@ -265,13 +373,18 @@ fn main() {
 
     // Per-shard metrics of each algorithm's first (observed) stream.
     let mut observations: Vec<(&str, StreamObservation)> = Vec::new();
+    // Relaxed runs: each algorithm's report (contention + linearization).
+    let mut relaxed_reports: Vec<(&str, RelaxedReport)> = Vec::new();
+    let relaxed = args.commit_order == CommitOrder::Relaxed;
 
     let algorithms = algorithm_set(scenario.is_some(), requests_per_stream);
     let mut columns =
         vec!["algorithm", "admitted", "mean rel.", "SLO met", "early rel.", "late rel.", "req/s"];
     if scenario.is_some() {
         columns.push("elapsed");
-        columns.push("record hash");
+        // Completion-order records have no defined order-sensitive hash;
+        // relaxed runs are compared by the admitted-set hash instead.
+        columns.push(if relaxed { "set hash" } else { "record hash" });
     }
     let mut table = Table::new(columns);
     let mut effort = Table::new(vec![
@@ -292,7 +405,7 @@ fn main() {
         let mut late = Accumulator::new();
         let mut rate = Accumulator::new();
         let mut elapsed_s = 0.0;
-        let mut hash = RECORD_HASH_SEED;
+        let mut art = RunArtifacts::new();
         let effort_base = rec.summary();
         let samples_base = rec.time_samples("stream.solve").len();
         for t in 0..trials {
@@ -314,11 +427,10 @@ fn main() {
                         stream,
                         observed_config(cfg, &args, inject_at),
                         built.spec.seed,
-                        args.workers,
-                        args.batch,
+                        &args,
                         &mut rec,
                         &mut stats,
-                        &mut hash,
+                        &mut art,
                     )
                 }
                 None => {
@@ -335,18 +447,7 @@ fn main() {
                     let cfg = if t == 0 { observed_config(cfg, &args, inject_at) } else { cfg };
                     let mut noop = Recorder::noop();
                     let rec = if t == 0 { &mut rec } else { &mut noop };
-                    drive(
-                        &network,
-                        &catalog,
-                        requests,
-                        cfg,
-                        seed,
-                        args.workers,
-                        args.batch,
-                        rec,
-                        &mut stats,
-                        &mut hash,
-                    )
+                    drive(&network, &catalog, requests, cfg, seed, &args, rec, &mut stats, &mut art)
                 }
             };
             let dt = start.elapsed().as_secs_f64();
@@ -380,9 +481,39 @@ fn main() {
         ];
         if scenario.is_some() {
             row.push(expkit::table::fmt_duration_s(elapsed_s));
-            row.push(format!("{hash:016x}"));
+            row.push(if relaxed {
+                format!("{:016x}", art.set_hash)
+            } else {
+                format!("{:016x}", art.hash)
+            });
         }
         table.add_row(row);
+        // Relaxed runs are linearization-verified on every trial; the report
+        // kept here is the last trial's. A failed replay is a correctness
+        // bug — fail the whole run loudly (CI greps for "linearization: OK").
+        if let Some(report) = art.relaxed.take() {
+            let lin = report.linearization.clone().expect("relaxed drive always verifies");
+            if lin.replay_ok {
+                println!(
+                    "{name} linearization: OK (entries={}, max_dev={:.3e}); \
+                     admitted set hash {:016x}; local commit fraction {:.3} \
+                     (static ceiling {:.3}, {} shards)",
+                    lin.entries,
+                    lin.max_deviation,
+                    art.set_hash,
+                    report.contention.local_commit_fraction(),
+                    report.static_local_fraction,
+                    report.num_shards,
+                );
+            } else {
+                eprintln!(
+                    "{name} linearization: FAILED (entries={}, max_dev={:.3e})",
+                    lin.entries, lin.max_deviation,
+                );
+                std::process::exit(1);
+            }
+            relaxed_reports.push((name, report));
+        }
         // Delta of the cumulative telemetry = this algorithm's traced stream.
         let now = rec.summary();
         let solve_samples = &rec.time_samples("stream.solve")[samples_base..];
@@ -411,6 +542,10 @@ fn main() {
     println!("{}", effort.to_markdown());
     println!("\n### contention attribution (first stream per algorithm)\n");
     println!("{}", contention_table(&observations).to_markdown());
+    if !relaxed_reports.is_empty() {
+        println!("\n### shard contention (relaxed commit order, last stream per algorithm)\n");
+        println!("{}", shard_contention_table(&relaxed_reports).to_markdown());
+    }
     if args.metrics_interval.is_some() {
         let windows: u64 = observations.iter().map(|(_, ob)| ob.windows).sum();
         println!("\nwindowed telemetry: {windows} stream.window summaries across observed streams");

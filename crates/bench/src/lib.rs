@@ -432,6 +432,13 @@ pub struct HarnessArgs {
     /// the network, catalog and lazy request stream from `scen` instead of
     /// the toy workload fixture.
     pub scenario: Option<String>,
+    /// Commit order for the parallel pipeline (`stream_exp` only):
+    /// `deterministic` (default, byte-identical to sequential) or `relaxed`
+    /// (sharded capacity, shard-local lock-free commits, completion-order
+    /// records verified by linearization replay).
+    pub commit_order: relaug::parallel::CommitOrder,
+    /// Capacity shards for `--commit-order relaxed` (`0` = one per worker).
+    pub shards: usize,
 }
 
 impl Default for HarnessArgs {
@@ -453,6 +460,8 @@ impl Default for HarnessArgs {
             metrics_interval: None,
             flight: None,
             scenario: None,
+            commit_order: relaug::parallel::CommitOrder::Deterministic,
+            shards: 0,
         }
     }
 }
@@ -502,6 +511,20 @@ impl HarnessArgs {
                 }
                 "--flight" => out.flight = Some(value("--flight")?),
                 "--scenario" => out.scenario = Some(value("--scenario")?),
+                "--commit-order" => {
+                    out.commit_order = match value("--commit-order")?.as_str() {
+                        "deterministic" => relaug::parallel::CommitOrder::Deterministic,
+                        "relaxed" => relaug::parallel::CommitOrder::Relaxed,
+                        other => {
+                            return Err(format!(
+                                "--commit-order must be deterministic or relaxed, got {other}"
+                            ))
+                        }
+                    }
+                }
+                "--shards" => {
+                    out.shards = value("--shards")?.parse().map_err(|e| format!("{e}"))?
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -645,6 +668,21 @@ pub fn fold_record_hash(mut h: u64, r: &relaug::stream::RequestRecord) -> u64 {
 
 /// FNV-1a offset basis — the start value for [`fold_record_hash`] chains.
 pub const RECORD_HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Order-insensitive companion to [`fold_record_hash`] for relaxed-commit
+/// runs, where records reach the sink in completion order and the
+/// order-sensitive hash is undefined: each *admitted* record is hashed
+/// independently from the FNV offset basis and the per-record hashes are
+/// combined with a commutative wrapping sum, so two runs admitting the same
+/// record set hash equal regardless of arrival order. Rejected records are
+/// skipped (the admitted set is what the linearization invariant replays).
+/// Start chains from `0`.
+pub fn fold_admitted_set_hash(acc: u64, r: &relaug::stream::RequestRecord) -> u64 {
+    if !r.admitted {
+        return acc;
+    }
+    acc.wrapping_add(fold_record_hash(RECORD_HASH_SEED, r))
+}
 
 /// Serialize results to pretty JSON.
 pub fn to_json(points: &[PointResult]) -> String {
@@ -842,6 +880,18 @@ mod tests {
             h3 = fold_record_hash(h3, r);
         }
         assert_ne!(h, h3);
+        // The set hash is order-INsensitive: any permutation folds equal,
+        // and dropping an admitted record changes it.
+        let set_fwd = out.records.iter().fold(0u64, fold_admitted_set_hash);
+        let set_rev = out.records.iter().rev().fold(0u64, fold_admitted_set_hash);
+        assert_eq!(set_fwd, set_rev);
+        let dropped = out
+            .records
+            .iter()
+            .skip_while(|r| !r.admitted)
+            .skip(1)
+            .fold(0u64, fold_admitted_set_hash);
+        assert_ne!(set_fwd, dropped, "admitted records must contribute");
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod instance;
 pub mod montecarlo;
 pub mod parallel;
 pub mod randomized;
+pub mod relaxed;
 pub mod reliability;
 pub mod report;
 pub mod scratch;

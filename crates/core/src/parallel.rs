@@ -37,6 +37,22 @@ use crate::stream::{
     RequestRecord, Speculation, StreamConfig, StreamObservation, StreamOutcome, TraceLevel,
 };
 
+/// How the parallel engine orders commits against the shared capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitOrder {
+    /// Strict request-sequence commits through one coordinator —
+    /// byte-identical to the sequential pipeline for any worker count (the
+    /// default, and the only mode the equivalence tests cover).
+    #[default]
+    Deterministic,
+    /// Any linearization: capacity moves into the sharded atomic owner
+    /// ([`mecnet::shard::ShardedCapacity`]) and shard-local requests commit
+    /// lock-free on their worker, so records arrive in completion order and
+    /// admission is locality-first. Verified by invariant checking, not
+    /// byte-identity — see [`crate::relaxed`].
+    Relaxed,
+}
+
 /// Knobs for the parallel engine.
 #[derive(Debug, Clone)]
 pub struct ParallelConfig {
@@ -45,15 +61,28 @@ pub struct ParallelConfig {
     pub workers: usize,
     /// Base seed for the per-request derived RNGs.
     pub seed: u64,
-    /// Cap on dispatched-but-uncommitted requests (`0` = `2 * workers`).
-    /// Small windows keep snapshots fresh (fewer conflicts); large windows
-    /// keep workers busier.
+    /// Cap on dispatched-but-uncommitted requests (`0` = `2 * workers`
+    /// deterministic, `64 * workers` relaxed). Small windows keep
+    /// deterministic snapshots fresh (fewer conflicts); large windows keep
+    /// workers busier.
     pub max_inflight: usize,
+    /// Commit ordering discipline (see [`CommitOrder`]).
+    pub commit_order: CommitOrder,
+    /// Capacity shards for the relaxed commit order (`0` = one per worker).
+    /// Ignored in deterministic mode.
+    pub shards: usize,
 }
 
 impl Default for ParallelConfig {
     fn default() -> Self {
-        ParallelConfig { stream: StreamConfig::default(), workers: 1, seed: 0, max_inflight: 0 }
+        ParallelConfig {
+            stream: StreamConfig::default(),
+            workers: 1,
+            seed: 0,
+            max_inflight: 0,
+            commit_order: CommitOrder::Deterministic,
+            shards: 0,
+        }
     }
 }
 
@@ -195,6 +224,11 @@ pub fn process_stream_metered_sink(
     on_record: &mut dyn FnMut(RequestRecord),
 ) -> (Vec<f64>, StreamObservation) {
     assert!(cfg.workers >= 1, "need at least one worker");
+    if cfg.commit_order == CommitOrder::Relaxed {
+        return crate::relaxed::process_stream_relaxed_sink(
+            network, catalog, requests, cfg, rec, on_record,
+        );
+    }
     let mut requests = requests.into_iter();
     if cfg.workers == 1 {
         return process_stream_seeded_sink(
@@ -485,7 +519,8 @@ mod tests {
         let reqs = make_requests(40, &cat, net.num_nodes(), 10);
         let stream = StreamConfig { initial_capacity_fraction: 0.35, ..Default::default() };
         let seq = process_stream_seeded(&net, &cat, &reqs, &stream, 2);
-        let cfg = ParallelConfig { stream, workers: 4, max_inflight: 8, seed: 2 };
+        let cfg =
+            ParallelConfig { stream, workers: 4, max_inflight: 8, seed: 2, ..Default::default() };
         let par = process_stream_parallel(&net, &cat, &reqs, &cfg);
         assert_eq!(par, seq);
         assert!(seq.rejected() > 0, "capacity pressure should reject something");

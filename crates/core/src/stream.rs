@@ -359,8 +359,8 @@ pub fn process_stream_traced<R: Rng + ?Sized>(
 // ---------------------------------------------------------------------------
 
 /// Domain-separation salts for the per-request derived RNG streams.
-const ADMIT_SALT: u64 = 0x0041_444d_4954; // "ADMIT"
-const SOLVE_SALT: u64 = 0x0053_4f4c_5645; // "SOLVE"
+pub(crate) const ADMIT_SALT: u64 = 0x0041_444d_4954; // "ADMIT"
+pub(crate) const SOLVE_SALT: u64 = 0x0053_4f4c_5645; // "SOLVE"
 
 /// splitmix64 finalizer — mixes the (seed, k, salt) triple into a seed with
 /// good avalanche so neighboring request positions get unrelated streams.
@@ -627,6 +627,7 @@ impl StreamObs {
                 .map(|i| self.metrics.shard_snapshot(i))
                 .collect(),
             windows: self.window.as_ref().map(|w| w.index).unwrap_or(0),
+            shard_contention: None,
         }
     }
 
@@ -652,6 +653,10 @@ pub struct StreamObservation {
     pub per_worker: Vec<MetricsSnapshot>,
     /// `stream.window` events emitted (0 in full mode).
     pub windows: u64,
+    /// Per-capacity-shard contention attribution — `Some` only for runs of
+    /// the relaxed commit order ([`crate::relaxed`]); the deterministic
+    /// engines have no capacity shards.
+    pub shard_contention: Option<obs::ShardContentionReport>,
 }
 
 /// Authoritative mutable state the commit step owns: the network residual,

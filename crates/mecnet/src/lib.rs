@@ -30,6 +30,7 @@ pub mod graph;
 pub mod neighborhood;
 pub mod network;
 pub mod request;
+pub mod shard;
 pub mod stats;
 pub mod topology;
 pub mod transit_stub;
@@ -40,4 +41,5 @@ pub use graph::{Graph, NodeId};
 pub use neighborhood::NeighborhoodIndex;
 pub use network::{MecNetwork, Reservation, ReservationState, ReserveError};
 pub use request::SfcRequest;
+pub use shard::{FootprintClass, ShardPartition, ShardedCapacity};
 pub use vnf::{VnfCatalog, VnfType, VnfTypeId};

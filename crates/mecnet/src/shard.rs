@@ -1,0 +1,771 @@
+//! Sharded residual-capacity ownership: locality partition + atomic ledger.
+//!
+//! The deterministic pipeline funnels every commit through one coordinator,
+//! which caps parallel throughput at sequential speed (see
+//! `BENCH_stream.json`). This module provides the substrate for the relaxed
+//! commit order: cloudlets are graph-partitioned into `K` shards by `l`-hop
+//! locality ([`ShardPartition`]), so that most requests' `N_l^+` footprint
+//! lands inside a single shard, and the residual capacity itself moves into
+//! an atomics-guarded owner ([`ShardedCapacity`]) whose two-phase
+//! reserve/commit/abort path is lock-free — a shard-local request commits
+//! without ever synchronizing with other shards' traffic.
+//!
+//! Partitioning rule: two cloudlets attract each other proportionally to how
+//! many nodes' `N_l^+` cloudlet slices contain both (their *co-occurrence*
+//! in the [`NeighborhoodIndex`] CSR). Shards are grown greedily over that
+//! co-occurrence graph — seed a shard, repeatedly absorb the unassigned
+//! cloudlet with the largest attachment to it, stop at the size target — a
+//! BFS-flavored region growth that keeps each shard's cloudlets mutually
+//! close, hence keeps footprints single-shard.
+//!
+//! Consistency story: a single `try_debit`/`credit` is a CAS loop on the
+//! node's f64-as-bits residual, so per-node capacity never goes negative and
+//! never exceeds `C_v`, under any interleaving. A multi-node
+//! [`ShardedCapacity::try_reserve`] debits nodes one at a time (ascending)
+//! and rolls back on first failure — it is *not* atomic across nodes, so a
+//! concurrent observer can see a transiently-held partial reservation, but
+//! capacity is conserved exactly: every debit is either rolled back or ends
+//! up in a committed [`ShardReservation`]. The optional per-shard commit log
+//! records the exact per-node amounts of every committed reservation, which
+//! is what lets the relaxed engine *prove* a run linearizes: replaying the
+//! log sequentially must land on the same residuals (see
+//! `relaug::relaxed`).
+
+use crate::graph::NodeId;
+use crate::neighborhood::NeighborhoodIndex;
+use crate::network::{MecNetwork, ReservationState, ReserveError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A partition of the network's cloudlets into `K` locality shards.
+#[derive(Debug, Clone)]
+pub struct ShardPartition {
+    num_shards: usize,
+    /// Per *node*: owning shard for cloudlets, `u32::MAX` for plain nodes.
+    shard_of_node: Vec<u32>,
+    /// Cloudlet members per shard, ascending by node id.
+    members: Vec<Vec<NodeId>>,
+}
+
+/// Where a request's cloudlet footprint lands relative to the partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FootprintClass {
+    /// No cloudlets in range — the request cannot be admitted locally.
+    Empty,
+    /// Every footprint cloudlet belongs to this one shard.
+    Local(usize),
+    /// The footprint spans two or more shards.
+    Straddling,
+}
+
+/// Minimum useful shard-local fraction. A layout where fewer than half of
+/// all request footprints are single-shard funnels the majority through the
+/// ordered straddle path while still fragmenting ownership — strictly worse
+/// than fewer, bigger shards. [`ShardPartition::build`] merges the
+/// most-entangled shard pair until the measured fraction clears this bar (or
+/// a single shard remains). Merging never turns a local footprint into a
+/// straddling one, so the pass is monotone and terminates. Hub-and-spoke
+/// topologies (e.g. the SAGIN presets, where every edge node reaches the
+/// all-cloudlet space core within two hops) legitimately collapse to one
+/// owner shard; the contention report makes that visible.
+pub const MIN_USEFUL_LOCAL_FRACTION: f64 = 0.5;
+
+impl ShardPartition {
+    /// Partition the network's cloudlets into (at most) `num_shards` shards
+    /// by co-occurrence in `nbhd`'s per-node cloudlet slices. Deterministic:
+    /// ties break toward the smaller node id. When the network has fewer
+    /// cloudlets than requested shards, the shard count is clamped so no
+    /// shard is empty; growth also reserves one seed per not-yet-grown shard
+    /// for the same reason. After the balanced greedy pass, shards are merged
+    /// (highest inter-shard co-occurrence first) while the measured
+    /// shard-local fraction is below [`MIN_USEFUL_LOCAL_FRACTION`], so the
+    /// shard count adapts downward on topologies whose footprints overlap
+    /// globally.
+    pub fn build(network: &MecNetwork, nbhd: &NeighborhoodIndex, num_shards: usize) -> Self {
+        let cloudlets = network.cloudlet_ids();
+        let c = cloudlets.len();
+        let k = num_shards.max(1).min(c.max(1));
+        let n = network.num_nodes();
+        let mut shard_of_node = vec![u32::MAX; n];
+        if c == 0 {
+            return ShardPartition { num_shards: k, shard_of_node, members: vec![Vec::new()] };
+        }
+        // Cloudlet node id -> position in `cloudlets`.
+        let mut pos_of = vec![u32::MAX; n];
+        for (p, &cl) in cloudlets.iter().enumerate() {
+            pos_of[cl.index()] = p as u32;
+        }
+        // Co-occurrence weights between cloudlet positions: +1 for every node
+        // whose `N_l^+` slice contains both. Footprints wider than the cap
+        // are skipped: a request that reaches hundreds of cloudlets straddles
+        // any non-trivial partition, so its pairs carry no locality signal —
+        // and enumerating them is O(|slice|^2), which on dense hierarchies
+        // (sagin-1k: median footprint ~830 cloudlets at l=2) dwarfs
+        // everything else the partitioner does.
+        const MAX_COOCCURRENCE_FOOTPRINT: usize = 64;
+        let mut weights: HashMap<(u32, u32), u64> = HashMap::new();
+        for v in 0..n {
+            let slice = nbhd.cloudlets_within(NodeId(v));
+            if slice.len() > MAX_COOCCURRENCE_FOOTPRINT {
+                continue;
+            }
+            for i in 0..slice.len() {
+                let a = pos_of[slice[i].index()];
+                for &bnode in &slice[i + 1..] {
+                    let b = pos_of[bnode.index()];
+                    *weights.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); c];
+        for (&(a, b), &w) in &weights {
+            adj[a as usize].push((b, w));
+            adj[b as usize].push((a, w));
+        }
+        for row in &mut adj {
+            row.sort_unstable_by_key(|&(p, _)| p);
+        }
+        let total_weight: Vec<u64> =
+            adj.iter().map(|row| row.iter().map(|&(_, w)| w).sum()).collect();
+
+        let target = c.div_ceil(k);
+        let mut unassigned = c;
+        let mut assigned: Vec<Option<u32>> = vec![None; c];
+        // `attach[p]`: co-occurrence weight from unassigned cloudlet `p` to
+        // any already-assigned cloudlet — low attachment makes a good seed
+        // for the *next* shard (it sits far from existing regions).
+        let mut attach = vec![0u64; c];
+        // `gain[p]`: weight from unassigned `p` to the shard currently being
+        // grown.
+        let mut gain = vec![0u64; c];
+        for s in 0..k {
+            // Seed: the unassigned cloudlet least attached to prior shards;
+            // among those, the best-connected one (so growth has somewhere to
+            // go); ties toward the smaller position.
+            let Some(seed) = (0..c)
+                .filter(|&p| assigned[p].is_none())
+                .min_by_key(|&p| (attach[p], u64::MAX - total_weight[p], p))
+            else {
+                break;
+            };
+            let mut size = 0usize;
+            gain.fill(0);
+            let grab = |p: usize,
+                        assigned: &mut Vec<Option<u32>>,
+                        gain: &mut Vec<u64>,
+                        attach: &mut Vec<u64>| {
+                assigned[p] = Some(s as u32);
+                for &(q, w) in &adj[p] {
+                    if assigned[q as usize].is_none() {
+                        gain[q as usize] += w;
+                        attach[q as usize] += w;
+                    }
+                }
+            };
+            grab(seed, &mut assigned, &mut gain, &mut attach);
+            unassigned -= 1;
+            size += 1;
+            // Reserve one unassigned cloudlet as a seed for every shard still
+            // to be grown, so no later shard comes up empty.
+            while size < target && unassigned > k - s - 1 {
+                // Absorb the unassigned cloudlet most attached to this shard;
+                // stop early if nothing unassigned touches it (the remaining
+                // cloudlets belong to other regions or are isolated).
+                let Some(best) = (0..c)
+                    .filter(|&p| assigned[p].is_none() && gain[p] > 0)
+                    .max_by_key(|&p| (gain[p], usize::MAX - p))
+                else {
+                    break;
+                };
+                grab(best, &mut assigned, &mut gain, &mut attach);
+                unassigned -= 1;
+                size += 1;
+            }
+        }
+        // Leftovers (early-stopped growth, isolated cloudlets): attach each
+        // to the shard it co-occurs with most, defaulting to the smallest
+        // shard so nothing is left unowned.
+        let mut sizes = vec![0usize; k];
+        for a in assigned.iter().flatten() {
+            sizes[*a as usize] += 1;
+        }
+        for p in 0..c {
+            if assigned[p].is_some() {
+                continue;
+            }
+            let mut shard_weight = vec![0u64; k];
+            for &(q, w) in &adj[p] {
+                if let Some(s) = assigned[q as usize] {
+                    shard_weight[s as usize] += w;
+                }
+            }
+            let best = (0..k)
+                .max_by_key(|&s| (shard_weight[s], usize::MAX - sizes[s], k - s))
+                .expect("at least one shard");
+            assigned[p] = Some(best as u32);
+            sizes[best] += 1;
+        }
+        // Adaptive merge: while most footprints straddle, fold the two most
+        // entangled shards into one. Every straddle witnesses positive
+        // inter-shard co-occurrence weight, so a merge candidate always
+        // exists while the fraction is below 1.
+        let measured_fraction = |assigned: &[Option<u32>]| -> f64 {
+            let mut covered = 0usize;
+            let mut local = 0usize;
+            for v in 0..n {
+                let slice = nbhd.cloudlets_within(NodeId(v));
+                let Some(&first) = slice.first() else { continue };
+                covered += 1;
+                let s0 = assigned[pos_of[first.index()] as usize];
+                if slice[1..].iter().all(|q| assigned[pos_of[q.index()] as usize] == s0) {
+                    local += 1;
+                }
+            }
+            if covered == 0 {
+                1.0
+            } else {
+                local as f64 / covered as f64
+            }
+        };
+        let mut k = k;
+        let mut shards_here: Vec<u32> = Vec::new();
+        while k > 1 && measured_fraction(&assigned) < MIN_USEFUL_LOCAL_FRACTION {
+            // For every shard pair, count the footprints both appear in —
+            // exactly the straddles a merge of that pair would eliminate.
+            let mut pair = vec![0u64; k * k];
+            for v in 0..n {
+                let slice = nbhd.cloudlets_within(NodeId(v));
+                shards_here.clear();
+                for q in slice {
+                    let s = assigned[pos_of[q.index()] as usize].expect("assigned");
+                    if !shards_here.contains(&s) {
+                        shards_here.push(s);
+                    }
+                }
+                shards_here.sort_unstable();
+                for i in 0..shards_here.len() {
+                    for &sj in &shards_here[i + 1..] {
+                        pair[shards_here[i] as usize * k + sj as usize] += 1;
+                    }
+                }
+            }
+            let Some((s1, s2)) = (0..k)
+                .flat_map(|a| ((a + 1)..k).map(move |b| (a as u32, b as u32)))
+                .filter(|&(a, b)| pair[a as usize * k + b as usize] > 0)
+                .max_by_key(|&(a, b)| {
+                    (pair[a as usize * k + b as usize], std::cmp::Reverse((a, b)))
+                })
+            else {
+                break;
+            };
+            for a in assigned.iter_mut().flatten() {
+                if *a == s2 {
+                    *a = s1;
+                } else if *a > s2 {
+                    *a -= 1;
+                }
+            }
+            k -= 1;
+        }
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        for (p, &cl) in cloudlets.iter().enumerate() {
+            let s = assigned[p].expect("every cloudlet assigned");
+            shard_of_node[cl.index()] = s;
+            members[s as usize].push(cl);
+        }
+        ShardPartition { num_shards: k, shard_of_node, members }
+    }
+
+    /// Number of shards actually built (≤ requested, ≥ 1).
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Owning shard of `v`, `None` for non-cloudlet nodes.
+    pub fn shard_of(&self, v: NodeId) -> Option<usize> {
+        let s = self.shard_of_node[v.index()];
+        (s != u32::MAX).then_some(s as usize)
+    }
+
+    /// Cloudlets owned by shard `s`, ascending by node id.
+    pub fn members(&self, s: usize) -> &[NodeId] {
+        &self.members[s]
+    }
+
+    /// Classify a request footprint (a slice of cloudlet ids, e.g.
+    /// `NeighborhoodIndex::cloudlets_within(source)`).
+    pub fn classify(&self, footprint: &[NodeId]) -> FootprintClass {
+        let Some(&first) = footprint.first() else { return FootprintClass::Empty };
+        // Single-owner partitions (e.g. after the adaptive merge collapses a
+        // hub-and-spoke topology) classify in O(1): there is nothing to
+        // straddle. On sagin-1k this skips an ~830-entry walk per request.
+        if self.num_shards == 1 {
+            return FootprintClass::Local(0);
+        }
+        let s = self.shard_of_node[first.index()];
+        debug_assert_ne!(s, u32::MAX, "footprints contain only cloudlets");
+        if footprint[1..].iter().all(|c| self.shard_of_node[c.index()] == s) {
+            FootprintClass::Local(s as usize)
+        } else {
+            FootprintClass::Straddling
+        }
+    }
+
+    /// Fraction of nodes with a non-empty cloudlet footprint whose footprint
+    /// is single-shard — the static upper bound on how many requests can take
+    /// the shard-local commit path (request sources are nodes).
+    pub fn local_fraction(&self, nbhd: &NeighborhoodIndex) -> f64 {
+        let mut covered = 0usize;
+        let mut local = 0usize;
+        for v in 0..nbhd.num_nodes() {
+            match self.classify(nbhd.cloudlets_within(NodeId(v))) {
+                FootprintClass::Empty => {}
+                FootprintClass::Local(_) => {
+                    covered += 1;
+                    local += 1;
+                }
+                FootprintClass::Straddling => covered += 1,
+            }
+        }
+        if covered == 0 {
+            1.0
+        } else {
+            local as f64 / covered as f64
+        }
+    }
+}
+
+/// One committed reservation in a shard's commit log: the sequence tag the
+/// committer supplied (request position) and the exact per-node debits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitEntry {
+    pub tag: u64,
+    /// `(node index, amount)`, merged per node, ascending by node.
+    pub debits: Vec<(usize, f64)>,
+}
+
+/// A pending multi-node reservation against [`ShardedCapacity`] — the atomic
+/// twin of [`crate::network::Reservation`], with the same
+/// pending → committed/aborted state machine and the same double-finish
+/// protection.
+#[derive(Debug)]
+#[must_use = "a pending reservation holds capacity until committed or aborted"]
+pub struct ShardReservation {
+    debits: Vec<(usize, f64)>,
+    home_shard: usize,
+    state: ReservationState,
+}
+
+impl ShardReservation {
+    pub fn state(&self) -> ReservationState {
+        self.state
+    }
+
+    /// The lowest-indexed shard touched by the debits (log destination).
+    pub fn home_shard(&self) -> usize {
+        self.home_shard
+    }
+
+    pub fn total(&self) -> f64 {
+        self.debits.iter().map(|&(_, a)| a).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.debits.is_empty()
+    }
+}
+
+/// Atomics-guarded residual-capacity owner, partitioned into shards.
+///
+/// Each node's residual lives in an `AtomicU64` holding the f64 bit pattern;
+/// debits and credits are CAS loops, so readers and writers on *different*
+/// nodes never contend and same-node races resolve without locks. The
+/// per-shard commit log (optional — it costs a mutex push per commit) is the
+/// evidence trail the linearization checker replays.
+#[derive(Debug)]
+pub struct ShardedCapacity {
+    partition: ShardPartition,
+    capacity: Vec<f64>,
+    bits: Vec<AtomicU64>,
+    /// One commit log per shard; unused (never pushed) unless `log_enabled`.
+    logs: Vec<Mutex<Vec<CommitEntry>>>,
+    log_enabled: bool,
+}
+
+impl ShardedCapacity {
+    /// Wrap an initial residual vector (one entry per node, as produced by
+    /// [`MecNetwork::residual_capacities`]) in atomic per-node cells.
+    pub fn new(
+        network: &MecNetwork,
+        initial: &[f64],
+        partition: ShardPartition,
+        log_enabled: bool,
+    ) -> Self {
+        assert_eq!(initial.len(), network.num_nodes(), "residual must cover all nodes");
+        let capacity: Vec<f64> =
+            (0..network.num_nodes()).map(|v| network.capacity(NodeId(v))).collect();
+        let bits = initial.iter().map(|&r| AtomicU64::new(r.to_bits())).collect();
+        let logs = (0..partition.num_shards()).map(|_| Mutex::new(Vec::new())).collect();
+        ShardedCapacity { partition, capacity, bits, logs, log_enabled }
+    }
+
+    pub fn partition(&self) -> &ShardPartition {
+        &self.partition
+    }
+
+    /// Current residual of node `idx` (a racy-but-coherent atomic load).
+    pub fn residual(&self, idx: usize) -> f64 {
+        f64::from_bits(self.bits[idx].load(Ordering::Acquire))
+    }
+
+    /// Snapshot the full residual vector. Only quiescent snapshots (no
+    /// concurrent writers) are cross-node consistent.
+    pub fn snapshot(&self) -> Vec<f64> {
+        (0..self.bits.len()).map(|i| self.residual(i)).collect()
+    }
+
+    /// Lock-free single-node debit: fails (returning the observed residual)
+    /// without side effects if the node lacks capacity; the same `1e-9`
+    /// floating-point slack as [`MecNetwork::try_reserve`] applies.
+    pub fn try_debit(&self, idx: usize, amount: f64) -> Result<(), f64> {
+        debug_assert!(amount >= 0.0 && amount.is_finite());
+        let cell = &self.bits[idx];
+        let mut cur = f64::from_bits(cell.load(Ordering::Acquire));
+        loop {
+            if cur + 1e-9 < amount {
+                return Err(cur);
+            }
+            let new = (cur - amount).max(0.0);
+            match cell.compare_exchange_weak(
+                cur.to_bits(),
+                new.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(seen) => cur = f64::from_bits(seen),
+            }
+        }
+    }
+
+    /// Lock-free debit of `min(amount, residual)`; returns what was actually
+    /// taken. This is the relaxed engine's overcommit fallback (the
+    /// randomized rounding may legitimately ask for more than a bin holds —
+    /// the sequential pipeline clamps at zero, and so does this).
+    pub fn debit_clamped(&self, idx: usize, amount: f64) -> f64 {
+        debug_assert!(amount >= 0.0 && amount.is_finite());
+        let cell = &self.bits[idx];
+        let mut cur = f64::from_bits(cell.load(Ordering::Acquire));
+        loop {
+            let take = amount.min(cur).max(0.0);
+            let new = (cur - take).max(0.0);
+            match cell.compare_exchange_weak(
+                cur.to_bits(),
+                new.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return take,
+                Err(seen) => cur = f64::from_bits(seen),
+            }
+        }
+    }
+
+    /// Lock-free single-node credit — the inverse of a debit. Panics (all
+    /// build profiles) if the credit would lift the residual above `C_v`
+    /// beyond floating-point slack, mirroring
+    /// [`MecNetwork::release_capacity`].
+    pub fn credit(&self, idx: usize, amount: f64) {
+        debug_assert!(amount >= 0.0 && amount.is_finite());
+        let cell = &self.bits[idx];
+        let mut cur = f64::from_bits(cell.load(Ordering::Acquire));
+        loop {
+            let restored = cur + amount;
+            assert!(
+                restored <= self.capacity[idx] + 1e-6,
+                "credit of {amount} MHz would lift node {idx} above its capacity \
+                 ({restored} > {})",
+                self.capacity[idx]
+            );
+            let new = restored.min(self.capacity[idx]);
+            match cell.compare_exchange_weak(
+                cur.to_bits(),
+                new.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = f64::from_bits(seen),
+            }
+        }
+    }
+
+    /// Phase one: debit every `(node, amount)` pair, all-or-nothing from the
+    /// caller's perspective — nodes are debited ascending and on the first
+    /// insufficiency everything already taken is credited back before the
+    /// error returns. Zero amounts are dropped and same-node debits merge,
+    /// exactly like [`MecNetwork::try_reserve`].
+    pub fn try_reserve(&self, debits: &[(NodeId, f64)]) -> Result<ShardReservation, ReserveError> {
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(debits.len());
+        for &(node, amount) in debits {
+            assert!(amount >= 0.0 && amount.is_finite(), "reserve amount must be >= 0");
+            if amount == 0.0 {
+                continue;
+            }
+            let idx = node.index();
+            match merged.iter_mut().find(|(n, _)| *n == idx) {
+                Some((_, a)) => *a += amount,
+                None => merged.push((idx, amount)),
+            }
+        }
+        merged.sort_unstable_by_key(|a| a.0);
+        for (i, &(idx, amount)) in merged.iter().enumerate() {
+            if let Err(available) = self.try_debit(idx, amount) {
+                for &(done, taken) in &merged[..i] {
+                    self.credit(done, taken);
+                }
+                return Err(ReserveError::Insufficient {
+                    node: NodeId(idx),
+                    requested: amount,
+                    available,
+                });
+            }
+        }
+        let home_shard = merged
+            .iter()
+            .filter_map(|&(idx, _)| self.partition.shard_of(NodeId(idx)))
+            .min()
+            .unwrap_or(0);
+        Ok(ShardReservation { debits: merged, home_shard, state: ReservationState::Pending })
+    }
+
+    /// Phase two, success path: the debits become permanent and (when
+    /// logging) land in the home shard's commit log under `tag`. Rejects
+    /// non-pending reservations like [`MecNetwork::commit`].
+    pub fn commit(&self, reservation: &mut ShardReservation, tag: u64) -> Result<(), ReserveError> {
+        if reservation.state != ReservationState::Pending {
+            return Err(ReserveError::NotPending { state: reservation.state });
+        }
+        reservation.state = ReservationState::Committed;
+        if self.log_enabled && !reservation.debits.is_empty() {
+            self.logs[reservation.home_shard]
+                .lock()
+                .expect("commit log poisoned")
+                .push(CommitEntry { tag, debits: reservation.debits.clone() });
+        }
+        Ok(())
+    }
+
+    /// Clamped commit for the overcommit fallback: debit whatever each node
+    /// still holds (up to the requested amount), log the *actual* amounts,
+    /// and return them. Never fails; conservation holds because only what
+    /// was really taken is recorded.
+    pub fn commit_clamped(&self, debits: &[(NodeId, f64)], tag: u64) -> Vec<(usize, f64)> {
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(debits.len());
+        for &(node, amount) in debits {
+            assert!(amount >= 0.0 && amount.is_finite(), "debit amount must be >= 0");
+            if amount == 0.0 {
+                continue;
+            }
+            let idx = node.index();
+            match merged.iter_mut().find(|(n, _)| *n == idx) {
+                Some((_, a)) => *a += amount,
+                None => merged.push((idx, amount)),
+            }
+        }
+        merged.sort_unstable_by_key(|a| a.0);
+        let actual: Vec<(usize, f64)> = merged
+            .iter()
+            .map(|&(idx, amount)| (idx, self.debit_clamped(idx, amount)))
+            .filter(|&(_, taken)| taken > 0.0)
+            .collect();
+        if self.log_enabled && !actual.is_empty() {
+            let home = actual
+                .iter()
+                .filter_map(|&(idx, _)| self.partition.shard_of(NodeId(idx)))
+                .min()
+                .unwrap_or(0);
+            self.logs[home]
+                .lock()
+                .expect("commit log poisoned")
+                .push(CommitEntry { tag, debits: actual.clone() });
+        }
+        actual
+    }
+
+    /// Phase two, failure path: credit every debit back. Rejects non-pending
+    /// reservations — a double abort would double-release capacity.
+    pub fn abort(&self, reservation: &mut ShardReservation) -> Result<(), ReserveError> {
+        if reservation.state != ReservationState::Pending {
+            return Err(ReserveError::NotPending { state: reservation.state });
+        }
+        for &(idx, amount) in &reservation.debits {
+            self.credit(idx, amount);
+        }
+        reservation.state = ReservationState::Aborted;
+        Ok(())
+    }
+
+    /// Drain every shard's commit log into one list (call quiescent; order
+    /// across shards is arbitrary — sort by `tag` to linearize).
+    pub fn drain_logs(&self) -> Vec<CommitEntry> {
+        let mut all = Vec::new();
+        for log in &self.logs {
+            all.append(&mut log.lock().expect("commit log poisoned"));
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    /// Path 0-1-2-3-4-5 with cloudlets at 0, 1 (left) and 4, 5 (right):
+    /// at l=1 the two pairs never co-occur, so K=2 must split them cleanly.
+    fn two_cluster_fixture() -> (MecNetwork, std::sync::Arc<NeighborhoodIndex>) {
+        let mut g = crate::graph::Graph::new(6);
+        for v in 0..5 {
+            g.add_edge(NodeId(v), NodeId(v + 1));
+        }
+        let net = MecNetwork::new(g, vec![1000.0, 1000.0, 0.0, 0.0, 2000.0, 2000.0]);
+        let nbhd = net.neighborhood_index(1);
+        (net, nbhd)
+    }
+
+    #[test]
+    fn partition_splits_cooccurrence_clusters() {
+        let (net, nbhd) = two_cluster_fixture();
+        let part = ShardPartition::build(&net, &nbhd, 2);
+        assert_eq!(part.num_shards(), 2);
+        let s0 = part.shard_of(NodeId(0)).unwrap();
+        assert_eq!(part.shard_of(NodeId(1)), Some(s0), "left pair co-occurs");
+        let s4 = part.shard_of(NodeId(4)).unwrap();
+        assert_eq!(part.shard_of(NodeId(5)), Some(s4), "right pair co-occurs");
+        assert_ne!(s0, s4, "clusters must land in different shards");
+        assert_eq!(part.shard_of(NodeId(2)), None, "plain nodes are unowned");
+        // Every footprint on this topology is single-shard at l=1.
+        assert_eq!(part.local_fraction(&nbhd), 1.0);
+        assert_eq!(part.classify(nbhd.cloudlets_within(NodeId(0))), FootprintClass::Local(s0));
+        assert_eq!(
+            part.classify(&[NodeId(0), NodeId(4)]),
+            FootprintClass::Straddling,
+            "a cross-cluster footprint straddles"
+        );
+        assert_eq!(part.classify(&[]), FootprintClass::Empty);
+    }
+
+    #[test]
+    fn partition_covers_every_cloudlet_exactly_once() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = topology::grid(6, 6);
+        let net = MecNetwork::with_random_cloudlets(g, 12, (4000.0, 8000.0), &mut rng);
+        let nbhd = net.neighborhood_index(2);
+        for k in [1, 2, 3, 5, 12, 40] {
+            let part = ShardPartition::build(&net, &nbhd, k);
+            assert!(part.num_shards() >= 1 && part.num_shards() <= k.min(12));
+            let mut seen = std::collections::HashSet::new();
+            for s in 0..part.num_shards() {
+                for &c in part.members(s) {
+                    assert_eq!(part.shard_of(c), Some(s));
+                    assert!(seen.insert(c), "cloudlet {c} owned twice");
+                }
+            }
+            assert_eq!(seen.len(), net.num_cloudlets(), "every cloudlet owned (k={k})");
+        }
+    }
+
+    fn capacity_fixture(log: bool) -> (MecNetwork, ShardedCapacity) {
+        let (net, nbhd) = two_cluster_fixture();
+        let part = ShardPartition::build(&net, &nbhd, 2);
+        let initial = net.residual_capacities(1.0);
+        let cap = ShardedCapacity::new(&net, &initial, part, log);
+        (net, cap)
+    }
+
+    #[test]
+    fn sharded_reserve_commit_keeps_debits_and_logs_them() {
+        let (_net, cap) = capacity_fixture(true);
+        let mut r = cap
+            .try_reserve(&[(NodeId(0), 300.0), (NodeId(1), 500.0), (NodeId(0), 100.0)])
+            .expect("fits");
+        assert_eq!(r.state(), ReservationState::Pending);
+        assert!((r.total() - 900.0).abs() < 1e-12);
+        assert_eq!(cap.residual(0), 600.0);
+        assert_eq!(cap.residual(1), 500.0);
+        cap.commit(&mut r, 7).expect("pending commits");
+        assert_eq!(r.state(), ReservationState::Committed);
+        assert_eq!(cap.residual(0), 600.0, "commit keeps the debits");
+        let logs = cap.drain_logs();
+        assert_eq!(logs, vec![CommitEntry { tag: 7, debits: vec![(0, 400.0), (1, 500.0)] }]);
+        assert_eq!(
+            cap.commit(&mut r, 8),
+            Err(ReserveError::NotPending { state: ReservationState::Committed }),
+            "double commit must be rejected"
+        );
+    }
+
+    #[test]
+    fn sharded_reserve_abort_round_trips_exactly() {
+        let (net, cap) = capacity_fixture(false);
+        let before = cap.snapshot();
+        let mut r = cap.try_reserve(&[(NodeId(4), 700.0), (NodeId(5), 1250.0)]).expect("fits");
+        assert_eq!(cap.residual(4), 1300.0);
+        cap.abort(&mut r).expect("pending aborts");
+        assert_eq!(cap.snapshot(), before, "abort must return every debit exactly");
+        assert_eq!(r.state(), ReservationState::Aborted);
+        assert_eq!(
+            cap.abort(&mut r),
+            Err(ReserveError::NotPending { state: ReservationState::Aborted }),
+            "double abort must be rejected"
+        );
+        assert_eq!(cap.snapshot(), before);
+        drop(net);
+    }
+
+    #[test]
+    fn cross_shard_reserve_rolls_back_on_insufficiency() {
+        // Nodes 1 (shard A) and 4 (shard B): the second debit fails, so the
+        // first — in the *other* shard — must be credited back.
+        let (_net, cap) = capacity_fixture(false);
+        let before = cap.snapshot();
+        let err = cap
+            .try_reserve(&[(NodeId(1), 800.0), (NodeId(4), 2500.0)])
+            .expect_err("2500 > 2000 must fail");
+        match err {
+            ReserveError::Insufficient { node, requested, available } => {
+                assert_eq!(node, NodeId(4));
+                assert!((requested - 2500.0).abs() < 1e-12);
+                assert!((available - 2000.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert_eq!(cap.snapshot(), before, "failed cross-shard reserve must roll back fully");
+    }
+
+    #[test]
+    fn clamped_commit_takes_what_is_left_and_logs_actuals() {
+        let (_net, cap) = capacity_fixture(true);
+        let actual = cap.commit_clamped(&[(NodeId(0), 1600.0), (NodeId(1), 200.0)], 3);
+        assert_eq!(actual, vec![(0, 1000.0), (1, 200.0)], "node 0 clamps at its residual");
+        assert_eq!(cap.residual(0), 0.0);
+        assert_eq!(cap.residual(1), 800.0);
+        let logs = cap.drain_logs();
+        assert_eq!(logs.len(), 1);
+        assert_eq!(logs[0].debits, actual, "log records actual, not requested, amounts");
+    }
+
+    #[test]
+    fn credit_beyond_capacity_panics() {
+        let (_net, cap) = capacity_fixture(false);
+        cap.try_debit(0, 100.0).unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cap.credit(0, 200.0);
+        }));
+        assert!(r.is_err(), "over-credit must panic");
+    }
+}

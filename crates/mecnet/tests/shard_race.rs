@@ -1,0 +1,132 @@
+//! Concurrency model of the lock-free shard path: real threads race
+//! reserve/commit/abort on one shard and capacity must be conserved exactly.
+//!
+//! The test is written to run under miri (the nightly CI job runs
+//! `cargo miri test -p mecnet -- reserve commit`, which picks these tests up
+//! by name): iteration counts shrink under `cfg(miri)`, there are no clocks
+//! or I/O, and every amount is integer-valued so the conservation checks are
+//! floating-point-exact — f64 adds/subtracts of integers this small are
+//! lossless, so "no lost or double-counted capacity" can be asserted with
+//! `==`, not a tolerance.
+
+use mecnet::graph::{Graph, NodeId};
+use mecnet::shard::{ShardPartition, ShardedCapacity};
+use mecnet::MecNetwork;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const NODES: usize = 4;
+
+#[cfg(miri)]
+const ITERS: usize = 40;
+#[cfg(not(miri))]
+const ITERS: usize = 20_000;
+
+fn fixture() -> (MecNetwork, ShardedCapacity) {
+    // A 4-clique, every node a cloudlet, one shard: maximal same-shard
+    // contention.
+    let mut g = Graph::new(NODES);
+    for a in 0..NODES {
+        for b in a + 1..NODES {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+    }
+    let net = MecNetwork::new(g, vec![1000.0; NODES]);
+    let nbhd = net.neighborhood_index(1);
+    let part = ShardPartition::build(&net, &nbhd, 1);
+    let initial = net.residual_capacities(1.0);
+    let cap = ShardedCapacity::new(&net, &initial, part, false);
+    (net, cap)
+}
+
+/// Two workers race multi-node reserve→commit / reserve→abort cycles on one
+/// shard. Afterwards the residual of every node must equal exactly
+/// `initial - committed debits`: nothing lost (an abort that failed to
+/// return capacity), nothing double-counted (a rollback that returned
+/// capacity twice), never negative in between.
+#[test]
+fn racing_reserve_commit_abort_conserves_capacity_exactly() {
+    let (_net, cap) = fixture();
+    // Per-node committed totals, updated by whichever thread commits.
+    let committed: Vec<AtomicU64> = (0..NODES).map(|_| AtomicU64::new(0)).collect();
+    std::thread::scope(|scope| {
+        for t in 0..2usize {
+            let cap = &cap;
+            let committed = &committed;
+            scope.spawn(move || {
+                // Each thread debits a rotating pair of nodes; amounts are
+                // small integers so that thousands of commits still fit.
+                for i in 0..ITERS {
+                    let a = (t + i) % NODES;
+                    let b = (t + i + 1) % NODES;
+                    let amount = 1.0 + ((i % 3) as f64);
+                    let debits = [(NodeId(a), amount), (NodeId(b), amount)];
+                    match cap.try_reserve(&debits) {
+                        Ok(mut resv) => {
+                            if i % 2 == 0 {
+                                cap.commit(&mut resv, i as u64).expect("pending commits");
+                                committed[a].fetch_add(amount as u64, Ordering::Relaxed);
+                                committed[b].fetch_add(amount as u64, Ordering::Relaxed);
+                            } else {
+                                cap.abort(&mut resv).expect("pending aborts");
+                            }
+                        }
+                        Err(_) => {
+                            // Exhausted mid-run: fine, conservation is what
+                            // we check at the end.
+                        }
+                    }
+                    // The residual a racing reader observes is never
+                    // negative and never above capacity.
+                    let r = cap.residual(a);
+                    assert!((0.0..=1000.0).contains(&r), "residual {r} out of range");
+                }
+            });
+        }
+    });
+    for (v, taken) in committed.iter().enumerate() {
+        let expected = 1000.0 - taken.load(Ordering::Relaxed) as f64;
+        assert_eq!(
+            cap.residual(v),
+            expected,
+            "node {v}: residual must equal initial minus committed debits exactly"
+        );
+    }
+}
+
+/// Rollback race: thread A reserves (node0, node1) while thread B keeps
+/// node1 nearly full, forcing A's multi-node reserve to fail its second leg
+/// and roll back the first. Every failed reserve must be capacity-neutral
+/// even while B churns.
+#[test]
+fn failed_reserve_rollback_is_capacity_neutral_under_contention() {
+    let (_net, cap) = fixture();
+    // B pins node 1 to near-zero, toggling so A's second leg sometimes fits.
+    std::thread::scope(|scope| {
+        let cap_a = &cap;
+        let a = scope.spawn(move || {
+            let mut commits = 0u64;
+            for i in 0..ITERS {
+                let debits = [(NodeId(0), 5.0), (NodeId(1), 600.0)];
+                if let Ok(mut resv) = cap_a.try_reserve(&debits) {
+                    // Immediately return it: node 0 must round-trip exactly.
+                    cap_a.abort(&mut resv).expect("pending aborts");
+                    commits += 1;
+                }
+                let _ = i;
+            }
+            commits
+        });
+        let cap_b = &cap;
+        scope.spawn(move || {
+            for _ in 0..ITERS {
+                if cap_b.try_debit(1, 900.0).is_ok() {
+                    cap_b.credit(1, 900.0);
+                }
+            }
+        });
+        let _ = a.join().expect("thread A");
+    });
+    assert_eq!(cap.residual(0), 1000.0, "node 0 saw only reserves that were rolled back");
+    assert_eq!(cap.residual(1), 1000.0, "node 1's churn must round-trip exactly");
+    assert_eq!(cap.residual(2), 1000.0);
+}

@@ -1,0 +1,171 @@
+//! Per-shard contention counters for the sharded-capacity commit path.
+//!
+//! The relaxed commit order (`relaug::relaxed`) partitions residual capacity
+//! into cloudlet shards; this module gives each *capacity shard* a row in
+//! the existing lock-free metrics plane ([`ShardedMetrics`]) so the engine
+//! can attribute commits, retries and rejections to the shard that absorbed
+//! them — the observability needed to judge whether a partition actually
+//! de-contends the workload. Counter writes are a relaxed atomic increment,
+//! cheap enough for every request on the hot path.
+
+use crate::shard::ShardedMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Counter registry: index constants into [`ShardContention`]'s rows.
+pub mod counters {
+    pub const COUNTERS: &[&str] = &[
+        "commits.local",
+        "commits.straddle",
+        "rejects.no_placement",
+        "rejects.contention",
+        "reserve.conflicts",
+        "solves.retried",
+        "overcommit.clamped",
+    ];
+    /// Shard-local request committed lock-free on this shard.
+    pub const C_LOCAL_COMMITS: usize = 0;
+    /// Straddling request committed with this shard as its home (lowest
+    /// touched) shard.
+    pub const C_STRADDLE_COMMITS: usize = 1;
+    /// Request rejected because no primary placement fit its footprint.
+    pub const C_REJECT_NO_PLACEMENT: usize = 2;
+    /// Request rejected after exhausting its reserve retries — capacity
+    /// moved under it faster than it could re-solve.
+    pub const C_REJECT_CONTENTION: usize = 3;
+    /// A multi-node reserve lost a race (insufficient at reserve time after
+    /// a successful solve) and was rolled back.
+    pub const C_RESERVE_CONFLICTS: usize = 4;
+    /// Solves re-run because their reserve conflicted.
+    pub const C_RETRY_SOLVES: usize = 5;
+    /// Commits that fell back to the clamp-at-zero overcommit path.
+    pub const C_OVERCOMMIT_CLAMPED: usize = 6;
+}
+
+/// Lock-free per-capacity-shard contention counters. Thin wrapper over
+/// [`ShardedMetrics`] with shard index = capacity-shard index (not worker
+/// index, as in the pipeline metrics).
+#[derive(Debug)]
+pub struct ShardContention {
+    metrics: ShardedMetrics,
+}
+
+impl ShardContention {
+    pub fn new(num_shards: usize) -> ShardContention {
+        ShardContention { metrics: ShardedMetrics::new(counters::COUNTERS, &[], num_shards) }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.metrics.shards()
+    }
+
+    /// Increment `counter` (a `counters::C_*` index) on `shard`.
+    pub fn incr(&self, shard: usize, counter: usize) {
+        self.metrics.shard(shard).incr(counter);
+    }
+
+    /// Snapshot into a serializable report. `cloudlets_per_shard` (one entry
+    /// per shard, or empty if unknown) annotates each row with its size.
+    pub fn report(&self, cloudlets_per_shard: &[usize]) -> ShardContentionReport {
+        let rows = (0..self.metrics.shards())
+            .map(|s| {
+                let snap = self.metrics.shard_snapshot(s);
+                ShardContentionRow {
+                    shard: s,
+                    cloudlets: cloudlets_per_shard.get(s).copied().unwrap_or(0) as u64,
+                    local_commits: snap.counter("commits.local"),
+                    straddle_commits: snap.counter("commits.straddle"),
+                    rejects_no_placement: snap.counter("rejects.no_placement"),
+                    rejects_contention: snap.counter("rejects.contention"),
+                    reserve_conflicts: snap.counter("reserve.conflicts"),
+                    retry_solves: snap.counter("solves.retried"),
+                    overcommit_clamped: snap.counter("overcommit.clamped"),
+                }
+            })
+            .collect();
+        ShardContentionReport { shards: rows }
+    }
+}
+
+/// One shard's row of the contention report.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardContentionRow {
+    pub shard: usize,
+    pub cloudlets: u64,
+    pub local_commits: u64,
+    pub straddle_commits: u64,
+    pub rejects_no_placement: u64,
+    pub rejects_contention: u64,
+    pub reserve_conflicts: u64,
+    pub retry_solves: u64,
+    pub overcommit_clamped: u64,
+}
+
+/// Serializable per-shard contention summary of a relaxed-mode run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardContentionReport {
+    pub shards: Vec<ShardContentionRow>,
+}
+
+impl ShardContentionReport {
+    /// Column sums across shards (the `shard` field is meaningless here).
+    pub fn totals(&self) -> ShardContentionRow {
+        let mut t = ShardContentionRow::default();
+        for r in &self.shards {
+            t.cloudlets += r.cloudlets;
+            t.local_commits += r.local_commits;
+            t.straddle_commits += r.straddle_commits;
+            t.rejects_no_placement += r.rejects_no_placement;
+            t.rejects_contention += r.rejects_contention;
+            t.reserve_conflicts += r.reserve_conflicts;
+            t.retry_solves += r.retry_solves;
+            t.overcommit_clamped += r.overcommit_clamped;
+        }
+        t
+    }
+
+    /// Fraction of commits that took the lock-free shard-local path.
+    pub fn local_commit_fraction(&self) -> f64 {
+        let t = self.totals();
+        let commits = t.local_commits + t.straddle_commits;
+        if commits == 0 {
+            1.0
+        } else {
+            t.local_commits as f64 / commits as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_land_on_their_shard_and_total_up() {
+        let c = ShardContention::new(3);
+        c.incr(0, counters::C_LOCAL_COMMITS);
+        c.incr(0, counters::C_LOCAL_COMMITS);
+        c.incr(2, counters::C_STRADDLE_COMMITS);
+        c.incr(1, counters::C_RESERVE_CONFLICTS);
+        let report = c.report(&[4, 5, 6]);
+        assert_eq!(report.shards.len(), 3);
+        assert_eq!(report.shards[0].local_commits, 2);
+        assert_eq!(report.shards[0].cloudlets, 4);
+        assert_eq!(report.shards[2].straddle_commits, 1);
+        let t = report.totals();
+        assert_eq!(t.local_commits, 2);
+        assert_eq!(t.straddle_commits, 1);
+        assert_eq!(t.reserve_conflicts, 1);
+        assert_eq!(t.cloudlets, 15);
+        assert!((report.local_commit_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let c = ShardContention::new(2);
+        c.incr(1, counters::C_OVERCOMMIT_CLAMPED);
+        let report = c.report(&[1, 2]);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ShardContentionReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -3,6 +3,7 @@
 //! a flight-recorder ring for postmortems, and a `Recorder` that sinks events
 //! to memory or a JSONL writer.
 
+pub mod contention;
 pub mod event;
 pub mod flight;
 pub mod metrics;
@@ -11,6 +12,7 @@ pub mod shard;
 pub mod span;
 pub mod window;
 
+pub use contention::{ShardContention, ShardContentionReport, ShardContentionRow};
 pub use event::Event;
 pub use flight::FlightRecorder;
 pub use metrics::{Counter, Distribution, Gauge};

@@ -101,6 +101,7 @@ proptest! {
                     workers,
                     seed: pipeline_seed,
                     max_inflight: 0,
+                    ..Default::default()
                 };
                 let (par, par_bytes) = run_jsonl(|rec| {
                     process_stream_batched_traced(&net, &cat, &reqs, &cfg, batch, rec)
@@ -126,7 +127,8 @@ fn batch_sizes_clamp_and_agree() {
     let stream = StreamConfig { initial_capacity_fraction: 0.4, ..Default::default() };
     let seq = process_stream_seeded(&net, &cat, &reqs, &stream, 7);
     for batch in [0usize, 1, 7, 19, 64, 1000] {
-        let cfg = ParallelConfig { stream: stream.clone(), workers: 4, seed: 7, max_inflight: 0 };
+        let cfg =
+            ParallelConfig { stream: stream.clone(), workers: 4, seed: 7, ..Default::default() };
         let par = process_stream_batched(&net, &cat, &reqs, &cfg, batch);
         assert_eq!(par, seq, "batch={batch}");
     }
@@ -142,7 +144,13 @@ fn batching_respects_inflight_window() {
     let seq = process_stream_seeded(&net, &cat, &reqs, &stream, 1);
     for max_inflight in [1usize, 3, 64] {
         for batch in BATCHES {
-            let cfg = ParallelConfig { stream: stream.clone(), workers: 4, seed: 1, max_inflight };
+            let cfg = ParallelConfig {
+                stream: stream.clone(),
+                workers: 4,
+                seed: 1,
+                max_inflight,
+                ..Default::default()
+            };
             let par = process_stream_batched(&net, &cat, &reqs, &cfg, batch);
             assert_eq!(par, seq, "max_inflight={max_inflight} batch={batch}");
         }

@@ -97,6 +97,7 @@ proptest! {
                 workers,
                 seed: pipeline_seed,
                 max_inflight: 0,
+                ..Default::default()
             };
             let (par, par_bytes) = run_jsonl(|rec| {
                 process_stream_parallel_traced(&net, &cat, &reqs, &cfg, rec)
@@ -124,7 +125,7 @@ fn parallel_matches_sequential_with_ilp() {
     let (seq, seq_bytes) =
         run_jsonl(|rec| process_stream_seeded_traced(&net, &cat, &reqs, &stream, 9, rec));
     for workers in [2usize, 8] {
-        let cfg = ParallelConfig { stream: stream.clone(), workers, seed: 9, max_inflight: 0 };
+        let cfg = ParallelConfig { stream: stream.clone(), workers, seed: 9, ..Default::default() };
         let (par, par_bytes) =
             run_jsonl(|rec| process_stream_parallel_traced(&net, &cat, &reqs, &cfg, rec));
         assert_eq!(par, seq);
@@ -144,7 +145,13 @@ fn inflight_window_does_not_change_results() {
         process_stream_seeded_traced(&net, &cat, &reqs, &stream, 1, &mut rec)
     };
     for max_inflight in [1usize, 3, 64] {
-        let cfg = ParallelConfig { stream: stream.clone(), workers: 4, seed: 1, max_inflight };
+        let cfg = ParallelConfig {
+            stream: stream.clone(),
+            workers: 4,
+            seed: 1,
+            max_inflight,
+            ..Default::default()
+        };
         let mut rec = Recorder::noop();
         let par = process_stream_parallel_traced(&net, &cat, &reqs, &cfg, &mut rec);
         assert_eq!(par, seq, "max_inflight={max_inflight}");
