@@ -34,7 +34,7 @@ use relaug::parallel::{
     process_stream_metered_sink, process_stream_parallel, CommitOrder, ParallelConfig,
 };
 use relaug::relaxed::process_stream_relaxed_reported;
-use relaug::stream::{Algorithm, StreamConfig, StreamOutcome};
+use relaug::stream::{process_stream_seeded_sink, Algorithm, StreamConfig, StreamOutcome};
 use scen::{BuiltScenario, RequestStream, ScenarioSpec};
 use serde::Value;
 
@@ -236,6 +236,66 @@ fn relaxed_section(built: &BuiltScenario, requests: u64, det_sequential_s: f64) 
     ])
 }
 
+const PLAN_CACHE_ENTRIES: usize = 4096;
+
+/// One hand-timed sequential run with the admission plan cache armed. Cached
+/// admission is oracle-checked rather than byte-identical (hits skip the
+/// solver after revalidating against live residuals), so the row carries the
+/// cache counters instead of an identity bit; speedup is quoted against the
+/// uncached sequential baseline — the tentpole "what did memoization buy on
+/// one core" number. Peak RSS (VmHWM, whole process) is recorded as evidence
+/// the cache stays O(capacity): the 10^6-request run's footprint must not
+/// grow with the stream.
+fn plan_cache_section(built: &BuiltScenario, requests: u64, uncached_sequential_s: f64) -> Value {
+    let cfg = StreamConfig {
+        algorithm: Algorithm::Heuristic(Default::default()),
+        plan_cache: PLAN_CACHE_ENTRIES,
+        ..Default::default()
+    };
+    let mut admitted = 0u64;
+    let started = Instant::now();
+    let (_, ob) = process_stream_seeded_sink(
+        &built.network,
+        &built.catalog,
+        RequestStream::new(built, requests),
+        &cfg,
+        built.spec.seed,
+        &mut Recorder::noop(),
+        &mut |r| admitted += r.admitted as u64,
+    );
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let report = ob.plan_cache.expect("cached run attaches a report");
+    let peak_rss = expkit::peak_rss_bytes().unwrap_or(0);
+    println!(
+        "stream_parallel: scenario {SCENARIO} plan-cache={PLAN_CACHE_ENTRIES} sequential — \
+         {requests} requests in {elapsed_s:.2}s ({:.0} req/s, {admitted} admitted, \
+         hit-rate {:.3}, plan hit-rate {:.3}, {:.1}x vs uncached, peak RSS {})",
+        requests as f64 / elapsed_s,
+        report.hit_rate(),
+        report.plan_hit_rate(),
+        uncached_sequential_s / elapsed_s,
+        expkit::peak_rss_human(),
+    );
+    Value::Obj(vec![
+        ("entries".into(), Value::U64(PLAN_CACHE_ENTRIES as u64)),
+        ("workers".into(), Value::U64(1)),
+        ("mean_s".into(), Value::F64(elapsed_s)),
+        ("throughput_rps".into(), Value::F64(requests as f64 / elapsed_s)),
+        ("speedup_vs_uncached_sequential".into(), Value::F64(uncached_sequential_s / elapsed_s)),
+        ("admitted".into(), Value::U64(admitted)),
+        ("hit_rate".into(), Value::F64(report.hit_rate())),
+        ("plan_hit_rate".into(), Value::F64(report.plan_hit_rate())),
+        ("hits".into(), Value::U64(report.hits)),
+        ("epoch_skips".into(), Value::U64(report.epoch_skips)),
+        ("reject_hits".into(), Value::U64(report.reject_hits)),
+        ("misses".into(), Value::U64(report.misses)),
+        ("validation_failures".into(), Value::U64(report.validation_failures)),
+        ("insertions".into(), Value::U64(report.insertions)),
+        ("evictions".into(), Value::U64(report.evictions)),
+        ("peak_rss_bytes".into(), Value::U64(peak_rss)),
+    ])
+}
+
 fn scenario_section(quick: bool) -> Value {
     let built = ScenarioSpec::preset(SCENARIO).expect("known preset").build();
     let requests = if quick { SCENARIO_REQUESTS_QUICK } else { SCENARIO_REQUESTS };
@@ -269,6 +329,7 @@ fn scenario_section(quick: bool) -> Value {
     }
     let det_sequential_s = baseline.as_ref().map(|b| b.elapsed_s).unwrap_or(f64::NAN);
     let relaxed = relaxed_section(&built, requests, det_sequential_s);
+    let plan_cache = plan_cache_section(&built, requests, det_sequential_s);
     Value::Obj(vec![
         ("name".into(), Value::Str(SCENARIO.into())),
         ("nodes".into(), Value::U64(built.network.num_nodes() as u64)),
@@ -278,6 +339,7 @@ fn scenario_section(quick: bool) -> Value {
         ("quick".into(), Value::Bool(quick)),
         ("results".into(), Value::Arr(rows)),
         ("relaxed".into(), relaxed),
+        ("plan_cache".into(), plan_cache),
     ])
 }
 

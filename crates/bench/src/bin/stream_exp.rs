@@ -8,7 +8,19 @@
 //! [--trials N] [--seed S] [--requests R] [--trace PATH] [--workers W]
 //! [--batch B] [--metrics-interval N|Xs] [--flight DIR]
 //! [--scenario NAME|PATH] [--commit-order deterministic|relaxed]
-//! [--shards K]` (trials = independent network/stream pairs).
+//! [--shards K] [--plan-cache N]` (trials = independent network/stream
+//! pairs).
+//!
+//! `--plan-cache N` (default 0 = off) arms the admission plan cache
+//! (`relaug::plancache`): solved plans are memoized by `(source, chain
+//! signature, threshold bucket, l)` and every hit is re-validated against
+//! live residuals and the live reliability threshold before it is applied —
+//! a cache can change which requests are admitted (only ever
+//! conservatively), so cached runs are oracle-checked rather than
+//! byte-identical and the record-hash column is not comparable to uncached
+//! runs. A cache-plane table (hits, epoch skips, gate rejects, misses,
+//! stale validations, evictions, hit rates) is appended to the report, and
+//! each algorithm prints a parseable `<algo> plan cache: hit-rate …` line.
 //!
 //! `--commit-order relaxed` switches to the sharded-capacity engine
 //! (`relaug::relaxed`): cloudlets are partitioned into `K` locality shards
@@ -231,6 +243,46 @@ fn drive(
     }
 }
 
+/// Cache-plane attribution of each algorithm's observed stream: what the
+/// plan cache did with every consulted request. `None` when no observed run
+/// had the cache armed.
+fn plan_cache_table(observations: &[(&str, StreamObservation)]) -> Option<Table> {
+    let rows: Vec<(&str, obs::PlanCacheReport)> =
+        observations.iter().filter_map(|(name, ob)| ob.plan_cache.map(|r| (*name, r))).collect();
+    if rows.is_empty() {
+        return None;
+    }
+    let mut table = Table::new(vec![
+        "algorithm",
+        "capacity",
+        "hits",
+        "epoch skips",
+        "gate rejects",
+        "misses",
+        "stale",
+        "insertions",
+        "evictions",
+        "hit rate",
+        "plan hit rate",
+    ]);
+    for (name, r) in &rows {
+        table.add_row(vec![
+            name.to_string(),
+            format!("{}", r.capacity),
+            format!("{}", r.hits),
+            format!("{}", r.epoch_skips),
+            format!("{}", r.reject_hits),
+            format!("{}", r.misses),
+            format!("{}", r.validation_failures),
+            format!("{}", r.insertions),
+            format!("{}", r.evictions),
+            format!("{:.3}", r.hit_rate()),
+            format!("{:.3}", r.plan_hit_rate()),
+        ]);
+    }
+    Some(table)
+}
+
 /// Per-capacity-shard contention attribution of each algorithm's relaxed
 /// run: where commits landed (local = lock-free path) and what each shard's
 /// conflicts, retries and rejects were.
@@ -349,6 +401,13 @@ fn main() {
     } else {
         println!("engine: batched(batch={}), workers={}\n", args.batch, args.workers);
     }
+    if args.plan_cache > 0 {
+        println!(
+            "plan cache: {} entries (hits re-validated against live residuals; \
+             record hashes are not comparable to uncached runs)\n",
+            args.plan_cache
+        );
+    }
 
     // Telemetry sink: the first stream of each algorithm runs traced — into
     // the JSONL file when `--trace` is given, into memory otherwise — so the
@@ -409,7 +468,11 @@ fn main() {
         let effort_base = rec.summary();
         let samples_base = rec.time_samples("stream.solve").len();
         for t in 0..trials {
-            let cfg = StreamConfig { algorithm: algorithm.clone(), ..Default::default() };
+            let cfg = StreamConfig {
+                algorithm: algorithm.clone(),
+                plan_cache: args.plan_cache,
+                ..Default::default()
+            };
             let mut stats = StreamStats::new();
             // The first stream of each algorithm runs with the full
             // observability config (windowing, flight ring, fault injection)
@@ -542,6 +605,25 @@ fn main() {
     println!("{}", effort.to_markdown());
     println!("\n### contention attribution (first stream per algorithm)\n");
     println!("{}", contention_table(&observations).to_markdown());
+    if let Some(cache_table) = plan_cache_table(&observations) {
+        println!("\n### plan cache (first stream per algorithm)\n");
+        println!("{}", cache_table.to_markdown());
+        println!();
+        // One parseable line per algorithm — what CI's cache-smoke greps.
+        for (name, ob) in &observations {
+            if let Some(r) = ob.plan_cache {
+                println!(
+                    "{name} plan cache: hit-rate {:.3} (plan hit-rate {:.3}, \
+                     hits {} / gate {} / misses {})",
+                    r.hit_rate(),
+                    r.plan_hit_rate(),
+                    r.hits,
+                    r.reject_hits,
+                    r.misses,
+                );
+            }
+        }
+    }
     if !relaxed_reports.is_empty() {
         println!("\n### shard contention (relaxed commit order, last stream per algorithm)\n");
         println!("{}", shard_contention_table(&relaxed_reports).to_markdown());

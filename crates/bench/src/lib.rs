@@ -394,7 +394,7 @@ pub fn render_figure(points: &[PointResult]) -> String {
 /// `--trials N --seed S --threads T --workers W --batch B --json PATH
 /// --greedy --no-ilp --trace PATH --requests N --policy NAME --duration T
 /// --audit-interval T --metrics-interval N|Xs --flight DIR
-/// --scenario NAME|PATH`.
+/// --scenario NAME|PATH --plan-cache N`.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
     pub trials: usize,
@@ -439,6 +439,10 @@ pub struct HarnessArgs {
     pub commit_order: relaug::parallel::CommitOrder,
     /// Capacity shards for `--commit-order relaxed` (`0` = one per worker).
     pub shards: usize,
+    /// Admission plan-cache capacity in entries (`stream_exp`; `sim_exp`
+    /// parses but ignores it). `0` (default) disables the cache and keeps
+    /// the byte-identity guarantees untouched.
+    pub plan_cache: usize,
 }
 
 impl Default for HarnessArgs {
@@ -462,6 +466,7 @@ impl Default for HarnessArgs {
             scenario: None,
             commit_order: relaug::parallel::CommitOrder::Deterministic,
             shards: 0,
+            plan_cache: 0,
         }
     }
 }
@@ -524,6 +529,9 @@ impl HarnessArgs {
                 }
                 "--shards" => {
                     out.shards = value("--shards")?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--plan-cache" => {
+                    out.plan_cache = value("--plan-cache")?.parse().map_err(|e| format!("{e}"))?
                 }
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -831,6 +839,17 @@ mod tests {
             HarnessArgs::parse(["--scenario", "sagin-1k"].iter().map(|s| s.to_string())).unwrap();
         assert_eq!(args.scenario.as_deref(), Some("sagin-1k"));
         assert!(HarnessArgs::parse(["--scenario".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn plan_cache_flag_parses_and_defaults_off() {
+        assert_eq!(HarnessArgs::default().plan_cache, 0);
+        let args =
+            HarnessArgs::parse(["--plan-cache", "4096"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(args.plan_cache, 4096);
+        assert!(HarnessArgs::parse(["--plan-cache".to_string()].into_iter()).is_err());
+        assert!(HarnessArgs::parse(["--plan-cache".to_string(), "lots".to_string()].into_iter())
+            .is_err());
     }
 
     #[test]

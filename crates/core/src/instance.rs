@@ -343,13 +343,7 @@ mod tests {
         let mut cat = VnfCatalog::new();
         cat.add(VnfType { name: "a".into(), demand_mhz: 300.0, reliability: 0.8 });
         cat.add(VnfType { name: "b".into(), demand_mhz: 500.0, reliability: 0.9 });
-        let req = SfcRequest {
-            id: 0,
-            sfc: vec![VnfTypeId(0), VnfTypeId(1)],
-            expectation: 0.99,
-            source: NodeId(0),
-            destination: NodeId(3),
-        };
+        let req = SfcRequest::new(0, vec![VnfTypeId(0), VnfTypeId(1)], 0.99, NodeId(0), NodeId(3));
         (net, cat, req)
     }
 

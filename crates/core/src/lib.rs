@@ -48,6 +48,7 @@ pub mod ilp;
 pub mod instance;
 pub mod montecarlo;
 pub mod parallel;
+pub mod plancache;
 pub mod randomized;
 pub mod relaxed;
 pub mod reliability;

@@ -527,6 +527,40 @@ mod tests {
     }
 
     #[test]
+    fn cached_parallel_matches_cached_sequential() {
+        // The plan cache is consulted only by the coordinator, in sequence
+        // order, so cached mode preserves the cross-worker equivalence —
+        // against the *cached* sequential run (cached mode is not
+        // byte-identical to uncached mode, and is not meant to be).
+        let (net, cat) = setup();
+        // A 2-type catalog and 16 sources give at most 64 distinct plan keys,
+        // so 60 requests repeat keys often enough to exercise hits.
+        let reqs = make_requests(60, &cat, net.num_nodes(), 13);
+        let stream = StreamConfig { plan_cache: 64, ..Default::default() };
+        let (seq, seq_ob) = crate::stream::process_stream_seeded_observed(
+            &net,
+            &cat,
+            &reqs,
+            &stream,
+            23,
+            &mut Recorder::noop(),
+        );
+        let cache = seq_ob.plan_cache.expect("cache report present when enabled");
+        assert!(cache.hits + cache.reject_hits > 0, "fixture must exercise the cache: {cache:?}");
+        for workers in [2, 4] {
+            let cfg =
+                ParallelConfig { stream: stream.clone(), workers, seed: 23, ..Default::default() };
+            let (par, par_ob) =
+                process_stream_metered(&net, &cat, &reqs, &cfg, 1, &mut Recorder::noop());
+            assert_eq!(par, seq, "workers={workers} cached run must match cached sequential");
+            let par_cache = par_ob.plan_cache.expect("cache report present");
+            assert_eq!(par_cache.hits, cache.hits, "workers={workers}");
+            assert_eq!(par_cache.reject_hits, cache.reject_hits, "workers={workers}");
+            assert_eq!(par_cache.misses, cache.misses, "workers={workers}");
+        }
+    }
+
+    #[test]
     fn single_worker_delegates_to_sequential() {
         let (net, cat) = setup();
         let reqs = make_requests(5, &cat, net.num_nodes(), 12);

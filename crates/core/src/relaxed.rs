@@ -67,6 +67,7 @@ use obs::{Recorder, ShardContention, ShardContentionReport, ShardedMetrics};
 
 use crate::instance::AugmentationInstance;
 use crate::parallel::ParallelConfig;
+use crate::plancache::{PlanCache, PlanEntry, PlanKey, Probe};
 use crate::scratch::SolveScratch;
 use crate::solution::Outcome;
 use crate::stream::{
@@ -121,6 +122,10 @@ struct Ctx<'a> {
     cap: &'a ShardedCapacity,
     contention: &'a ShardContention,
     metrics: &'a ShardedMetrics,
+    /// Shared plan cache (`Some` iff `stream.plan_cache > 0`). Relaxed
+    /// commits are multi-writer, so entries are never epoch-stamped here:
+    /// every hit takes the full sharded `try_reserve` revalidation.
+    cache: Option<&'a PlanCache>,
 }
 
 /// Epoch-stamped sparse residual view: full-size so the admission and
@@ -212,8 +217,9 @@ fn process_one(
     metrics_shard: usize,
 ) -> RequestRecord {
     use pipeline_metrics::{
-        C_ADMITTED, C_OVERCOMMIT, C_REJECTED, C_REQUESTS, C_SOLVES, H_COMMIT_NS, H_RESERVE_NS,
-        H_SOLVE_NS,
+        C_ADMITTED, C_OVERCOMMIT, C_PC_EVICTIONS, C_PC_HITS, C_PC_INSERTIONS, C_PC_MISSES,
+        C_PC_REJECT_HITS, C_PC_VALIDATION_FAILURES, C_REJECTED, C_REQUESTS, C_SOLVES, H_COMMIT_NS,
+        H_RESERVE_NS, H_SOLVE_NS,
     };
     let ms = ctx.metrics.shard(metrics_shard);
     ms.incr(C_REQUESTS);
@@ -225,6 +231,60 @@ fn process_one(
         if restrict.is_some() { cc::C_LOCAL_COMMITS } else { cc::C_STRADDLE_COMMITS };
     ws.demands.clear();
     ws.demands.extend(req.sfc.iter().map(|&f| ctx.catalog.demand(f)));
+    // --- Admission plan cache (opt-in) ------------------------------------
+    // The gate watermark in this engine is calibrated from a *global*
+    // residual scan, but relaxed capacity can transiently dip (a reservation
+    // later aborted) — so a gate rejection here can be spuriously
+    // pessimistic. That is a quality concession of the same class as this
+    // engine's contention rejects, never an overcommit: the gate only ever
+    // rejects, and hits still revalidate through the sharded ledger.
+    if let Some(cache) = ctx.cache {
+        let max_demand = ws.demands.iter().fold(0.0f64, |a, &d| a.max(d));
+        if cache.gate_rejects(max_demand) {
+            ms.incr(C_PC_REJECT_HITS);
+            ms.incr(C_REJECTED);
+            ctx.contention.incr(cshard, cc::C_REJECT_NO_PLACEMENT);
+            return rejected_record(req.id);
+        }
+        let pkey = PlanKey::for_request(req, ctx.stream.l);
+        let probe = cache.probe(&pkey, &req.sfc, |entry| {
+            let achieved = entry.recomputed_reliability(ctx.catalog);
+            if achieved < req.expectation {
+                return None;
+            }
+            let reserve_started = Instant::now();
+            let reserved = ctx.cap.try_reserve(&entry.debits);
+            ms.record_duration(H_RESERVE_NS, reserve_started.elapsed());
+            let Ok(mut resv) = reserved else {
+                return None;
+            };
+            let home = resv.home_shard();
+            let commit_started = Instant::now();
+            ctx.cap.commit(&mut resv, k as u64).expect("fresh reservation commits");
+            ms.record_duration(H_COMMIT_NS, commit_started.elapsed());
+            Some((entry.base_reliability, achieved, entry.secondaries, home))
+        });
+        match probe {
+            Probe::Hit((base, achieved, secondaries, home)) => {
+                ms.incr(C_PC_HITS);
+                ctx.contention.incr(home, commit_counter);
+                ms.incr(C_ADMITTED);
+                return RequestRecord {
+                    id: req.id,
+                    admitted: true,
+                    base_reliability: base,
+                    achieved_reliability: achieved,
+                    met_expectation: true,
+                    secondaries,
+                };
+            }
+            Probe::Stale => {
+                ms.incr(C_PC_MISSES);
+                ms.incr(C_PC_VALIDATION_FAILURES);
+            }
+            Probe::Miss => ms.incr(C_PC_MISSES),
+        }
+    }
     let clamp_overcommit = matches!(ctx.stream.algorithm, Algorithm::Randomized(_));
     for attempt in 0..MAX_ATTEMPTS {
         // Fresh view per attempt: footprint entries live, bin extensions
@@ -247,6 +307,18 @@ fn process_one(
         ) else {
             ms.incr(C_REJECTED);
             ctx.contention.incr(cshard, cc::C_REJECT_NO_PLACEMENT);
+            if let Some(cache) = ctx.cache {
+                // Full-scan rejection: tighten the gate with the live global
+                // maximum cloudlet residual (a footprint-only scan would not
+                // bound cloudlets this shard cannot see).
+                let m = ctx
+                    .network
+                    .cloudlet_ids()
+                    .iter()
+                    .map(|&v| ctx.cap.residual(v.index()))
+                    .fold(0.0f64, f64::max);
+                cache.observe_max_residual(m);
+            }
             return rejected_record(req.id);
         };
         // The localized instance's bins are the union of the primaries'
@@ -299,6 +371,28 @@ fn process_one(
                 ms.record_duration(H_COMMIT_NS, commit_started.elapsed());
                 ctx.contention.incr(home, commit_counter);
                 ms.incr(C_ADMITTED);
+                // A threshold-meeting, unclamped plan repopulates the cache.
+                // `ws.debits` is the full raw footprint (primaries +
+                // secondaries) just committed; entries stay unstamped, so
+                // later hits always revalidate.
+                if let Some(cache) = ctx.cache {
+                    if outcome.metrics.met_expectation {
+                        ms.incr(C_PC_INSERTIONS);
+                        let entry = PlanEntry::new(
+                            PlanKey::for_request(req, ctx.stream.l),
+                            req.sfc.clone(),
+                            placement.locations.clone(),
+                            outcome.augmentation.counts(),
+                            &ws.debits,
+                            outcome.metrics.base_reliability,
+                            outcome.metrics.reliability,
+                            outcome.metrics.paper_cost,
+                        );
+                        if cache.insert(entry) {
+                            ms.incr(C_PC_EVICTIONS);
+                        }
+                    }
+                }
                 return admitted_record(req.id, &outcome);
             }
             Err(_) => {
@@ -375,6 +469,8 @@ pub fn process_stream_relaxed_reported(
     let num_shards = cap.partition().num_shards();
     let contention = ShardContention::new(num_shards);
     let metrics = Arc::new(ShardedMetrics::new(COUNTERS, HISTS, workers + 1));
+    let plan_cache_store =
+        (cfg.stream.plan_cache > 0).then(|| PlanCache::new(cfg.stream.plan_cache));
     let window = if cfg.max_inflight == 0 { 64 * workers } else { cfg.max_inflight };
 
     let mut job_txs = Vec::with_capacity(workers);
@@ -392,6 +488,7 @@ pub fn process_stream_relaxed_reported(
             let nbhd = Arc::clone(&nbhd);
             let metrics = Arc::clone(&metrics);
             let (cap, contention) = (&cap, &contention);
+            let cache = plan_cache_store.as_ref();
             scope.spawn(move || {
                 let ctx = Ctx {
                     network,
@@ -402,6 +499,7 @@ pub fn process_stream_relaxed_reported(
                     cap,
                     contention,
                     metrics: &metrics,
+                    cache,
                 };
                 let mut ws = WorkerScratch::new(network.num_nodes());
                 while let Ok((k, req, shard)) = job_rx.recv() {
@@ -423,6 +521,7 @@ pub fn process_stream_relaxed_reported(
             cap: &cap,
             contention: &contention,
             metrics: &metrics,
+            cache: plan_cache_store.as_ref(),
         };
         let mut ws = WorkerScratch::new(network.num_nodes());
         let mut outstanding = 0usize;
@@ -471,11 +570,23 @@ pub fn process_stream_relaxed_reported(
     let final_residual = cap.snapshot();
     let linearization = verify.then(|| replay_commit_log(network, &initial, &cap, &final_residual));
 
+    let pipeline = metrics.snapshot();
+    let plan_cache = (cfg.stream.plan_cache > 0).then(|| obs::PlanCacheReport {
+        capacity: cfg.stream.plan_cache as u64,
+        hits: pipeline.counter("plancache.hits"),
+        epoch_skips: pipeline.counter("plancache.epoch_skips"),
+        reject_hits: pipeline.counter("plancache.reject_hits"),
+        misses: pipeline.counter("plancache.misses"),
+        validation_failures: pipeline.counter("plancache.validation_failures"),
+        insertions: pipeline.counter("plancache.insertions"),
+        evictions: pipeline.counter("plancache.evictions"),
+    });
     let observation = StreamObservation {
-        pipeline: metrics.snapshot(),
+        pipeline,
         per_worker: (1..=workers).map(|i| metrics.shard_snapshot(i)).collect(),
         windows: 0,
         shard_contention: Some(contention_report.clone()),
+        plan_cache,
     };
     // Legacy recorder aggregates, mirroring `StreamObs::finish` in windowed
     // mode, so summary tables keep working without per-request events.

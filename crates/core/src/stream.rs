@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use mecnet::admission::{random_placement_capacity_aware, PrimaryPlacement};
 use mecnet::graph::NodeId;
 use mecnet::neighborhood::NeighborhoodIndex;
-use mecnet::network::MecNetwork;
+use mecnet::network::{MecNetwork, NodeEpochs};
 use mecnet::request::SfcRequest;
 use mecnet::vnf::VnfCatalog;
 use obs::{FlightRecorder, MetricsInterval, MetricsSnapshot, Recorder, ShardedMetrics};
@@ -31,10 +31,11 @@ use rand::{Rng, SeedableRng};
 use crate::heuristic::HeuristicConfig;
 use crate::ilp::IlpConfig;
 use crate::instance::AugmentationInstance;
+use crate::plancache::{PlanCache, PlanEntry, PlanKey, Probe};
 use crate::randomized::RandomizedConfig;
 use crate::scratch::SolveScratch;
 use crate::solution::Outcome;
-use crate::{greedy, heuristic, ilp, randomized};
+use crate::{greedy, heuristic, ilp, randomized, reliability};
 
 /// Which augmentation algorithm the stream runs per admitted request.
 #[derive(Debug, Clone)]
@@ -114,6 +115,23 @@ pub struct StreamConfig {
     /// its marginal backups start further down the diminishing-returns
     /// ladder. `false` reproduces the paper's no-sharing model.
     pub share_backups: bool,
+    /// Admission plan-cache capacity in entries; `0` (the default) disables
+    /// the cache and keeps the deterministic byte-identity path untouched.
+    /// When enabled, the seeded engines memoize solved plans keyed by
+    /// `(source, chain signature, threshold bucket, l)` and re-validate every
+    /// hit against live residuals (see [`crate::plancache`]); cached mode is
+    /// oracle-checked, not byte-identical. Incompatible with `share_backups`
+    /// (a cached plan's reliability depends on neighbors' instances there).
+    /// The legacy shared-RNG [`process_stream`] ignores this knob — skipping
+    /// a request's draws would shift every later request's randomness.
+    pub plan_cache: usize,
+    /// Differential-oracle hook (test builds of the property suite): on every
+    /// cache hit, certify the entry from first principles — cost, reliability
+    /// and debits recomputed bit-exactly from its stored plan — and re-run
+    /// the fresh solve it would skip as a cross-witness. Expensive; leave off
+    /// outside the oracle tests.
+    #[doc(hidden)]
+    pub plan_cache_oracle: bool,
     /// Telemetry granularity: per-request events (the byte-identity-checked
     /// default) or bounded windowed summaries.
     pub metrics: MetricsMode,
@@ -133,6 +151,8 @@ impl Default for StreamConfig {
             algorithm: Algorithm::default(),
             initial_capacity_fraction: 1.0,
             share_backups: false,
+            plan_cache: 0,
+            plan_cache_oracle: false,
             metrics: MetricsMode::Full,
             flight: None,
             inject_commit_hard_error_at: None,
@@ -393,6 +413,13 @@ pub mod pipeline_metrics {
         "speculation.conflicts",
         "commit.overcommit_clamped",
         "solves",
+        "plancache.hits",
+        "plancache.epoch_skips",
+        "plancache.reject_hits",
+        "plancache.misses",
+        "plancache.validation_failures",
+        "plancache.insertions",
+        "plancache.evictions",
     ];
     pub const C_REQUESTS: usize = 0;
     pub const C_ADMITTED: usize = 1;
@@ -403,6 +430,23 @@ pub mod pipeline_metrics {
     /// Shard 0: inline (conflict-induced) re-solves; worker shards:
     /// speculative solves.
     pub const C_SOLVES: usize = 6;
+    /// Plan-cache hit: a cached plan revalidated against live residuals and
+    /// was applied in place of admission + solve.
+    pub const C_PC_HITS: usize = 7;
+    /// Subset of hits whose epoch stamps were all unchanged — even the
+    /// feasibility re-walk was skipped.
+    pub const C_PC_EPOCH_SKIPS: usize = 8;
+    /// Request rejected by the monotone max-residual watermark without
+    /// scanning candidates.
+    pub const C_PC_REJECT_HITS: usize = 9;
+    /// Cache probes that found no usable plan.
+    pub const C_PC_MISSES: usize = 10;
+    /// Misses where a candidate existed but failed re-validation.
+    pub const C_PC_VALIDATION_FAILURES: usize = 11;
+    /// Entries written after fresh solves.
+    pub const C_PC_INSERTIONS: usize = 12;
+    /// Insertions that displaced a live entry with a different key.
+    pub const C_PC_EVICTIONS: usize = 13;
 
     pub const HISTS: &[&str] = &[
         "solve_ns",
@@ -471,6 +515,9 @@ pub(crate) struct StreamObs {
     window: Option<WindowTracker>,
     pub flight: Option<FlightState>,
     pub inject_at: Option<usize>,
+    /// Configured plan-cache capacity (0 = off); gates the cache columns in
+    /// windowed events and the `plan_cache` block of the observation.
+    plan_cache_capacity: usize,
 }
 
 impl StreamObs {
@@ -501,6 +548,7 @@ impl StreamObs {
                 path: spec.dir.join("flight-commit.jsonl"),
             }),
             inject_at: cfg.inject_commit_hard_error_at,
+            plan_cache_capacity: cfg.plan_cache,
         }
     }
 
@@ -560,8 +608,9 @@ impl StreamObs {
         };
         let solve = d0.hist("solve_ns");
         let index = w.index;
+        let cache_on = self.plan_cache_capacity > 0;
         rec.emit_with(|| {
-            obs::Event::new("stream.window")
+            let mut e = obs::Event::new("stream.window")
                 .with("window", index)
                 .with("final", final_window)
                 .with("requests", requests)
@@ -582,8 +631,21 @@ impl StreamObs {
                 .with("solve_p99_us", q_us(&d0, "solve_ns", 0.99))
                 .with("reserve_p99_us", q_us(&d0, "reserve_ns", 0.99))
                 .with("commit_p99_us", q_us(&d0, "commit_ns", 0.99))
-                .with("commit_wait_p99_us", q_us(&d_all, "commit_wait_ns", 0.99))
-                .with("solver", serde::Value::Obj(solver_delta))
+                .with("commit_wait_p99_us", q_us(&d_all, "commit_wait_ns", 0.99));
+            // Cache columns only exist when the cache is on, so cache-off
+            // windowed output stays byte-identical to the pre-cache schema.
+            if cache_on {
+                e = e
+                    .with("plancache_hits", d_all.counter("plancache.hits"))
+                    .with("plancache_epoch_skips", d_all.counter("plancache.epoch_skips"))
+                    .with("plancache_reject_hits", d_all.counter("plancache.reject_hits"))
+                    .with("plancache_misses", d_all.counter("plancache.misses"))
+                    .with(
+                        "plancache_validation_failures",
+                        d_all.counter("plancache.validation_failures"),
+                    );
+            }
+            e.with("solver", serde::Value::Obj(solver_delta))
         });
         w.base_requests = snap0.counter("requests");
         w.base0 = snap0;
@@ -628,7 +690,26 @@ impl StreamObs {
                 .collect(),
             windows: self.window.as_ref().map(|w| w.index).unwrap_or(0),
             shard_contention: None,
+            plan_cache: self.plan_cache_report(),
         }
+    }
+
+    /// Aggregate the `plancache.*` counters across all shards into the
+    /// serializable cache-plane report (`None` when the cache is off).
+    pub(crate) fn plan_cache_report(&self) -> Option<obs::PlanCacheReport> {
+        (self.plan_cache_capacity > 0).then(|| {
+            let all = self.metrics.snapshot();
+            obs::PlanCacheReport {
+                capacity: self.plan_cache_capacity as u64,
+                hits: all.counter("plancache.hits"),
+                epoch_skips: all.counter("plancache.epoch_skips"),
+                reject_hits: all.counter("plancache.reject_hits"),
+                misses: all.counter("plancache.misses"),
+                validation_failures: all.counter("plancache.validation_failures"),
+                insertions: all.counter("plancache.insertions"),
+                evictions: all.counter("plancache.evictions"),
+            }
+        })
     }
 
     /// Dump the coordinator flight ring (if any) and panic — the commit
@@ -657,6 +738,9 @@ pub struct StreamObservation {
     /// the relaxed commit order ([`crate::relaxed`]); the deterministic
     /// engines have no capacity shards.
     pub shard_contention: Option<obs::ShardContentionReport>,
+    /// Aggregated plan-cache counters — `Some` only when the run had
+    /// `plan_cache > 0`.
+    pub plan_cache: Option<obs::PlanCacheReport>,
 }
 
 /// Authoritative mutable state the commit step owns: the network residual,
@@ -666,6 +750,12 @@ pub(crate) struct PipelineState {
     pub residual: Vec<f64>,
     /// `Some` iff `share_backups`; `(VNF type, node) -> instances`.
     pub deployed: Option<HashMap<(usize, usize), usize>>,
+    /// Admission plan cache, `Some` iff `cfg.plan_cache > 0`.
+    pub cache: Option<Arc<PlanCache>>,
+    /// Per-node commit epochs backing the cache's fast path. Only the
+    /// single-writer commit step ([`commit_request`]) maintains these, so they
+    /// exist exactly when the cache does.
+    pub epochs: Option<NodeEpochs>,
     pub obs: StreamObs,
 }
 
@@ -677,9 +767,16 @@ impl PipelineState {
             (0.0..=1.0).contains(&cfg.initial_capacity_fraction),
             "capacity fraction must be in [0, 1]"
         );
+        assert!(
+            !(cfg.share_backups && cfg.plan_cache > 0),
+            "plan cache is incompatible with share_backups: a cached plan's \
+             reliability depends on neighbors' deployed instances"
+        );
         PipelineState {
             residual: network.residual_capacities(cfg.initial_capacity_fraction),
             deployed: cfg.share_backups.then(HashMap::new),
+            cache: (cfg.plan_cache > 0).then(|| Arc::new(PlanCache::new(cfg.plan_cache))),
+            epochs: (cfg.plan_cache > 0).then(|| NodeEpochs::new(network.num_nodes())),
             obs: StreamObs::new(cfg, shards),
         }
     }
@@ -929,6 +1026,111 @@ fn apply_deployed_updates(
     }
 }
 
+/// Differential oracle (`StreamConfig::plan_cache_oracle`): before a cache
+/// hit is applied, certify the entry from first principles and re-run the
+/// fresh solve it would skip.
+///
+/// "Cost never better than a fresh solve on the same residual state" is
+/// enforced where it is sound: the stored cost *is* the fresh solve's cost at
+/// the residual state the plan was solved on, so the oracle recomputes it
+/// bit-exactly from the stored secondary counts (a stale plan cannot smuggle
+/// a too-good cost), recomputes the achieved reliability from the live
+/// catalog, and checks the merged debits sum to exactly what chain + counts
+/// imply. Against the *live* residual state no cost ordering is sound — the
+/// solvers are heuristics, not optima, and a plan solved on fuller residuals
+/// can legitimately dominate what a fresh solve finds on the drained network
+/// — so the fresh solve runs as a cross-witness (the instance must still
+/// build and solve under cached state) rather than as a cost bound. The
+/// primaries' debits are replayed through a reservation and aborted, so
+/// `residual` comes back bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn plan_cache_oracle_check(
+    network: &MecNetwork,
+    catalog: &VnfCatalog,
+    cfg: &StreamConfig,
+    seed: u64,
+    k: usize,
+    req: &SfcRequest,
+    entry: &PlanEntry,
+    residual: &mut [f64],
+    nbhd: &NeighborhoodIndex,
+    scratch: &mut SolveScratch,
+) {
+    // Cost integrity: the paper cost is a pure function of (chain, counts) —
+    // recompute it the way the solver's metrics do (no existing-backup
+    // offset; cached mode refuses `share_backups`).
+    let recomputed_cost: f64 = entry
+        .chain
+        .iter()
+        .zip(&entry.counts)
+        .map(|(&f, &m)| {
+            let r = catalog.reliability(f);
+            (1..=m).map(|j| reliability::paper_cost(r, j)).sum::<f64>()
+        })
+        .sum();
+    assert!(
+        (recomputed_cost - entry.cost).abs() <= 1e-9,
+        "cached plan at request {k} carries a cost that does not recompute from \
+         its own counts: stored {} vs recomputed {recomputed_cost}",
+        entry.cost,
+    );
+    // Reliability integrity: the stored achievement must recompute from the
+    // live catalog and still clear the incoming request's exact expectation.
+    let recomputed_rel = entry.recomputed_reliability(catalog);
+    assert!(
+        (recomputed_rel - entry.achieved_reliability).abs() <= 1e-9,
+        "cached plan at request {k} carries a reliability that does not recompute \
+         from the catalog: stored {} vs recomputed {recomputed_rel}",
+        entry.achieved_reliability,
+    );
+    assert!(
+        recomputed_rel + 1e-12 >= req.expectation,
+        "cache hit at request {k} below threshold: {recomputed_rel} < {}",
+        req.expectation
+    );
+    // Debit integrity: the merged footprint must account for exactly one
+    // primary plus `counts[f]` secondaries of each function's demand.
+    let implied: f64 = entry
+        .chain
+        .iter()
+        .zip(&entry.counts)
+        .map(|(&f, &m)| catalog.demand(f) * (1 + m) as f64)
+        .sum();
+    let total: f64 = entry.debits.iter().map(|d| d.1).sum();
+    assert!(
+        (implied - total).abs() <= 1e-6,
+        "cached plan at request {k} debits {total} != implied footprint {implied}"
+    );
+    let admit_debits: Vec<(NodeId, f64)> = entry
+        .primaries
+        .iter()
+        .zip(&entry.chain)
+        .map(|(&node, &f)| (node, catalog.demand(f)))
+        .collect();
+    // If the cached primaries no longer fit, the capacity re-validation (not
+    // the oracle) decides this hit's fate.
+    let Ok(mut resv) = network.try_reserve(residual, &admit_debits) else {
+        return;
+    };
+    let placement = PrimaryPlacement { locations: entry.primaries.clone() };
+    let inst = build_instance(network, catalog, req, &placement, residual, nbhd, None);
+    let mut solve_rng = request_rng(seed, k, SOLVE_SALT);
+    let outcome =
+        cfg.algorithm.solve_scratch(&inst, &mut solve_rng, &mut Recorder::noop(), scratch);
+    // Cross-witness: when the fresh solve succeeds, its cost must itself obey
+    // the same counts→cost function — the two paths can rank either way on a
+    // drained network, but neither may misprice its own plan.
+    if outcome.metrics.met_expectation {
+        let fresh_recomputed = outcome.augmentation.paper_cost(&inst);
+        assert!(
+            (fresh_recomputed - outcome.metrics.paper_cost).abs() <= 1e-9,
+            "fresh solve at request {k} mispriced its own plan: {} vs {fresh_recomputed}",
+            outcome.metrics.paper_cost,
+        );
+    }
+    network.abort(residual, &mut resv).expect("oracle reservation aborts");
+}
+
 /// Commit request `k` against the authoritative state, in sequence order.
 ///
 /// Re-runs admission (cheap — it also applies the primaries' debits), then
@@ -969,6 +1171,120 @@ pub(crate) fn commit_request(
             state.obs.metrics.shard(s.worker).record_duration(H_COMMIT_WAIT_NS, done.elapsed());
         }
     }
+    // --- Admission plan cache (opt-in, `cfg.plan_cache > 0`) ---------------
+    // Consulted only here, in sequence order, so the cache always sees the
+    // residual history the sequential driver would produce. A hit bypasses
+    // admission + solve entirely; any validation failure falls through to the
+    // fresh path below, which repopulates the entry.
+    if let Some(cache) = state.cache.clone() {
+        // Reject gate: stream residuals never increase, so once a full-scan
+        // rejection measured a maximum cloudlet residual below this chain's
+        // largest per-function demand, admission cannot possibly succeed.
+        let max_demand = req.sfc.iter().map(|&f| catalog.demand(f)).fold(0.0f64, f64::max);
+        if cache.gate_rejects(max_demand) {
+            let shard = state.obs.metrics.shard(0);
+            shard.incr(C_PC_REJECT_HITS);
+            shard.incr(C_REJECTED);
+            if state.obs.full {
+                rec.count("stream.rejected", 1);
+            }
+            let residual = &state.residual;
+            let id = req.id;
+            state.obs.note_event(rec, || {
+                stream_request_event(id, residual)
+                    .with("admitted", false)
+                    .with("reason", "no_primary_placement")
+            });
+            state.obs.after_request(rec);
+            return RequestRecord {
+                id: req.id,
+                admitted: false,
+                base_reliability: 0.0,
+                achieved_reliability: 0.0,
+                met_expectation: false,
+                secondaries: 0,
+            };
+        }
+        let pkey = PlanKey::for_request(req, cfg.l);
+        let epochs = state.epochs.as_ref();
+        let residual = &mut state.residual;
+        let mut epoch_skip = false;
+        let probe = cache.probe(&pkey, &req.sfc, |entry| {
+            // Reliability re-check against the live catalog and the incoming
+            // request's *exact* expectation (the key only bucketed it).
+            let achieved = entry.recomputed_reliability(catalog);
+            if achieved < req.expectation {
+                return None;
+            }
+            if cfg.plan_cache_oracle {
+                plan_cache_oracle_check(
+                    network, catalog, cfg, seed, k, req, entry, residual, nbhd, scratch,
+                );
+            }
+            // Capacity re-validation. Unchanged epoch stamps mean the touched
+            // residuals are bit-identical to the entry's post-apply snapshot,
+            // so its precomputed `refit` flag alone certifies feasibility;
+            // otherwise replay the debits through the same two-phase ledger a
+            // fresh commit uses.
+            if entry.refit && epochs.is_some_and(|e| entry.epochs_unchanged(e)) {
+                for &(node, amount) in &entry.debits {
+                    let v = node.index();
+                    residual[v] = (residual[v] - amount).max(0.0);
+                }
+                epoch_skip = true;
+            } else {
+                let mut resv = network.try_reserve(residual, &entry.debits).ok()?;
+                network.commit(&mut resv).expect("fresh reservation commits");
+            }
+            if let Some(e) = epochs {
+                for &(node, _) in &entry.debits {
+                    e.bump(node.index());
+                }
+                entry.stamp(e, |idx| residual[idx]);
+            }
+            Some((entry.base_reliability, achieved, entry.secondaries))
+        });
+        match probe {
+            Probe::Hit((base, achieved, secondaries)) => {
+                let shard = state.obs.metrics.shard(0);
+                shard.incr(C_PC_HITS);
+                if epoch_skip {
+                    shard.incr(C_PC_EPOCH_SKIPS);
+                }
+                shard.incr(C_ADMITTED);
+                if state.obs.full {
+                    rec.count("stream.admitted", 1);
+                }
+                let residual = &state.residual;
+                let id = req.id;
+                state.obs.note_event(rec, || {
+                    stream_request_event(id, residual)
+                        .with("admitted", true)
+                        .with("base_reliability", base)
+                        .with("achieved_reliability", achieved)
+                        .with("met_expectation", true)
+                        .with("secondaries", secondaries)
+                });
+                state.obs.after_request(rec);
+                return RequestRecord {
+                    id: req.id,
+                    admitted: true,
+                    base_reliability: base,
+                    achieved_reliability: achieved,
+                    met_expectation: true,
+                    secondaries,
+                };
+            }
+            Probe::Stale => {
+                let shard = state.obs.metrics.shard(0);
+                shard.incr(C_PC_MISSES);
+                shard.incr(C_PC_VALIDATION_FAILURES);
+            }
+            Probe::Miss => {
+                state.obs.metrics.shard(0).incr(C_PC_MISSES);
+            }
+        }
+    }
     let demands = &mut scratch.commit.demands;
     demands.clear();
     demands.extend(req.sfc.iter().map(|&f| catalog.demand(f)));
@@ -979,6 +1295,16 @@ pub(crate) fn commit_request(
         state.obs.metrics.shard(0).incr(C_REJECTED);
         if state.obs.full {
             rec.count("stream.rejected", 1);
+        }
+        if let Some(cache) = &state.cache {
+            // Full-scan rejection: calibrate the reject gate with the live
+            // maximum cloudlet residual.
+            let m = network
+                .cloudlet_ids()
+                .iter()
+                .map(|&v| state.residual[v.index()])
+                .fold(0.0f64, f64::max);
+            cache.observe_max_residual(m);
         }
         let residual = &state.residual;
         let id = req.id;
@@ -1067,6 +1393,48 @@ pub(crate) fn commit_request(
     state.obs.metrics.shard(0).incr(C_ADMITTED);
     if state.obs.full {
         rec.count("stream.admitted", 1);
+    }
+    // Maintain the plan cache: every permanent residual decrease bumps the
+    // touched nodes' epochs (the fast path is only sound if *all* decreases
+    // are visible), and a threshold-meeting, unclamped plan (re)populates the
+    // entry for its key.
+    if let Some(cache) = &state.cache {
+        let loads = outcome.augmentation.bin_loads(&inst);
+        let mut raw: Vec<(NodeId, f64)> = Vec::with_capacity(req.sfc.len() + loads.len());
+        for (&f, &node) in req.sfc.iter().zip(&placement.locations) {
+            raw.push((node, catalog.demand(f)));
+        }
+        for (bin_idx, &load) in loads.iter().enumerate() {
+            if load > 0.0 {
+                raw.push((inst.bins[bin_idx].node, load));
+            }
+        }
+        if let Some(epochs) = &state.epochs {
+            for &(node, _) in &raw {
+                epochs.bump(node.index());
+            }
+        }
+        if outcome.metrics.met_expectation && !clamped {
+            let mut entry = PlanEntry::new(
+                PlanKey::for_request(req, cfg.l),
+                req.sfc.clone(),
+                placement.locations.clone(),
+                outcome.augmentation.counts(),
+                &raw,
+                outcome.metrics.base_reliability,
+                outcome.metrics.reliability,
+                outcome.metrics.paper_cost,
+            );
+            if let Some(epochs) = &state.epochs {
+                let residual = &state.residual;
+                entry.stamp(epochs, |idx| residual[idx]);
+            }
+            let shard = state.obs.metrics.shard(0);
+            shard.incr(C_PC_INSERTIONS);
+            if cache.insert(entry) {
+                shard.incr(C_PC_EVICTIONS);
+            }
+        }
     }
     // Unlike the legacy event this one carries no wall-clock field
     // (`solve_s`): the JSONL stream must be byte-identical across worker
@@ -1419,6 +1787,97 @@ mod tests {
         // injected failure at k = 7.
         assert_eq!(lines.count(), 7);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plan_cache_repeated_requests_hit_and_never_overcommit() {
+        use mecnet::vnf::VnfTypeId;
+        // One identical single-function request repeated far past saturation.
+        // The same plan key recurs every time, so the run walks the whole
+        // cache lifecycle: insert → epoch-skip hits → validation failure when
+        // the plan stops fitting → full-scan rejection → watermark gate. A
+        // single-function chain makes the endgame deterministic: admission
+        // rejects exactly when every residual drops below the function's
+        // demand, which is also exactly when the gate starts firing.
+        let (net, cat) = setup();
+        let reqs: Vec<SfcRequest> = (0..100)
+            .map(|i| SfcRequest::new(i, vec![VnfTypeId(1)], 0.99, NodeId(3), NodeId(12)))
+            .collect();
+        let cfg = StreamConfig { plan_cache: 16, ..Default::default() };
+        let (out, ob) =
+            process_stream_seeded_observed(&net, &cat, &reqs, &cfg, 41, &mut Recorder::noop());
+        let report = ob.plan_cache.expect("cache report present when enabled");
+        assert!(report.hits > 0, "identical requests must hit: {report:?}");
+        assert_eq!(
+            report.epoch_skips, report.hits,
+            "single-writer identical stream: every hit takes the epoch fast path"
+        );
+        assert!(
+            report.validation_failures >= 1,
+            "saturation must eventually invalidate the cached plan: {report:?}"
+        );
+        assert!(
+            report.reject_hits > 0,
+            "the watermark gate must take over after the first full-scan rejection: {report:?}"
+        );
+        // Every request was either gate-rejected, a hit, or a probe miss.
+        assert_eq!(report.hits + report.reject_hits + report.misses, reqs.len() as u64);
+        // No overcommit, ever: residuals stay within [0, capacity].
+        for (&r, v) in out.final_residual.iter().zip(net.graph().nodes()) {
+            assert!(r >= -1e-9, "node {v:?} residual went negative: {r}");
+            assert!(r <= net.capacity(v) + 1e-9);
+        }
+        assert_eq!(out.records.len(), reqs.len());
+        // Ledger == admissions: the shard-0 counters agree with the records.
+        assert_eq!(ob.pipeline.counter("admitted"), out.admitted() as u64);
+        assert_eq!(ob.pipeline.counter("requests"), reqs.len() as u64);
+    }
+
+    #[test]
+    fn plan_cache_hits_revalidate_reliability_against_live_expectation() {
+        use mecnet::vnf::VnfTypeId;
+        // Two key-equal requests (same 1e-6 threshold bucket) where the
+        // *exact* expectations differ within the bucket: a cached plan that
+        // clears the first must still be re-checked against the second's
+        // live expectation, never trusted from the stored flag.
+        let (net, cat) = setup();
+        // 0.99 and 0.99 + 4e-7 land in the same bucket (round to 990000).
+        let reqs = vec![
+            SfcRequest::new(0, vec![VnfTypeId(1)], 0.99, NodeId(3), NodeId(12)),
+            SfcRequest::new(1, vec![VnfTypeId(1)], 0.990_000_4, NodeId(3), NodeId(12)),
+        ];
+        assert_eq!(
+            crate::plancache::PlanKey::for_request(&reqs[0], 1),
+            crate::plancache::PlanKey::for_request(&reqs[1], 1),
+            "fixture requests must share a plan key"
+        );
+        let cfg = StreamConfig { plan_cache: 16, ..Default::default() };
+        let (out, ob) =
+            process_stream_seeded_observed(&net, &cat, &reqs, &cfg, 43, &mut Recorder::noop());
+        // Whatever path each request took, an admitted record that claims
+        // `met_expectation` must actually clear that request's expectation.
+        for (r, req) in out.records.iter().zip(&reqs) {
+            if r.admitted && r.met_expectation {
+                assert!(
+                    r.achieved_reliability >= req.expectation - 1e-12,
+                    "request {} claims met_expectation at {} < {}",
+                    r.id,
+                    r.achieved_reliability,
+                    req.expectation
+                );
+            }
+        }
+        let report = ob.plan_cache.expect("cache report present");
+        assert_eq!(report.hits + report.reject_hits + report.misses, reqs.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan cache is incompatible with share_backups")]
+    fn plan_cache_rejects_share_backups() {
+        let (net, cat) = setup();
+        let reqs = make_requests(2, &cat, net.num_nodes(), 50);
+        let cfg = StreamConfig { plan_cache: 8, share_backups: true, ..Default::default() };
+        let _ = process_stream_seeded(&net, &cat, &reqs, &cfg, 1);
     }
 
     #[test]

@@ -267,13 +267,7 @@ mod tests {
         let mut cat = VnfCatalog::new();
         cat.add(VnfType { name: "a".into(), demand_mhz: 100.0, reliability: 0.9 });
         cat.add(VnfType { name: "b".into(), demand_mhz: 100.0, reliability: 0.9 });
-        SfcRequest {
-            id: 1,
-            sfc: vec![VnfTypeId(0), VnfTypeId(1)],
-            expectation: 0.99,
-            source: NodeId(0),
-            destination: NodeId(4),
-        }
+        SfcRequest::new(1, vec![VnfTypeId(0), VnfTypeId(1)], 0.99, NodeId(0), NodeId(4))
     }
 
     #[test]

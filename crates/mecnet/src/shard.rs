@@ -391,6 +391,11 @@ pub struct ShardedCapacity {
     /// One commit log per shard; unused (never pushed) unless `log_enabled`.
     logs: Vec<Mutex<Vec<CommitEntry>>>,
     log_enabled: bool,
+    /// Per-node bump-on-commit epoch counters: every permanent residual
+    /// decrease (commit or clamped commit) bumps the epochs of the nodes it
+    /// debits, letting the plan cache detect concurrent capacity movement
+    /// without scanning residuals.
+    epochs: crate::network::NodeEpochs,
 }
 
 impl ShardedCapacity {
@@ -405,13 +410,25 @@ impl ShardedCapacity {
         assert_eq!(initial.len(), network.num_nodes(), "residual must cover all nodes");
         let capacity: Vec<f64> =
             (0..network.num_nodes()).map(|v| network.capacity(NodeId(v))).collect();
-        let bits = initial.iter().map(|&r| AtomicU64::new(r.to_bits())).collect();
+        let bits: Vec<AtomicU64> = initial.iter().map(|&r| AtomicU64::new(r.to_bits())).collect();
         let logs = (0..partition.num_shards()).map(|_| Mutex::new(Vec::new())).collect();
-        ShardedCapacity { partition, capacity, bits, logs, log_enabled }
+        let epochs = crate::network::NodeEpochs::new(bits.len());
+        ShardedCapacity { partition, capacity, bits, logs, log_enabled, epochs }
     }
 
     pub fn partition(&self) -> &ShardPartition {
         &self.partition
+    }
+
+    /// The per-node bump-on-commit epoch counters.
+    pub fn epochs(&self) -> &crate::network::NodeEpochs {
+        &self.epochs
+    }
+
+    /// Current capacity epoch of node `idx` (bumped on every commit that
+    /// debits the node).
+    pub fn epoch(&self, idx: usize) -> u64 {
+        self.epochs.get(idx)
     }
 
     /// Current residual of node `idx` (a racy-but-coherent atomic load).
@@ -548,6 +565,9 @@ impl ShardedCapacity {
             return Err(ReserveError::NotPending { state: reservation.state });
         }
         reservation.state = ReservationState::Committed;
+        for &(idx, _) in &reservation.debits {
+            self.epochs.bump(idx);
+        }
         if self.log_enabled && !reservation.debits.is_empty() {
             self.logs[reservation.home_shard]
                 .lock()
@@ -580,6 +600,9 @@ impl ShardedCapacity {
             .map(|&(idx, amount)| (idx, self.debit_clamped(idx, amount)))
             .filter(|&(_, taken)| taken > 0.0)
             .collect();
+        for &(idx, _) in &actual {
+            self.epochs.bump(idx);
+        }
         if self.log_enabled && !actual.is_empty() {
             let home = actual
                 .iter()
@@ -633,6 +656,31 @@ mod tests {
         let net = MecNetwork::new(g, vec![1000.0, 1000.0, 0.0, 0.0, 2000.0, 2000.0]);
         let nbhd = net.neighborhood_index(1);
         (net, nbhd)
+    }
+
+    #[test]
+    fn commits_bump_touched_node_epochs_only() {
+        let (net, nbhd) = two_cluster_fixture();
+        let part = ShardPartition::build(&net, &nbhd, 2);
+        let initial: Vec<f64> = (0..net.num_nodes()).map(|v| net.capacity(NodeId(v))).collect();
+        let cap = ShardedCapacity::new(&net, &initial, part, false);
+        assert_eq!(cap.epoch(0), 0);
+        // Reserve alone must not bump (the debit is still revocable).
+        let mut r = cap.try_reserve(&[(NodeId(0), 100.0), (NodeId(4), 50.0)]).unwrap();
+        assert_eq!(cap.epoch(0), 0);
+        assert_eq!(cap.epoch(4), 0);
+        cap.commit(&mut r, 7).unwrap();
+        assert_eq!(cap.epoch(0), 1, "commit bumps touched nodes");
+        assert_eq!(cap.epoch(4), 1);
+        assert_eq!(cap.epoch(1), 0, "untouched nodes keep their epoch");
+        // Abort credits back without bumping.
+        let mut r2 = cap.try_reserve(&[(NodeId(1), 10.0)]).unwrap();
+        cap.abort(&mut r2).unwrap();
+        assert_eq!(cap.epoch(1), 0, "aborted reservations leave epochs alone");
+        // Clamped commits bump the nodes they actually debit.
+        let taken = cap.commit_clamped(&[(NodeId(5), 10_000.0)], 8);
+        assert_eq!(taken.len(), 1);
+        assert_eq!(cap.epoch(5), 1);
     }
 
     #[test]

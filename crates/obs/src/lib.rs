@@ -7,6 +7,7 @@ pub mod contention;
 pub mod event;
 pub mod flight;
 pub mod metrics;
+pub mod plancache;
 pub mod recorder;
 pub mod shard;
 pub mod span;
@@ -16,6 +17,7 @@ pub use contention::{ShardContention, ShardContentionReport, ShardContentionRow}
 pub use event::Event;
 pub use flight::FlightRecorder;
 pub use metrics::{Counter, Distribution, Gauge};
+pub use plancache::PlanCacheReport;
 pub use recorder::{Recorder, Sink, Telemetry};
 pub use shard::{
     AtomicLog2Histogram, HistogramReport, MetricsReport, MetricsShard, MetricsSnapshot,

@@ -28,7 +28,9 @@ pub mod spec;
 pub mod stream;
 pub mod zoo;
 
-pub use spec::{BuiltScenario, CatalogSpec, ScenarioSpec, StreamSpec, TopologySpec, TtlSpec};
+pub use spec::{
+    BuiltScenario, CatalogSpec, ScenarioSpec, ServiceSpec, StreamSpec, TopologySpec, TtlSpec,
+};
 pub use stream::{RequestStream, TimedRequest, TimedRequestStream};
 pub use zoo::{barabasi_albert, fat_tree, sagin, FatTreeRole, TierSpec};
 
@@ -42,6 +44,7 @@ pub(crate) const REQ_SALT: u64 = 0x0052_4551; // "REQ"
 pub(crate) const ARRIVAL_SALT: u64 = 0x0041_5252; // "ARR"
 pub(crate) const TTL_SALT: u64 = 0x0054_544c; // "TTL"
 pub(crate) const FLASH_SALT: u64 = 0x0046_4c53; // "FLS"
+pub(crate) const SERVICE_SALT: u64 = 0x0053_5643; // "SVC"
 
 /// splitmix64 finalizer — same mixer the core pipeline uses for its
 /// per-request admission/solve streams, so neighboring positions get

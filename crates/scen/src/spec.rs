@@ -93,6 +93,27 @@ pub enum TtlSpec {
     Pareto { scale: f64, shape: f64 },
 }
 
+/// Popular-service model: requests draw their VNF chain from a bounded,
+/// Zipf-skewed catalog of service templates instead of sampling an ad-hoc
+/// chain per request. This is what makes million-request streams *resolve the
+/// same admission problem* over and over — the premise both the plan cache
+/// and the sharing-scheme literature exploit: a real MEC deployment serves a
+/// few dozen service types whose popularity is heavily skewed, not 30^6
+/// distinct chains.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ServiceSpec {
+    /// Number of distinct service templates (chains) in the scenario.
+    pub count: usize,
+    /// Zipf exponent on template popularity: template 0 is the hottest.
+    pub skew: f64,
+}
+
+impl Default for ServiceSpec {
+    fn default() -> Self {
+        ServiceSpec { count: 24, skew: 1.2 }
+    }
+}
+
 /// Request-stream shape: arrival process, per-request content, and endpoint
 /// popularity. See [`crate::stream::RequestStream`] for the exact sampling.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -117,6 +138,10 @@ pub struct StreamSpec {
     /// Zipf exponent on endpoint popularity: `0` keeps the per-tier weights
     /// as-is; larger values concentrate traffic on a few hot access points.
     pub popularity_skew: f64,
+    /// Bounded popular-service catalog; `None` (the value missing from a
+    /// JSON spec) falls back to ad-hoc per-request chains, the pre-service
+    /// sampling, byte for byte.
+    pub services: Option<ServiceSpec>,
 }
 
 impl Default for StreamSpec {
@@ -132,6 +157,7 @@ impl Default for StreamSpec {
             flash_multiplier: 4.0,
             flash_epoch: 600.0,
             popularity_skew: 0.8,
+            services: Some(ServiceSpec::default()),
         }
     }
 }

@@ -7,7 +7,11 @@
 //!
 //! * **content** (`REQ` salt): chain, expectation and endpoints; endpoints
 //!   are re-sampled from the scenario's popularity distribution (per-tier
-//!   weights × Zipf skew) instead of uniformly.
+//!   weights × Zipf skew) instead of uniformly. When the spec carries a
+//!   [`crate::spec::ServiceSpec`], the chain itself comes from a bounded,
+//!   Zipf-popular catalog of service templates (drawn once per scenario from
+//!   the `SVC` salt) instead of an ad-hoc per-request sample — so popular
+//!   admission problems genuinely recur across the stream.
 //! * **arrival** (`ARR` salt): the exponential gap to the previous arrival,
 //!   with the instantaneous rate modulated by a diurnal sinusoid and
 //!   per-epoch flash crowds (`FLS` salt decides which epochs flash).
@@ -23,8 +27,15 @@ use mecnet::request::SfcRequest;
 use mecnet::vnf::VnfCatalog;
 use rand::Rng;
 
+use mecnet::vnf::VnfTypeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
 use crate::spec::{BuiltScenario, StreamSpec, TtlSpec};
-use crate::{position_rng, unit_hash, ARRIVAL_SALT, FLASH_SALT, REQ_SALT, TTL_SALT};
+use crate::{
+    derive_seed, position_rng, unit_hash, ARRIVAL_SALT, FLASH_SALT, REQ_SALT, SERVICE_SALT,
+    TTL_SALT,
+};
 
 /// A request with its arrival time and holding time (TTL) attached — what a
 /// discrete-event simulator consumes.
@@ -47,6 +58,11 @@ pub struct RequestStream {
     endpoints: Vec<usize>,
     /// Cumulative Zipf-skewed weights over `endpoints`.
     cum: Vec<f64>,
+    /// Service templates (chains), popularity order: index 0 is the hottest.
+    /// Empty when the spec has no [`crate::spec::ServiceSpec`].
+    services: Vec<Vec<VnfTypeId>>,
+    /// Cumulative Zipf-skewed weights over `services`.
+    svc_cum: Vec<f64>,
     spec: StreamSpec,
     seed: u64,
     k: u64,
@@ -70,6 +86,30 @@ impl RequestStream {
             total += built.node_weights[i] / ((rank + 1) as f64).powf(skew);
             cum.push(total);
         }
+        // Service templates: one salted draw per scenario, so the catalog of
+        // popular chains is a pure function of (seed, spec), independent of
+        // how many requests any consumer materializes.
+        let mut services = Vec::new();
+        let mut svc_cum = Vec::new();
+        if let Some(svc) = &built.spec.stream.services {
+            let mut rng = StdRng::seed_from_u64(derive_seed(built.spec.seed, 0, SERVICE_SALT));
+            let (lo, hi) = built.spec.stream.sfc_len_range;
+            let mut total = 0.0;
+            for rank in 0..svc.count {
+                let len = rng.gen_range(lo..=hi.max(lo));
+                let chain: Vec<VnfTypeId> = if len <= built.catalog.len() {
+                    rand::seq::index::sample(&mut rng, built.catalog.len(), len)
+                        .into_iter()
+                        .map(VnfTypeId)
+                        .collect()
+                } else {
+                    (0..len).map(|_| VnfTypeId(rng.gen_range(0..built.catalog.len()))).collect()
+                };
+                services.push(chain);
+                total += 1.0 / ((rank + 1) as f64).powf(svc.skew.max(0.0));
+                svc_cum.push(total);
+            }
+        }
         RequestStream {
             catalog: built.catalog.clone(),
             num_nodes: built.network.num_nodes(),
@@ -77,6 +117,8 @@ impl RequestStream {
             expectation: built.spec.stream.expectation,
             endpoints,
             cum,
+            services,
+            svc_cum,
             spec: built.spec.stream.clone(),
             seed: built.spec.seed,
             k: 0,
@@ -128,17 +170,32 @@ impl RequestStream {
         let u: f64 = position_rng(self.seed, k, ARRIVAL_SALT).gen();
         let gap = -(1.0 - u).ln() / self.rate_at(self.t);
         self.t += gap;
-        // Content: reuse the catalog sampler, then re-draw the endpoints from
-        // the popularity distribution.
+        // Content: draw the chain from the popular-service catalog when the
+        // spec has one (inverse-CDF over the Zipf weights), falling back to
+        // the ad-hoc catalog sampler; then re-draw the endpoints from the
+        // popularity distribution either way.
         let mut rng = position_rng(self.seed, k, REQ_SALT);
-        let mut request = SfcRequest::random(
-            k as usize,
-            &self.catalog,
-            self.sfc_len_range,
-            self.expectation,
-            self.num_nodes,
-            &mut rng,
-        );
+        let mut request = if self.services.is_empty() {
+            SfcRequest::random(
+                k as usize,
+                &self.catalog,
+                self.sfc_len_range,
+                self.expectation,
+                self.num_nodes,
+                &mut rng,
+            )
+        } else {
+            let total = *self.svc_cum.last().expect("non-empty service catalog");
+            let u = rng.gen::<f64>() * total;
+            let idx = self.svc_cum.partition_point(|&c| c <= u).min(self.services.len() - 1);
+            SfcRequest::new(
+                k as usize,
+                self.services[idx].clone(),
+                self.expectation,
+                NodeId(0),
+                NodeId(0),
+            )
+        };
         request.source = self.sample_endpoint(&mut rng);
         request.destination = self.sample_endpoint(&mut rng);
         // TTL from its own stream so swapping distributions never shifts
@@ -213,6 +270,22 @@ mod tests {
     }
 
     #[test]
+    fn streamed_requests_carry_valid_interned_chain_signatures() {
+        // `next_timed` rewrites only the endpoints after construction, so the
+        // chain signature interned by `SfcRequest::random` must stay valid —
+        // the plan cache keys on it without rehashing the chain.
+        let built = toy();
+        for req in RequestStream::new(&built, 500) {
+            assert_eq!(
+                req.chain_sig,
+                mecnet::chain_signature(&req.sfc),
+                "request {} carries a stale interned signature",
+                req.id
+            );
+        }
+    }
+
+    #[test]
     fn popularity_skew_concentrates_endpoints() {
         let built = toy();
         let mut hits = vec![0usize; built.network.num_nodes()];
@@ -228,6 +301,37 @@ mod tests {
             top_decile as f64 > 0.3 * total as f64,
             "skew 0.8 should concentrate >30% of endpoints on the top 10 APs ({top_decile}/{total})"
         );
+    }
+
+    #[test]
+    fn service_catalog_bounds_and_skews_the_chain_population() {
+        let built = toy();
+        let svc = built.spec.stream.services.clone().expect("presets carry a service catalog");
+        let mut seen: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for req in RequestStream::new(&built, 4000) {
+            *seen.entry(req.chain_sig).or_insert(0) += 1;
+        }
+        assert!(
+            seen.len() <= svc.count,
+            "{} distinct chains exceed the {}-template service catalog",
+            seen.len(),
+            svc.count
+        );
+        // Zipf popularity: the hottest template should dominate a uniform
+        // share by a wide margin.
+        let top = seen.values().copied().max().unwrap();
+        assert!(
+            top * svc.count > 2 * 4000,
+            "top template drew {top}/4000 — no popularity concentration"
+        );
+        // Disabling the catalog restores ad-hoc chains: far more distinct
+        // signatures than any bounded template set.
+        let mut adhoc = built.spec.clone();
+        adhoc.stream.services = None;
+        let adhoc = adhoc.build();
+        let distinct: std::collections::HashSet<u64> =
+            RequestStream::new(&adhoc, 4000).map(|r| r.chain_sig).collect();
+        assert!(distinct.len() > 2 * svc.count, "ad-hoc mode yielded {} chains", distinct.len());
     }
 
     #[test]

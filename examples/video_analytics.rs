@@ -29,13 +29,13 @@ fn main() {
     // The video-analytics chain from the realistic catalog:
     // NAT(0) -> Firewall(1) -> IDS(2) -> Transcoder(5) -> DPI(6).
     let catalog = realistic_catalog();
-    let request = SfcRequest {
-        id: 42,
-        sfc: vec![VnfTypeId(0), VnfTypeId(1), VnfTypeId(2), VnfTypeId(5), VnfTypeId(6)],
-        expectation: 0.995,
-        source: NodeId(0),
-        destination: NodeId(35),
-    };
+    let request = SfcRequest::new(
+        42,
+        vec![VnfTypeId(0), VnfTypeId(1), VnfTypeId(2), VnfTypeId(5), VnfTypeId(6)],
+        0.995,
+        NodeId(0),
+        NodeId(35),
+    );
 
     // Admit via the max-reliability DAG placement (link reliability 0.995/hop).
     let placement = dag_placement(&network, &request, 0.995).expect("admission succeeds");
