@@ -1,0 +1,232 @@
+//! Matching-plane microbenchmark: incremental engine vs. historical rebuild.
+//!
+//! Times [`relaug::heuristic::solve_in`] over fixed instance sets under the
+//! three `MatchEngine` configurations — `Rebuild` (cold full rebuild every
+//! round), `Incremental` (dominance-pruned ladders, trajectory-exact) and
+//! `IncrementalWarm` (cross-round price carry) — after byte-verifying the
+//! incremental engine against the rebuild reference on every instance. Writes
+//! `BENCH_matching.json` at the workspace root (the CI artifact) and exits
+//! non-zero if the incremental engine's speedup over the rebuild path falls
+//! below the gate on any family — CI runs this in `QUICK=1` mode as the
+//! `matching-smoke` regression gate.
+//!
+//! Like `solve_alloc`, this is a plain `harness = false` main: the loop being
+//! measured is µs-scale and hand-timing over a fixed pass count is both
+//! simpler and less noisy than criterion's adaptive sampling here.
+
+use std::time::Instant;
+
+use mecnet::workload::{generate_scenario, WorkloadConfig};
+use obs::Recorder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use relaug::heuristic::{self, HeuristicConfig, MatchEngine};
+use relaug::instance::AugmentationInstance;
+use relaug::SolveScratch;
+use serde::Value;
+
+const SEED: u64 = 42;
+/// Minimum incremental-vs-rebuild speedup the smoke gate accepts.
+const GATE_SPEEDUP: f64 = 1.3;
+
+struct Family {
+    name: &'static str,
+    instances: Vec<AugmentationInstance>,
+    passes: usize,
+}
+
+struct ModeResult {
+    mode: &'static str,
+    total_s: f64,
+    us_per_solve: f64,
+    rounds: usize,
+}
+
+fn build_families(quick: bool) -> Vec<Family> {
+    let toy_n = if quick { 8 } else { 32 };
+    let toy_passes = if quick { 20 } else { 60 };
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let toy_wl = WorkloadConfig::default();
+    let toy: Vec<AugmentationInstance> = (0..toy_n)
+        .map(|_| AugmentationInstance::from_scenario(&generate_scenario(&toy_wl, &mut rng), 1))
+        .collect();
+    let mut families = vec![Family { name: "toy", instances: toy, passes: toy_passes }];
+    if !quick {
+        // Wider substrate: more cloudlets per round and a stricter target, so
+        // the bipartite graphs are larger and rounds more numerous — the
+        // regime the incremental engine exists for.
+        let wide_wl =
+            WorkloadConfig { nodes: 400, expectation: 0.99999, ..WorkloadConfig::default() };
+        let mut rng = StdRng::seed_from_u64(SEED ^ 0x9E3779B9);
+        let wide: Vec<AugmentationInstance> = (0..8)
+            .map(|_| AugmentationInstance::from_scenario(&generate_scenario(&wide_wl, &mut rng), 1))
+            .collect();
+        families.push(Family { name: "wide", instances: wide, passes: 20 });
+    }
+    families
+}
+
+fn config_for(mode: &str) -> HeuristicConfig {
+    let engine = match mode {
+        "rebuild" => MatchEngine::Rebuild,
+        "incremental" => MatchEngine::Incremental,
+        "warm" => MatchEngine::IncrementalWarm,
+        other => unreachable!("unknown mode {other}"),
+    };
+    HeuristicConfig { engine, ..Default::default() }
+}
+
+fn time_mode(family: &Family, mode: &'static str) -> ModeResult {
+    let cfg = config_for(mode);
+    let mut rec = Recorder::noop();
+    let mut scratch = SolveScratch::new();
+    // Warm-up pass: grow scratch buffers to their high-water mark.
+    for inst in &family.instances {
+        heuristic::solve_in(inst, &cfg, &mut rec, &mut scratch);
+    }
+    let mut rounds = 0usize;
+    let started = Instant::now();
+    for _ in 0..family.passes {
+        for inst in &family.instances {
+            rounds += heuristic::solve_in(inst, &cfg, &mut rec, &mut scratch);
+        }
+    }
+    let total_s = started.elapsed().as_secs_f64();
+    let solves = (family.passes * family.instances.len()) as f64;
+    ModeResult { mode, total_s, us_per_solve: total_s * 1e6 / solves, rounds }
+}
+
+/// Byte-verify: the incremental engine must reproduce the rebuild reference
+/// exactly on every instance of the family.
+fn verify_identity(family: &Family) -> bool {
+    let mut rec = Recorder::noop();
+    let mut s_inc = SolveScratch::new();
+    let mut s_reb = SolveScratch::new();
+    for (i, inst) in family.instances.iter().enumerate() {
+        let r_inc = heuristic::solve_in(inst, &config_for("incremental"), &mut rec, &mut s_inc);
+        let a_inc = s_inc.sol.materialize();
+        let r_reb = heuristic::solve_in(inst, &config_for("rebuild"), &mut rec, &mut s_reb);
+        let a_reb = s_reb.sol.materialize();
+        if r_inc != r_reb || a_inc != a_reb {
+            eprintln!(
+                "matching_warm[{}]: instance {i} diverges (rounds {r_inc} vs {r_reb})",
+                family.name
+            );
+            return false;
+        }
+    }
+    true
+}
+
+/// Untimed telemetry pass: pruning and fallback rates of the incremental
+/// engine over the family (reported, never silent).
+fn matching_stats(family: &Family) -> (u64, u64, u64, u64, f64) {
+    let mut rec = Recorder::memory();
+    let mut scratch = SolveScratch::new();
+    let cfg = config_for("incremental");
+    for inst in &family.instances {
+        heuristic::solve_in(inst, &cfg, &mut rec, &mut scratch);
+    }
+    let s = rec.summary();
+    let engine = s.counter("matching.rounds.engine");
+    let fallback = s.counter("matching.rounds.fallback");
+    let full = s.counter("matching.edges.full");
+    let live = s.counter("matching.edges.materialized");
+    let pruned_pct = if full > 0 { 100.0 * (1.0 - live as f64 / full as f64) } else { 0.0 };
+    (engine, fallback, full, live, pruned_pct)
+}
+
+fn main() {
+    let quick = std::env::var_os("QUICK").is_some();
+    let families = build_families(quick);
+    let mut family_values: Vec<Value> = Vec::new();
+    let mut gate_failed = false;
+
+    for family in &families {
+        let identical = verify_identity(family);
+        if !identical {
+            gate_failed = true;
+        }
+        let (engine_rounds, fallback_rounds, edges_full, edges_live, pruned_pct) =
+            matching_stats(family);
+        let modes: Vec<ModeResult> =
+            ["rebuild", "incremental", "warm"].into_iter().map(|m| time_mode(family, m)).collect();
+        let rebuild_s = modes[0].total_s;
+        let speedup_inc = rebuild_s / modes[1].total_s;
+        let speedup_warm = rebuild_s / modes[2].total_s;
+
+        println!(
+            "matching_warm[{}]: {} instances x {} passes",
+            family.name,
+            family.instances.len(),
+            family.passes
+        );
+        for m in &modes {
+            println!(
+                "matching_warm[{}]: {:<11} {:>8.2} us/solve ({} rounds/pass-set)",
+                family.name, m.mode, m.us_per_solve, m.rounds
+            );
+        }
+        println!(
+            "matching_warm[{}]: engine rounds {engine_rounds}, fallback {fallback_rounds}, \
+             edges {edges_full} -> {edges_live} ({pruned_pct:.1}% pruned)",
+            family.name
+        );
+        let gate_ok = speedup_inc >= GATE_SPEEDUP;
+        println!(
+            "matching_warm[{}]: incremental {speedup_inc:.2}x vs rebuild \
+             (warm {speedup_warm:.2}x); identity {}; gate >= {GATE_SPEEDUP:.2}x: {}",
+            family.name,
+            if identical { "OK" } else { "FAILED" },
+            if gate_ok { "OK" } else { "FAILED" },
+        );
+        if !gate_ok {
+            gate_failed = true;
+        }
+
+        let mode_values: Vec<Value> = modes
+            .iter()
+            .map(|m| {
+                Value::Obj(vec![
+                    ("mode".into(), Value::Str(m.mode.into())),
+                    ("total_s".into(), Value::F64(m.total_s)),
+                    ("us_per_solve".into(), Value::F64(m.us_per_solve)),
+                    ("rounds".into(), Value::U64(m.rounds as u64)),
+                ])
+            })
+            .collect();
+        family_values.push(Value::Obj(vec![
+            ("name".into(), Value::Str(family.name.into())),
+            ("instances".into(), Value::U64(family.instances.len() as u64)),
+            ("passes".into(), Value::U64(family.passes as u64)),
+            ("modes".into(), Value::Arr(mode_values)),
+            ("speedup_incremental_vs_rebuild".into(), Value::F64(speedup_inc)),
+            ("speedup_warm_vs_rebuild".into(), Value::F64(speedup_warm)),
+            ("identical_incremental_vs_rebuild".into(), Value::Bool(identical)),
+            ("engine_rounds".into(), Value::U64(engine_rounds)),
+            ("fallback_rounds".into(), Value::U64(fallback_rounds)),
+            ("edges_full".into(), Value::U64(edges_full)),
+            ("edges_materialized".into(), Value::U64(edges_live)),
+            ("pruned_pct".into(), Value::F64(pruned_pct)),
+        ]));
+    }
+
+    let report = Value::Obj(vec![
+        ("benchmark".into(), Value::Str("matching_warm".into())),
+        ("quick".into(), Value::Bool(quick)),
+        ("seed".into(), Value::U64(SEED)),
+        ("gate_speedup".into(), Value::F64(GATE_SPEEDUP)),
+        ("families".into(), Value::Arr(family_values)),
+    ]);
+    let mut json = serde_json::to_string_pretty(&report).expect("report serializes");
+    json.push('\n');
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matching.json");
+    std::fs::write(path, &json).expect("write BENCH_matching.json");
+    println!("matching_warm: wrote {path}");
+
+    if gate_failed {
+        eprintln!("matching_warm: FAIL — identity or speedup gate violated");
+        std::process::exit(1);
+    }
+    println!("matching_warm: OK");
+}

@@ -57,7 +57,6 @@ fn main() {
     let passes = if quick { 5 } else { 50 };
 
     let wl = WorkloadConfig::default();
-    let cfg = HeuristicConfig::default();
     let mut rng = StdRng::seed_from_u64(SEED);
     let instances: Vec<AugmentationInstance> = (0..instances_n)
         .map(|_| {
@@ -66,40 +65,62 @@ fn main() {
         })
         .collect();
 
+    // Every solver configuration shares the zero-alloc contract: the
+    // incremental engine (default), the historical rebuild path, and the
+    // batch_rounds b-matching ablation.
+    let configs: [(&str, HeuristicConfig); 3] = [
+        ("incremental", HeuristicConfig::default()),
+        (
+            "rebuild",
+            HeuristicConfig { engine: heuristic::MatchEngine::Rebuild, ..Default::default() },
+        ),
+        ("batch", HeuristicConfig { batch_rounds: true, ..Default::default() }),
+    ];
+
     let mut rec = Recorder::noop();
     let mut scratch = SolveScratch::new();
-    let mut rounds = 0usize;
+    let mut failed = false;
+    for (label, cfg) in &configs {
+        let mut rounds = 0usize;
+        // Warm-up: two full passes grow every buffer to its high-water mark.
+        for _ in 0..2 {
+            for inst in &instances {
+                rounds += heuristic::solve_in(inst, cfg, &mut rec, &mut scratch);
+            }
+        }
 
-    // Warm-up: two full passes grow every buffer to its high-water mark.
-    for _ in 0..2 {
-        for inst in &instances {
-            rounds += heuristic::solve_in(inst, &cfg, &mut rec, &mut scratch);
+        let before = ALLOCS.load(Relaxed);
+        let started = Instant::now();
+        for _ in 0..passes {
+            for inst in &instances {
+                rounds += heuristic::solve_in(inst, cfg, &mut rec, &mut scratch);
+            }
+        }
+        let elapsed = started.elapsed();
+        let allocs = ALLOCS.load(Relaxed) - before;
+
+        let solves = (passes * instances.len()) as u64;
+        println!(
+            "solve_alloc[{label}]: {instances_n} instances x {passes} passes = {solves} solves"
+        );
+        println!(
+            "solve_alloc[{label}]: {allocs} heap allocations after warm-up \
+             ({:.4} allocs/request)",
+            allocs as f64 / solves as f64
+        );
+        println!(
+            "solve_alloc[{label}]: {:.2} us/solve, {} matching rounds total",
+            elapsed.as_secs_f64() * 1e6 / solves as f64,
+            rounds
+        );
+        if allocs > 0 {
+            eprintln!(
+                "solve_alloc[{label}]: FAIL — the heuristic steady-state path must not allocate"
+            );
+            failed = true;
         }
     }
-
-    let before = ALLOCS.load(Relaxed);
-    let started = Instant::now();
-    for _ in 0..passes {
-        for inst in &instances {
-            rounds += heuristic::solve_in(inst, &cfg, &mut rec, &mut scratch);
-        }
-    }
-    let elapsed = started.elapsed();
-    let allocs = ALLOCS.load(Relaxed) - before;
-
-    let solves = (passes * instances.len()) as u64;
-    println!("solve_alloc: {instances_n} instances x {passes} passes = {solves} solves");
-    println!(
-        "solve_alloc: {allocs} heap allocations after warm-up ({:.4} allocs/request)",
-        allocs as f64 / solves as f64
-    );
-    println!(
-        "solve_alloc: {:.2} us/solve, {} matching rounds total",
-        elapsed.as_secs_f64() * 1e6 / solves as f64,
-        rounds
-    );
-    if allocs > 0 {
-        eprintln!("solve_alloc: FAIL — the heuristic steady-state path must not allocate");
+    if failed {
         std::process::exit(1);
     }
     println!("solve_alloc: OK — zero allocations per request on the steady-state path");

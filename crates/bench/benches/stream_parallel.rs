@@ -401,6 +401,19 @@ fn render_json(cores: usize, results: &[WorkerResult], scenario: Value) -> Strin
         ("seed".into(), Value::U64(SEED)),
         ("algorithm".into(), Value::Str("heuristic".into())),
         ("record_reps".into(), Value::U64(RECORD_REPS as u64)),
+        // The toy rows exist for the CI dispatch-overhead gate, not as
+        // throughput evidence: 120 requests is far too small to amortize
+        // speculation + validation, so workers > 1 *should* read below 1.0x
+        // here. Scenario-scale throughput lives in `scenario.results`.
+        (
+            "results_note".into(),
+            Value::Str(
+                "overhead fixture: 120 requests cannot amortize parallel dispatch; \
+                 sub-1.0x speedups at workers > 1 are expected — see `scenario` \
+                 for throughput-scale numbers"
+                    .into(),
+            ),
+        ),
         ("results".into(), Value::Arr(results.iter().map(WorkerResult::to_value).collect())),
         ("scenario".into(), scenario),
     ]);

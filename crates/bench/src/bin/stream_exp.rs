@@ -324,7 +324,11 @@ fn shard_contention_table(reports: &[(&str, RelaxedReport)]) -> Table {
 /// dropped — loudly, never silently.
 const ILP_REQUEST_CAP: usize = 50_000;
 
-fn algorithm_set(scenario: bool, requests: usize) -> Vec<(&'static str, Algorithm)> {
+fn algorithm_set(
+    scenario: bool,
+    requests: usize,
+    match_engine: relaug::heuristic::MatchEngine,
+) -> Vec<(&'static str, Algorithm)> {
     let mut set: Vec<(&str, Algorithm)> = Vec::new();
     if !scenario || requests <= ILP_REQUEST_CAP {
         set.push(("ILP", Algorithm::Ilp(Default::default())));
@@ -335,7 +339,13 @@ fn algorithm_set(scenario: bool, requests: usize) -> Vec<(&'static str, Algorith
              (> {ILP_REQUEST_CAP}); pass --requests {ILP_REQUEST_CAP} or less to include them\n"
         );
     }
-    set.push(("Heuristic", Algorithm::Heuristic(Default::default())));
+    set.push((
+        "Heuristic",
+        Algorithm::Heuristic(relaug::heuristic::HeuristicConfig {
+            engine: match_engine,
+            ..Default::default()
+        }),
+    ));
     set.push(("Greedy", Algorithm::Greedy(Default::default())));
     set
 }
@@ -408,6 +418,16 @@ fn main() {
             args.plan_cache
         );
     }
+    match args.match_engine {
+        relaug::heuristic::MatchEngine::Incremental => {}
+        relaug::heuristic::MatchEngine::IncrementalWarm => println!(
+            "match engine: warm (cross-round price carry; cost parity only — \
+             record hashes are not comparable to the deterministic engines)\n"
+        ),
+        relaug::heuristic::MatchEngine::Rebuild => {
+            println!("match engine: rebuild (historical per-round full rebuild)\n")
+        }
+    }
 
     // Telemetry sink: the first stream of each algorithm runs traced — into
     // the JSONL file when `--trace` is given, into memory otherwise — so the
@@ -436,7 +456,7 @@ fn main() {
     let mut relaxed_reports: Vec<(&str, RelaxedReport)> = Vec::new();
     let relaxed = args.commit_order == CommitOrder::Relaxed;
 
-    let algorithms = algorithm_set(scenario.is_some(), requests_per_stream);
+    let algorithms = algorithm_set(scenario.is_some(), requests_per_stream, args.match_engine);
     let mut columns =
         vec!["algorithm", "admitted", "mean rel.", "SLO met", "early rel.", "late rel.", "req/s"];
     if scenario.is_some() {
@@ -456,6 +476,20 @@ fn main() {
         "p95",
         "p99",
     ]);
+    // Matching-plane counters (first stream per algorithm; only the
+    // heuristic's matching rounds populate them).
+    let mut matchplane = Table::new(vec![
+        "algorithm",
+        "engine rounds",
+        "fallback",
+        "rebuild",
+        "warm",
+        "edges full",
+        "edges live",
+        "pruned",
+        "passes",
+    ]);
+    let mut matchplane_lines: Vec<String> = Vec::new();
     for (name, algorithm) in algorithms {
         let mut admitted = Accumulator::new();
         let mut rel = Accumulator::new();
@@ -599,10 +633,47 @@ fn main() {
             pct(95.0),
             pct(99.0),
         ]);
+        let delta = |key: &str| now.counter(key) - effort_base.counter(key);
+        let (m_engine, m_fallback, m_rebuild, m_warm) = (
+            delta("matching.rounds.engine"),
+            delta("matching.rounds.fallback"),
+            delta("matching.rounds.rebuild"),
+            delta("matching.warm_rounds"),
+        );
+        if m_engine + m_fallback + m_rebuild > 0 {
+            let (full, live) = (delta("matching.edges.full"), delta("matching.edges.materialized"));
+            let pruned = if full > 0 { 100.0 * (1.0 - live as f64 / full as f64) } else { 0.0 };
+            matchplane.add_row(vec![
+                name.to_string(),
+                format!("{m_engine}"),
+                format!("{m_fallback}"),
+                format!("{m_rebuild}"),
+                format!("{m_warm}"),
+                format!("{full}"),
+                format!("{live}"),
+                format!("{pruned:.1}%"),
+                format!("{}", delta("matching.passes")),
+            ]);
+            // One parseable line per algorithm — the prune-fallback rate is
+            // part of the run's contract, never silent.
+            matchplane_lines.push(format!(
+                "{name} matching plane: engine {m_engine} / fallback {m_fallback} / \
+                 rebuild {m_rebuild} rounds, warm {m_warm}, edges {full} -> {live} \
+                 ({pruned:.1}% pruned)",
+            ));
+        }
     }
     println!("{}", table.to_markdown());
     println!("\n### telemetry (first stream per algorithm)\n");
     println!("{}", effort.to_markdown());
+    if !matchplane_lines.is_empty() {
+        println!("\n### matching plane (first stream per algorithm)\n");
+        println!("{}", matchplane.to_markdown());
+        println!();
+        for line in &matchplane_lines {
+            println!("{line}");
+        }
+    }
     println!("\n### contention attribution (first stream per algorithm)\n");
     println!("{}", contention_table(&observations).to_markdown());
     if let Some(cache_table) = plan_cache_table(&observations) {

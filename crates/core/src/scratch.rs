@@ -182,13 +182,34 @@ pub struct HeuristicScratch {
     pub cap: Vec<usize>,
     pub next_k: Vec<usize>,
     pub residual: Vec<f64>,
-    /// Bipartite edges `(bin, right item, cost)` of the current round.
+    /// Bipartite edges `(bin, right item, cost)` of the current round — only
+    /// filled when a round takes the rebuild/fallback/batch path; the
+    /// incremental engine consumes the pruned CSR below instead.
     pub edges: Vec<(usize, usize, f64)>,
     /// Right item index -> `(func, k)`.
     pub item_of: Vec<(usize, usize)>,
     /// Matched pairs `(bin, right, position)` for the stable commit order.
     pub pairs: Vec<(usize, usize, usize)>,
     pub placed_per_func: Vec<usize>,
+    /// Delta-maintained usable-bin lists: `fn_id` holds the still-active
+    /// functions (ascending), `fn_bins[fn_bins_start[p]..fn_bins_start[p+1]]`
+    /// the usable bins of `fn_id[p]` in eligible order. Built once per
+    /// request, then filtered in place each round — residuals only shrink
+    /// within a solve, so the filter is identical to recomputing from
+    /// `eligible_bins`.
+    pub fn_id: Vec<usize>,
+    pub fn_bins: Vec<usize>,
+    pub fn_bins_start: Vec<usize>,
+    /// Per-item Eq. 3 cost, aligned with `item_of` (one ladder per function,
+    /// strictly increasing in `k`).
+    pub item_cost: Vec<f64>,
+    /// Functions contributing items this round: `(active position, first
+    /// item index)`; the segment ends where the next entry starts.
+    pub round_funcs: Vec<(usize, usize)>,
+    /// `batch_rounds` ablation buffers (per-bin smallest eligible demand and
+    /// the derived multiplicity bound).
+    pub batch_min_demand: Vec<f64>,
+    pub batch_b_left: Vec<usize>,
 }
 
 /// Buffers for the stream commit/speculation protocol (demand lists, bin
@@ -210,6 +231,10 @@ pub struct SolveScratch {
     pub matching: MatchingScratch,
     /// Output slot for [`matching::min_cost_max_matching_into`].
     pub matching_out: Matching,
+    /// Ladder-aware incremental matching engine (dominance-pruned graphs,
+    /// optional cross-round price carry). Holds no cross-request state the
+    /// heuristic doesn't explicitly reset via `begin_request`.
+    pub inc: matching::IncrementalMatcher,
     pub commit: CommitScratch,
     /// Revised-simplex workspace (factorization + eta-file buffers) reused by
     /// the exact ILP path so branch-and-bound node re-solves allocate nothing.
@@ -231,6 +256,7 @@ impl SolveScratch {
             heur: HeuristicScratch::default(),
             matching: MatchingScratch::new(),
             matching_out: Matching { pairs: Vec::new(), cost: 0.0 },
+            inc: matching::IncrementalMatcher::new(),
             commit: CommitScratch::default(),
             lp: milp::LpWorkspace::new(),
         }

@@ -1,0 +1,133 @@
+//! Byte-identity of the incremental matching engine at the solver level:
+//! on random instances, Algorithm 2 with `MatchEngine::Incremental` must
+//! reproduce the `MatchEngine::Rebuild` (historical) path exactly — same
+//! placements, bit-equal reliability, and the same per-round telemetry on
+//! every legacy `heuristic.round` field.
+
+use mecnet::graph::NodeId;
+use mecnet::vnf::VnfTypeId;
+use obs::Recorder;
+use proptest::prelude::*;
+use relaug::heuristic::{self, HeuristicConfig, MatchEngine, StopRule};
+use relaug::instance::{AugmentationInstance, Bin, FunctionSlot};
+
+/// Strategy: random small instances with consistent eligibility and K_i
+/// (mirrors `proptest_relaug`'s generator).
+fn arb_instance() -> impl Strategy<Value = AugmentationInstance> {
+    let bins = proptest::collection::vec(100.0f64..900.0, 1..=4);
+    let funcs = proptest::collection::vec((50.0f64..350.0, 0.55f64..0.95), 1..=5);
+    (bins, funcs, 0.9f64..0.999999).prop_map(|(residuals, funcs, expectation)| {
+        let bins: Vec<Bin> = residuals
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| Bin { node: NodeId(i), residual: r })
+            .collect();
+        let functions: Vec<FunctionSlot> = funcs
+            .iter()
+            .enumerate()
+            .map(|(i, &(demand, reliability))| {
+                let eligible: Vec<usize> = (0..bins.len())
+                    .filter(|&b| (i + b) % 3 != 0 || b == i % bins.len())
+                    .filter(|&b| bins[b].residual >= demand)
+                    .collect();
+                let max_secondaries =
+                    eligible.iter().map(|&b| (bins[b].residual / demand).floor() as usize).sum();
+                FunctionSlot {
+                    vnf: VnfTypeId(i),
+                    demand,
+                    reliability,
+                    primary: NodeId(0),
+                    eligible_bins: eligible,
+                    max_secondaries,
+                    existing_backups: 0,
+                }
+            })
+            .collect();
+        AugmentationInstance { functions, bins, l: 1, expectation }
+    })
+}
+
+/// The legacy `heuristic.round` fields both engines must agree on, bit for
+/// bit. (The engine-specific fields — `edges_live`, `engine`, `warm` — are
+/// telemetry about *how* the round was solved and legitimately differ.)
+const LEGACY_ROUND_FIELDS: [&str; 8] = [
+    "round",
+    "left_bins",
+    "right_items",
+    "edges",
+    "matched",
+    "committed",
+    "reliability",
+    "reliability_gain",
+];
+
+fn run(
+    inst: &AugmentationInstance,
+    cfg: &HeuristicConfig,
+) -> (relaug::solution::Outcome, Recorder) {
+    let mut rec = Recorder::memory();
+    let out = heuristic::solve_traced(inst, cfg, &mut rec);
+    (out, rec)
+}
+
+fn assert_identical(inst: &AugmentationInstance, stop: StopRule) {
+    let incremental =
+        HeuristicConfig { stop, engine: MatchEngine::Incremental, ..Default::default() };
+    let rebuild = HeuristicConfig { stop, engine: MatchEngine::Rebuild, ..Default::default() };
+    let (a, rec_a) = run(inst, &incremental);
+    let (b, rec_b) = run(inst, &rebuild);
+    assert_eq!(a.augmentation, b.augmentation, "placements diverge under {stop:?}");
+    assert_eq!(
+        a.metrics.reliability.to_bits(),
+        b.metrics.reliability.to_bits(),
+        "reliability bits diverge under {stop:?}"
+    );
+    assert_eq!(a.solver, b.solver, "round counts diverge under {stop:?}");
+    let rounds = |rec: &Recorder| -> Vec<obs::Event> {
+        rec.events().iter().filter(|e| e.kind == "heuristic.round").cloned().collect()
+    };
+    let (ra, rb) = (rounds(&rec_a), rounds(&rec_b));
+    assert_eq!(ra.len(), rb.len(), "round event counts diverge under {stop:?}");
+    for (ea, eb) in ra.iter().zip(&rb) {
+        for key in LEGACY_ROUND_FIELDS {
+            assert_eq!(ea.field(key), eb.field(key), "round field {key} diverges under {stop:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Default-config solves (Expectation stop) are byte-identical.
+    #[test]
+    fn incremental_is_byte_identical_to_rebuild(inst in arb_instance()) {
+        assert_identical(&inst, StopRule::Expectation);
+    }
+
+    /// Exhaust drives many more rounds through the delta-maintained lists;
+    /// identity must survive the full round sequence.
+    #[test]
+    fn incremental_identity_survives_exhaust_rounds(inst in arb_instance()) {
+        assert_identical(&inst, StopRule::Exhaust);
+    }
+
+    /// Warm starts promise per-round matching-cost parity, not an identical
+    /// trajectory: an equal-cost round matching may distribute placements
+    /// differently across functions, so downstream rounds can diverge. What
+    /// must hold is feasibility, locality, and that solution quality does not
+    /// collapse (same slack the `batch_rounds` ablation test uses).
+    #[test]
+    fn warm_engine_preserves_feasibility_and_quality(inst in arb_instance()) {
+        let warm_cfg = HeuristicConfig { engine: MatchEngine::IncrementalWarm, ..Default::default() };
+        let (warm, _) = run(&inst, &warm_cfg);
+        let (cold, _) = run(&inst, &HeuristicConfig::default());
+        prop_assert!(warm.augmentation.is_capacity_feasible(&inst));
+        prop_assert!(warm.augmentation.respects_locality(&inst));
+        prop_assert!(
+            warm.metrics.reliability >= 0.95 * cold.metrics.reliability,
+            "warm reliability {} collapsed vs cold {}",
+            warm.metrics.reliability,
+            cold.metrics.reliability
+        );
+    }
+}

@@ -87,8 +87,7 @@ fn reliability_accounts_for_existing_in_all_algorithms() {
         &inst,
         &relaug::heuristic::HeuristicConfig {
             stop: relaug::heuristic::StopRule::Exhaust,
-            gain_floor: 0.0,
-            batch_rounds: false,
+            ..Default::default()
         },
     );
     assert!((heur.metrics.reliability - expect).abs() < 1e-12);

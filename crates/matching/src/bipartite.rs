@@ -65,8 +65,8 @@ pub fn min_cost_max_matching(
 /// buffers reach their high-water mark.
 #[derive(Debug, Clone)]
 pub struct MatchingScratch {
-    graph: McmfGraph,
-    edge_ids: Vec<EdgeId>,
+    pub(crate) graph: McmfGraph,
+    pub(crate) edge_ids: Vec<EdgeId>,
 }
 
 impl MatchingScratch {

@@ -1,0 +1,770 @@
+//! Incremental min-cost maximum-matching engine for the heuristic's
+//! round-structured bipartite graphs.
+//!
+//! The heuristic's auxiliary graph `G_l` has a very particular shape: the
+//! right side is partitioned into per-function *ladders* — for function `i`
+//! the candidate items `(i, k), (i, k+1), …` all connect to the **same** set
+//! of usable bins and their costs `c_{i,k}` are strictly increasing in `k`
+//! (Eq. 3's marginal log-gains shrink with every extra backup). The legacy
+//! path materializes every ladder step as a right node and every
+//! `bin × item` pair as an edge, then cold-solves successive-shortest-path
+//! (SSP) min-cost max-flow over `O(bins × items)` arcs per round.
+//!
+//! This engine exploits a dominance rule instead:
+//!
+//! > **Ladder dominance.** Within a function, item `(i, k)` dominates
+//! > `(i, k')` for `k < k'`: identical bin adjacency, strictly lower cost.
+//! > In every SSP pass, a *non-frontier* unmatched sibling (an item above
+//! > the function's cheapest unmatched step) can never lie on the chosen
+//! > augmenting path, and — as long as the ladder gap exceeds the solver's
+//! > `COST_EPS` tie-tolerance — can never displace a `prev` pointer set by
+//! > its frontier sibling. Matched items per function therefore always form
+//! > a contiguous `k`-prefix.
+//!
+//! So only `matched + 1` items per function are ever *materialized*: the
+//! matched prefix plus one frontier. Everything else — node numbering, heap
+//! tie-breaks, eps-strict relaxations, clamped reduced costs, potential
+//! updates, path application, extraction order — replicates
+//! [`crate::mcmf::McmfGraph::min_cost_max_flow`] on the virtual full graph
+//! operation for operation, which is what keeps the default engine
+//! byte-identical to the rebuild path (the property tests in
+//! `tests/proptest_incremental.rs` pin `pairs` and bit-exact `cost` against
+//! the allocating reference).
+//!
+//! The one knowingly-inexact ingredient: when a frontier is matched
+//! mid-solve, its successor's dual potential is materialized by the ladder
+//! shortcut `pot[k+1] = pot[k] + (c_{k+1} − c_k)` instead of replaying the
+//! sibling's own per-pass distance roundings. The two agree to ~1 ulp per
+//! pass (≈1e-15 accumulated), which only matters if some eps-strict
+//! comparison sits within that drift of its decision boundary; the
+//! certificate ([`IncrementalMatcher::ladders_certified`]) requires ladder
+//! gaps ≥ `1e-6` ≫ `COST_EPS` precisely so no such boundary exists, and the
+//! caller falls back to the rebuild path when it fails.
+//!
+//! Warm mode additionally carries bin/sink potentials and per-function
+//! frontier potentials across *rounds* (Bertsekas-style price reuse). Reused
+//! prices change Dijkstra tie-breaking, so warm rounds promise the same
+//! matching cardinality and cost (up to fp round-off) but not the same
+//! assignment — callers opt in explicitly and the default stays cold.
+
+use std::collections::BinaryHeap;
+
+use crate::bipartite::Matching;
+use crate::mcmf::COST_EPS;
+
+const UNMATCHED: u32 = u32::MAX;
+const NO_PREV: u32 = u32::MAX;
+
+/// Cumulative engine counters; snapshot with [`IncrementalMatcher::stats`]
+/// and diff around a solve for per-round numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Solves run by this engine.
+    pub rounds: u64,
+    /// Solves that started from carried (warm) potentials.
+    pub warm_rounds: u64,
+    /// Dijkstra passes (one per augmentation, plus the final failed pass).
+    pub passes: u64,
+    /// Arc relaxations attempted across all passes.
+    pub relaxations: u64,
+    /// Edges the legacy rebuild would have materialized (`Σ usable × ladder`).
+    pub edges_full: u64,
+    /// Edges actually materialized under ladder dominance
+    /// (`Σ usable × (matched + 1)` at end of solve).
+    pub edges_materialized: u64,
+    /// Right items the legacy rebuild would have created.
+    pub items_full: u64,
+    /// Right items materialized (matched prefix + frontier per function).
+    pub items_materialized: u64,
+}
+
+/// Min-heap item replicating `mcmf::HeapItem` ordering exactly: pop smallest
+/// distance first, ties broken toward the smaller node id.
+#[derive(Debug, Clone, PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Reusable incremental matcher. One per stream/worker, like the rest of the
+/// solve scratch; every buffer grows to its high-water mark and stays there,
+/// so steady-state solves allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalMatcher {
+    n_bins: usize,
+    // ---- per-round ladder description (rebuilt each round; the *delta*
+    // maintenance of usable-bin lists across rounds lives in the caller,
+    // which filters retained lists in place instead of re-deriving them) ----
+    func_id: Vec<u32>,
+    bins: Vec<u32>,
+    bin_start: Vec<u32>,
+    cost: Vec<f64>,
+    item_start: Vec<u32>,
+    item_func: Vec<u32>,
+    // ---- bin -> adjacent functions CSR, rebuilt per solve ----
+    bf_off: Vec<u32>,
+    bf_fun: Vec<u32>,
+    bf_pos: Vec<u32>,
+    active_bins: Vec<u32>,
+    // ---- solve state over virtual node ids (bins, items, s, t) ----
+    pot: Vec<f64>,
+    dist: Vec<f64>,
+    prev: Vec<u32>,
+    touched: Vec<u32>,
+    heap: BinaryHeap<HeapItem>,
+    item_partner: Vec<u32>,
+    bin_partner: Vec<u32>,
+    matched: Vec<u32>,
+    // ---- warm (cross-round) price carry, keyed by caller function id ----
+    carry_pot: Vec<f64>,
+    carry_cost: Vec<f64>,
+    carry_valid: Vec<bool>,
+    carry_pot_t: f64,
+    warm_ready: bool,
+    stats: MatchStats,
+}
+
+impl IncrementalMatcher {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a new request: fixes the bin universe, forgets carried prices.
+    pub fn begin_request(&mut self, n_bins: usize, chain_len: usize) {
+        self.n_bins = n_bins;
+        self.warm_ready = false;
+        self.carry_pot.clear();
+        self.carry_pot.resize(chain_len, 0.0);
+        self.carry_cost.clear();
+        self.carry_cost.resize(chain_len, 0.0);
+        self.carry_valid.clear();
+        self.carry_valid.resize(chain_len, false);
+        self.carry_pot_t = 0.0;
+    }
+
+    /// Start describing one round's bipartite graph.
+    pub fn begin_round(&mut self) {
+        self.func_id.clear();
+        self.bins.clear();
+        self.bin_start.clear();
+        self.bin_start.push(0);
+        self.cost.clear();
+        self.item_start.clear();
+        self.item_start.push(0);
+        self.item_func.clear();
+    }
+
+    /// Open a function block; follow with [`Self::push_bin`] /
+    /// [`Self::push_cost`] and seal with [`Self::finish_function`]. Skip
+    /// functions with no usable bin or an empty ladder entirely — exactly as
+    /// the legacy builder skips them — so item numbering matches the edge
+    /// list the rebuild path would have produced.
+    pub fn start_function(&mut self, func_id: usize) {
+        self.func_id.push(func_id as u32);
+    }
+
+    /// Add a usable bin for the currently open function (insertion order is
+    /// the relaxation order, so push in the same order the legacy edge
+    /// builder iterates eligible bins).
+    pub fn push_bin(&mut self, b: usize) {
+        debug_assert!(b < self.n_bins, "bin {b} out of range");
+        self.bins.push(b as u32);
+    }
+
+    /// Add the next ladder step's cost for the currently open function.
+    pub fn push_cost(&mut self, c: f64) {
+        assert!(c.is_finite(), "non-finite ladder cost");
+        let f = self.func_id.len() - 1;
+        self.cost.push(c);
+        self.item_func.push(f as u32);
+    }
+
+    pub fn finish_function(&mut self) {
+        let prev_b = *self.bin_start.last().unwrap();
+        let prev_i = *self.item_start.last().unwrap();
+        debug_assert!(self.bins.len() as u32 > prev_b, "function without usable bins");
+        debug_assert!(self.cost.len() as u32 > prev_i, "function without ladder items");
+        self.bin_start.push(self.bins.len() as u32);
+        self.item_start.push(self.cost.len() as u32);
+    }
+
+    /// Items described for the current round.
+    pub fn n_items(&self) -> usize {
+        self.cost.len()
+    }
+
+    /// The dominance certificate: every ladder strictly increasing with gaps
+    /// of at least `min_gap` (callers use `1e-6` ≫ `COST_EPS`), starting
+    /// non-negative. When this fails the dead-sibling argument no longer
+    /// bounds eps-tie flips and the caller must use the rebuild path.
+    pub fn ladders_certified(&self, min_gap: f64) -> bool {
+        for f in 0..self.func_id.len() {
+            let lo = self.item_start[f] as usize;
+            let hi = self.item_start[f + 1] as usize;
+            let ladder = &self.cost[lo..hi];
+            // NaN anywhere must fail the certificate, so the comparisons are
+            // written with explicit NaN arms rather than negated `>=`.
+            if ladder[0] < 0.0 || ladder[0].is_nan() {
+                return false;
+            }
+            for w in ladder.windows(2) {
+                let gap = w[1] - w[0];
+                if gap < min_gap || gap.is_nan() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    pub fn stats(&self) -> MatchStats {
+        self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = MatchStats::default();
+    }
+
+    /// Solve the described round. Cold (`warm = false`) replicates the
+    /// legacy SSP trajectory on the virtual full graph: `out` (pairs, order
+    /// and bit-exact cost) equals what [`crate::min_cost_max_matching`]
+    /// returns for the expanded edge list. Warm reuses carried prices: same
+    /// cardinality and cost (up to fp round-off), assignment may differ.
+    pub fn solve_into(&mut self, warm: bool, out: &mut Matching) {
+        let b = self.n_bins;
+        let nf = self.func_id.len();
+        let n_items = self.cost.len();
+        let s = b + n_items;
+        let t = s + 1;
+        let n = t + 1;
+
+        // Bin -> adjacent-functions CSR + active bin list (id order).
+        self.bf_off.clear();
+        self.bf_off.resize(b + 1, 0);
+        for &bin in &self.bins {
+            self.bf_off[bin as usize + 1] += 1;
+        }
+        for l in 0..b {
+            self.bf_off[l + 1] += self.bf_off[l];
+        }
+        self.bf_fun.clear();
+        self.bf_fun.resize(self.bins.len(), 0);
+        self.bf_pos.clear();
+        self.bf_pos.extend_from_slice(&self.bf_off[..b]);
+        for f in 0..nf {
+            let lo = self.bin_start[f] as usize;
+            let hi = self.bin_start[f + 1] as usize;
+            for &bin in &self.bins[lo..hi] {
+                let slot = self.bf_pos[bin as usize];
+                self.bf_fun[slot as usize] = f as u32;
+                self.bf_pos[bin as usize] += 1;
+            }
+        }
+        self.active_bins.clear();
+        for l in 0..b {
+            if self.bf_off[l + 1] > self.bf_off[l] {
+                self.active_bins.push(l as u32);
+            }
+        }
+
+        // Matching state.
+        self.item_partner.clear();
+        self.item_partner.resize(n_items, UNMATCHED);
+        self.bin_partner.clear();
+        self.bin_partner.resize(b, UNMATCHED);
+        self.matched.clear();
+        self.matched.resize(nf, 0);
+
+        // Potentials: zeros replicate `min_cost_max_flow`'s per-call reset
+        // (ladder costs are certified non-negative, so no Bellman–Ford).
+        // Warm start keeps bin/sink prices and re-derives item prices from
+        // the carried per-function frontier via the ladder shortcut; the
+        // source price is lifted to the max active-bin price so `s -> bin`
+        // reduced costs stay non-negative.
+        let warm_run = warm
+            && self.warm_ready
+            && self.func_id.iter().all(|&fid| self.carry_valid[fid as usize]);
+        let pot_s_eff;
+        if warm_run {
+            let old_len = self.pot.len();
+            if old_len < n {
+                self.pot.resize(n, 0.0);
+            }
+            for f in 0..nf {
+                let fid = self.func_id[f] as usize;
+                let lo = self.item_start[f] as usize;
+                let hi = self.item_start[f + 1] as usize;
+                for j in lo..hi {
+                    self.pot[b + j] = self.carry_pot[fid] + (self.cost[j] - self.carry_cost[fid]);
+                }
+            }
+            self.pot[t] = self.carry_pot_t;
+            pot_s_eff =
+                self.active_bins.iter().map(|&l| self.pot[l as usize]).fold(0.0f64, f64::max);
+            self.stats.warm_rounds += 1;
+        } else {
+            self.pot.clear();
+            self.pot.resize(n, 0.0);
+            pot_s_eff = 0.0;
+        }
+
+        self.dist.clear();
+        self.dist.resize(n, f64::INFINITY);
+        self.prev.clear();
+        self.prev.resize(n, NO_PREV);
+        self.touched.clear();
+
+        // Split borrows for the pass loop.
+        let pot = &mut self.pot;
+        let dist = &mut self.dist;
+        let prev = &mut self.prev;
+        let touched = &mut self.touched;
+        let heap = &mut self.heap;
+        let item_partner = &mut self.item_partner;
+        let bin_partner = &mut self.bin_partner;
+        let matched = &mut self.matched;
+        let cost = &self.cost;
+        let item_start = &self.item_start;
+        let item_func = &self.item_func;
+        let bf_off = &self.bf_off;
+        let bf_fun = &self.bf_fun;
+        let active_bins = &self.active_bins;
+
+        let mut passes = 0u64;
+        let mut relaxations = 0u64;
+
+        #[inline(always)]
+        fn relax(
+            dist: &mut [f64],
+            prev: &mut [u32],
+            touched: &mut Vec<u32>,
+            heap: &mut BinaryHeap<HeapItem>,
+            v: usize,
+            nd: f64,
+            from: usize,
+        ) {
+            if nd + COST_EPS < dist[v] {
+                if dist[v].is_infinite() {
+                    touched.push(v as u32);
+                }
+                dist[v] = nd;
+                prev[v] = from as u32;
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+
+        loop {
+            passes += 1;
+            for &v in touched.iter() {
+                dist[v as usize] = f64::INFINITY;
+                prev[v as usize] = NO_PREV;
+            }
+            touched.clear();
+            heap.clear();
+            dist[s] = 0.0;
+            touched.push(s as u32);
+            heap.push(HeapItem { dist: 0.0, node: s });
+
+            while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+                if d > dist[u] + COST_EPS {
+                    continue;
+                }
+                if u == s {
+                    // s -> unmatched bins, id order (cold: rc = 0 exactly,
+                    // matching the legacy zero-cost source arcs).
+                    for &l in active_bins {
+                        let l = l as usize;
+                        if bin_partner[l] != UNMATCHED {
+                            continue;
+                        }
+                        relaxations += 1;
+                        let rc = (0.0f64 + pot_s_eff - pot[l]).max(0.0);
+                        relax(dist, prev, touched, heap, l, d + rc, s);
+                    }
+                } else if u < b {
+                    // Bin -> materialized items of adjacent functions, item
+                    // id order (functions ascending = legacy adjacency
+                    // order). The saturated arc to the bin's partner is
+                    // skipped; the residual back to `s` can never improve
+                    // dist[s] = 0 and is elided.
+                    let pl = pot[u];
+                    let lo = bf_off[u] as usize;
+                    let hi = bf_off[u + 1] as usize;
+                    for &f in &bf_fun[lo..hi] {
+                        let f = f as usize;
+                        let base = item_start[f] as usize;
+                        let len = item_start[f + 1] as usize - base;
+                        let top = (matched[f] as usize).min(len - 1);
+                        for x in base..=base + top {
+                            if item_partner[x] == u as u32 {
+                                continue;
+                            }
+                            relaxations += 1;
+                            let rc = (cost[x] + pl - pot[b + x]).max(0.0);
+                            relax(dist, prev, touched, heap, b + x, d + rc, u);
+                        }
+                    }
+                } else if u < s {
+                    // Item: matched -> residual to its partner bin only;
+                    // frontier -> the zero-cost arc to t only.
+                    let x = u - b;
+                    let p = item_partner[x];
+                    if p != UNMATCHED {
+                        relaxations += 1;
+                        let l = p as usize;
+                        let rc = (-cost[x] + pot[u] - pot[l]).max(0.0);
+                        relax(dist, prev, touched, heap, l, d + rc, u);
+                    } else {
+                        relaxations += 1;
+                        let rc = (0.0f64 + pot[u] - pot[t]).max(0.0);
+                        relax(dist, prev, touched, heap, t, d + rc, u);
+                    }
+                } else if u == t {
+                    // t -> matched items (residuals of saturated item->t
+                    // arcs), item id order.
+                    for f in 0..nf {
+                        let base = item_start[f] as usize;
+                        for x in base..base + matched[f] as usize {
+                            relaxations += 1;
+                            let rc = (-0.0f64 + pot[t] - pot[b + x]).max(0.0);
+                            relax(dist, prev, touched, heap, b + x, d + rc, t);
+                        }
+                    }
+                }
+            }
+
+            if dist[t].is_infinite() {
+                break;
+            }
+            for &v in touched.iter() {
+                let v = v as usize;
+                if dist[v].is_finite() {
+                    pot[v] += dist[v];
+                }
+            }
+
+            // Trace the augmenting path back from t and flip the matching
+            // along it. Every item on the path is entered through a forward
+            // bin arc, which is its (possibly new) partner.
+            let mut v = t;
+            let mut last_item = usize::MAX;
+            while v != s {
+                let pv = prev[v] as usize;
+                debug_assert_ne!(prev[v], NO_PREV, "broken augmenting path");
+                if (b..s).contains(&v) {
+                    let x = v - b;
+                    debug_assert!(pv < b, "item entered by non-bin arc on final path");
+                    item_partner[x] = pv as u32;
+                    bin_partner[pv] = x as u32;
+                } else if v == t {
+                    last_item = pv - b;
+                }
+                v = pv;
+            }
+            debug_assert!(last_item < n_items);
+            let f = item_func[last_item] as usize;
+            debug_assert_eq!(last_item, item_start[f] as usize + matched[f] as usize);
+            matched[f] += 1;
+            // Materialize the next frontier's potential by the ladder
+            // shortcut, after this pass's potential update — the one place
+            // the engine substitutes an algebraic identity for the sibling's
+            // own (dead-weight) distance history.
+            let base = item_start[f] as usize;
+            let len = item_start[f + 1] as usize - base;
+            let m = matched[f] as usize;
+            if m < len {
+                let nj = base + m;
+                pot[b + nj] = pot[b + nj - 1] + (cost[nj] - cost[nj - 1]);
+            }
+        }
+
+        // Leave no stale finite distances behind (next solve resizes anyway,
+        // but warm carries read `pot`, not `dist`).
+        for &v in touched.iter() {
+            dist[v as usize] = f64::INFINITY;
+            prev[v as usize] = NO_PREV;
+        }
+        touched.clear();
+
+        // Extraction: identical to the legacy saturated-edge scan — one
+        // saturated edge per matched item, visited in item-major order, so
+        // the cost sum associates identically; pairs sort the same way.
+        out.pairs.clear();
+        out.cost = 0.0;
+        for x in 0..n_items {
+            if self.item_partner[x] != UNMATCHED {
+                out.pairs.push((self.item_partner[x] as usize, x));
+                out.cost += self.cost[x];
+            }
+        }
+        out.pairs.sort_unstable();
+
+        // Stats.
+        self.stats.rounds += 1;
+        self.stats.passes += passes;
+        self.stats.relaxations += relaxations;
+        self.stats.items_full += n_items as u64;
+        for f in 0..nf {
+            let usable = (self.bin_start[f + 1] - self.bin_start[f]) as u64;
+            let len = (self.item_start[f + 1] - self.item_start[f]) as u64;
+            let live = (self.matched[f] as u64 + 1).min(len);
+            self.stats.edges_full += usable * len;
+            self.stats.edges_materialized += usable * live;
+            self.stats.items_materialized += live;
+        }
+
+        // Warm carry: remember the last *materialized* item's price per
+        // function (frontier if one survives, else the last matched step)
+        // plus the sink price. Reduced-cost feasibility of the re-derived
+        // prices follows from SSP's ending invariant on those same arcs.
+        for f in 0..nf {
+            let fid = self.func_id[f] as usize;
+            let base = self.item_start[f] as usize;
+            let len = self.item_start[f + 1] as usize - base;
+            let last = base + (self.matched[f] as usize).min(len - 1);
+            self.carry_pot[fid] = self.pot[b + last];
+            self.carry_cost[fid] = self.cost[last];
+            self.carry_valid[fid] = true;
+        }
+        self.carry_pot_t = self.pot[t];
+        self.warm_ready = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::min_cost_max_matching;
+
+    /// Expand ladders into the edge list the legacy path would build.
+    fn expand(
+        n_bins: usize,
+        funcs: &[(Vec<usize>, Vec<f64>)],
+    ) -> (Vec<(usize, usize, f64)>, usize) {
+        let mut edges = Vec::new();
+        let mut items = 0;
+        for (bins, ladder) in funcs {
+            for &c in ladder {
+                for &b in bins {
+                    edges.push((b, items, c));
+                }
+                items += 1;
+            }
+        }
+        let _ = n_bins;
+        (edges, items)
+    }
+
+    fn engine_solve(
+        n_bins: usize,
+        chain_len: usize,
+        funcs: &[(Vec<usize>, Vec<f64>)],
+        warm: bool,
+    ) -> (IncrementalMatcher, Matching) {
+        let mut m = IncrementalMatcher::new();
+        m.begin_request(n_bins, chain_len);
+        m.begin_round();
+        for (fid, (bins, ladder)) in funcs.iter().enumerate() {
+            m.start_function(fid);
+            for &b in bins {
+                m.push_bin(b);
+            }
+            for &c in ladder {
+                m.push_cost(c);
+            }
+            m.finish_function();
+        }
+        let mut out = Matching { pairs: Vec::new(), cost: 0.0 };
+        m.solve_into(warm, &mut out);
+        (m, out)
+    }
+
+    fn assert_exact(n_bins: usize, funcs: &[(Vec<usize>, Vec<f64>)]) {
+        let (edges, items) = expand(n_bins, funcs);
+        let reference = min_cost_max_matching(n_bins, items, &edges);
+        let (_, got) = engine_solve(n_bins, funcs.len(), funcs, false);
+        assert_eq!(got.pairs, reference.pairs);
+        assert_eq!(got.cost.to_bits(), reference.cost.to_bits());
+    }
+
+    #[test]
+    fn single_function_single_bin() {
+        assert_exact(1, &[(vec![0], vec![1.0, 2.0, 3.0])]);
+    }
+
+    #[test]
+    fn two_functions_compete_for_scarce_bins() {
+        assert_exact(2, &[(vec![0, 1], vec![0.5, 1.7]), (vec![1], vec![0.9, 2.2])]);
+    }
+
+    #[test]
+    fn wider_than_tall_and_tall_than_wide() {
+        assert_exact(5, &[(vec![0, 2, 4], vec![0.3]), (vec![1, 2, 3], vec![0.2, 0.9, 1.6])]);
+        assert_exact(2, &[(vec![0, 1], vec![0.1, 0.2, 0.4, 0.8])]);
+    }
+
+    #[test]
+    fn identical_tier_costs_across_functions_tie_break_like_legacy() {
+        // Two functions with bitwise-equal ladders (tiered reliabilities):
+        // legacy breaks all ties by node id; the engine must agree exactly.
+        let ladder = vec![0.25f64, 1.25, 2.75];
+        assert_exact(
+            4,
+            &[
+                (vec![0, 1, 2], ladder.clone()),
+                (vec![1, 2, 3], ladder.clone()),
+                (vec![0, 3], ladder),
+            ],
+        );
+    }
+
+    #[test]
+    fn skips_unusable_bins_entirely() {
+        // Bin 1 unused by anyone: never relaxed, never matched.
+        let (m, got) = engine_solve(3, 2, &[(vec![0], vec![0.4]), (vec![2], vec![0.6])], false);
+        assert_eq!(got.pairs, vec![(0, 0), (2, 1)]);
+        assert!(m.stats().relaxations > 0);
+    }
+
+    #[test]
+    fn stats_report_pruning() {
+        // 1 bin, 5-step ladder: legacy would build 5 edges; dominance keeps
+        // the matched prefix (1) + one frontier.
+        let (m, got) = engine_solve(1, 1, &[(vec![0], vec![0.1, 0.9, 1.8, 2.7, 3.6])], false);
+        assert_eq!(got.cardinality(), 1);
+        let st = m.stats();
+        assert_eq!(st.items_full, 5);
+        assert_eq!(st.edges_full, 5);
+        assert_eq!(st.items_materialized, 2);
+        assert_eq!(st.edges_materialized, 2);
+        assert_eq!(st.rounds, 1);
+        assert_eq!(st.warm_rounds, 0);
+    }
+
+    #[test]
+    fn certificate_rejects_flat_or_negative_ladders() {
+        let (m, _) = engine_solve(1, 1, &[(vec![0], vec![0.5, 0.5 + 1e-9])], false);
+        assert!(!m.ladders_certified(1e-6));
+        let (m, _) = engine_solve(1, 1, &[(vec![0], vec![-0.5, 1.0])], false);
+        assert!(!m.ladders_certified(1e-6));
+        let (m, _) = engine_solve(1, 1, &[(vec![0], vec![0.5, 0.7])], false);
+        assert!(m.ladders_certified(1e-6));
+    }
+
+    #[test]
+    fn warm_round_preserves_cardinality_and_cost() {
+        // Round 1 cold, then a second round with advanced ladders and a
+        // shrunk bin set, solved warm and checked against a cold reference.
+        let funcs1: Vec<(Vec<usize>, Vec<f64>)> =
+            vec![(vec![0, 1, 2], vec![0.2, 1.0]), (vec![1, 2], vec![0.4, 1.3])];
+        let mut m = IncrementalMatcher::new();
+        m.begin_request(3, 2);
+        let mut out = Matching { pairs: Vec::new(), cost: 0.0 };
+        m.begin_round();
+        for (fid, (bins, ladder)) in funcs1.iter().enumerate() {
+            m.start_function(fid);
+            for &b in bins {
+                m.push_bin(b);
+            }
+            for &c in ladder {
+                m.push_cost(c);
+            }
+            m.finish_function();
+        }
+        m.solve_into(true, &mut out);
+        assert_eq!(m.stats().warm_rounds, 0, "first round has nothing to reuse");
+
+        // Round 2: next ladder steps, bin 1 exhausted.
+        let funcs2: Vec<(Vec<usize>, Vec<f64>)> =
+            vec![(vec![0, 2], vec![1.9, 2.9]), (vec![2], vec![2.1, 3.0])];
+        m.begin_round();
+        for (fid, (bins, ladder)) in funcs2.iter().enumerate() {
+            m.start_function(fid);
+            for &b in bins {
+                m.push_bin(b);
+            }
+            for &c in ladder {
+                m.push_cost(c);
+            }
+            m.finish_function();
+        }
+        m.solve_into(true, &mut out);
+        assert_eq!(m.stats().warm_rounds, 1);
+        let (edges, items) = expand(3, &funcs2);
+        let reference = min_cost_max_matching(3, items, &edges);
+        assert_eq!(out.cardinality(), reference.cardinality());
+        assert!(
+            (out.cost - reference.cost).abs() <= 1e-9 * (1.0 + reference.cost.abs()),
+            "warm cost {} vs reference {}",
+            out.cost,
+            reference.cost
+        );
+    }
+
+    #[test]
+    fn begin_request_drops_carried_prices() {
+        let funcs: Vec<(Vec<usize>, Vec<f64>)> = vec![(vec![0], vec![0.3, 1.1])];
+        let mut m = IncrementalMatcher::new();
+        let mut out = Matching { pairs: Vec::new(), cost: 0.0 };
+        for _ in 0..2 {
+            m.begin_request(1, 1);
+            m.begin_round();
+            m.start_function(0);
+            m.push_bin(0);
+            for &c in &funcs[0].1 {
+                m.push_cost(c);
+            }
+            m.finish_function();
+            m.solve_into(true, &mut out);
+        }
+        // Second request's first round must not count as warm.
+        assert_eq!(m.stats().warm_rounds, 0);
+        assert_eq!(m.stats().rounds, 2);
+    }
+
+    #[test]
+    fn reused_engine_matches_fresh_engine() {
+        let cases: Vec<Vec<(Vec<usize>, Vec<f64>)>> = vec![
+            vec![(vec![0, 1], vec![0.2, 0.8])],
+            vec![(vec![0], vec![0.5]), (vec![0, 1, 2], vec![0.1, 0.6, 1.4])],
+            vec![(vec![2], vec![0.9, 1.9]), (vec![0, 1], vec![0.3])],
+        ];
+        let mut m = IncrementalMatcher::new();
+        let mut out = Matching { pairs: Vec::new(), cost: 0.0 };
+        for funcs in &cases {
+            m.begin_request(3, funcs.len());
+            m.begin_round();
+            for (fid, (bins, ladder)) in funcs.iter().enumerate() {
+                m.start_function(fid);
+                for &b in bins {
+                    m.push_bin(b);
+                }
+                for &c in ladder {
+                    m.push_cost(c);
+                }
+                m.finish_function();
+            }
+            m.solve_into(false, &mut out);
+            let (_, fresh) = engine_solve(3, funcs.len(), funcs, false);
+            assert_eq!(out, fresh);
+        }
+    }
+}

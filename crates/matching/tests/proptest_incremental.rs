@@ -1,0 +1,217 @@
+//! Property tests of the incremental ladder engine against the reference
+//! solver: cold solves must reproduce [`matching::min_cost_max_matching`] on
+//! the expanded edge list exactly (same pairs, bit-equal cost); warm solves
+//! must keep cardinality and cost; the dominance certificate must reject
+//! tiered/duplicate ladders.
+
+use matching::{min_cost_max_matching, IncrementalMatcher, Matching};
+use proptest::prelude::*;
+
+/// One ladder instance. `funcs` is full-length and indexed by a stable
+/// function id (like the heuristic's chain positions): emptied functions stay
+/// in place as `(vec![], vec![])` and are skipped when feeding/expanding, so
+/// the engine's warm carry — keyed by function id — stays correctly keyed as
+/// the instance evolves.
+#[derive(Debug, Clone)]
+struct LadderInstance {
+    n_bins: usize,
+    /// Per function id: (usable bins in push order, ladder costs ascending).
+    funcs: Vec<(Vec<usize>, Vec<f64>)>,
+}
+
+impl LadderInstance {
+    fn live(&self) -> bool {
+        self.funcs.iter().any(|(b, l)| !b.is_empty() && !l.is_empty())
+    }
+
+    /// Expand to the edge list the legacy builder would produce: items are
+    /// function-major, and each item's edges enumerate its function's usable
+    /// bins in order.
+    fn expand(&self) -> (usize, Vec<(usize, usize, f64)>) {
+        let mut edges = Vec::new();
+        let mut right = 0usize;
+        for (bins, ladder) in &self.funcs {
+            if bins.is_empty() || ladder.is_empty() {
+                continue;
+            }
+            for &c in ladder {
+                for &b in bins {
+                    edges.push((b, right, c));
+                }
+                right += 1;
+            }
+        }
+        (right, edges)
+    }
+
+    fn feed(&self, inc: &mut IncrementalMatcher) {
+        inc.begin_round();
+        for (f, (bins, ladder)) in self.funcs.iter().enumerate() {
+            if bins.is_empty() || ladder.is_empty() {
+                continue;
+            }
+            inc.start_function(f);
+            for &b in bins {
+                inc.push_bin(b);
+            }
+            for &c in ladder {
+                inc.push_cost(c);
+            }
+            inc.finish_function();
+        }
+    }
+
+    /// Map each expanded right-item index back to its function id.
+    fn func_of_items(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (f, (bins, ladder)) in self.funcs.iter().enumerate() {
+            if bins.is_empty() || ladder.is_empty() {
+                continue;
+            }
+            out.extend(std::iter::repeat_n(f, ladder.len()));
+        }
+        out
+    }
+
+    /// Evolve like a heuristic round commit: advance each ladder past its
+    /// matched prefix and drop `drop` bins from the front of every list
+    /// (keeping at least one bin so shrinkage, not starvation, is tested).
+    fn evolve(&mut self, matching: &Matching, drop: usize) {
+        let func_of = self.func_of_items();
+        let mut matched_of = vec![0usize; self.funcs.len()];
+        for &(_, r) in &matching.pairs {
+            matched_of[func_of[r]] += 1;
+        }
+        for (f, (bins, ladder)) in self.funcs.iter_mut().enumerate() {
+            if bins.is_empty() || ladder.is_empty() {
+                continue;
+            }
+            ladder.drain(..matched_of[f]);
+            bins.drain(..drop.min(bins.len() - 1));
+        }
+    }
+}
+
+fn arb_ladder_instance() -> impl Strategy<Value = LadderInstance> {
+    (2usize..=6).prop_flat_map(|n_bins| {
+        let func = (
+            proptest::collection::vec(0..n_bins, 1..=n_bins),
+            proptest::collection::vec(0.01f64..3.0, 1..=4),
+            0.0f64..5.0,
+        )
+            .prop_map(|(mut bins, gaps, base)| {
+                bins.sort_unstable();
+                bins.dedup();
+                let mut c = base;
+                let ladder: Vec<f64> = gaps
+                    .iter()
+                    .map(|&g| {
+                        c += g;
+                        c
+                    })
+                    .collect();
+                (bins, ladder)
+            });
+        (Just(n_bins), proptest::collection::vec(func, 1..=4))
+            .prop_map(|(n_bins, funcs)| LadderInstance { n_bins, funcs })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Cold engine solves are trajectory-exact: identical pairs and bit-equal
+    /// cost versus the reference solver on the expanded edge list.
+    #[test]
+    fn cold_engine_matches_reference_exactly(inst in arb_ladder_instance()) {
+        let mut inc = IncrementalMatcher::new();
+        inc.begin_request(inst.n_bins, inst.funcs.len());
+        inst.feed(&mut inc);
+        prop_assert!(inc.ladders_certified(1e-6), "generator must emit certified ladders");
+        let mut got = Matching { pairs: Vec::new(), cost: 0.0 };
+        inc.solve_into(false, &mut got);
+        let (n_items, edges) = inst.expand();
+        let want = min_cost_max_matching(inst.n_bins, n_items, &edges);
+        prop_assert_eq!(&got.pairs, &want.pairs, "pairs diverge on {:?}", inst);
+        prop_assert_eq!(got.cost.to_bits(), want.cost.to_bits(),
+            "cost bits diverge: {} vs {} on {:?}", got.cost, want.cost, inst);
+    }
+
+    /// A reused engine stays exact across a randomized round sequence that
+    /// mimics the heuristic's evolution: drop the matched prefix, shrink the
+    /// bin lists, re-solve — every round must equal a fresh reference solve.
+    #[test]
+    fn cold_engine_round_sequence_matches_reference(
+        inst in arb_ladder_instance(),
+        drops in proptest::collection::vec(0usize..3, 1..=3),
+    ) {
+        let mut inc = IncrementalMatcher::new();
+        inc.begin_request(inst.n_bins, inst.funcs.len());
+        let mut cur = inst;
+        let mut got = Matching { pairs: Vec::new(), cost: 0.0 };
+        for &drop in &drops {
+            if !cur.live() {
+                break;
+            }
+            cur.feed(&mut inc);
+            prop_assert!(inc.ladders_certified(1e-6));
+            inc.solve_into(false, &mut got);
+            let (n_items, edges) = cur.expand();
+            let want = min_cost_max_matching(cur.n_bins, n_items, &edges);
+            prop_assert_eq!(&got.pairs, &want.pairs, "pairs diverge on {:?}", cur);
+            prop_assert_eq!(got.cost.to_bits(), want.cost.to_bits());
+            let m = got.clone();
+            cur.evolve(&m, drop);
+        }
+    }
+
+    /// Warm solves on an evolving instance keep the reference cardinality and
+    /// cost (the assignment itself may legitimately differ).
+    #[test]
+    fn warm_engine_keeps_cardinality_and_cost(
+        inst in arb_ladder_instance(),
+        drops in proptest::collection::vec(0usize..2, 2..=4),
+    ) {
+        let mut inc = IncrementalMatcher::new();
+        inc.begin_request(inst.n_bins, inst.funcs.len());
+        let mut cur = inst;
+        let mut got = Matching { pairs: Vec::new(), cost: 0.0 };
+        for &drop in &drops {
+            if !cur.live() {
+                break;
+            }
+            cur.feed(&mut inc);
+            prop_assert!(inc.ladders_certified(1e-6));
+            inc.solve_into(true, &mut got);
+            let (n_items, edges) = cur.expand();
+            let want = min_cost_max_matching(cur.n_bins, n_items, &edges);
+            prop_assert_eq!(got.pairs.len(), want.pairs.len(),
+                "warm cardinality diverges on {:?}", cur);
+            prop_assert!((got.cost - want.cost).abs() <= 1e-6 * (1.0 + want.cost.abs()),
+                "warm cost {} vs reference {} on {:?}", got.cost, want.cost, cur);
+            let m = got.clone();
+            cur.evolve(&m, drop);
+        }
+    }
+
+    /// Duplicate or near-tied ladder steps must fail the certificate — these
+    /// are exactly the instances where pruning could flip an eps-tie.
+    #[test]
+    fn certificate_rejects_tied_ladders(
+        n_bins in 2usize..=4,
+        c in 0.5f64..5.0,
+        tie_gap in 0.0f64..5e-7,
+    ) {
+        let mut inc = IncrementalMatcher::new();
+        inc.begin_request(n_bins, 1);
+        inc.begin_round();
+        inc.start_function(0);
+        for b in 0..n_bins {
+            inc.push_bin(b);
+        }
+        inc.push_cost(c);
+        inc.push_cost(c + tie_gap);
+        inc.finish_function();
+        prop_assert!(!inc.ladders_certified(1e-6));
+    }
+}

@@ -33,7 +33,7 @@ fn ilp_dominates_feasible_algorithms() {
         let exact = ilp::solve(&inst, &uncapped_ilp()).expect("ilp");
         let heur = heuristic::solve(
             &inst,
-            &HeuristicConfig { stop: StopRule::Exhaust, gain_floor: 1e-12, batch_rounds: false },
+            &HeuristicConfig { stop: StopRule::Exhaust, gain_floor: 1e-12, ..Default::default() },
         );
         let greed = greedy::solve(&inst, &Default::default());
         assert!(
